@@ -1,0 +1,159 @@
+//! Appendix-B security model of Fractal Mitigation (Eq. 8–10, Fig 15/16).
+
+/// The Fractal Mitigation attack model.
+///
+/// An adversary hammers an aggressor row continuously; every mitigation of
+/// that aggressor runs one Fractal Mitigation episode. A distant row `R` at
+/// distance `d` from the aggressor has neighbors `R-` (distance `d-1`) and
+/// `R+` (distance `d+1`), which receive mitigative refreshes with
+/// probabilities `p`, and `p/4` respectively, while `R` itself is refreshed
+/// with `p/2`. The attacker wants to maximize the *damage* (activations on
+/// `R±`) while `R` escapes refreshing.
+///
+/// # Examples
+///
+/// ```
+/// use autorfm_analysis::FractalModel;
+///
+/// let fm = FractalModel::default();
+/// // The paper: maximum damage 104 at escape 1e-18 → TRH-D 52.
+/// let trhd = fm.tolerated_trh_d();
+/// assert!((50.0..=55.0).contains(&trhd), "{trhd}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FractalModel {
+    /// The target escape probability corresponding to the design MTTF
+    /// (`1e-18` for 10K years in the paper).
+    pub target_escape: f64,
+}
+
+impl Default for FractalModel {
+    fn default() -> Self {
+        FractalModel {
+            target_escape: 1e-18,
+        }
+    }
+}
+
+impl FractalModel {
+    /// Eq. 8: damage accumulated on `R` after `n` episodes with `R-` refresh
+    /// probability `p`: `1.25 · p · n` (both neighbors contribute;
+    /// `p + p/4 = 1.25 p`).
+    pub fn damage(&self, p: f64, n: f64) -> f64 {
+        1.25 * p * n
+    }
+
+    /// Eq. 9: probability that `R` (refreshed with `p/2` per episode) escapes
+    /// all `n` episodes, expressed in terms of the damage:
+    /// `e^(-damage / 2.5)`.
+    pub fn escape_probability(&self, damage: f64) -> f64 {
+        (-damage / 2.5).exp()
+    }
+
+    /// The MINT escape probability for comparison (Fig 16): a row whose
+    /// neighbors received `damage` direct activations escapes MINT selection
+    /// with `(1 - 1/w)^damage`.
+    pub fn mint_escape_probability(window: u32, damage: f64) -> f64 {
+        (1.0 - 1.0 / window as f64).powf(damage)
+    }
+
+    /// Eq. 10: the maximum damage at the target escape probability:
+    /// `damage = -2.5 · ln(target)` (104 for 1e-18).
+    pub fn max_damage(&self) -> f64 {
+        -2.5 * self.target_escape.ln()
+    }
+
+    /// The double-sided threshold below which pure-FM attacks become viable:
+    /// `TRH-D = max_damage / 2` (52 in the paper). AutoRFM's minimum TRH-D of
+    /// 74 stays safely above this, so direct attacks remain the most potent.
+    pub fn tolerated_trh_d(&self) -> f64 {
+        self.max_damage() / 2.0
+    }
+
+    /// Fig 16 mixed-attack analysis: total escape probability when the
+    /// attacker splits `fm_damage` activations through FM refreshes and
+    /// `mint_damage` through direct neighbor activations (MINT window `w`).
+    /// Escape events are independent, so probabilities multiply — making the
+    /// combined attack strictly weaker than an all-direct attack of the same
+    /// total damage whenever FM's per-activation escape decay is steeper.
+    pub fn mixed_escape_probability(&self, fm_damage: f64, window: u32, mint_damage: f64) -> f64 {
+        self.escape_probability(fm_damage) * Self::mint_escape_probability(window, mint_damage)
+    }
+
+    /// Whether a combined attack of `total` damage split at `fm_share` is
+    /// weaker (lower escape probability ⇒ needs more activations) than the
+    /// all-MINT attack of the same total.
+    pub fn mixed_attack_is_weaker(&self, window: u32, total: f64, fm_share: f64) -> bool {
+        let fm_damage = total * fm_share;
+        let mixed = self.mixed_escape_probability(fm_damage, window, total - fm_damage);
+        let pure = Self::mint_escape_probability(window, total);
+        mixed <= pure
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq10_damage_is_104() {
+        let fm = FractalModel::default();
+        assert!((fm.max_damage() - 103.6).abs() < 1.0, "{}", fm.max_damage());
+        assert!((fm.tolerated_trh_d() - 52.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn eq8_damage_linear() {
+        let fm = FractalModel::default();
+        assert_eq!(fm.damage(0.5, 100.0), 62.5);
+        assert_eq!(fm.damage(0.25, 0.0), 0.0);
+    }
+
+    #[test]
+    fn escape_decreases_with_damage() {
+        let fm = FractalModel::default();
+        assert!(fm.escape_probability(104.0) < 1.1e-18);
+        assert!(fm.escape_probability(104.0) > 0.5e-18);
+        assert!(fm.escape_probability(40.0) > fm.escape_probability(80.0));
+    }
+
+    /// Fig 16's worked example: 40 FM activations (escape ~1e-7) plus 80 MINT
+    /// activations (escape ~1e-10) gives ~1e-17, which is weaker (lower) than
+    /// the ~1e-15 of 120 MINT-only activations.
+    #[test]
+    fn fig16_mixed_attack_example() {
+        let fm = FractalModel::default();
+        let e_fm40 = fm.escape_probability(40.0);
+        let e_mint80 = FractalModel::mint_escape_probability(4, 80.0);
+        let mixed = fm.mixed_escape_probability(40.0, 4, 80.0);
+        assert!((e_fm40.log10() - (-7.0)).abs() < 1.0, "{}", e_fm40.log10());
+        assert!(
+            (e_mint80.log10() - (-10.0)).abs() < 0.5,
+            "{}",
+            e_mint80.log10()
+        );
+        let pure = FractalModel::mint_escape_probability(4, 120.0);
+        assert!(
+            mixed < pure,
+            "mixed {mixed:.2e} must be below pure {pure:.2e}"
+        );
+        assert!(fm.mixed_attack_is_weaker(4, 120.0, 40.0 / 120.0));
+    }
+
+    #[test]
+    fn mixed_attacks_never_beat_direct_for_mint4() {
+        let fm = FractalModel::default();
+        for share in [0.1, 0.25, 0.5, 0.75, 0.9] {
+            assert!(
+                fm.mixed_attack_is_weaker(4, 148.0, share),
+                "share {share} produced a stronger attack"
+            );
+        }
+    }
+
+    #[test]
+    fn mint_escape_matches_formula() {
+        let e = FractalModel::mint_escape_probability(4, 10.0);
+        assert!((e - 0.75f64.powi(10)).abs() < 1e-12);
+    }
+}

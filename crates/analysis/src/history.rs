@@ -1,0 +1,59 @@
+//! Rowhammer thresholds over DRAM generations (Table II).
+
+/// One row of Table II.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrhEntry {
+    /// DRAM generation label.
+    pub generation: &'static str,
+    /// Single-sided threshold (activations), if reported.
+    pub trh_s: Option<u32>,
+    /// Double-sided threshold range `(low, high)`, if reported.
+    pub trh_d: Option<(u32, u32)>,
+}
+
+/// Table II of the paper: the threshold trend motivating sub-100 designs.
+pub const TRH_HISTORY: &[TrhEntry] = &[
+    TrhEntry {
+        generation: "DDR3-old",
+        trh_s: Some(139_000),
+        trh_d: None,
+    },
+    TrhEntry {
+        generation: "DDR3-new",
+        trh_s: None,
+        trh_d: Some((22_400, 22_400)),
+    },
+    TrhEntry {
+        generation: "DDR4",
+        trh_s: None,
+        trh_d: Some((10_000, 17_500)),
+    },
+    TrhEntry {
+        generation: "LPDDR4",
+        trh_s: None,
+        trh_d: Some((4_800, 9_000)),
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_decline_across_generations() {
+        let mins: Vec<u32> = TRH_HISTORY
+            .iter()
+            .map(|e| e.trh_s.unwrap_or_else(|| e.trh_d.unwrap().0))
+            .collect();
+        for pair in mins.windows(2) {
+            assert!(pair[1] < pair[0], "thresholds must decline: {mins:?}");
+        }
+    }
+
+    #[test]
+    fn table2_values() {
+        assert_eq!(TRH_HISTORY.len(), 4);
+        assert_eq!(TRH_HISTORY[0].trh_s, Some(139_000));
+        assert_eq!(TRH_HISTORY[3].trh_d, Some((4_800, 9_000)));
+    }
+}

@@ -1,0 +1,41 @@
+//! # autorfm-analysis
+//!
+//! Analytical security models and Monte-Carlo attack harness.
+//!
+//! * [`mint_model`] — the Appendix-A closed-form model for MINT+RFM: epoch
+//!   time, failure rate, MTTF, and the tolerated Rowhammer threshold as a
+//!   function of the mitigation window (Eq. 1–7). Regenerates Table III,
+//!   Table VI's threshold columns, and Fig 14.
+//! * [`fractal_model`] — the Appendix-B security model of Fractal Mitigation:
+//!   damage/escape-probability trade-off (Eq. 8–10) and the mixed-attack
+//!   analysis of Fig 16.
+//! * [`montecarlo`] — drives the *real* tracker + mitigation implementations
+//!   with adversarial activation patterns and measures the worst-case
+//!   unmitigated disturbance, validating the closed forms.
+//! * [`history`] — the Rowhammer-threshold-over-time data of Table II.
+//!
+//! # Examples
+//!
+//! ```
+//! use autorfm_analysis::MintModel;
+//!
+//! // Table III: MINT (recursive) at window 4 tolerates TRH-D ~96.
+//! let model = MintModel::rfm(4, true);
+//! let trhd = model.tolerated_trh_d();
+//! assert!((85.0..=100.0).contains(&trhd), "{trhd}");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fractal_model;
+pub mod history;
+pub mod mint_model;
+pub mod montecarlo;
+pub mod perf_model;
+
+pub use fractal_model::FractalModel;
+pub use history::{TrhEntry, TRH_HISTORY};
+pub use mint_model::MintModel;
+pub use montecarlo::{AttackReport, AttackSim};
+pub use perf_model::{AutoRfmConflictModel, RfmPerfModel};

@@ -1,0 +1,245 @@
+//! Appendix-A analytical model for MINT + RFM/AutoRFM (Eq. 1–7).
+
+/// Seconds in a year (Julian).
+const SECONDS_PER_YEAR: f64 = 365.25 * 24.0 * 3600.0;
+
+/// The closed-form MINT threshold model.
+///
+/// For a window of `W` activations, MINT selects each activation slot with
+/// probability `1/slots` where `slots = W` (fractal mode) or `W + 1`
+/// (recursive mode — one slot is reserved for transitive re-mitigation, which
+/// is why recursive MINT tolerates a *higher* threshold, Table VI).
+///
+/// The best attack activates `W` unique rows circularly; the model computes
+/// the per-row escape probability over `T` iterations (Eq. 1), the epoch time
+/// (Eq. 2), the system failure rate over all `W` attacked rows (Eq. 4), and
+/// inverts the target MTTF into the tolerated single-sided count `T` (Eq. 6)
+/// and double-sided threshold `TRH-D = T/2` (Eq. 7).
+///
+/// # Examples
+///
+/// ```
+/// use autorfm_analysis::MintModel;
+///
+/// // Fractal MINT at window 4 (AutoRFM-4) tolerates TRH-D ~74 (Table VI).
+/// let fm = MintModel::auto_rfm(4, false);
+/// assert!((65.0..=80.0).contains(&fm.tolerated_trh_d()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MintModel {
+    /// Mitigation window `W` (activations per mitigation).
+    pub window: u32,
+    /// Recursive (`W+1`-slot) selection vs fractal (`W`-slot).
+    pub recursive: bool,
+    /// tRC in nanoseconds (48 for DDR5).
+    pub t_rc_ns: f64,
+    /// Mitigation latency in nanoseconds (tRFM = 205 for RFM; 4·tRC ≈ 192 for
+    /// AutoRFM).
+    pub t_m_ns: f64,
+    /// Target mean time to failure, in years (10 000 in the paper).
+    pub mttf_years: f64,
+}
+
+impl MintModel {
+    /// The paper's RFM configuration: tM = tRFM = 205 ns, MTTF = 10K years.
+    pub fn rfm(window: u32, recursive: bool) -> Self {
+        MintModel {
+            window,
+            recursive,
+            t_rc_ns: 48.0,
+            t_m_ns: 205.0,
+            mttf_years: 10_000.0,
+        }
+    }
+
+    /// The paper's AutoRFM configuration: tM = 4·tRC = 192 ns.
+    pub fn auto_rfm(window: u32, recursive: bool) -> Self {
+        MintModel {
+            window,
+            recursive,
+            t_rc_ns: 48.0,
+            t_m_ns: 192.0,
+            mttf_years: 10_000.0,
+        }
+    }
+
+    /// Number of selection slots (`W` fractal, `W+1` recursive).
+    pub fn slots(&self) -> f64 {
+        self.window as f64 + if self.recursive { 1.0 } else { 0.0 }
+    }
+
+    /// Per-activation selection probability.
+    pub fn selection_probability(&self) -> f64 {
+        1.0 / self.slots()
+    }
+
+    /// Eq. 1: probability that a row escapes selection over `t` iterations.
+    pub fn escape_probability(&self, t: f64) -> f64 {
+        (1.0 - self.selection_probability()).powf(t)
+    }
+
+    /// Eq. 2: epoch time in seconds (`W² · tRC + t_M`).
+    pub fn epoch_seconds(&self) -> f64 {
+        let w = self.window as f64;
+        (w * w * self.t_rc_ns + self.t_m_ns) * 1e-9
+    }
+
+    /// Eq. 4: failure rate per second when attacking all `W` window rows with
+    /// single-sided threshold `t`.
+    pub fn failure_rate(&self, t: f64) -> f64 {
+        self.window as f64 * self.escape_probability(t) / self.epoch_seconds()
+    }
+
+    /// Eq. 5: MTTF in seconds for single-sided threshold `t`.
+    pub fn mttf_seconds(&self, t: f64) -> f64 {
+        1.0 / self.failure_rate(t)
+    }
+
+    /// Eq. 6: the tolerated single-sided activation count `T` for the target
+    /// MTTF: `T = ln((W·tRC + tM/W) / MTTF) / ln(1 - 1/slots)`.
+    pub fn tolerated_trh_s(&self) -> f64 {
+        let w = self.window as f64;
+        let numerator_s = (w * self.t_rc_ns + self.t_m_ns / w) * 1e-9;
+        let mttf_s = self.mttf_years * SECONDS_PER_YEAR;
+        (numerator_s / mttf_s).ln() / (1.0 - self.selection_probability()).ln()
+    }
+
+    /// Eq. 7: the tolerated double-sided threshold `TRH-D = T / 2`.
+    pub fn tolerated_trh_d(&self) -> f64 {
+        self.tolerated_trh_s() / 2.0
+    }
+
+    /// The tolerated TRH-D under a different MTTF target (sensitivity study:
+    /// the paper fixes 10K years; vendors may choose other margins).
+    pub fn tolerated_trh_d_at_mttf(&self, mttf_years: f64) -> f64 {
+        MintModel {
+            mttf_years,
+            ..*self
+        }
+        .tolerated_trh_d()
+    }
+
+    /// Fig 14: `(window, TRH-D)` series over a window range.
+    pub fn threshold_series(
+        windows: impl IntoIterator<Item = u32>,
+        recursive: bool,
+    ) -> Vec<(u32, f64)> {
+        windows
+            .into_iter()
+            .map(|w| (w, MintModel::rfm(w, recursive).tolerated_trh_d()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Table III (MINT with recursive mitigation under RFM).
+    #[test]
+    fn table3_thresholds_within_ten_percent() {
+        let expected = [(4u32, 96.0f64), (8, 182.0), (16, 356.0), (32, 702.0)];
+        for (w, paper) in expected {
+            let got = MintModel::rfm(w, true).tolerated_trh_d();
+            let err = (got - paper).abs() / paper;
+            assert!(
+                err < 0.10,
+                "W={w}: model {got:.0} vs paper {paper} ({:.1}%)",
+                err * 100.0
+            );
+        }
+    }
+
+    /// Paper Table VI: fractal-mitigation thresholds at the same windows.
+    #[test]
+    fn table6_fractal_thresholds_within_ten_percent() {
+        let expected = [(4u32, 74.0f64), (5, 96.0), (6, 117.0), (8, 161.0)];
+        for (w, paper) in expected {
+            let got = MintModel::auto_rfm(w, false).tolerated_trh_d();
+            let err = (got - paper).abs() / paper;
+            assert!(
+                err < 0.10,
+                "W={w}: model {got:.0} vs paper {paper} ({:.1}%)",
+                err * 100.0
+            );
+        }
+    }
+
+    /// Table VI: recursive tolerates a higher threshold than fractal at the
+    /// same window (the reason FM lowers the minimum threshold).
+    #[test]
+    fn fractal_beats_recursive_at_same_window() {
+        for w in [4u32, 5, 6, 8] {
+            let rm = MintModel::auto_rfm(w, true).tolerated_trh_d();
+            let fm = MintModel::auto_rfm(w, false).tolerated_trh_d();
+            assert!(
+                fm < rm,
+                "W={w}: fractal {fm:.0} must be below recursive {rm:.0}"
+            );
+        }
+    }
+
+    #[test]
+    fn escape_probability_decreases_with_t() {
+        let m = MintModel::rfm(4, false);
+        assert!(m.escape_probability(100.0) < m.escape_probability(50.0));
+        assert_eq!(m.escape_probability(0.0), 1.0);
+    }
+
+    #[test]
+    fn mttf_at_tolerated_threshold_matches_target() {
+        let m = MintModel::rfm(8, true);
+        let t = m.tolerated_trh_s();
+        let mttf_years = m.mttf_seconds(t) / SECONDS_PER_YEAR;
+        assert!(
+            (mttf_years / m.mttf_years - 1.0).abs() < 0.2,
+            "round-trip MTTF {mttf_years:.0} years"
+        );
+    }
+
+    #[test]
+    fn epoch_time_formula() {
+        let m = MintModel::rfm(4, false);
+        // 16 * 48ns + 205ns = 973 ns.
+        assert!((m.epoch_seconds() - 973e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_series_monotonic_in_window() {
+        let series = MintModel::threshold_series([4, 8, 16, 32], true);
+        assert_eq!(series.len(), 4);
+        for pair in series.windows(2) {
+            assert!(pair[1].1 > pair[0].1, "threshold must grow with window");
+        }
+    }
+
+    #[test]
+    fn mttf_sensitivity_is_logarithmic() {
+        // The threshold depends on ln(MTTF): 100x more MTTF costs only a
+        // constant number of extra activations of margin.
+        let m = MintModel::auto_rfm(4, false);
+        let t1 = m.tolerated_trh_d_at_mttf(100.0);
+        let t2 = m.tolerated_trh_d_at_mttf(10_000.0);
+        let t3 = m.tolerated_trh_d_at_mttf(1_000_000.0);
+        assert!(
+            t1 < t2 && t2 < t3,
+            "higher MTTF needs a higher tolerated threshold"
+        );
+        let step_a = t2 - t1;
+        let step_b = t3 - t2;
+        assert!(
+            (step_a - step_b).abs() < 1.0,
+            "equal decades add equal margin: {step_a} vs {step_b}"
+        );
+        assert!(
+            step_a < 15.0,
+            "a 100x MTTF change costs only ~{step_a:.0} activations"
+        );
+    }
+
+    #[test]
+    fn selection_probability_modes() {
+        assert_eq!(MintModel::rfm(4, false).selection_probability(), 0.25);
+        assert_eq!(MintModel::rfm(4, true).selection_probability(), 0.2);
+    }
+}

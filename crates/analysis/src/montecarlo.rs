@@ -1,0 +1,400 @@
+//! Monte-Carlo attack harness: adversarial patterns against the *real*
+//! tracker + mitigation implementations.
+//!
+//! Timing is abstracted away (the attacker saturates the bank's activation
+//! budget anyway); what matters is the interleaving of activations,
+//! selections, and victim refreshes. Disturbance bookkeeping mirrors
+//! `autorfm_dram::RowhammerAudit`: every activation (demand or refresh-
+//! internal) adds one unit of damage to its immediate neighbors; refreshing or
+//! activating a row restores it.
+
+use autorfm_mitigation::{build_policy, MitigationKind, MitigationPolicy};
+use autorfm_sim_core::{ConfigError, DetRng, RowAddr};
+use autorfm_trackers::{build_tracker, Tracker, TrackerKind};
+use std::collections::HashMap;
+
+/// Result of an attack run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackReport {
+    /// Worst disturbance any row accumulated without an intervening restore.
+    /// Compare against `T = 2 × TRH-D`: the attack succeeds iff this exceeds
+    /// the threshold.
+    pub max_damage: u64,
+    /// Demand activations issued.
+    pub activations: u64,
+    /// Mitigations performed.
+    pub mitigations: u64,
+    /// Victim refreshes issued.
+    pub victim_refreshes: u64,
+}
+
+/// A single-bank tracker + mitigation stack under attack.
+pub struct AttackSim {
+    tracker: Box<dyn Tracker>,
+    policy: Box<dyn MitigationPolicy>,
+    window: u32,
+    rows_per_bank: u32,
+    rng: DetRng,
+    damage: HashMap<u32, u64>,
+    acts_in_window: u32,
+    report: AttackReport,
+}
+
+impl core::fmt::Debug for AttackSim {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("AttackSim")
+            .field("tracker", &self.tracker.name())
+            .field("policy", &self.policy.name())
+            .field("report", &self.report)
+            .finish()
+    }
+}
+
+impl AttackSim {
+    /// Creates the stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for invalid tracker/policy parameters.
+    pub fn new(
+        tracker: TrackerKind,
+        policy: MitigationKind,
+        window: u32,
+        rows_per_bank: u32,
+        seed: u64,
+    ) -> Result<Self, ConfigError> {
+        Ok(AttackSim {
+            tracker: build_tracker(tracker, window)?,
+            policy: build_policy(policy)?,
+            window,
+            rows_per_bank,
+            rng: DetRng::seeded(seed),
+            damage: HashMap::new(),
+            acts_in_window: 0,
+            report: AttackReport {
+                max_damage: 0,
+                activations: 0,
+                mitigations: 0,
+                victim_refreshes: 0,
+            },
+        })
+    }
+
+    fn disturb_neighbors(&mut self, row: RowAddr) {
+        for delta in [-1i32, 1] {
+            if let Some(n) = row.neighbor(delta, self.rows_per_bank) {
+                let d = self.damage.entry(n.0).or_insert(0);
+                *d += 1;
+                if *d > self.report.max_damage {
+                    self.report.max_damage = *d;
+                }
+            }
+        }
+    }
+
+    /// Issues one demand activation of `row`, running a mitigation whenever a
+    /// window completes (the attacker gets no say in mitigation timing).
+    pub fn activate(&mut self, row: RowAddr) {
+        self.report.activations += 1;
+        self.damage.remove(&row.0);
+        self.disturb_neighbors(row);
+        self.tracker.on_activation(row, &mut self.rng);
+        self.acts_in_window += 1;
+        if self.acts_in_window >= self.window {
+            self.acts_in_window = 0;
+            self.mitigate();
+        }
+    }
+
+    fn mitigate(&mut self) {
+        let Some(target) = self.tracker.select_for_mitigation(&mut self.rng) else {
+            return;
+        };
+        self.report.mitigations += 1;
+        let victims = self
+            .policy
+            .victims(target, self.rows_per_bank, &mut self.rng);
+        for v in &victims {
+            self.report.victim_refreshes += 1;
+            // The refresh restores the victim and, being an internal
+            // activation, disturbs the victim's own neighbors (transitive
+            // mechanism).
+            self.damage.remove(&v.row.0);
+            self.disturb_neighbors(v.row);
+        }
+        if self.policy.wants_recursion() {
+            for v in &victims {
+                self.tracker.on_victim_refresh(
+                    v.row,
+                    target.level.saturating_add(1),
+                    &mut self.rng,
+                );
+            }
+        }
+    }
+
+    /// Runs `n` activations drawn from `next_row` and returns the report.
+    pub fn run(
+        &mut self,
+        n: u64,
+        mut next_row: impl FnMut(&mut DetRng) -> RowAddr,
+    ) -> AttackReport {
+        let mut rng = self.rng.fork(0xA77AC);
+        for _ in 0..n {
+            let row = next_row(&mut rng);
+            self.activate(row);
+        }
+        self.report
+    }
+
+    /// The report so far.
+    pub fn report(&self) -> AttackReport {
+        self.report
+    }
+
+    /// Current damage of a row.
+    pub fn damage_of(&self, row: RowAddr) -> u64 {
+        self.damage.get(&row.0).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autorfm_workloads::{AttackPattern, AttackStream};
+
+    const ROWS: u32 = 131_072;
+
+    fn run_pattern(
+        tracker: TrackerKind,
+        policy: MitigationKind,
+        window: u32,
+        pattern: AttackPattern,
+        n: u64,
+        seed: u64,
+    ) -> AttackReport {
+        let mut sim = AttackSim::new(tracker, policy, window, ROWS, seed).unwrap();
+        let mut stream = AttackStream::new(pattern);
+        sim.run(n, move |rng| stream.next_row(rng))
+    }
+
+    #[test]
+    fn mint_fractal_bounds_circular_attack() {
+        // The MINT-optimal circular pattern at window 4; fractal MINT-4
+        // tolerates TRH-D 74 (T = 148). Over 200K activations the worst damage
+        // must stay far below T.
+        let r = run_pattern(
+            TrackerKind::Mint,
+            MitigationKind::Fractal,
+            4,
+            AttackPattern::Circular {
+                base: RowAddr(5000),
+                window: 4,
+            },
+            200_000,
+            1,
+        );
+        assert!(
+            r.max_damage < 148,
+            "attack succeeded: max damage {}",
+            r.max_damage
+        );
+        assert_eq!(r.mitigations, 200_000 / 4);
+        assert_eq!(r.victim_refreshes, r.mitigations * 4);
+    }
+
+    #[test]
+    fn mint_recursive_bounds_circular_attack() {
+        let r = run_pattern(
+            TrackerKind::MintRecursive,
+            MitigationKind::Recursive,
+            4,
+            AttackPattern::Circular {
+                base: RowAddr(5000),
+                window: 4,
+            },
+            200_000,
+            2,
+        );
+        // Recursive MINT-4 tolerates T = 2*96 = 192.
+        assert!(
+            r.max_damage < 192,
+            "attack succeeded: max damage {}",
+            r.max_damage
+        );
+    }
+
+    #[test]
+    fn half_double_breaks_baseline_but_not_fractal() {
+        let pattern = AttackPattern::HalfDouble {
+            victim: RowAddr(8000),
+            near_ratio: 2,
+        };
+        let n = 100_000;
+        let baseline = run_pattern(
+            TrackerKind::Mint,
+            MitigationKind::Baseline,
+            4,
+            pattern,
+            n,
+            3,
+        );
+        let fractal = run_pattern(TrackerKind::Mint, MitigationKind::Fractal, 4, pattern, n, 3);
+        // Under the fixed blast-radius policy, rows just outside the blast
+        // radius accumulate unbounded transitive damage; Fractal keeps them
+        // bounded. (Section V-A vs V-C.)
+        assert!(
+            baseline.max_damage > 4 * fractal.max_damage,
+            "baseline {} vs fractal {}",
+            baseline.max_damage,
+            fractal.max_damage
+        );
+        assert!(
+            fractal.max_damage < 148,
+            "fractal must hold: {}",
+            fractal.max_damage
+        );
+    }
+
+    #[test]
+    fn transitive_damage_grows_linearly_under_baseline() {
+        // Single-sided hammering with blast-radius-2: the rows at distance 3
+        // receive a refresh-disturbance every mitigation and are never
+        // restored.
+        let mut sim =
+            AttackSim::new(TrackerKind::Mint, MitigationKind::Baseline, 4, ROWS, 7).unwrap();
+        for _ in 0..40_000 {
+            sim.activate(RowAddr(600));
+        }
+        let mitigations = sim.report().mitigations;
+        let d3 = sim.damage_of(RowAddr(603)).max(sim.damage_of(RowAddr(597)));
+        assert!(
+            d3 as f64 > mitigations as f64 * 0.9,
+            "distance-3 damage {d3} should track mitigations {mitigations}"
+        );
+    }
+
+    #[test]
+    fn decoy_attack_defeats_naive_trr_but_not_mint() {
+        // Three decoys align the pattern period with the window, so the
+        // deterministic tracker's candidate is always a decoy at selection
+        // time — the classic TRR bypass.
+        let pattern = AttackPattern::Decoy {
+            aggressor: RowAddr(3000),
+            decoys: 3,
+        };
+        let n = 60_000;
+        let trr = run_pattern(
+            TrackerKind::NaiveTrr,
+            MitigationKind::Fractal,
+            4,
+            pattern,
+            n,
+            5,
+        );
+        let mint = run_pattern(TrackerKind::Mint, MitigationKind::Fractal, 4, pattern, n, 5);
+        assert!(
+            trr.max_damage > 3 * mint.max_damage,
+            "naive TRR {} vs MINT {}",
+            trr.max_damage,
+            mint.max_damage
+        );
+        assert!(mint.max_damage < 148);
+    }
+
+    #[test]
+    fn double_sided_bounded_by_mint_fractal() {
+        let r = run_pattern(
+            TrackerKind::Mint,
+            MitigationKind::Fractal,
+            4,
+            AttackPattern::DoubleSided {
+                victim: RowAddr(4000),
+            },
+            200_000,
+            11,
+        );
+        assert!(
+            r.max_damage < 148,
+            "double-sided broke MINT+FM: {}",
+            r.max_damage
+        );
+    }
+
+    #[test]
+    fn larger_windows_allow_more_damage() {
+        // Sanity: the tolerated threshold grows with window, so the observed
+        // worst-case damage under the optimal pattern should too.
+        let d4 = run_pattern(
+            TrackerKind::Mint,
+            MitigationKind::Fractal,
+            4,
+            AttackPattern::Circular {
+                base: RowAddr(100),
+                window: 4,
+            },
+            200_000,
+            13,
+        )
+        .max_damage;
+        let d16 = run_pattern(
+            TrackerKind::Mint,
+            MitigationKind::Fractal,
+            16,
+            AttackPattern::Circular {
+                base: RowAddr(100),
+                window: 16,
+            },
+            200_000,
+            13,
+        )
+        .max_damage;
+        assert!(
+            d16 > d4,
+            "window 16 ({d16}) should allow more damage than 4 ({d4})"
+        );
+    }
+
+    #[test]
+    fn minimal_pair_is_insecure_against_half_double() {
+        // The Section IV-B "2 victim refreshes" option trades away all
+        // transitive (and even d=2) protection: documented as ablation-only.
+        let pattern = AttackPattern::HalfDouble {
+            victim: RowAddr(8000),
+            near_ratio: 2,
+        };
+        let minimal = run_pattern(
+            TrackerKind::Mint,
+            MitigationKind::MinimalPair,
+            4,
+            pattern,
+            100_000,
+            31,
+        );
+        let fractal = run_pattern(
+            TrackerKind::Mint,
+            MitigationKind::Fractal,
+            4,
+            pattern,
+            100_000,
+            31,
+        );
+        assert!(
+            minimal.max_damage > 4 * fractal.max_damage,
+            "minimal-pair should leak transitive damage: {} vs {}",
+            minimal.max_damage,
+            fractal.max_damage
+        );
+    }
+
+    #[test]
+    fn report_accumulates() {
+        let mut sim =
+            AttackSim::new(TrackerKind::Mint, MitigationKind::Fractal, 4, ROWS, 17).unwrap();
+        sim.activate(RowAddr(100));
+        let r = sim.report();
+        assert_eq!(r.activations, 1);
+        assert_eq!(sim.damage_of(RowAddr(101)), 1);
+        assert_eq!(sim.damage_of(RowAddr(99)), 1);
+    }
+}

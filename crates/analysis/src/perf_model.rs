@@ -1,0 +1,195 @@
+//! First-order analytical performance models for RFM and AutoRFM.
+//!
+//! These closed forms are not in the paper (which is simulation-driven), but
+//! they formalize two of its quantitative arguments:
+//!
+//! * **Footnote 2 (Section IV-F)**: the ALERT probability under randomized
+//!   mapping is `1/subarrays` *scaled by the fraction of activation slots in
+//!   use* — a half-utilized bank sees 0.2%, not 0.4%.
+//! * **Section II-F**: RFM's slowdown grows with the per-bank activation rate
+//!   because each window of `RFMTH` activations adds a blocking `tRFM`.
+//!
+//! The `model_vs_sim` bench target compares these estimates against the
+//! cycle-level simulator.
+
+/// ALERT-probability model for AutoRFM under randomized mapping.
+///
+/// # Examples
+///
+/// ```
+/// use autorfm_analysis::AutoRfmConflictModel;
+///
+/// let m = AutoRfmConflictModel::paper_defaults(4);
+/// // Fully-utilized bank: every window has a SAUM -> 1/256.
+/// let full = m.alert_probability(1.0 / 48.0); // one ACT per tRC
+/// assert!((full - 1.0 / 256.0).abs() < 1e-6);
+/// // Half-utilized: the paper's footnote-2 example -> ~0.2%.
+/// let half = m.alert_probability(0.5 / 48.0);
+/// assert!((half - 0.5 / 256.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoRfmConflictModel {
+    /// AutoRFMTH (activations per mitigation window).
+    pub window: u32,
+    /// Subarrays per bank.
+    pub subarrays: u32,
+    /// Mitigation busy time `t_M` in nanoseconds.
+    pub t_m_ns: f64,
+}
+
+impl AutoRfmConflictModel {
+    /// Paper defaults: 256 subarrays, `t_M = 4·tRC = 192 ns`.
+    pub fn paper_defaults(window: u32) -> Self {
+        AutoRfmConflictModel {
+            window,
+            subarrays: 256,
+            t_m_ns: 192.0,
+        }
+    }
+
+    /// Fraction of time a SAUM is active, given the bank's demand activation
+    /// rate (ACTs per nanosecond): one `t_M`-long mitigation per `window`
+    /// activations, capped at 1.
+    pub fn saum_occupancy(&self, acts_per_ns: f64) -> f64 {
+        if acts_per_ns <= 0.0 {
+            return 0.0;
+        }
+        (self.t_m_ns * acts_per_ns / self.window as f64).min(1.0)
+    }
+
+    /// Probability that an ACT is declined with an ALERT: occupancy ×
+    /// `1/subarrays` (footnote 2).
+    pub fn alert_probability(&self, acts_per_ns: f64) -> f64 {
+        self.saum_occupancy(acts_per_ns) / self.subarrays as f64
+    }
+
+    /// Expected slowdown contribution of conflicts: each alerted ACT waits
+    /// `t_M/2` on average before retrying, amortized over the inter-arrival
+    /// time.
+    pub fn conflict_slowdown(&self, acts_per_ns: f64) -> f64 {
+        if acts_per_ns <= 0.0 {
+            return 0.0;
+        }
+        let p = self.alert_probability(acts_per_ns);
+        let wait_ns = self.t_m_ns / 2.0;
+        let inter_ns = 1.0 / acts_per_ns;
+        (p * wait_ns / inter_ns).min(1.0)
+    }
+}
+
+/// First-order RFM slowdown model: blocking-time inflation with REF credit.
+///
+/// # Examples
+///
+/// ```
+/// use autorfm_analysis::RfmPerfModel;
+///
+/// let m = RfmPerfModel::paper_defaults(4);
+/// let light = m.slowdown_estimate(2.0 / 3900.0);  // 2 ACTs per tREFI
+/// let heavy = m.slowdown_estimate(30.0 / 3900.0); // 30 ACTs per tREFI
+/// assert_eq!(light, 0.0); // REF credit absorbs everything
+/// assert!(heavy > 0.1);   // heavy traffic pays for RFM
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RfmPerfModel {
+    /// RFMTH (activations per RFM).
+    pub window: u32,
+    /// tRFM in nanoseconds.
+    pub t_rfm_ns: f64,
+    /// tRC in nanoseconds.
+    pub t_rc_ns: f64,
+    /// tREFI in nanoseconds (each tREFI credits one window of RAA).
+    pub t_refi_ns: f64,
+}
+
+impl RfmPerfModel {
+    /// Paper defaults: tRFM 205 ns, tRC 48 ns, tREFI 3900 ns.
+    pub fn paper_defaults(window: u32) -> Self {
+        RfmPerfModel {
+            window,
+            t_rfm_ns: 205.0,
+            t_rc_ns: 48.0,
+            t_refi_ns: 3900.0,
+        }
+    }
+
+    /// RFM commands per nanosecond per bank at the given activation rate,
+    /// after the REF credit of one window per tREFI.
+    pub fn rfm_rate(&self, acts_per_ns: f64) -> f64 {
+        let credited = self.window as f64 / self.t_refi_ns;
+        ((acts_per_ns - credited) / self.window as f64).max(0.0)
+    }
+
+    /// First-order slowdown: added blocking time over demand service time,
+    /// inflated by the bank utilization (queueing), clamped to [0, 1].
+    pub fn slowdown_estimate(&self, acts_per_ns: f64) -> f64 {
+        let demand = acts_per_ns * self.t_rc_ns; // bank occupancy by demand
+        let blocking = self.rfm_rate(acts_per_ns) * self.t_rfm_ns;
+        if blocking <= 0.0 {
+            return 0.0;
+        }
+        let total = (demand + blocking).min(0.99);
+        (blocking / (1.0 - total + blocking)).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footnote2_examples() {
+        let m = AutoRfmConflictModel::paper_defaults(4);
+        // t_M = 192, window 4: back-to-back ACTs (1/48 per ns) -> occupancy 1.
+        assert!((m.saum_occupancy(1.0 / 48.0) - 1.0).abs() < 1e-9);
+        assert!((m.alert_probability(1.0 / 48.0) - 0.00390625).abs() < 1e-9);
+        // Half the slots used -> 0.2%.
+        assert!((m.alert_probability(0.5 / 48.0) - 0.001953125).abs() < 1e-9);
+        // Idle bank -> no conflicts.
+        assert_eq!(m.alert_probability(0.0), 0.0);
+    }
+
+    #[test]
+    fn occupancy_caps_at_one() {
+        let m = AutoRfmConflictModel::paper_defaults(4);
+        assert_eq!(m.saum_occupancy(10.0), 1.0);
+    }
+
+    #[test]
+    fn conflict_slowdown_small_at_paper_rates() {
+        let m = AutoRfmConflictModel::paper_defaults(4);
+        // ~28 ACTs per tREFI per bank (Table V): 28/3900 per ns.
+        let s = m.conflict_slowdown(28.0 / 3900.0);
+        assert!(s > 0.0 && s < 0.02, "conflict slowdown {s}");
+    }
+
+    #[test]
+    fn rfm_rate_respects_ref_credit() {
+        let m = RfmPerfModel::paper_defaults(32);
+        // 30 ACTs per tREFI < RFMTH 32: fully credited, no RFMs.
+        assert_eq!(m.rfm_rate(30.0 / 3900.0), 0.0);
+        // RFMTH 4 at the same rate: frequent RFMs.
+        let m4 = RfmPerfModel::paper_defaults(4);
+        assert!(m4.rfm_rate(30.0 / 3900.0) > 0.0);
+    }
+
+    #[test]
+    fn slowdown_monotone_in_rate_and_window() {
+        let m4 = RfmPerfModel::paper_defaults(4);
+        let m8 = RfmPerfModel::paper_defaults(8);
+        let lo = m4.slowdown_estimate(10.0 / 3900.0);
+        let hi = m4.slowdown_estimate(30.0 / 3900.0);
+        assert!(hi > lo, "slowdown must grow with rate: {lo} vs {hi}");
+        assert!(
+            m4.slowdown_estimate(30.0 / 3900.0) > m8.slowdown_estimate(30.0 / 3900.0),
+            "smaller windows must cost more"
+        );
+    }
+
+    #[test]
+    fn rfm4_heavy_traffic_lands_near_paper_range() {
+        // At the paper's ~30 ACTs/tREFI/bank, RFM-4 costs tens of percent.
+        let s = RfmPerfModel::paper_defaults(4).slowdown_estimate(30.0 / 3900.0);
+        assert!((0.15..=0.60).contains(&s), "RFM-4 estimate {s}");
+    }
+}

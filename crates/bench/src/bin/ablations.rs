@@ -1,0 +1,214 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. **Retry policy** (Section IV-C): the paper's simple whole-bank busy-bit
+//!    vs the complex per-request alternative.
+//! 2. **RFM latency** (Section II-E): tRFM = tRFC/2 (205 ns) vs tRFC (410 ns).
+//! 3. **RAA REF credit** (Section II-E): REF reduces RAA by RFMTH vs RFMTH/2.
+//! 4. **Minimal-pair mitigation** (Section IV-B): 2 victim refreshes shrink
+//!    the SAUM window to 2·tRC and allow AutoRFMTH = 2 (at a lower tolerated
+//!    threshold and with no transitive defense).
+
+use autorfm::analysis::MintModel;
+use autorfm::dram::RefreshPolicy;
+use autorfm::experiments::Scenario;
+use autorfm::memctrl::{PagePolicy, RaaRefCredit, RetryPolicy, WritePolicy};
+use autorfm::sim_core::{Cycle, TimingOverride};
+use autorfm::{SimConfig, System};
+use autorfm_bench::{banner, pct, print_table, ResultCache, RunOpts, BASELINE_ZEN};
+
+fn avg<F: Fn(&'static autorfm_workloads::WorkloadSpec) -> SimConfig>(
+    make: F,
+    cache: &mut ResultCache,
+    opts: &RunOpts,
+) -> f64 {
+    let mut sum = 0.0;
+    for spec in &opts.workloads {
+        let base = cache.get(spec, BASELINE_ZEN, opts).clone();
+        let r = System::new(make(spec)).expect("valid config").run();
+        sum += r.slowdown_vs(&base);
+    }
+    sum / opts.workloads.len() as f64
+}
+
+fn main() {
+    let opts = RunOpts::from_args();
+    banner(
+        "Ablations: retry policy, tRFM, RAA credit, minimal-pair mitigation",
+        &opts,
+    );
+    let mut cache = ResultCache::new();
+    let instr = opts.instructions;
+    let cores = opts.cores;
+    let mut rows = Vec::new();
+
+    // 1. Retry policy under the conflict-heavy Zen mapping.
+    for (name, retry) in [
+        ("whole-bank (paper)", RetryPolicy::WholeBank),
+        ("per-request", RetryPolicy::PerRequest),
+    ] {
+        let s = avg(
+            |spec| {
+                let mut cfg = SimConfig::scenario(spec, Scenario::AutoRfmZen { th: 4 })
+                    .with_cores(cores)
+                    .with_instructions(instr);
+                cfg.mc.retry = retry;
+                cfg
+            },
+            &mut cache,
+            &opts,
+        );
+        rows.push(vec!["retry policy".into(), name.into(), pct(s)]);
+    }
+
+    // 2. RFM latency: 205 ns vs 410 ns.
+    for (name, ns) in [
+        ("tRFM = 205ns (tRFC/2)", 205u64),
+        ("tRFM = 410ns (tRFC)", 410),
+    ] {
+        let s = avg(
+            |spec| {
+                let mut cfg = SimConfig::scenario(spec, Scenario::Rfm { th: 8 })
+                    .with_cores(cores)
+                    .with_instructions(instr);
+                cfg.timings = cfg.timings.with_override(TimingOverride {
+                    t_rfm: Some(Cycle::from_ns(ns)),
+                    ..TimingOverride::default()
+                });
+                cfg
+            },
+            &mut cache,
+            &opts,
+        );
+        rows.push(vec!["RFM-8 latency".into(), name.into(), pct(s)]);
+    }
+
+    // 3. RAA REF credit.
+    for (name, credit) in [
+        ("REF credits RFMTH", RaaRefCredit::Full),
+        ("REF credits RFMTH/2", RaaRefCredit::Half),
+    ] {
+        let s = avg(
+            |spec| {
+                let mut cfg = SimConfig::scenario(spec, Scenario::Rfm { th: 16 })
+                    .with_cores(cores)
+                    .with_instructions(instr);
+                cfg.mc.raa_ref_credit = credit;
+                cfg
+            },
+            &mut cache,
+            &opts,
+        );
+        rows.push(vec!["RFM-16 RAA credit".into(), name.into(), pct(s)]);
+    }
+
+    // 4. Minimal-pair mitigation: AutoRFMTH down to 2.
+    for th in [4u32, 2] {
+        let s = avg(
+            |spec| {
+                SimConfig::scenario(spec, Scenario::AutoRfmMinimal { th })
+                    .with_cores(cores)
+                    .with_instructions(instr)
+            },
+            &mut cache,
+            &opts,
+        );
+        let trhd = MintModel::auto_rfm(th, false).tolerated_trh_d();
+        rows.push(vec![
+            "minimal-pair".into(),
+            format!("AutoRFMTH={th} (model TRH-D {trhd:.0})"),
+            pct(s),
+        ]);
+    }
+
+    // 5. Refresh scheduling: all-bank REFab vs staggered per-bank REFsb.
+    for (name, policy) in [
+        ("all-bank REFab (paper)", RefreshPolicy::AllBank),
+        ("per-bank REFsb", RefreshPolicy::PerBank),
+    ] {
+        let s = avg(
+            |spec| {
+                let mut cfg = SimConfig::scenario(spec, Scenario::AutoRfm { th: 4 })
+                    .with_cores(cores)
+                    .with_instructions(instr);
+                cfg.refresh = policy;
+                cfg
+            },
+            &mut cache,
+            &opts,
+        );
+        rows.push(vec!["refresh policy".into(), name.into(), pct(s)]);
+    }
+
+    // 6. Next-line prefetcher (extension; not in the paper's baseline).
+    for (name, pf) in [("no prefetch (paper)", false), ("next-line prefetch", true)] {
+        let s = avg(
+            |spec| {
+                let mut cfg = SimConfig::scenario(spec, Scenario::AutoRfm { th: 4 })
+                    .with_cores(cores)
+                    .with_instructions(instr);
+                cfg.uncore.next_line_prefetch = pf;
+                cfg
+            },
+            &mut cache,
+            &opts,
+        );
+        rows.push(vec!["prefetcher".into(), name.into(), pct(s)]);
+    }
+
+    // 7. Page policy on the plain baseline (Section III: "closed-page policy
+    // performs better than an open-page policy" under the Zen mapping).
+    // Reported as slowdown vs the closed-page baseline.
+    for (name, policy) in [
+        (
+            "closed w/ tRAS window (paper)",
+            PagePolicy::ClosedWithinTras,
+        ),
+        ("open-page", PagePolicy::Open),
+    ] {
+        let s = avg(
+            |spec| {
+                let mut cfg = SimConfig::scenario(
+                    spec,
+                    Scenario::Baseline {
+                        mapping: autorfm::MappingKind::Zen,
+                    },
+                )
+                .with_cores(cores)
+                .with_instructions(instr);
+                cfg.mc.page_policy = policy;
+                cfg
+            },
+            &mut cache,
+            &opts,
+        );
+        rows.push(vec!["page policy".into(), name.into(), pct(s)]);
+    }
+
+    // 8. Write scheduling: inline FCFS vs watermark-buffered draining.
+    for (name, policy) in [
+        ("inline FCFS (paper model)", WritePolicy::Inline),
+        (
+            "buffered, drain 48/16",
+            WritePolicy::Buffered {
+                capacity: 64,
+                high: 48,
+                low: 16,
+            },
+        ),
+    ] {
+        let s = avg(
+            |spec| {
+                let mut cfg = SimConfig::scenario(spec, Scenario::AutoRfm { th: 4 })
+                    .with_cores(cores)
+                    .with_instructions(instr);
+                cfg.mc.write_policy = policy;
+                cfg
+            },
+            &mut cache,
+            &opts,
+        );
+        rows.push(vec!["write policy".into(), name.into(), pct(s)]);
+    }
+
+    print_table(&["ablation", "variant", "avg slowdown"], &rows);
+}

@@ -1,0 +1,55 @@
+//! Figure 11: RFM vs AutoRFM slowdown at thresholds 4 and 8.
+//!
+//! Paper averages: RFM-4 33%, RFM-8 12.9%, AutoRFM-4 3.1%, AutoRFM-8 2.3%.
+
+use autorfm::experiments::Scenario;
+use autorfm_bench::{banner, pct, print_table, run, ResultCache, RunOpts, BASELINE_ZEN};
+
+fn main() {
+    let opts = RunOpts::from_args();
+    banner("Figure 11: RFM vs AutoRFM", &opts);
+
+    let scenarios = [
+        ("RFM-4", Scenario::Rfm { th: 4 }),
+        ("RFM-8", Scenario::Rfm { th: 8 }),
+        ("AutoRFM-4", Scenario::AutoRfm { th: 4 }),
+        ("AutoRFM-8", Scenario::AutoRfm { th: 8 }),
+    ];
+    let mut cache = ResultCache::new();
+    let mut rows = Vec::new();
+    let mut sums = vec![0.0f64; scenarios.len()];
+
+    for spec in &opts.workloads {
+        let base = cache.get(spec, BASELINE_ZEN, &opts).clone();
+        let mut row = vec![spec.name.to_string()];
+        for (i, (_, scen)) in scenarios.iter().enumerate() {
+            let s = run(spec, *scen, &opts).slowdown_vs(&base);
+            sums[i] += s;
+            row.push(pct(s));
+        }
+        rows.push(row);
+    }
+    let n = opts.workloads.len() as f64;
+    let mut avg = vec!["AVERAGE".to_string()];
+    avg.extend(sums.iter().map(|s| pct(s / n)));
+    rows.push(avg);
+    rows.push(vec![
+        "paper avg".into(),
+        "33.0%".into(),
+        "12.9%".into(),
+        "3.1%".into(),
+        "2.3%".into(),
+    ]);
+
+    let headers: Vec<&str> = std::iter::once("workload")
+        .chain(scenarios.iter().map(|(n, _)| *n))
+        .collect();
+    print_table(&headers, &rows);
+
+    let chart: Vec<(String, f64)> = scenarios
+        .iter()
+        .zip(&sums)
+        .map(|((name, _), s)| (name.to_string(), s / n))
+        .collect();
+    autorfm_bench::bar_chart("average slowdown", &chart, pct);
+}

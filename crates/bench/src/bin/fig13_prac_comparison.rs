@@ -1,0 +1,66 @@
+//! Figure 13: average slowdown of PRAC, RFM, and AutoRFM as the tolerated
+//! Rowhammer threshold varies.
+//!
+//! Paper: PRAC ≥4% flat (longer timings); RFM explodes below TRH-D ~300;
+//! AutoRFM stays at 2–3.1% down to TRH-D 74.
+
+use autorfm::analysis::MintModel;
+use autorfm::experiments::Scenario;
+use autorfm_bench::{banner, pct, print_table, run, ResultCache, RunOpts, BASELINE_ZEN};
+
+fn avg_slowdown(scen: Scenario, cache: &mut ResultCache, opts: &RunOpts) -> f64 {
+    let mut sum = 0.0;
+    for spec in &opts.workloads {
+        let base = cache.get(spec, BASELINE_ZEN, opts).clone();
+        sum += run(spec, scen, opts).slowdown_vs(&base);
+    }
+    sum / opts.workloads.len() as f64
+}
+
+fn main() {
+    let opts = RunOpts::from_args();
+    banner("Figure 13: PRAC vs RFM vs AutoRFM across thresholds", &opts);
+
+    let mut cache = ResultCache::new();
+    let mut rows = Vec::new();
+
+    // RFM points: RFMTH -> (tolerated TRH-D from the recursive model, slowdown).
+    for th in [4u32, 8, 16, 32] {
+        let trhd = MintModel::rfm(th, true).tolerated_trh_d();
+        let s = avg_slowdown(Scenario::Rfm { th }, &mut cache, &opts);
+        rows.push(vec![
+            "RFM".into(),
+            format!("{th}"),
+            format!("{trhd:.0}"),
+            pct(s),
+        ]);
+    }
+    // AutoRFM points (fractal model thresholds).
+    for th in [4u32, 6, 8, 12, 16] {
+        let trhd = MintModel::auto_rfm(th, false).tolerated_trh_d();
+        let s = avg_slowdown(Scenario::AutoRfm { th }, &mut cache, &opts);
+        rows.push(vec![
+            "AutoRFM".into(),
+            format!("{th}"),
+            format!("{trhd:.0}"),
+            pct(s),
+        ]);
+    }
+    // PRAC: slowdown is dominated by the increased timings and is nearly flat
+    // in the threshold; the ABO threshold tracks the tolerated TRH-D (MOAT).
+    for abo in [64u32, 128, 256] {
+        let s = avg_slowdown(Scenario::Prac { abo_th: abo }, &mut cache, &opts);
+        rows.push(vec![
+            "PRAC".into(),
+            format!("ABO{abo}"),
+            format!("{abo}"),
+            pct(s),
+        ]);
+    }
+    print_table(
+        &["mechanism", "TH", "tolerated TRH-D", "avg slowdown"],
+        &rows,
+    );
+    println!("\npaper: PRAC ~4% flat; RFM 33%/12.9%/4.4%/0.2% at TRH-D 96/182/356/702;");
+    println!("       AutoRFM 3.1% at 74 falling to ~2% at 200-800.");
+}

@@ -1,0 +1,75 @@
+//! Runs every experiment binary in sequence, writing each report to
+//! `results/<target>.txt`. Pass the usual flags (`--quick`, `--full`, …) and
+//! they are forwarded to each experiment.
+
+use std::process::Command;
+
+const TARGETS: &[&str] = &[
+    "fig01_overview",
+    "table2_trh_history",
+    "table3_mint_threshold",
+    "fig14_threshold_vs_window",
+    "fig16_escape_probability",
+    "storage_overheads",
+    "table5_workload_characteristics",
+    "fig03_rfm_slowdown",
+    "fig08_mapping_impact",
+    "fig11_rfm_vs_autorfm",
+    "table6_mitigation_threshold",
+    "fig12_power",
+    "fig13_prac_comparison",
+    "fig17_rubix_rfm",
+    "fig18_other_trackers",
+    "security_montecarlo",
+    "ablations",
+    "model_vs_sim",
+    "seed_sensitivity",
+];
+
+/// Experiments that take simulation flags (the analytic ones don't need them).
+const TAKES_FLAGS: &[&str] = &[
+    "fig01_overview",
+    "table5_workload_characteristics",
+    "fig03_rfm_slowdown",
+    "fig08_mapping_impact",
+    "fig11_rfm_vs_autorfm",
+    "table6_mitigation_threshold",
+    "fig12_power",
+    "fig13_prac_comparison",
+    "fig17_rubix_rfm",
+    "ablations",
+    "model_vs_sim",
+    "seed_sensitivity",
+];
+
+fn main() {
+    let flags: Vec<String> = std::env::args().skip(1).collect();
+    std::fs::create_dir_all("results").expect("create results/");
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.to_path_buf()))
+        .expect("locate target dir");
+    for target in TARGETS {
+        eprintln!("=== running {target} ===");
+        let mut cmd = Command::new(exe_dir.join(target));
+        if TAKES_FLAGS.contains(target) {
+            cmd.args(&flags);
+        }
+        match cmd.output() {
+            Ok(out) if out.status.success() => {
+                let path = format!("results/{target}.txt");
+                std::fs::write(&path, &out.stdout).expect("write result");
+                eprintln!("    -> {path}");
+            }
+            Ok(out) => {
+                eprintln!(
+                    "    FAILED ({}): {}",
+                    out.status,
+                    String::from_utf8_lossy(&out.stderr)
+                );
+            }
+            Err(e) => eprintln!("    could not launch (build all bins first): {e}"),
+        }
+    }
+    eprintln!("done.");
+}

@@ -1,0 +1,25 @@
+//! Table II: Rowhammer thresholds over DRAM generations.
+
+use autorfm::analysis::TRH_HISTORY;
+use autorfm_bench::print_table;
+
+fn main() {
+    println!("=== Table II: Rowhammer threshold over time ===\n");
+    let rows: Vec<Vec<String>> = TRH_HISTORY
+        .iter()
+        .map(|e| {
+            vec![
+                e.generation.to_string(),
+                e.trh_s.map_or("-".into(), |v| format!("{v}")),
+                e.trh_d.map_or("-".into(), |(lo, hi)| {
+                    if lo == hi {
+                        format!("{lo}")
+                    } else {
+                        format!("{lo} - {hi}")
+                    }
+                }),
+            ]
+        })
+        .collect();
+    print_table(&["generation", "TRH-S", "TRH-D"], &rows);
+}

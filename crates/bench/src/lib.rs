@@ -1,0 +1,298 @@
+//! # autorfm-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper (see
+//! DESIGN.md for the index), plus Criterion micro-benchmarks (`benches/`).
+//!
+//! Every binary accepts the same flags:
+//!
+//! * `--quick` — 25K instructions/core (smoke-test fidelity),
+//! * `--full` — 400K instructions/core (report fidelity),
+//! * `--instructions N`, `--cores N`, `--workloads a,b,c` — manual control.
+//!
+//! Defaults: 100K instructions/core, 8 cores, all 21 Table-V workloads.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use autorfm::experiments::Scenario;
+use autorfm::{MappingKind, SimConfig, SimResult, System};
+use autorfm_workloads::{WorkloadSpec, ALL_WORKLOADS};
+use std::collections::HashMap;
+
+/// Common run options parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct RunOpts {
+    /// Cores per simulation.
+    pub cores: u8,
+    /// Instructions per core.
+    pub instructions: u64,
+    /// Workloads to simulate.
+    pub workloads: Vec<&'static WorkloadSpec>,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            cores: 8,
+            instructions: 100_000,
+            workloads: ALL_WORKLOADS.iter().collect(),
+        }
+    }
+}
+
+impl RunOpts {
+    /// Parses `std::env::args()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn from_args() -> Self {
+        let mut opts = RunOpts::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => opts.instructions = 25_000,
+                "--full" => opts.instructions = 400_000,
+                "--instructions" => {
+                    opts.instructions = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--instructions needs a number");
+                }
+                "--cores" => {
+                    opts.cores =
+                        args.next().and_then(|v| v.parse().ok()).expect("--cores needs a number");
+                }
+                "--workloads" => {
+                    let list = args.next().expect("--workloads needs a comma-separated list");
+                    opts.workloads = list
+                        .split(',')
+                        .map(|n| {
+                            WorkloadSpec::by_name(n)
+                                .unwrap_or_else(|| panic!("unknown workload {n}"))
+                        })
+                        .collect();
+                }
+                other => panic!(
+                    "unknown flag {other}; expected --quick|--full|--instructions N|--cores N|--workloads a,b"
+                ),
+            }
+        }
+        opts
+    }
+}
+
+/// Runs one workload under one scenario.
+pub fn run(spec: &'static WorkloadSpec, scenario: Scenario, opts: &RunOpts) -> SimResult {
+    let cfg = SimConfig::scenario(spec, scenario)
+        .with_cores(opts.cores)
+        .with_instructions(opts.instructions);
+    System::new(cfg).expect("valid scenario config").run()
+}
+
+/// A cache of per-workload results so baselines are simulated only once.
+#[derive(Default)]
+pub struct ResultCache {
+    results: HashMap<(String, &'static str), SimResult>,
+}
+
+impl ResultCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs (or returns the cached result of) `scenario` on `spec`.
+    pub fn get(
+        &mut self,
+        spec: &'static WorkloadSpec,
+        scenario: Scenario,
+        opts: &RunOpts,
+    ) -> &SimResult {
+        self.results
+            .entry((scenario.to_string(), spec.name))
+            .or_insert_with(|| run(spec, scenario, opts))
+    }
+}
+
+/// The Zen-mapping no-mitigation baseline used for most normalizations.
+pub const BASELINE_ZEN: Scenario = Scenario::Baseline {
+    mapping: MappingKind::Zen,
+};
+
+/// The Rubix-mapping no-mitigation baseline (Appendix C normalization).
+pub const BASELINE_RUBIX: Scenario = Scenario::Baseline {
+    mapping: MappingKind::Rubix { key: 0xAB1E },
+};
+
+/// Formats a fraction as a signed percentage, e.g. `3.1%` or `-0.4%`.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Writes a table as CSV to `path`.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the file cannot be written.
+pub fn write_csv(
+    path: &std::path::Path,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut f = std::fs::File::create(path)?;
+    let quote = |cell: &str| {
+        if cell.contains(',') || cell.contains('"') {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_string()
+        }
+    };
+    writeln!(
+        f,
+        "{}",
+        headers
+            .iter()
+            .map(|h| quote(h))
+            .collect::<Vec<_>>()
+            .join(",")
+    )?;
+    for row in rows {
+        writeln!(
+            f,
+            "{}",
+            row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+        )?;
+    }
+    Ok(())
+}
+
+/// Prints a fixed-width table: a header row then data rows.
+///
+/// If the `AUTORFM_CSV_DIR` environment variable is set, the table is also
+/// written as `<dir>/<binary-name>.csv` for downstream plotting.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    if let Ok(dir) = std::env::var("AUTORFM_CSV_DIR") {
+        let name = std::env::current_exe()
+            .ok()
+            .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+            .unwrap_or_else(|| "table".into());
+        let path = std::path::Path::new(&dir).join(format!("{name}.csv"));
+        if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| write_csv(&path, headers, rows))
+        {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Renders a horizontal ASCII bar chart (for the figure targets).
+///
+/// Bars are scaled to the largest absolute value; negative values (speedups)
+/// render with `<` markers instead of `#`.
+pub fn bar_chart(title: &str, entries: &[(String, f64)], fmt_value: impl Fn(f64) -> String) {
+    if entries.is_empty() {
+        return;
+    }
+    println!("\n{title}");
+    let max = entries
+        .iter()
+        .map(|(_, v)| v.abs())
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let label_w = entries.iter().map(|(l, _)| l.len()).max().unwrap_or(8);
+    const WIDTH: usize = 48;
+    for (label, value) in entries {
+        let filled = ((value.abs() / max) * WIDTH as f64).round() as usize;
+        let ch = if *value < 0.0 { '<' } else { '#' };
+        let bar: String = std::iter::repeat_n(ch, filled.min(WIDTH)).collect();
+        println!("{label:<label_w$} |{bar:<WIDTH$}| {}", fmt_value(*value));
+    }
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(title: &str, opts: &RunOpts) {
+    println!("=== {title} ===");
+    println!(
+        "({} workloads, {} cores, {} instructions/core)\n",
+        opts.workloads.len(),
+        opts.cores,
+        opts.instructions
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_opts_cover_all_workloads() {
+        let opts = RunOpts::default();
+        assert_eq!(opts.workloads.len(), 21);
+        assert_eq!(opts.cores, 8);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.031), "3.1%");
+        assert_eq!(pct(-0.004), "-0.4%");
+    }
+
+    #[test]
+    fn csv_writer_quotes_and_formats() {
+        let dir = std::env::temp_dir().join("autorfm-csv-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        write_csv(
+            &path,
+            &["a", "b"],
+            &[
+                vec!["1,5".into(), "x\"y".into()],
+                vec!["2".into(), "z".into()],
+            ],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "a,b\n\"1,5\",\"x\"\"y\"\n2,z\n");
+    }
+
+    #[test]
+    fn cache_runs_once() {
+        let spec = WorkloadSpec::by_name("wrf").unwrap();
+        let opts = RunOpts {
+            cores: 1,
+            instructions: 2_000,
+            workloads: vec![spec],
+        };
+        let mut cache = ResultCache::new();
+        let a = cache.get(spec, BASELINE_ZEN, &opts).perf();
+        let b = cache.get(spec, BASELINE_ZEN, &opts).perf();
+        assert_eq!(a, b);
+        assert_eq!(cache.results.len(), 1);
+    }
+}

@@ -1,0 +1,317 @@
+//! Command-line interface for the `autorfm-repro` binary.
+//!
+//! Parsing is separated from `main` so it can be unit-tested; the binary in
+//! the workspace root is a thin wrapper around [`parse_args`] and
+//! [`run_command`].
+
+use crate::experiments::Scenario;
+use crate::{MappingKind, SimConfig, System};
+use autorfm_sim_core::ConfigError;
+use autorfm_workloads::{WorkloadSpec, ALL_WORKLOADS};
+use std::fmt::Write as _;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliCommand {
+    /// Print the workload table and exit.
+    ListWorkloads,
+    /// Print usage and exit.
+    Help,
+    /// Run one simulation (optionally with a baseline for slowdown).
+    Run(RunSpec),
+}
+
+/// Parameters for a single simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// Workload name (Table V).
+    pub workload: String,
+    /// Scenario to simulate.
+    pub scenario: Scenario,
+    /// Cores.
+    pub cores: u8,
+    /// Instructions per core.
+    pub instructions: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Enable the Rowhammer damage audit.
+    pub audit: bool,
+    /// Also run the Zen no-mitigation baseline and report slowdown.
+    pub with_baseline: bool,
+}
+
+impl Default for RunSpec {
+    fn default() -> Self {
+        RunSpec {
+            workload: "bwaves".into(),
+            scenario: Scenario::AutoRfm { th: 4 },
+            cores: 8,
+            instructions: 100_000,
+            seed: 42,
+            audit: false,
+            with_baseline: true,
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+autorfm-repro — AutoRFM (HPCA 2025) reproduction simulator
+
+USAGE:
+  autorfm-repro [OPTIONS]
+
+OPTIONS:
+  --workload NAME        Table-V workload (default: bwaves); see --list-workloads
+  --scenario KIND        baseline | rfm | rfm-rubix | autorfm | autorfm-zen |
+                         autorfm-recursive | autorfm-minimal | prac
+                         (default: autorfm)
+  --th N                 mitigation threshold / window (default: 4)
+  --mapping KIND         zen | rubix | linear (baseline scenario only)
+  --cores N              cores in rate mode (default: 8)
+  --instructions N       instructions per core (default: 100000)
+  --seed N               RNG seed (default: 42)
+  --audit                enable the Rowhammer damage oracle
+  --no-baseline          skip the baseline run (no slowdown reported)
+  --list-workloads       print the workload table
+  --help                 this text
+";
+
+/// Parses CLI arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] with a user-facing message on malformed input.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliCommand, ConfigError> {
+    let mut spec = RunSpec::default();
+    let mut th: u32 = 4;
+    let mut scenario_name = String::from("autorfm");
+    let mut mapping = MappingKind::Zen;
+    let mut args = args.into_iter();
+
+    fn value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, ConfigError> {
+        args.next()
+            .ok_or_else(|| ConfigError::new(format!("{flag} requires a value")))
+    }
+    fn number<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, ConfigError> {
+        v.parse()
+            .map_err(|_| ConfigError::new(format!("{flag}: invalid number {v}")))
+    }
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(CliCommand::Help),
+            "--list-workloads" => return Ok(CliCommand::ListWorkloads),
+            "--workload" => spec.workload = value(&mut args, "--workload")?,
+            "--scenario" => scenario_name = value(&mut args, "--scenario")?,
+            "--th" => th = number(&value(&mut args, "--th")?, "--th")?,
+            "--cores" => spec.cores = number(&value(&mut args, "--cores")?, "--cores")?,
+            "--instructions" => {
+                spec.instructions = number(&value(&mut args, "--instructions")?, "--instructions")?
+            }
+            "--seed" => spec.seed = number(&value(&mut args, "--seed")?, "--seed")?,
+            "--audit" => spec.audit = true,
+            "--no-baseline" => spec.with_baseline = false,
+            "--mapping" => {
+                mapping = match value(&mut args, "--mapping")?.as_str() {
+                    "zen" => MappingKind::Zen,
+                    "rubix" => MappingKind::Rubix { key: 0xAB1E },
+                    "linear" => MappingKind::Linear,
+                    other => return Err(ConfigError::new(format!("unknown mapping {other}"))),
+                };
+            }
+            other => {
+                return Err(ConfigError::new(format!(
+                    "unknown flag {other} (try --help)"
+                )))
+            }
+        }
+    }
+    spec.scenario = match scenario_name.as_str() {
+        "baseline" => Scenario::Baseline { mapping },
+        "rfm" => Scenario::Rfm { th },
+        "rfm-rubix" => Scenario::RfmOnRubix { th },
+        "autorfm" => Scenario::AutoRfm { th },
+        "autorfm-zen" => Scenario::AutoRfmZen { th },
+        "autorfm-recursive" => Scenario::AutoRfmRecursive { th },
+        "autorfm-minimal" => Scenario::AutoRfmMinimal { th },
+        "prac" => Scenario::Prac { abo_th: th.max(16) },
+        other => return Err(ConfigError::new(format!("unknown scenario {other}"))),
+    };
+    if WorkloadSpec::by_name(&spec.workload).is_none() {
+        return Err(ConfigError::new(format!(
+            "unknown workload {} (try --list-workloads)",
+            spec.workload
+        )));
+    }
+    Ok(CliCommand::Run(spec))
+}
+
+/// The workload table for `--list-workloads`.
+pub fn workload_table() -> String {
+    let mut out = String::from("suite      workload    paper ACT-PKI\n");
+    for w in ALL_WORKLOADS {
+        let _ = writeln!(
+            out,
+            "{:<10} {:<11} {:>8.1}",
+            w.suite.to_string(),
+            w.name,
+            w.paper_act_pki
+        );
+    }
+    out
+}
+
+/// Executes a parsed command, returning the report text.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if the simulation configuration is invalid.
+pub fn run_command(cmd: CliCommand) -> Result<String, ConfigError> {
+    match cmd {
+        CliCommand::Help => Ok(USAGE.to_string()),
+        CliCommand::ListWorkloads => Ok(workload_table()),
+        CliCommand::Run(spec) => run_report(&spec),
+    }
+}
+
+fn run_report(spec: &RunSpec) -> Result<String, ConfigError> {
+    let workload = WorkloadSpec::by_name(&spec.workload)
+        .ok_or_else(|| ConfigError::new("workload vanished"))?;
+    let mut cfg = SimConfig::scenario(workload, spec.scenario)
+        .with_cores(spec.cores)
+        .with_instructions(spec.instructions)
+        .with_seed(spec.seed);
+    if spec.audit {
+        cfg = cfg.with_audit();
+    }
+    let result = System::new(cfg)?.run();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "scenario          : {}", spec.scenario);
+    let _ = writeln!(
+        out,
+        "cores / instr     : {} x {}",
+        spec.cores, spec.instructions
+    );
+    out.push_str(&result.report());
+    if spec.with_baseline {
+        let base_cfg = SimConfig::scenario(
+            workload,
+            Scenario::Baseline {
+                mapping: MappingKind::Zen,
+            },
+        )
+        .with_cores(spec.cores)
+        .with_instructions(spec.instructions)
+        .with_seed(spec.seed);
+        let base = System::new(base_cfg)?.run();
+        let _ = writeln!(out, "baseline perf     : {:.3} aggregate IPC", base.perf());
+        let _ = writeln!(
+            out,
+            "slowdown          : {:.1}%",
+            result.slowdown_vs(&base) * 100.0
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliCommand, ConfigError> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn default_invocation_runs_autorfm4() {
+        let CliCommand::Run(spec) = parse(&[]).unwrap() else {
+            panic!("expected Run")
+        };
+        assert_eq!(spec.scenario, Scenario::AutoRfm { th: 4 });
+        assert_eq!(spec.workload, "bwaves");
+        assert!(spec.with_baseline);
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let cmd = parse(&[
+            "--workload",
+            "mcf",
+            "--scenario",
+            "rfm",
+            "--th",
+            "8",
+            "--cores",
+            "4",
+            "--instructions",
+            "5000",
+            "--seed",
+            "7",
+            "--audit",
+            "--no-baseline",
+        ])
+        .unwrap();
+        let CliCommand::Run(spec) = cmd else {
+            panic!("expected Run")
+        };
+        assert_eq!(spec.workload, "mcf");
+        assert_eq!(spec.scenario, Scenario::Rfm { th: 8 });
+        assert_eq!(spec.cores, 4);
+        assert_eq!(spec.instructions, 5000);
+        assert_eq!(spec.seed, 7);
+        assert!(spec.audit);
+        assert!(!spec.with_baseline);
+    }
+
+    #[test]
+    fn baseline_scenario_respects_mapping() {
+        let cmd = parse(&["--scenario", "baseline", "--mapping", "rubix"]).unwrap();
+        let CliCommand::Run(spec) = cmd else { panic!() };
+        assert!(matches!(
+            spec.scenario,
+            Scenario::Baseline {
+                mapping: MappingKind::Rubix { .. }
+            }
+        ));
+    }
+
+    #[test]
+    fn help_and_list() {
+        assert_eq!(parse(&["--help"]).unwrap(), CliCommand::Help);
+        assert_eq!(
+            parse(&["--list-workloads"]).unwrap(),
+            CliCommand::ListWorkloads
+        );
+        assert!(workload_table().contains("bwaves"));
+        assert!(run_command(CliCommand::Help).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse(&["--workload", "nope"]).is_err());
+        assert!(parse(&["--scenario", "nope"]).is_err());
+        assert!(parse(&["--th"]).is_err());
+        assert!(parse(&["--th", "abc"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--mapping", "weird"]).is_err());
+    }
+
+    #[test]
+    fn run_command_produces_report() {
+        let spec = RunSpec {
+            workload: "wrf".into(),
+            scenario: Scenario::AutoRfm { th: 4 },
+            cores: 1,
+            instructions: 2_000,
+            seed: 1,
+            audit: true,
+            with_baseline: true,
+        };
+        let report = run_command(CliCommand::Run(spec)).unwrap();
+        assert!(report.contains("slowdown"));
+        assert!(report.contains("max row damage"));
+        assert!(report.contains("AutoRFM-4"));
+    }
+}

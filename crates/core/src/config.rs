@@ -1,0 +1,225 @@
+//! Simulation configuration.
+
+use crate::experiments::Scenario;
+use autorfm_cpu::{CoreParams, UncoreParams};
+use autorfm_dram::{DeviceMitigation, RefreshPolicy};
+use autorfm_memctrl::McConfig;
+use autorfm_sim_core::{ConfigError, DramTimings, Geometry};
+use autorfm_workloads::WorkloadSpec;
+
+/// Which physical-address mapping the memory controller uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MappingKind {
+    /// AMD-Zen-like baseline mapping (Table IV).
+    Zen,
+    /// Rubix randomized mapping with the given cipher key (Section IV-F).
+    Rubix {
+        /// Key for the line-address PRP.
+        key: u64,
+    },
+    /// Row-major mapping with no interleaving (pathological ablation).
+    Linear,
+}
+
+impl MappingKind {
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MappingKind::Zen => "zen",
+            MappingKind::Rubix { .. } => "rubix",
+            MappingKind::Linear => "linear",
+        }
+    }
+}
+
+/// Full system configuration for one simulation.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The workload every core runs (rate mode), unless [`Self::mix`] is set.
+    pub workload: &'static WorkloadSpec,
+    /// Heterogeneous multi-programmed mix: core `i` runs `mix[i % mix.len()]`.
+    /// Overrides [`Self::workload`] when non-empty. (The paper evaluates rate
+    /// mode only; mixes are an extension.)
+    pub mix: Vec<&'static WorkloadSpec>,
+    /// Number of cores (8 in the paper).
+    pub num_cores: u8,
+    /// Instructions each core must retire before the run ends.
+    pub instructions_per_core: u64,
+    /// Memory mapping policy.
+    pub mapping: MappingKind,
+    /// In-DRAM mitigation mode.
+    pub mitigation: DeviceMitigation,
+    /// DRAM timings.
+    pub timings: DramTimings,
+    /// DRAM organization.
+    pub geometry: Geometry,
+    /// Memory-controller knobs.
+    pub mc: McConfig,
+    /// Core microarchitecture.
+    pub core_params: CoreParams,
+    /// LLC/MSHR parameters.
+    pub uncore: UncoreParams,
+    /// Root RNG seed (trackers, workloads).
+    pub seed: u64,
+    /// Enable the Rowhammer damage oracle (slower; security experiments).
+    pub audit: bool,
+    /// Memory operations per core fast-forwarded through the LLC before the
+    /// timed phase, so measurements see steady-state hit rates and writeback
+    /// traffic (the paper uses 1B-instruction slices, fully warmed).
+    pub warmup_mem_ops_per_core: u64,
+    /// DRAM command-trace capacity (0 disables; see
+    /// [`autorfm_dram::TimingChecker`] for post-hoc JEDEC verification).
+    pub trace_capacity: usize,
+    /// Refresh scheduling policy (all-bank REFab is the paper's model).
+    pub refresh: RefreshPolicy,
+}
+
+impl SimConfig {
+    /// The paper's baseline system (Table IV) running `workload` with no
+    /// Rowhammer mitigation, Zen mapping.
+    pub fn baseline(workload: &'static WorkloadSpec) -> Self {
+        SimConfig {
+            workload,
+            mix: Vec::new(),
+            num_cores: 8,
+            instructions_per_core: 200_000,
+            mapping: MappingKind::Zen,
+            mitigation: DeviceMitigation::None,
+            timings: DramTimings::ddr5(),
+            geometry: Geometry::paper_baseline(),
+            mc: McConfig::default(),
+            core_params: CoreParams::default(),
+            uncore: UncoreParams::default(),
+            seed: 42,
+            audit: false,
+            warmup_mem_ops_per_core: 64_000,
+            trace_capacity: 0,
+            refresh: RefreshPolicy::AllBank,
+        }
+    }
+
+    /// A configuration for one of the paper's named scenarios.
+    pub fn scenario(workload: &'static WorkloadSpec, scenario: Scenario) -> Self {
+        scenario.apply(Self::baseline(workload))
+    }
+
+    /// Sets the core count (builder style).
+    pub fn with_cores(mut self, n: u8) -> Self {
+        self.num_cores = n;
+        self
+    }
+
+    /// Sets the per-core instruction budget (builder style).
+    pub fn with_instructions(mut self, n: u64) -> Self {
+        self.instructions_per_core = n;
+        self
+    }
+
+    /// Sets the RNG seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables the Rowhammer damage audit (builder style).
+    pub fn with_audit(mut self) -> Self {
+        self.audit = true;
+        self
+    }
+
+    /// Enables DRAM command tracing with the given capacity (builder style).
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Runs a heterogeneous mix instead of rate mode: core `i` runs
+    /// `mix[i % mix.len()]` (builder style).
+    pub fn with_mix(mut self, mix: Vec<&'static WorkloadSpec>) -> Self {
+        self.mix = mix;
+        self
+    }
+
+    /// The workload assigned to `core`.
+    pub fn workload_of(&self, core: u8) -> &'static WorkloadSpec {
+        if self.mix.is_empty() {
+            self.workload
+        } else {
+            self.mix[core as usize % self.mix.len()]
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any component configuration is invalid or
+    /// `num_cores == 0` / `instructions_per_core == 0`.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_cores == 0 {
+            return Err(ConfigError::new("need at least one core"));
+        }
+        if self.instructions_per_core == 0 {
+            return Err(ConfigError::new("instruction budget must be positive"));
+        }
+        self.geometry.validate()?;
+        self.timings.validate()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table4() {
+        let spec = WorkloadSpec::by_name("bwaves").unwrap();
+        let cfg = SimConfig::baseline(spec);
+        assert_eq!(cfg.num_cores, 8);
+        assert_eq!(cfg.geometry.num_banks, 64);
+        assert_eq!(cfg.mapping, MappingKind::Zen);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_methods() {
+        let spec = WorkloadSpec::by_name("mcf").unwrap();
+        let cfg = SimConfig::baseline(spec)
+            .with_cores(2)
+            .with_instructions(1000)
+            .with_seed(7);
+        assert_eq!(cfg.num_cores, 2);
+        assert_eq!(cfg.instructions_per_core, 1000);
+        assert_eq!(cfg.seed, 7);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate() {
+        let spec = WorkloadSpec::by_name("mcf").unwrap();
+        assert!(SimConfig::baseline(spec).with_cores(0).validate().is_err());
+        assert!(SimConfig::baseline(spec)
+            .with_instructions(0)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn mix_assignment_round_robins() {
+        let a = WorkloadSpec::by_name("bwaves").unwrap();
+        let b = WorkloadSpec::by_name("mcf").unwrap();
+        let cfg = SimConfig::baseline(a).with_mix(vec![a, b]);
+        assert_eq!(cfg.workload_of(0).name, "bwaves");
+        assert_eq!(cfg.workload_of(1).name, "mcf");
+        assert_eq!(cfg.workload_of(2).name, "bwaves");
+        let rate = SimConfig::baseline(b);
+        assert_eq!(rate.workload_of(5).name, "mcf");
+    }
+
+    #[test]
+    fn mapping_names() {
+        assert_eq!(MappingKind::Zen.name(), "zen");
+        assert_eq!(MappingKind::Rubix { key: 1 }.name(), "rubix");
+        assert_eq!(MappingKind::Linear.name(), "linear");
+    }
+}

@@ -1,0 +1,214 @@
+//! Named experiment scenarios matching the paper's evaluation.
+
+use crate::config::{MappingKind, SimConfig};
+use autorfm_dram::DeviceMitigation;
+use autorfm_mitigation::MitigationKind;
+use autorfm_sim_core::DramTimings;
+use autorfm_trackers::TrackerKind;
+use core::fmt;
+
+/// A named system scenario from the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// No Rowhammer mitigation, chosen mapping (normalization baselines).
+    Baseline {
+        /// Mapping policy.
+        mapping: MappingKind,
+    },
+    /// RFM-`th` on the Zen baseline: MINT (recursive) + Recursive Mitigation,
+    /// bank-blocking RFM commands (Section II-E/F, Fig 3).
+    Rfm {
+        /// RFMTH — activations per RFM.
+        th: u32,
+    },
+    /// RFM-`th` on the Rubix mapping (Appendix C, Fig 17).
+    RfmOnRubix {
+        /// RFMTH.
+        th: u32,
+    },
+    /// The paper's AutoRFM-`th`: MINT + Fractal Mitigation + Rubix mapping
+    /// (Sections IV–V, Figs 8/11).
+    AutoRfm {
+        /// AutoRFMTH — activations per transparent mitigation.
+        th: u32,
+    },
+    /// AutoRFM-`th` on the Zen mapping (Fig 8's mapping ablation).
+    AutoRfmZen {
+        /// AutoRFMTH.
+        th: u32,
+    },
+    /// AutoRFM-`th` with Recursive instead of Fractal Mitigation (Table VI).
+    AutoRfmRecursive {
+        /// AutoRFMTH.
+        th: u32,
+    },
+    /// AutoRFM-`th` with a chosen tracker (Appendix D, Fig 18).
+    AutoRfmWith {
+        /// AutoRFMTH.
+        th: u32,
+        /// Tracker to pair with AutoRFM.
+        tracker: TrackerKind,
+    },
+    /// AutoRFM-`th` with the minimal-pair policy (2 victim refreshes,
+    /// SAUM busy 2·tRC): Section IV-B's option for AutoRFMTH below 4.
+    /// No transitive defense — ablation only.
+    AutoRfmMinimal {
+        /// AutoRFMTH (can be as low as 2).
+        th: u32,
+    },
+    /// PRAC + ABO (Section VII-A, Fig 13): per-row counters, increased
+    /// timings, ABO threshold scaled to the tolerated threshold.
+    Prac {
+        /// ABO alert threshold (row-activation count triggering mitigation).
+        abo_th: u32,
+    },
+}
+
+impl Scenario {
+    /// Applies the scenario on top of a baseline configuration.
+    pub fn apply(self, mut cfg: SimConfig) -> SimConfig {
+        match self {
+            Scenario::Baseline { mapping } => {
+                cfg.mapping = mapping;
+                cfg.mitigation = DeviceMitigation::None;
+            }
+            Scenario::Rfm { th } => {
+                cfg.mapping = MappingKind::Zen;
+                cfg.mitigation = DeviceMitigation::rfm(th);
+            }
+            Scenario::RfmOnRubix { th } => {
+                cfg.mapping = MappingKind::Rubix { key: 0xAB1E };
+                cfg.mitigation = DeviceMitigation::rfm(th);
+            }
+            Scenario::AutoRfm { th } => {
+                cfg.mapping = MappingKind::Rubix { key: 0xAB1E };
+                cfg.mitigation = DeviceMitigation::auto_rfm(th);
+            }
+            Scenario::AutoRfmZen { th } => {
+                cfg.mapping = MappingKind::Zen;
+                cfg.mitigation = DeviceMitigation::auto_rfm(th);
+            }
+            Scenario::AutoRfmRecursive { th } => {
+                cfg.mapping = MappingKind::Rubix { key: 0xAB1E };
+                cfg.mitigation = DeviceMitigation::AutoRfm {
+                    tracker: TrackerKind::MintRecursive,
+                    policy: MitigationKind::Recursive,
+                    window: th,
+                };
+            }
+            Scenario::AutoRfmWith { th, tracker } => {
+                cfg.mapping = MappingKind::Rubix { key: 0xAB1E };
+                cfg.mitigation = DeviceMitigation::AutoRfm {
+                    tracker,
+                    policy: MitigationKind::Fractal,
+                    window: th,
+                };
+            }
+            Scenario::AutoRfmMinimal { th } => {
+                cfg.mapping = MappingKind::Rubix { key: 0xAB1E };
+                cfg.mitigation = DeviceMitigation::AutoRfm {
+                    tracker: TrackerKind::Mint,
+                    policy: MitigationKind::MinimalPair,
+                    window: th,
+                };
+            }
+            Scenario::Prac { abo_th } => {
+                cfg.mapping = MappingKind::Zen;
+                cfg.timings = DramTimings::ddr5_prac();
+                cfg.mitigation = DeviceMitigation::Prac {
+                    abo_threshold: abo_th,
+                    policy: MitigationKind::Fractal,
+                };
+            }
+        }
+        cfg
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scenario::Baseline { mapping } => write!(f, "baseline-{}", mapping.name()),
+            Scenario::Rfm { th } => write!(f, "RFM-{th}"),
+            Scenario::RfmOnRubix { th } => write!(f, "RFM-{th}-rubix"),
+            Scenario::AutoRfm { th } => write!(f, "AutoRFM-{th}"),
+            Scenario::AutoRfmZen { th } => write!(f, "AutoRFM-{th}-zen"),
+            Scenario::AutoRfmRecursive { th } => write!(f, "AutoRFM-{th}-recursive"),
+            Scenario::AutoRfmWith { th, tracker } => write!(f, "AutoRFM-{th}-{tracker}"),
+            Scenario::AutoRfmMinimal { th } => write!(f, "AutoRFM-{th}-minimal"),
+            Scenario::Prac { abo_th } => write!(f, "PRAC-ABO{abo_th}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autorfm_workloads::WorkloadSpec;
+
+    fn spec() -> &'static WorkloadSpec {
+        WorkloadSpec::by_name("bwaves").unwrap()
+    }
+
+    #[test]
+    fn autorfm_uses_rubix_and_fractal() {
+        let cfg = SimConfig::scenario(spec(), Scenario::AutoRfm { th: 4 });
+        assert!(matches!(cfg.mapping, MappingKind::Rubix { .. }));
+        assert!(matches!(
+            cfg.mitigation,
+            DeviceMitigation::AutoRfm {
+                tracker: TrackerKind::Mint,
+                policy: MitigationKind::Fractal,
+                window: 4
+            }
+        ));
+    }
+
+    #[test]
+    fn rfm_uses_zen_and_recursive() {
+        let cfg = SimConfig::scenario(spec(), Scenario::Rfm { th: 8 });
+        assert_eq!(cfg.mapping, MappingKind::Zen);
+        assert!(matches!(
+            cfg.mitigation,
+            DeviceMitigation::Rfm {
+                tracker: TrackerKind::MintRecursive,
+                window: 8,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn prac_increases_timings() {
+        let cfg = SimConfig::scenario(spec(), Scenario::Prac { abo_th: 64 });
+        assert!(cfg.timings.t_rc > DramTimings::ddr5().t_rc);
+        assert!(matches!(
+            cfg.mitigation,
+            DeviceMitigation::Prac {
+                abo_threshold: 64,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Scenario::AutoRfm { th: 4 }.to_string(), "AutoRFM-4");
+        assert_eq!(Scenario::Rfm { th: 16 }.to_string(), "RFM-16");
+        assert_eq!(
+            Scenario::Baseline {
+                mapping: MappingKind::Zen
+            }
+            .to_string(),
+            "baseline-zen"
+        );
+        assert_eq!(
+            Scenario::AutoRfmWith {
+                th: 4,
+                tracker: TrackerKind::Pride
+            }
+            .to_string(),
+            "AutoRFM-4-pride"
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! # autorfm
+//!
+//! AutoRFM: scaling low-cost in-DRAM Rowhammer trackers to ultra-low
+//! thresholds — a full reproduction of the HPCA 2025 paper as a Rust library.
+//!
+//! This crate assembles the complete evaluation system of the paper:
+//!
+//! * 8 out-of-order cores + shared LLC ([`autorfm_cpu`]),
+//! * a DDR5 memory controller with RFM / AutoRFM / PRAC support
+//!   ([`autorfm_memctrl`]),
+//! * the DDR5 device model with subarrays, trackers, and mitigation policies
+//!   ([`autorfm_dram`], [`autorfm_trackers`], [`autorfm_mitigation`]),
+//! * AMD-Zen and Rubix randomized memory mappings ([`autorfm_mapping`]),
+//! * the 21 synthetic Table-V workloads ([`autorfm_workloads`]).
+//!
+//! The central types are [`SimConfig`] (what to simulate), [`System`] (the
+//! assembled machine), and [`SimResult`] (performance + DRAM statistics).
+//! [`experiments`] provides the named scenarios used throughout the paper's
+//! evaluation (RFM-N, AutoRFM-N, PRAC, mapping ablations).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use autorfm::{experiments::Scenario, SimConfig, System};
+//! use autorfm_workloads::WorkloadSpec;
+//!
+//! // Simulate `bwaves` under AutoRFM-4 (MINT + Fractal Mitigation + Rubix).
+//! let spec = WorkloadSpec::by_name("bwaves").unwrap();
+//! let cfg = SimConfig::scenario(spec, Scenario::AutoRfm { th: 4 })
+//!     .with_cores(2)
+//!     .with_instructions(20_000);
+//! let result = System::new(cfg)?.run();
+//! assert!(result.perf() > 0.0);
+//! # Ok::<(), autorfm_sim_core::ConfigError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cli;
+pub mod config;
+pub mod experiments;
+pub mod result;
+pub mod storage;
+pub mod system;
+
+pub use config::{MappingKind, SimConfig};
+pub use result::SimResult;
+pub use system::System;
+
+/// Convenience re-exports for downstream users:
+/// `use autorfm::prelude::*;` pulls in the types most programs need.
+pub mod prelude {
+    pub use crate::experiments::Scenario;
+    pub use crate::{MappingKind, SimConfig, SimResult, System};
+    pub use autorfm_dram::DeviceMitigation;
+    pub use autorfm_mitigation::MitigationKind;
+    pub use autorfm_sim_core::{Cycle, DramTimings, Geometry};
+    pub use autorfm_trackers::TrackerKind;
+    pub use autorfm_workloads::WorkloadSpec;
+}
+
+// Re-export the component crates under predictable names.
+pub use autorfm_analysis as analysis;
+pub use autorfm_cpu as cpu;
+pub use autorfm_dram as dram;
+pub use autorfm_mapping as mapping;
+pub use autorfm_memctrl as memctrl;
+pub use autorfm_mitigation as mitigation;
+pub use autorfm_power as power;
+pub use autorfm_sim_core as sim_core;
+pub use autorfm_trackers as trackers;
+pub use autorfm_workloads as workloads;

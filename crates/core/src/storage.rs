@@ -1,0 +1,121 @@
+//! Storage-overhead accounting (Section VI-C).
+//!
+//! AutoRFM's SRAM cost: at the memory controller, a busy bit and a 15-bit
+//! timestamp per bank (2 bytes × 64 banks = **128 bytes**); in each DRAM bank,
+//! the SAUM identifier (1 valid bit + 8 subarray bits) plus the tracker state
+//! (4 bytes for MINT) — **5 bytes per bank** — plus a PRNG shared per chip.
+
+use crate::config::SimConfig;
+use autorfm_dram::DeviceMitigation;
+use autorfm_sim_core::ConfigError;
+use autorfm_trackers::build_tracker;
+
+/// SRAM overhead breakdown for a configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageReport {
+    /// Memory-controller bytes: (busy bit + 15-bit timestamp) per bank.
+    pub mc_bytes: u64,
+    /// Per-bank DRAM bits for the SAUM identifier (valid + subarray index).
+    pub saum_bits_per_bank: u32,
+    /// Per-bank DRAM bits for the tracker.
+    pub tracker_bits_per_bank: u32,
+    /// Total DRAM bytes across all banks (rounded up).
+    pub dram_total_bytes: u64,
+}
+
+impl StorageReport {
+    /// Per-bank DRAM bytes (rounded up), the paper's "5 bytes per bank".
+    pub fn dram_bytes_per_bank(&self) -> u64 {
+        ((self.saum_bits_per_bank + self.tracker_bits_per_bank) as u64).div_ceil(8)
+    }
+}
+
+/// Computes the Section VI-C storage overheads for a configuration.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if the configured tracker cannot be instantiated.
+///
+/// # Examples
+///
+/// ```
+/// use autorfm::{storage::storage_report, SimConfig, experiments::Scenario};
+/// use autorfm_workloads::WorkloadSpec;
+///
+/// let spec = WorkloadSpec::by_name("bwaves").unwrap();
+/// let cfg = SimConfig::scenario(spec, Scenario::AutoRfm { th: 4 });
+/// let report = storage_report(&cfg)?;
+/// assert_eq!(report.mc_bytes, 128);            // paper: 128 bytes of SRAM
+/// assert_eq!(report.dram_bytes_per_bank(), 6); // paper: ~5 bytes per bank
+/// # Ok::<(), autorfm_sim_core::ConfigError>(())
+/// ```
+pub fn storage_report(cfg: &SimConfig) -> Result<StorageReport, ConfigError> {
+    let banks = cfg.geometry.num_banks as u64;
+    // Busy bit + 15-bit timestamp per bank (Fig 7): 2 bytes.
+    let mc_bytes = 2 * banks;
+    // SAUM: 1 valid bit + log2(subarrays) bits.
+    let saum_bits_per_bank = 1 + (cfg.geometry.subarrays_per_bank as u32).trailing_zeros();
+    let tracker_bits_per_bank = match cfg.mitigation {
+        DeviceMitigation::AutoRfm {
+            tracker, window, ..
+        }
+        | DeviceMitigation::Rfm {
+            tracker, window, ..
+        } => build_tracker(tracker, window)?.storage_bits(),
+        // PRAC stores a counter per row, not SRAM; None needs nothing.
+        DeviceMitigation::Prac { .. } | DeviceMitigation::None => 0,
+    };
+    let per_bank_bits = (saum_bits_per_bank + tracker_bits_per_bank) as u64;
+    Ok(StorageReport {
+        mc_bytes,
+        saum_bits_per_bank,
+        tracker_bits_per_bank,
+        dram_total_bytes: (per_bank_bits * banks).div_ceil(8),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Scenario;
+    use autorfm_workloads::WorkloadSpec;
+
+    fn cfg(scenario: Scenario) -> SimConfig {
+        SimConfig::scenario(WorkloadSpec::by_name("bwaves").unwrap(), scenario)
+    }
+
+    #[test]
+    fn paper_numbers_for_autorfm_mint() {
+        let r = storage_report(&cfg(Scenario::AutoRfm { th: 4 })).unwrap();
+        assert_eq!(r.mc_bytes, 128, "paper: 128 bytes at the MC");
+        assert_eq!(r.saum_bits_per_bank, 9, "paper: 1 valid + 8 bits");
+        assert_eq!(r.tracker_bits_per_bank, 32, "paper: MINT is 4 bytes");
+        // Paper rounds 41 bits to "5 bytes per bank"; exact ceil is 6.
+        assert!(r.dram_bytes_per_bank() <= 6);
+    }
+
+    #[test]
+    fn mithril_costs_much_more() {
+        let mint = storage_report(&cfg(Scenario::AutoRfm { th: 4 })).unwrap();
+        let mithril = storage_report(&cfg(Scenario::AutoRfmWith {
+            th: 4,
+            tracker: autorfm_trackers::TrackerKind::Mithril,
+        }))
+        .unwrap();
+        assert!(
+            mithril.tracker_bits_per_bank > 10 * mint.tracker_bits_per_bank,
+            "counter trackers must dwarf MINT: {} vs {}",
+            mithril.tracker_bits_per_bank,
+            mint.tracker_bits_per_bank
+        );
+    }
+
+    #[test]
+    fn baseline_needs_no_tracker_storage() {
+        let r = storage_report(&cfg(Scenario::Baseline {
+            mapping: crate::MappingKind::Zen,
+        }))
+        .unwrap();
+        assert_eq!(r.tracker_bits_per_bank, 0);
+    }
+}

@@ -1,0 +1,314 @@
+//! The assembled full system and its simulation loop.
+
+use crate::config::{MappingKind, SimConfig};
+use crate::result::SimResult;
+use autorfm_cpu::{Core, InstructionStream, Op, Uncore};
+use autorfm_dram::{DramConfig, DramDevice};
+use autorfm_mapping::{LinearMap, MemoryMap, RubixMap, ZenMap};
+use autorfm_memctrl::MemController;
+use autorfm_sim_core::{ConfigError, Cycle, LineAddr};
+use autorfm_workloads::WorkloadGen;
+
+/// Simulation step: 1 ns (4 CPU cycles at 4 GHz). All DRAM timings are
+/// nanosecond multiples, so stepping at 1 ns loses no command-timing accuracy.
+const STEP: Cycle = Cycle::new(4);
+const CPU_CYCLES_PER_STEP: u32 = 4;
+
+/// Wraps a workload generator so every produced line address stays inside the
+/// configured geometry (the generators target the 32 GB baseline; smaller test
+/// geometries fold addresses down).
+struct BoundedStream {
+    inner: WorkloadGen,
+    line_mask: u64,
+}
+
+impl InstructionStream for BoundedStream {
+    fn next_op(&mut self) -> Op {
+        match self.inner.next_op() {
+            Op::Load { line, dependent } => Op::Load {
+                line: LineAddr(line.0 & self.line_mask),
+                dependent,
+            },
+            Op::Store { line } => Op::Store {
+                line: LineAddr(line.0 & self.line_mask),
+            },
+            Op::Flush { line } => Op::Flush {
+                line: LineAddr(line.0 & self.line_mask),
+            },
+            Op::NonMem => Op::NonMem,
+        }
+    }
+}
+
+/// The full simulated machine: cores + LLC + memory controller + DRAM.
+pub struct System {
+    cfg: SimConfig,
+    cores: Vec<Core>,
+    streams: Vec<BoundedStream>,
+    uncore: Uncore,
+    mc: MemController<Box<dyn MemoryMap>>,
+    now: Cycle,
+    finish_at: Vec<Option<Cycle>>,
+}
+
+impl core::fmt::Debug for System {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("System")
+            .field("workload", &self.cfg.workload.name)
+            .field("cores", &self.cores.len())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+impl System {
+    /// Builds the machine described by `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any component configuration is invalid.
+    pub fn new(cfg: SimConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let map: Box<dyn MemoryMap> = match cfg.mapping {
+            MappingKind::Zen => Box::new(ZenMap::new(cfg.geometry)?),
+            MappingKind::Rubix { key } => Box::new(RubixMap::new(cfg.geometry, key)?),
+            MappingKind::Linear => Box::new(LinearMap::new(cfg.geometry)?),
+        };
+        let device = DramDevice::new(
+            DramConfig {
+                geometry: cfg.geometry,
+                timings: cfg.timings.clone(),
+                mitigation: cfg.mitigation,
+                audit: cfg.audit,
+                trace_capacity: cfg.trace_capacity,
+                refresh: cfg.refresh,
+            },
+            cfg.seed,
+        )?;
+        let mc = MemController::new(map, device, cfg.mc);
+        let uncore = Uncore::new(cfg.uncore)?;
+        let line_mask = cfg.geometry.total_lines() - 1;
+        let cores = (0..cfg.num_cores)
+            .map(|i| Core::new(i, cfg.core_params))
+            .collect::<Vec<_>>();
+        let streams = (0..cfg.num_cores)
+            .map(|i| BoundedStream {
+                inner: WorkloadGen::new(cfg.workload_of(i), i, cfg.seed),
+                line_mask,
+            })
+            .collect();
+        let mut system = System {
+            finish_at: vec![None; cfg.num_cores as usize],
+            cores,
+            streams,
+            uncore,
+            mc,
+            now: Cycle::ZERO,
+            cfg,
+        };
+        system.warmup();
+        Ok(system)
+    }
+
+    /// Fast-forwards the LLC to steady state: each core's stream runs its
+    /// configured number of memory operations against the cache with no
+    /// timing, so the timed phase starts with realistic hit rates and dirty
+    /// lines (writeback traffic).
+    fn warmup(&mut self) {
+        for _ in 0..self.cfg.warmup_mem_ops_per_core {
+            for stream in &mut self.streams {
+                let mask = stream.line_mask;
+                match stream.inner.next_mem() {
+                    Op::Load { line, .. } => self.uncore.warm(LineAddr(line.0 & mask), false),
+                    Op::Store { line } => self.uncore.warm(LineAddr(line.0 & mask), true),
+                    Op::Flush { .. } | Op::NonMem => {}
+                }
+            }
+        }
+    }
+
+    /// Runs until every core retires the configured instruction budget and
+    /// returns the collected metrics.
+    pub fn run(&mut self) -> SimResult {
+        let target = self.cfg.instructions_per_core;
+        loop {
+            self.now += STEP;
+            let now = self.now;
+            let mut all_done = true;
+            for (i, core) in self.cores.iter_mut().enumerate() {
+                if self.finish_at[i].is_some() {
+                    continue;
+                }
+                core.step(
+                    now,
+                    CPU_CYCLES_PER_STEP,
+                    &mut self.streams[i],
+                    &mut self.uncore,
+                );
+                if core.retired() >= target {
+                    self.finish_at[i] = Some(now);
+                } else {
+                    all_done = false;
+                }
+            }
+            self.uncore.tick(&mut self.mc, now);
+            self.mc.tick(now);
+            self.uncore.tick(&mut self.mc, now);
+            if all_done {
+                break;
+            }
+        }
+        self.collect()
+    }
+
+    fn collect(&self) -> SimResult {
+        let cfg = &self.cfg;
+        let per_core_ipc: Vec<f64> = self
+            .finish_at
+            .iter()
+            .map(|f| {
+                let cycles = f.expect("run() completed").raw() as f64;
+                cfg.instructions_per_core as f64 / cycles
+            })
+            .collect();
+        let dram = self.mc.device().stats().clone();
+        let total_instructions = cfg.instructions_per_core * cfg.num_cores as u64;
+        let acts = dram.acts.get();
+        let elapsed = self.now;
+        let trefis = elapsed.raw() as f64 / cfg.timings.t_refi.raw() as f64;
+        let act_per_trefi_per_bank = if trefis > 0.0 {
+            acts as f64 / trefis / cfg.geometry.num_banks as f64
+        } else {
+            0.0
+        };
+        SimResult {
+            workload: cfg.workload.name,
+            elapsed,
+            per_core_ipc,
+            total_instructions,
+            alerts_per_act: dram.alerts_per_act(),
+            act_pki: acts as f64 * 1000.0 / total_instructions as f64,
+            act_per_trefi_per_bank,
+            row_hit_rate: self.mc.stats().row_hit_rate(),
+            avg_read_latency_ns: self.mc.stats().read_latency.mean() / 4.0,
+            power_counts: autorfm_power::EventCounts {
+                acts,
+                reads: dram.reads.get(),
+                writes: dram.writes.get(),
+                refs: dram.refs.get(),
+                victim_refreshes: dram.victim_refreshes.get(),
+            },
+            max_damage: self.mc.device().audit().map(|a| a.max_damage()),
+            dram,
+        }
+    }
+
+    /// The memory controller (post-run inspection).
+    pub fn mc(&self) -> &MemController<Box<dyn MemoryMap>> {
+        &self.mc
+    }
+
+    /// The uncore (post-run inspection).
+    pub fn uncore(&self) -> &Uncore {
+        &self.uncore
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Scenario;
+    use autorfm_sim_core::Geometry;
+    use autorfm_workloads::WorkloadSpec;
+
+    fn quick(scenario: Scenario, name: &str) -> SimResult {
+        let spec = WorkloadSpec::by_name(name).unwrap();
+        let cfg = SimConfig::scenario(spec, scenario)
+            .with_cores(2)
+            .with_instructions(15_000);
+        System::new(cfg).unwrap().run()
+    }
+
+    #[test]
+    fn baseline_run_produces_sane_metrics() {
+        let r = quick(
+            Scenario::Baseline {
+                mapping: MappingKind::Zen,
+            },
+            "bwaves",
+        );
+        assert_eq!(r.per_core_ipc.len(), 2);
+        assert!(r.perf() > 0.1, "IPC too low: {}", r.perf());
+        assert!(
+            r.act_pki > 5.0,
+            "streaming workload must activate: {}",
+            r.act_pki
+        );
+        assert!(r.dram.acts.get() > 100);
+        assert_eq!(r.dram.alerts.get(), 0, "no mitigation, no alerts");
+    }
+
+    #[test]
+    fn autorfm_runs_and_mitigates() {
+        let r = quick(Scenario::AutoRfm { th: 4 }, "bwaves");
+        assert!(r.dram.mitigations.get() > 0);
+        // Roughly one mitigation per 4 ACTs.
+        let ratio = r.dram.acts.get() as f64 / r.dram.mitigations.get() as f64;
+        assert!((3.0..=6.0).contains(&ratio), "acts per mitigation: {ratio}");
+    }
+
+    #[test]
+    fn rfm_slows_down_relative_to_baseline() {
+        let base = quick(
+            Scenario::Baseline {
+                mapping: MappingKind::Zen,
+            },
+            "fotonik3d",
+        );
+        let rfm = quick(Scenario::Rfm { th: 4 }, "fotonik3d");
+        let slowdown = rfm.slowdown_vs(&base);
+        assert!(
+            slowdown > 0.05,
+            "RFM-4 must hurt a memory-intensive workload: {slowdown}"
+        );
+        assert!(rfm.dram.rfms.get() > 0);
+    }
+
+    #[test]
+    fn autorfm_beats_rfm_at_threshold_4() {
+        let base = quick(
+            Scenario::Baseline {
+                mapping: MappingKind::Zen,
+            },
+            "fotonik3d",
+        );
+        let rfm = quick(Scenario::Rfm { th: 4 }, "fotonik3d");
+        let auto = quick(Scenario::AutoRfm { th: 4 }, "fotonik3d");
+        let s_rfm = rfm.slowdown_vs(&base);
+        let s_auto = auto.slowdown_vs(&base);
+        assert!(
+            s_auto < s_rfm,
+            "AutoRFM ({s_auto:.3}) must beat RFM ({s_rfm:.3}) at TH=4"
+        );
+    }
+
+    #[test]
+    fn small_geometry_wraps_addresses() {
+        let spec = WorkloadSpec::by_name("mcf").unwrap();
+        let mut cfg = SimConfig::scenario(spec, Scenario::AutoRfm { th: 4 })
+            .with_cores(2)
+            .with_instructions(5_000);
+        cfg.geometry = Geometry::small();
+        let r = System::new(cfg).unwrap().run();
+        assert!(r.dram.acts.get() > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = quick(Scenario::AutoRfm { th: 4 }, "mcf");
+        let b = quick(Scenario::AutoRfm { th: 4 }, "mcf");
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.dram.acts.get(), b.dram.acts.get());
+        assert_eq!(a.dram.alerts.get(), b.dram.alerts.get());
+    }
+}

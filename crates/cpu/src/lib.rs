@@ -1,0 +1,38 @@
+//! # autorfm-cpu
+//!
+//! Trace-driven multi-core CPU model: out-of-order cores with a shared
+//! last-level cache, matching the paper's baseline (Table IV): 8 cores, 4 GHz,
+//! 4-wide, 256-entry ROB, shared 8 MB 16-way LLC with 64 B lines.
+//!
+//! The model follows the memsim approach: cores consume an instruction stream
+//! ([`InstructionStream`]); non-memory instructions retire at full width;
+//! loads allocate a ROB slot and block retirement at the ROB head until their
+//! data returns (memory-level parallelism emerges from the 256-entry window);
+//! stores are fire-and-forget. The [`Uncore`] owns the LLC and MSHRs and
+//! bridges to the memory controller.
+//!
+//! # Examples
+//!
+//! ```
+//! use autorfm_cpu::{Core, CoreParams, Op};
+//! use autorfm_sim_core::LineAddr;
+//!
+//! // A trivial stream: alternating compute and loads.
+//! let mut ops = (0..100).map(|i| {
+//!     if i % 2 == 0 { Op::NonMem } else { Op::Load { line: LineAddr(i), dependent: false } }
+//! }).collect::<Vec<_>>().into_iter();
+//! let core = Core::new(0, CoreParams::default());
+//! assert_eq!(core.retired(), 0);
+//! # let _ = (&mut ops, core);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod core_model;
+pub mod llc;
+pub mod uncore;
+
+pub use core_model::{Core, CoreParams, InstructionStream, Op};
+pub use llc::{AccessResult, Llc, LlcParams};
+pub use uncore::{Uncore, UncoreParams, UncoreStats};

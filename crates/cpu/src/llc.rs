@@ -1,0 +1,333 @@
+//! Shared last-level cache: set-associative, LRU, write-back/write-allocate.
+
+use autorfm_sim_core::{ConfigError, LineAddr};
+
+/// LLC geometry parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlcParams {
+    /// Total capacity in bytes (8 MB in the baseline).
+    pub capacity_bytes: u64,
+    /// Associativity (16 in the baseline).
+    pub ways: u32,
+    /// Line size in bytes (64 in the baseline).
+    pub line_bytes: u32,
+}
+
+impl Default for LlcParams {
+    fn default() -> Self {
+        LlcParams {
+            capacity_bytes: 8 << 20,
+            ways: 16,
+            line_bytes: 64,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU age: 0 = most recently used.
+    age: u8,
+}
+
+/// Result of an LLC access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessResult {
+    /// The line was present.
+    Hit,
+    /// The line was absent; the caller must fetch it from memory and then call
+    /// [`Llc::fill`].
+    Miss,
+}
+
+/// The shared last-level cache.
+///
+/// # Examples
+///
+/// ```
+/// use autorfm_cpu::{Llc, LlcParams, AccessResult};
+/// use autorfm_sim_core::LineAddr;
+///
+/// let mut llc = Llc::new(LlcParams::default())?;
+/// assert_eq!(llc.access(LineAddr(42), false), AccessResult::Miss);
+/// llc.fill(LineAddr(42));
+/// assert_eq!(llc.access(LineAddr(42), false), AccessResult::Hit);
+/// # Ok::<(), autorfm_sim_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Llc {
+    sets: Vec<Vec<Way>>,
+    set_mask: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Llc {
+    /// Creates an empty cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the parameters do not produce a power-of-two
+    /// number of sets or `ways == 0`.
+    pub fn new(p: LlcParams) -> Result<Self, ConfigError> {
+        if p.ways == 0 {
+            return Err(ConfigError::new("LLC needs at least one way"));
+        }
+        let lines = p.capacity_bytes / p.line_bytes as u64;
+        let num_sets = lines / p.ways as u64;
+        if num_sets == 0 || !num_sets.is_power_of_two() {
+            return Err(ConfigError::new(format!(
+                "LLC set count must be a power of two, got {num_sets}"
+            )));
+        }
+        Ok(Llc {
+            sets: vec![vec![Way::default(); p.ways as usize]; num_sets as usize],
+            set_mask: num_sets - 1,
+            hits: 0,
+            misses: 0,
+        })
+    }
+
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line.0 & self.set_mask) as usize
+    }
+
+    fn tag_of(&self, line: LineAddr) -> u64 {
+        line.0 >> self.set_mask.count_ones()
+    }
+
+    /// Looks up `line`; `is_write` marks the line dirty on hit.
+    pub fn access(&mut self, line: LineAddr, is_write: bool) -> AccessResult {
+        let set_idx = self.set_of(line);
+        let tag = self.tag_of(line);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|w| w.valid && w.tag == tag) {
+            let old_age = set[pos].age;
+            for w in set.iter_mut() {
+                if w.valid && w.age < old_age {
+                    w.age += 1;
+                }
+            }
+            set[pos].age = 0;
+            set[pos].dirty |= is_write;
+            self.hits += 1;
+            AccessResult::Hit
+        } else {
+            self.misses += 1;
+            AccessResult::Miss
+        }
+    }
+
+    /// Inserts `line` (after a miss fill). Returns the evicted line if it was
+    /// dirty (the caller must write it back to memory).
+    pub fn fill(&mut self, line: LineAddr) -> Option<LineAddr> {
+        let set_idx = self.set_of(line);
+        let tag = self.tag_of(line);
+        let set_bits = self.set_mask.count_ones();
+        let set = &mut self.sets[set_idx];
+        if set.iter().any(|w| w.valid && w.tag == tag) {
+            return None; // already present (racing fills merge in the MSHR)
+        }
+        // Victim: an invalid way, else the LRU (max age).
+        let victim = set.iter().position(|w| !w.valid).unwrap_or_else(|| {
+            set.iter()
+                .enumerate()
+                .max_by_key(|(_, w)| w.age)
+                .map(|(i, _)| i)
+                .expect("ways > 0")
+        });
+        let evicted = set[victim];
+        for w in set.iter_mut() {
+            if w.valid {
+                w.age = w.age.saturating_add(1);
+            }
+        }
+        set[victim] = Way {
+            tag,
+            valid: true,
+            dirty: false,
+            age: 0,
+        };
+        if evicted.valid && evicted.dirty {
+            Some(LineAddr((evicted.tag << set_bits) | set_idx as u64))
+        } else {
+            None
+        }
+    }
+
+    /// Invalidates `line` if present, returning it if it was dirty (the
+    /// caller must write it back). Models CLFLUSH, which Rowhammer attackers
+    /// use to defeat the cache (threat model, Section II-A).
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<LineAddr> {
+        let set_idx = self.set_of(line);
+        let tag = self.tag_of(line);
+        let set = &mut self.sets[set_idx];
+        if let Some(w) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+            let was_dirty = w.dirty;
+            w.valid = false;
+            w.dirty = false;
+            if was_dirty {
+                return Some(line);
+            }
+        }
+        None
+    }
+
+    /// Marks `line` dirty if present (used when a store triggered the fill).
+    pub fn mark_dirty(&mut self, line: LineAddr) {
+        let set_idx = self.set_of(line);
+        let tag = self.tag_of(line);
+        if let Some(w) = self.sets[set_idx]
+            .iter_mut()
+            .find(|w| w.valid && w.tag == tag)
+        {
+            w.dirty = true;
+        }
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss ratio over all accesses so far.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Llc {
+        // 4 sets x 2 ways x 64B = 512B.
+        Llc::new(LlcParams {
+            capacity_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.access(LineAddr(5), false), AccessResult::Miss);
+        assert_eq!(c.fill(LineAddr(5)), None);
+        assert_eq!(c.access(LineAddr(5), false), AccessResult::Hit);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.miss_rate(), 0.5);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = tiny();
+        // Set 0: lines 0, 4, 8 (stride = number of sets).
+        c.fill(LineAddr(0));
+        c.fill(LineAddr(4));
+        c.access(LineAddr(0), false); // 0 is now MRU; 4 is LRU
+        c.fill(LineAddr(8)); // evicts 4
+        assert_eq!(c.access(LineAddr(0), false), AccessResult::Hit);
+        assert_eq!(c.access(LineAddr(4), false), AccessResult::Miss);
+        assert_eq!(c.access(LineAddr(8), false), AccessResult::Hit);
+    }
+
+    #[test]
+    fn dirty_eviction_returns_victim() {
+        let mut c = tiny();
+        c.fill(LineAddr(0));
+        c.access(LineAddr(0), true); // dirty
+        c.fill(LineAddr(4));
+        let evicted = c.fill(LineAddr(8)); // evicts 0 (LRU, dirty)
+        assert_eq!(evicted, Some(LineAddr(0)));
+    }
+
+    #[test]
+    fn clean_eviction_returns_none() {
+        let mut c = tiny();
+        c.fill(LineAddr(0));
+        c.fill(LineAddr(4));
+        assert_eq!(c.fill(LineAddr(8)), None);
+    }
+
+    #[test]
+    fn mark_dirty_after_fill() {
+        let mut c = tiny();
+        c.fill(LineAddr(12));
+        c.mark_dirty(LineAddr(12));
+        c.fill(LineAddr(16));
+        c.fill(LineAddr(20)); // evict 12
+                              // One of the fills must have evicted dirty line 12.
+                              // (12 maps to set 0b00? 12 & 3 == 0 ... all in set 0.)
+        let evicted = c.fill(LineAddr(24));
+        // Either the earlier fill or this one returned Some(12); ensure 12 gone.
+        assert_eq!(c.access(LineAddr(12), false), AccessResult::Miss);
+        let _ = evicted;
+    }
+
+    #[test]
+    fn double_fill_is_idempotent() {
+        let mut c = tiny();
+        c.fill(LineAddr(7));
+        assert_eq!(c.fill(LineAddr(7)), None);
+        assert_eq!(c.access(LineAddr(7), false), AccessResult::Hit);
+    }
+
+    #[test]
+    fn invalidate_flushes_line() {
+        let mut c = tiny();
+        c.fill(LineAddr(5));
+        assert_eq!(c.invalidate(LineAddr(5)), None); // clean: no writeback
+        assert_eq!(c.access(LineAddr(5), false), AccessResult::Miss);
+        c.fill(LineAddr(5));
+        c.access(LineAddr(5), true);
+        assert_eq!(c.invalidate(LineAddr(5)), Some(LineAddr(5))); // dirty
+        assert_eq!(c.invalidate(LineAddr(5)), None); // already gone
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Llc::new(LlcParams {
+            capacity_bytes: 0,
+            ways: 2,
+            line_bytes: 64
+        })
+        .is_err());
+        assert!(Llc::new(LlcParams {
+            capacity_bytes: 512,
+            ways: 0,
+            line_bytes: 64
+        })
+        .is_err());
+        // 3 sets: not a power of two.
+        assert!(Llc::new(LlcParams {
+            capacity_bytes: 3 * 128,
+            ways: 2,
+            line_bytes: 64
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn default_params_match_table4() {
+        let p = LlcParams::default();
+        assert_eq!(p.capacity_bytes, 8 << 20);
+        assert_eq!(p.ways, 16);
+        let c = Llc::new(p).unwrap();
+        assert_eq!(c.sets.len(), 8192);
+    }
+}

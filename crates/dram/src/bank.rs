@@ -1,0 +1,232 @@
+//! Per-bank timing state machine and SAUM bookkeeping.
+
+use autorfm_sim_core::{Cycle, DramTimings, RowAddr, SubarrayId};
+
+/// The timing and row-buffer state of one DRAM bank.
+///
+/// The bank tracks the earliest cycle at which each command class may be
+/// issued, the currently open row, blocking windows from REF/RFM, and — under
+/// AutoRFM — the Subarray Under Mitigation (SAUM).
+#[derive(Debug, Clone)]
+pub struct Bank {
+    /// Currently open row (None when precharged).
+    open_row: Option<RowAddr>,
+    /// Cycle at which the open row's ACT was issued.
+    act_at: Cycle,
+    /// Earliest cycle for the next ACT (tRC from previous ACT, tRP from PRE).
+    next_act: Cycle,
+    /// Earliest cycle for a column access (tRCD after ACT).
+    next_col: Cycle,
+    /// Earliest cycle for a precharge (tRAS after ACT, tWR after a write).
+    next_pre: Cycle,
+    /// Bank fully blocked until this cycle (REF, RFM, ABO mitigation).
+    blocked_until: Cycle,
+    /// The subarray currently under mitigation, if any.
+    saum: Option<SubarrayId>,
+    /// SAUM busy until this cycle (mitigation start + t_M).
+    saum_until: Cycle,
+}
+
+impl Bank {
+    /// Creates an idle, precharged bank.
+    pub fn new() -> Self {
+        Bank {
+            open_row: None,
+            act_at: Cycle::ZERO,
+            next_act: Cycle::ZERO,
+            next_col: Cycle::ZERO,
+            next_pre: Cycle::ZERO,
+            blocked_until: Cycle::ZERO,
+            saum: None,
+            saum_until: Cycle::ZERO,
+        }
+    }
+
+    /// The currently open row.
+    pub fn open_row(&self) -> Option<RowAddr> {
+        self.open_row
+    }
+
+    /// When the open row was activated (meaningful only while a row is open).
+    pub fn act_time(&self) -> Cycle {
+        self.act_at
+    }
+
+    /// The bank-blocking window (REF/RFM) end, if in the future.
+    pub fn blocked_until(&self) -> Cycle {
+        self.blocked_until
+    }
+
+    /// Earliest cycle an ACT may be issued (requires the bank precharged).
+    pub fn earliest_act(&self) -> Cycle {
+        self.next_act.max(self.blocked_until)
+    }
+
+    /// Earliest cycle a column (RD/WR) command may be issued to the open row.
+    pub fn earliest_col(&self) -> Cycle {
+        self.next_col.max(self.blocked_until)
+    }
+
+    /// Earliest cycle a PRE may be issued.
+    pub fn earliest_pre(&self) -> Cycle {
+        self.next_pre.max(self.blocked_until)
+    }
+
+    /// Whether the SAUM is busy at `now` and matches `subarray`.
+    pub fn saum_conflict(&self, subarray: SubarrayId, now: Cycle) -> bool {
+        self.saum == Some(subarray) && now < self.saum_until
+    }
+
+    /// The SAUM busy-until timestamp (equals `Cycle::ZERO` when idle).
+    pub fn saum_until(&self) -> Cycle {
+        self.saum_until
+    }
+
+    /// The subarray currently under mitigation, if its window is still open.
+    pub fn active_saum(&self, now: Cycle) -> Option<SubarrayId> {
+        if now < self.saum_until {
+            self.saum
+        } else {
+            None
+        }
+    }
+
+    /// Applies an ACT at `now`, opening `row`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the bank is precharged and timing-ready.
+    pub fn apply_act(&mut self, row: RowAddr, now: Cycle, t: &DramTimings) {
+        debug_assert!(self.open_row.is_none(), "ACT with a row already open");
+        debug_assert!(now >= self.earliest_act(), "ACT violates timing");
+        self.open_row = Some(row);
+        self.act_at = now;
+        self.next_col = now + t.t_rcd;
+        self.next_pre = now + t.t_ras;
+        self.next_act = now + t.t_rc;
+    }
+
+    /// Applies a column access (RD or WR) at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts a row is open and timing-ready.
+    pub fn apply_col(&mut self, is_write: bool, now: Cycle, t: &DramTimings) {
+        debug_assert!(self.open_row.is_some(), "column access with no open row");
+        debug_assert!(now >= self.earliest_col(), "column access violates tRCD");
+        if is_write {
+            // Write recovery pushes out the earliest precharge.
+            self.next_pre = self.next_pre.max(now + t.t_wr);
+        }
+    }
+
+    /// Applies a PRE at `now`, closing the row.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts timing readiness. Precharging an already-precharged bank
+    /// is a no-op (matching real controllers' PREsb behavior).
+    pub fn apply_pre(&mut self, now: Cycle, t: &DramTimings) {
+        if self.open_row.is_none() {
+            return;
+        }
+        debug_assert!(now >= self.earliest_pre(), "PRE violates tRAS/tWR");
+        self.open_row = None;
+        self.next_act = self.next_act.max(now + t.t_rp);
+    }
+
+    /// Blocks the whole bank until `until` (REF, RFM, ABO). Forces a precharge.
+    pub fn block_until(&mut self, until: Cycle) {
+        self.open_row = None;
+        self.blocked_until = self.blocked_until.max(until);
+        self.next_act = self.next_act.max(until);
+    }
+
+    /// Starts a mitigation on `subarray` at `now`, busy for `duration`.
+    pub fn start_mitigation(&mut self, subarray: SubarrayId, now: Cycle, duration: Cycle) {
+        self.saum = Some(subarray);
+        self.saum_until = now + duration;
+    }
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> DramTimings {
+        DramTimings::ddr5()
+    }
+
+    #[test]
+    fn act_updates_timing_registers() {
+        let mut b = Bank::new();
+        let now = Cycle::from_ns(100);
+        b.apply_act(RowAddr(5), now, &t());
+        assert_eq!(b.open_row(), Some(RowAddr(5)));
+        assert_eq!(b.act_time(), now);
+        assert_eq!(b.earliest_col(), now + t().t_rcd);
+        assert_eq!(b.earliest_pre(), now + t().t_ras);
+        assert_eq!(b.earliest_act(), now + t().t_rc);
+    }
+
+    #[test]
+    fn pre_closes_and_enforces_trp() {
+        let mut b = Bank::new();
+        let now = Cycle::from_ns(100);
+        b.apply_act(RowAddr(5), now, &t());
+        let pre_at = now + t().t_ras;
+        b.apply_pre(pre_at, &t());
+        assert_eq!(b.open_row(), None);
+        // next ACT limited by both tRC from ACT and tRP from PRE.
+        assert_eq!(b.earliest_act(), (now + t().t_rc).max(pre_at + t().t_rp));
+    }
+
+    #[test]
+    fn write_extends_precharge() {
+        let mut b = Bank::new();
+        let now = Cycle::from_ns(0);
+        b.apply_act(RowAddr(1), now, &t());
+        let col_at = now + t().t_rcd;
+        b.apply_col(true, col_at, &t());
+        assert_eq!(b.earliest_pre(), col_at + t().t_wr);
+    }
+
+    #[test]
+    fn pre_on_closed_bank_is_noop() {
+        let mut b = Bank::new();
+        b.apply_pre(Cycle::from_ns(10), &t());
+        assert_eq!(b.open_row(), None);
+        assert_eq!(b.earliest_act(), Cycle::ZERO);
+    }
+
+    #[test]
+    fn block_forces_precharge_and_delays_act() {
+        let mut b = Bank::new();
+        b.apply_act(RowAddr(1), Cycle::ZERO, &t());
+        let until = Cycle::from_ns(500);
+        b.block_until(until);
+        assert_eq!(b.open_row(), None);
+        assert_eq!(b.earliest_act(), until);
+        assert_eq!(b.blocked_until(), until);
+    }
+
+    #[test]
+    fn saum_conflict_window() {
+        let mut b = Bank::new();
+        let now = Cycle::from_ns(100);
+        let dur = Cycle::from_ns(192);
+        b.start_mitigation(SubarrayId(3), now, dur);
+        assert!(b.saum_conflict(SubarrayId(3), now));
+        assert!(b.saum_conflict(SubarrayId(3), now + dur - Cycle::new(1)));
+        assert!(!b.saum_conflict(SubarrayId(3), now + dur));
+        assert!(!b.saum_conflict(SubarrayId(4), now));
+        assert_eq!(b.active_saum(now), Some(SubarrayId(3)));
+        assert_eq!(b.active_saum(now + dur), None);
+    }
+}

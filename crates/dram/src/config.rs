@@ -1,0 +1,177 @@
+//! Device configuration: geometry, timings, and the in-DRAM mitigation mode.
+
+use autorfm_mitigation::MitigationKind;
+use autorfm_sim_core::{ConfigError, DramTimings, Geometry};
+use autorfm_trackers::TrackerKind;
+
+/// How periodic refresh is scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefreshPolicy {
+    /// All-bank REF (REFab): every tREFI, every bank is blocked for tRFC —
+    /// the paper's model ("one REF is issued every tREFI").
+    #[default]
+    AllBank,
+    /// Per-bank REF (REFsb): banks are refreshed in a staggered round-robin,
+    /// one bank blocked for tRFC at a time, each bank still refreshed once
+    /// per tREFI. Smooths the blocking at the cost of more REF commands —
+    /// a DDR5 option the paper does not evaluate (extension/ablation).
+    PerBank,
+}
+
+/// How the DRAM device obtains time for Rowhammer mitigation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeviceMitigation {
+    /// No Rowhammer mitigation (insecure baseline used for normalization).
+    #[default]
+    None,
+    /// AutoRFM (the paper's proposal, Section IV): the device transparently
+    /// mitigates on the first precharge after every `window` activations,
+    /// keeping only the Subarray Under Mitigation busy and ALERT-ing
+    /// conflicting ACTs.
+    AutoRfm {
+        /// The in-DRAM tracker identifying aggressor rows.
+        tracker: TrackerKind,
+        /// The victim-refresh policy.
+        policy: MitigationKind,
+        /// AutoRFMTH: activations per mitigation window.
+        window: u32,
+    },
+    /// Conventional RFM (Section II-E): the memory controller issues explicit
+    /// bank-blocking RFM commands every `window` activations (RAA threshold).
+    Rfm {
+        /// The in-DRAM tracker identifying aggressor rows.
+        tracker: TrackerKind,
+        /// The victim-refresh policy.
+        policy: MitigationKind,
+        /// RFMTH: the RAA threshold at which the controller inserts an RFM.
+        window: u32,
+    },
+    /// PRAC + Alert Back-Off (Section VII-A): per-row activation counters;
+    /// when any row's counter reaches `abo_threshold` the device requests a
+    /// bank-blocking mitigation. Use with [`DramTimings::ddr5_prac`] timings.
+    Prac {
+        /// Row-activation count that triggers an ABO mitigation request.
+        abo_threshold: u32,
+        /// The victim-refresh policy.
+        policy: MitigationKind,
+    },
+}
+
+impl DeviceMitigation {
+    /// AutoRFM with the paper's defaults: MINT tracker + Fractal Mitigation.
+    pub const fn auto_rfm(window: u32) -> Self {
+        DeviceMitigation::AutoRfm {
+            tracker: TrackerKind::Mint,
+            policy: MitigationKind::Fractal,
+            window,
+        }
+    }
+
+    /// Conventional RFM with the paper's Section-II-F setup: MINT (recursive
+    /// mode) + Recursive Mitigation.
+    pub const fn rfm(window: u32) -> Self {
+        DeviceMitigation::Rfm {
+            tracker: TrackerKind::MintRecursive,
+            policy: MitigationKind::Recursive,
+            window,
+        }
+    }
+
+    /// The mitigation window (RFMTH / AutoRFMTH), if this mode has one.
+    pub const fn window(&self) -> Option<u32> {
+        match self {
+            DeviceMitigation::AutoRfm { window, .. } | DeviceMitigation::Rfm { window, .. } => {
+                Some(*window)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether this mode uses the transparent (non-bank-blocking) mechanism.
+    pub const fn is_auto(&self) -> bool {
+        matches!(self, DeviceMitigation::AutoRfm { .. })
+    }
+}
+
+/// Full device configuration.
+#[derive(Debug, Clone, Default)]
+pub struct DramConfig {
+    /// DRAM organization (banks, rows, subarrays).
+    pub geometry: Geometry,
+    /// JEDEC timing parameters.
+    pub timings: DramTimings,
+    /// Rowhammer mitigation mode.
+    pub mitigation: DeviceMitigation,
+    /// Enable the Rowhammer damage audit (slower; for security tests).
+    pub audit: bool,
+    /// Command-trace capacity (0 disables tracing). Traced commands can be
+    /// verified against the JEDEC rules with [`crate::trace::TimingChecker`].
+    pub trace_capacity: usize,
+    /// Refresh scheduling policy.
+    pub refresh: RefreshPolicy,
+}
+
+impl DramConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the geometry or timings are inconsistent, or
+    /// if a mitigation window is zero.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.geometry.validate()?;
+        self.timings.validate()?;
+        match self.mitigation {
+            DeviceMitigation::AutoRfm { window, .. } | DeviceMitigation::Rfm { window, .. } => {
+                if window == 0 {
+                    return Err(ConfigError::new("mitigation window must be at least 1"));
+                }
+            }
+            DeviceMitigation::Prac { abo_threshold, .. } => {
+                if abo_threshold == 0 {
+                    return Err(ConfigError::new("ABO threshold must be at least 1"));
+                }
+            }
+            DeviceMitigation::None => {}
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let a = DeviceMitigation::auto_rfm(4);
+        assert_eq!(a.window(), Some(4));
+        assert!(a.is_auto());
+        let r = DeviceMitigation::rfm(8);
+        assert_eq!(r.window(), Some(8));
+        assert!(!r.is_auto());
+        assert_eq!(DeviceMitigation::None.window(), None);
+    }
+
+    #[test]
+    fn validation() {
+        let ok = DramConfig {
+            mitigation: DeviceMitigation::auto_rfm(4),
+            ..DramConfig::default()
+        };
+        assert!(ok.validate().is_ok());
+        let bad = DramConfig {
+            mitigation: DeviceMitigation::auto_rfm(0),
+            ..DramConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = DramConfig {
+            mitigation: DeviceMitigation::Prac {
+                abo_threshold: 0,
+                policy: MitigationKind::Fractal,
+            },
+            ..DramConfig::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+}

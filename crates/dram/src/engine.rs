@@ -1,0 +1,242 @@
+//! The per-bank mitigation engine: tracker + policy + window bookkeeping.
+//!
+//! The engine is mode-agnostic: it observes demand ACTs, selects an aggressor
+//! at the end of every window (exactly as MINT specifies — the selection is
+//! made when the window's last activation has been observed), and hands the
+//! pending mitigation to whoever provides the time for it: the transparent
+//! AutoRFM path (first PRE after the window) or an explicit RFM command.
+
+use autorfm_mitigation::{build_policy, MitigationKind, MitigationPolicy, VictimRefresh};
+use autorfm_sim_core::{ConfigError, DetRng, RowAddr};
+use autorfm_trackers::{build_tracker, MitigationTarget, Tracker, TrackerKind};
+
+/// A mitigation the engine decided on, waiting for its execution slot.
+#[derive(Debug, Clone)]
+pub struct PendingMitigation {
+    /// The aggressor selected by the tracker (None = window passed with no
+    /// candidate; the time slot is still consumed in RFM mode).
+    pub target: Option<MitigationTarget>,
+}
+
+/// The outcome of executing a mitigation: victims refreshed and their target.
+#[derive(Debug, Clone)]
+pub struct ExecutedMitigation {
+    /// The mitigated aggressor.
+    pub target: MitigationTarget,
+    /// Victim rows refreshed.
+    pub victims: Vec<VictimRefresh>,
+}
+
+/// Per-bank mitigation engine.
+pub struct MitigationEngine {
+    tracker: Box<dyn Tracker>,
+    policy: Box<dyn MitigationPolicy>,
+    window: u32,
+    acts_in_window: u32,
+    pending: Option<PendingMitigation>,
+    rng: DetRng,
+}
+
+impl core::fmt::Debug for MitigationEngine {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("MitigationEngine")
+            .field("tracker", &self.tracker.name())
+            .field("policy", &self.policy.name())
+            .field("window", &self.window)
+            .field("acts_in_window", &self.acts_in_window)
+            .field("pending", &self.pending.is_some())
+            .finish()
+    }
+}
+
+impl MitigationEngine {
+    /// Creates an engine with the given tracker/policy/window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the window is zero or the tracker/policy
+    /// combination is invalid.
+    pub fn new(
+        tracker: TrackerKind,
+        policy: MitigationKind,
+        window: u32,
+        rng: DetRng,
+    ) -> Result<Self, ConfigError> {
+        let tracker = build_tracker(tracker, window)?;
+        let policy = build_policy(policy)?;
+        Ok(MitigationEngine {
+            tracker,
+            policy,
+            window,
+            acts_in_window: 0,
+            pending: None,
+            rng,
+        })
+    }
+
+    /// Observes one successful demand ACT. Returns `true` if this ACT completed
+    /// a mitigation window (a mitigation is now pending).
+    pub fn on_act(&mut self, row: RowAddr) -> bool {
+        self.tracker.on_activation(row, &mut self.rng);
+        self.acts_in_window += 1;
+        if self.acts_in_window >= self.window {
+            self.acts_in_window = 0;
+            // MINT semantics: the aggressor is decided at the end of the
+            // window, before the next window's activations are observed.
+            let target = self.tracker.select_for_mitigation(&mut self.rng);
+            self.pending = Some(PendingMitigation { target });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether a mitigation is waiting for its execution slot.
+    pub fn has_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Executes the pending mitigation (if any), producing the victim-refresh
+    /// set. Returns `None` if nothing was pending or the tracker had no
+    /// candidate (the caller decides whether the time slot is still consumed).
+    pub fn execute_pending(&mut self, rows_per_bank: u32) -> Option<ExecutedMitigation> {
+        let pending = self.pending.take()?;
+        let target = pending.target?;
+        let victims = self.policy.victims(target, rows_per_bank, &mut self.rng);
+        if self.policy.wants_recursion() {
+            for v in &victims {
+                self.tracker.on_victim_refresh(
+                    v.row,
+                    target.level.saturating_add(1),
+                    &mut self.rng,
+                );
+            }
+        }
+        Some(ExecutedMitigation { target, victims })
+    }
+
+    /// Immediately selects and executes a mitigation (used by PRAC's ABO path,
+    /// where the aggressor comes from the per-row counters, not the tracker).
+    pub fn mitigate_row(&mut self, row: RowAddr, rows_per_bank: u32) -> ExecutedMitigation {
+        let target = MitigationTarget::direct(row);
+        let victims = self.policy.victims(target, rows_per_bank, &mut self.rng);
+        ExecutedMitigation { target, victims }
+    }
+
+    /// The configured window size.
+    pub fn window(&self) -> u32 {
+        self.window
+    }
+
+    /// Victim-refresh slots per mitigation round (4 for the paper's policies;
+    /// 2 for the reduced "minimal-pair" option of Section IV-B, which lets
+    /// AutoRFMTH go down to 2).
+    pub fn refreshes_per_round(&self) -> u32 {
+        self.policy.refreshes_per_round()
+    }
+
+    /// The tracker's per-bank SRAM cost in bits.
+    pub fn tracker_storage_bits(&self) -> u32 {
+        self.tracker.storage_bits()
+    }
+
+    /// Resets all transient state.
+    pub fn reset(&mut self) {
+        self.tracker.reset();
+        self.acts_in_window = 0;
+        self.pending = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(window: u32, policy: MitigationKind, tracker: TrackerKind) -> MitigationEngine {
+        MitigationEngine::new(tracker, policy, window, DetRng::seeded(7)).unwrap()
+    }
+
+    #[test]
+    fn window_completion_arms_pending() {
+        let mut e = engine(4, MitigationKind::Fractal, TrackerKind::Mint);
+        assert!(!e.on_act(RowAddr(101)));
+        assert!(!e.on_act(RowAddr(102)));
+        assert!(!e.on_act(RowAddr(103)));
+        assert!(e.on_act(RowAddr(104)));
+        assert!(e.has_pending());
+        let m = e.execute_pending(1024).expect("MINT always selects");
+        assert!((101..=104).contains(&m.target.row.0));
+        assert_eq!(m.victims.len(), 4);
+        assert!(!e.has_pending());
+    }
+
+    #[test]
+    fn execute_without_pending_is_none() {
+        let mut e = engine(4, MitigationKind::Fractal, TrackerKind::Mint);
+        assert!(e.execute_pending(1024).is_none());
+    }
+
+    #[test]
+    fn pride_empty_fifo_consumes_slot_without_victims() {
+        // PrIDE may sample nothing in a window: pending exists, target is None.
+        let mut e = engine(64, MitigationKind::Fractal, TrackerKind::Pride);
+        // Drive one full window; with p=1/64 over 64 acts sampling may or may
+        // not capture. Use a seed-scan to find an empty window.
+        let mut found_empty = false;
+        for _ in 0..64 {
+            for r in 0..64u32 {
+                e.on_act(RowAddr(r));
+            }
+            if e.has_pending() && e.execute_pending(1024).is_none() {
+                found_empty = true;
+                break;
+            }
+        }
+        assert!(found_empty, "expected at least one empty PrIDE window");
+    }
+
+    #[test]
+    fn recursive_policy_feeds_tracker() {
+        // With the recursive policy + recursive MINT, levels beyond 0 appear.
+        let mut e = engine(2, MitigationKind::Recursive, TrackerKind::MintRecursive);
+        let mut max_level = 0u8;
+        for i in 0..4000u32 {
+            e.on_act(RowAddr(100 + (i % 2)));
+            if e.has_pending() {
+                if let Some(m) = e.execute_pending(131_072) {
+                    max_level = max_level.max(m.target.level);
+                }
+            }
+        }
+        assert!(max_level >= 1, "recursive mitigation never escalated");
+    }
+
+    #[test]
+    fn mitigate_row_bypasses_tracker() {
+        let mut e = engine(4, MitigationKind::Baseline, TrackerKind::Mint);
+        let m = e.mitigate_row(RowAddr(50), 1024);
+        assert_eq!(m.target.row, RowAddr(50));
+        assert_eq!(m.victims.len(), 4);
+    }
+
+    #[test]
+    fn reset_clears_window_progress() {
+        let mut e = engine(4, MitigationKind::Fractal, TrackerKind::Mint);
+        e.on_act(RowAddr(1));
+        e.on_act(RowAddr(2));
+        e.reset();
+        // Window progress restarted: 4 more acts needed.
+        assert!(!e.on_act(RowAddr(3)));
+        assert!(!e.on_act(RowAddr(4)));
+        assert!(!e.on_act(RowAddr(5)));
+        assert!(e.on_act(RowAddr(6)));
+    }
+
+    #[test]
+    fn debug_impl_is_nonempty() {
+        let e = engine(4, MitigationKind::Fractal, TrackerKind::Mint);
+        let s = format!("{e:?}");
+        assert!(s.contains("mint"));
+        assert!(s.contains("fractal"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Per-Row Activation Counting (PRAC) with Alert Back-Off (Section VII-A).
+//!
+//! PRAC redesigns the DRAM array to keep an activation counter per row,
+//! incremented on every ACT (which lengthens tRP/tRC — model that with
+//! [`autorfm_sim_core::DramTimings::ddr5_prac`]). When any row's counter
+//! reaches the ABO threshold the device requests mitigation time via the ALERT
+//! pin; the controller responds with a bank-blocking mitigation (implemented
+//! with MOAT \[36\] in the paper). We model the counters exactly and the ABO
+//! protocol as one bank-blocking tRFM-length mitigation per alert.
+
+use autorfm_sim_core::RowAddr;
+use std::collections::HashMap;
+
+/// Per-bank PRAC state: per-row activation counters plus the ABO request flag.
+#[derive(Debug, Clone)]
+pub struct PracState {
+    counters: HashMap<u32, u32>,
+    abo_threshold: u32,
+    /// Row that crossed the threshold and awaits ABO mitigation.
+    abo_row: Option<RowAddr>,
+}
+
+impl PracState {
+    /// Creates PRAC state with the given ABO threshold.
+    pub fn new(abo_threshold: u32) -> Self {
+        PracState {
+            counters: HashMap::new(),
+            abo_threshold,
+            abo_row: None,
+        }
+    }
+
+    /// Records an ACT of `row`; returns `true` if the row just crossed the ABO
+    /// threshold (an alert should be raised).
+    pub fn on_act(&mut self, row: RowAddr) -> bool {
+        let c = self.counters.entry(row.0).or_insert(0);
+        *c += 1;
+        if *c >= self.abo_threshold && self.abo_row.is_none() {
+            self.abo_row = Some(row);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether an ABO mitigation is being requested.
+    pub fn abo_pending(&self) -> bool {
+        self.abo_row.is_some()
+    }
+
+    /// Consumes the pending ABO request, returning the row to mitigate and
+    /// resetting its counter.
+    pub fn take_abo(&mut self) -> Option<RowAddr> {
+        let row = self.abo_row.take()?;
+        self.counters.remove(&row.0);
+        Some(row)
+    }
+
+    /// The counter value for `row` (0 if never activated).
+    pub fn count_of(&self, row: RowAddr) -> u32 {
+        self.counters.get(&row.0).copied().unwrap_or(0)
+    }
+
+    /// Resets a row's counter (its neighbors were refreshed).
+    pub fn reset_row(&mut self, row: RowAddr) {
+        self.counters.remove(&row.0);
+    }
+
+    /// Number of rows with non-zero counters (memory footprint introspection).
+    pub fn tracked_rows(&self) -> usize {
+        self.counters.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_crossing_raises_abo_once() {
+        let mut p = PracState::new(3);
+        assert!(!p.on_act(RowAddr(5)));
+        assert!(!p.on_act(RowAddr(5)));
+        assert!(p.on_act(RowAddr(5)));
+        // Already pending: further acts don't re-raise.
+        assert!(!p.on_act(RowAddr(5)));
+        assert!(p.abo_pending());
+        assert_eq!(p.take_abo(), Some(RowAddr(5)));
+        assert!(!p.abo_pending());
+        assert_eq!(p.count_of(RowAddr(5)), 0);
+    }
+
+    #[test]
+    fn independent_rows_counted_separately() {
+        let mut p = PracState::new(10);
+        for _ in 0..5 {
+            p.on_act(RowAddr(1));
+        }
+        p.on_act(RowAddr(2));
+        assert_eq!(p.count_of(RowAddr(1)), 5);
+        assert_eq!(p.count_of(RowAddr(2)), 1);
+        assert_eq!(p.tracked_rows(), 2);
+    }
+
+    #[test]
+    fn reset_row_clears_counter() {
+        let mut p = PracState::new(10);
+        p.on_act(RowAddr(9));
+        p.reset_row(RowAddr(9));
+        assert_eq!(p.count_of(RowAddr(9)), 0);
+    }
+}

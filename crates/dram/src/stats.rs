@@ -1,0 +1,91 @@
+//! Device-level event statistics.
+
+use autorfm_sim_core::{Counter, Histogram};
+
+/// Counts of every DRAM event class, used by performance reporting, the power
+/// model, and the experiment harness.
+#[derive(Debug, Clone)]
+pub struct DramStats {
+    /// Successful demand activations.
+    pub acts: Counter,
+    /// ACTs declined with an ALERT (SAUM conflict, AutoRFM).
+    pub alerts: Counter,
+    /// Column reads.
+    pub reads: Counter,
+    /// Column writes.
+    pub writes: Counter,
+    /// Precharges.
+    pub precharges: Counter,
+    /// REF commands (counted per bank).
+    pub refs: Counter,
+    /// Explicit RFM commands (RFM mode).
+    pub rfms: Counter,
+    /// ABO mitigation events (PRAC mode).
+    pub abo_events: Counter,
+    /// Mitigations performed (any mode).
+    pub mitigations: Counter,
+    /// Total victim refreshes issued.
+    pub victim_refreshes: Counter,
+    /// Mitigation windows where the tracker had no candidate.
+    pub empty_mitigations: Counter,
+    /// Histogram of transitive mitigation levels (bin width 1).
+    pub mitigation_levels: Histogram,
+    /// Histogram of victim-refresh distances (bin width 1).
+    pub victim_distances: Histogram,
+    /// Mitigations per subarray index (bin width 1; SALP-style visibility).
+    pub mitigations_by_subarray: Histogram,
+    /// ALERTed conflicts per subarray index (bin width 1).
+    pub conflicts_by_subarray: Histogram,
+}
+
+impl DramStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        DramStats {
+            acts: Counter::new(),
+            alerts: Counter::new(),
+            reads: Counter::new(),
+            writes: Counter::new(),
+            precharges: Counter::new(),
+            refs: Counter::new(),
+            rfms: Counter::new(),
+            abo_events: Counter::new(),
+            mitigations: Counter::new(),
+            victim_refreshes: Counter::new(),
+            empty_mitigations: Counter::new(),
+            mitigation_levels: Histogram::new(1, 16),
+            victim_distances: Histogram::new(1, 20),
+            mitigations_by_subarray: Histogram::new(1, 256),
+            conflicts_by_subarray: Histogram::new(1, 256),
+        }
+    }
+
+    /// ALERTs per successful ACT — the paper's Fig 8(b) metric.
+    pub fn alerts_per_act(&self) -> f64 {
+        if self.acts.get() == 0 {
+            0.0
+        } else {
+            self.alerts.get() as f64 / self.acts.get() as f64
+        }
+    }
+}
+
+impl Default for DramStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alerts_per_act_handles_zero() {
+        let mut s = DramStats::new();
+        assert_eq!(s.alerts_per_act(), 0.0);
+        s.acts.add(1000);
+        s.alerts.add(2);
+        assert_eq!(s.alerts_per_act(), 0.002);
+    }
+}

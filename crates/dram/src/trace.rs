@@ -1,0 +1,588 @@
+//! Command tracing and post-hoc JEDEC timing verification.
+//!
+//! When enabled ([`crate::DramConfig::trace_capacity`]), the device records every
+//! command it accepts. The [`TimingChecker`] then replays the trace against
+//! the configured [`DramTimings`] and reports every violation of:
+//!
+//! * `tRC` — ACT→ACT to the same bank,
+//! * `tRAS` — ACT→PRE to the same bank,
+//! * `tRP` — PRE→ACT to the same bank,
+//! * `tRCD` — ACT→column to the same bank,
+//! * open-row discipline — column commands only with a row open, ACT only
+//!   with the bank precharged,
+//! * blocking windows — no commands inside a bank's REF/RFM window,
+//! * SAUM exclusion — no accepted ACT into a subarray while it is under
+//!   mitigation (the AutoRFM invariant).
+//!
+//! The checker runs in tests against full-system traces, turning the JEDEC
+//! rules into executable assertions rather than comments.
+
+use autorfm_sim_core::{BankId, Cycle, DramTimings, Geometry, RowAddr, SubarrayId};
+use core::fmt;
+
+/// One traced DRAM command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandKind {
+    /// Row activation.
+    Act {
+        /// Activated row.
+        row: RowAddr,
+    },
+    /// Precharge.
+    Pre,
+    /// Column read.
+    Rd,
+    /// Column write.
+    Wr,
+    /// Refresh window start; the bank is blocked for `blocked`.
+    Ref {
+        /// Blocking duration (tRFC for REFab, tRFCsb for per-bank REF).
+        blocked: Cycle,
+    },
+    /// RFM window start (bank blocked for tRFM).
+    Rfm,
+    /// ABO mitigation window start (bank blocked for tRFM).
+    Abo,
+    /// Transparent AutoRFM mitigation start: `subarray` busy for `duration`.
+    Mitigation {
+        /// The Subarray Under Mitigation.
+        subarray: SubarrayId,
+        /// Busy duration (t_M).
+        duration: Cycle,
+    },
+    /// An ACT declined with an ALERT (row mapped to the SAUM).
+    Alert {
+        /// The declined row.
+        row: RowAddr,
+    },
+}
+
+/// A timestamped command on one bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommandRecord {
+    /// Issue cycle.
+    pub at: Cycle,
+    /// Target bank.
+    pub bank: BankId,
+    /// The command.
+    pub kind: CommandKind,
+}
+
+/// A bounded in-memory command log (newest commands win once full).
+#[derive(Debug, Clone)]
+pub struct CommandTrace {
+    records: Vec<CommandRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl CommandTrace {
+    /// Creates a trace that keeps at most `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        CommandTrace {
+            records: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends a record (drops it and counts if full).
+    pub fn record(&mut self, at: Cycle, bank: BankId, kind: CommandKind) {
+        if self.records.len() < self.capacity {
+            self.records.push(CommandRecord { at, bank, kind });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded commands, in issue order.
+    pub fn records(&self) -> &[CommandRecord] {
+        &self.records
+    }
+
+    /// Number of records that did not fit.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of records of a given discriminant (e.g. count ACTs).
+    pub fn count(&self, pred: impl Fn(&CommandKind) -> bool) -> usize {
+        self.records.iter().filter(|r| pred(&r.kind)).count()
+    }
+}
+
+/// Aggregate statistics computed from a [`CommandTrace`].
+///
+/// # Examples
+///
+/// ```
+/// use autorfm_dram::{CommandKind, CommandTrace, TraceStats};
+/// use autorfm_sim_core::{BankId, Cycle, RowAddr};
+///
+/// let mut t = CommandTrace::new(16);
+/// t.record(Cycle::from_ns(0), BankId(0), CommandKind::Act { row: RowAddr(1) });
+/// t.record(Cycle::from_ns(100), BankId(0), CommandKind::Act { row: RowAddr(2) });
+/// let stats = TraceStats::from_trace(&t, 1);
+/// assert_eq!(stats.acts_per_bank[0], 2);
+/// assert_eq!(stats.mean_act_interarrival_ns(), 100.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Demand activations per bank.
+    pub acts_per_bank: Vec<u64>,
+    /// Sum of ACT inter-arrival gaps (same bank) in nanoseconds.
+    pub interarrival_sum_ns: f64,
+    /// Number of inter-arrival samples.
+    pub interarrival_samples: u64,
+    /// ALERTs observed per bank.
+    pub alerts_per_bank: Vec<u64>,
+}
+
+impl TraceStats {
+    /// Computes statistics over a trace for a device with `num_banks` banks.
+    pub fn from_trace(trace: &CommandTrace, num_banks: u16) -> Self {
+        let mut acts_per_bank = vec![0u64; num_banks as usize];
+        let mut alerts_per_bank = vec![0u64; num_banks as usize];
+        let mut last_act: Vec<Option<Cycle>> = vec![None; num_banks as usize];
+        let mut sum_ns = 0.0;
+        let mut samples = 0u64;
+        for rec in trace.records() {
+            let b = rec.bank.0 as usize;
+            if b >= acts_per_bank.len() {
+                continue;
+            }
+            match rec.kind {
+                CommandKind::Act { .. } => {
+                    acts_per_bank[b] += 1;
+                    if let Some(prev) = last_act[b] {
+                        sum_ns += (rec.at - prev).as_ns() as f64;
+                        samples += 1;
+                    }
+                    last_act[b] = Some(rec.at);
+                }
+                CommandKind::Alert { .. } => alerts_per_bank[b] += 1,
+                _ => {}
+            }
+        }
+        TraceStats {
+            acts_per_bank,
+            interarrival_sum_ns: sum_ns,
+            interarrival_samples: samples,
+            alerts_per_bank,
+        }
+    }
+
+    /// Mean ACT-to-ACT gap within a bank, in nanoseconds (0 when no samples).
+    pub fn mean_act_interarrival_ns(&self) -> f64 {
+        if self.interarrival_samples == 0 {
+            0.0
+        } else {
+            self.interarrival_sum_ns / self.interarrival_samples as f64
+        }
+    }
+
+    /// Total demand activations across banks.
+    pub fn total_acts(&self) -> u64 {
+        self.acts_per_bank.iter().sum()
+    }
+}
+
+/// A violated timing rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimingViolation {
+    /// Cycle of the offending command.
+    pub at: Cycle,
+    /// Bank involved.
+    pub bank: BankId,
+    /// The rule that was broken.
+    pub rule: &'static str,
+    /// Human-readable details.
+    pub detail: String,
+}
+
+impl fmt::Display for TimingViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} {}] {}: {}",
+            self.at, self.bank, self.rule, self.detail
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BankReplay {
+    open: Option<RowAddr>,
+    last_act: Option<Cycle>,
+    last_pre: Option<Cycle>,
+    blocked_until: Cycle,
+    saum: Option<(SubarrayId, Cycle)>,
+}
+
+/// Replays a [`CommandTrace`] against the JEDEC rules.
+#[derive(Debug, Clone)]
+pub struct TimingChecker {
+    timings: DramTimings,
+    geometry: Geometry,
+}
+
+impl TimingChecker {
+    /// Creates a checker for the given timing/geometry configuration.
+    pub fn new(timings: DramTimings, geometry: Geometry) -> Self {
+        TimingChecker { timings, geometry }
+    }
+
+    /// Verifies the trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns every [`TimingViolation`] found (empty `Ok` if clean).
+    pub fn check(&self, trace: &CommandTrace) -> Result<(), Vec<TimingViolation>> {
+        let mut banks: Vec<BankReplay> =
+            vec![BankReplay::default(); self.geometry.num_banks as usize];
+        let mut violations = Vec::new();
+        let t = &self.timings;
+
+        let mut violate = |at: Cycle, bank: BankId, rule: &'static str, detail: String| {
+            violations.push(TimingViolation {
+                at,
+                bank,
+                rule,
+                detail,
+            });
+        };
+
+        for rec in trace.records() {
+            let b = &mut banks[rec.bank.0 as usize];
+            let now = rec.at;
+            match rec.kind {
+                CommandKind::Act { row } => {
+                    if now < b.blocked_until {
+                        violate(
+                            now,
+                            rec.bank,
+                            "blocked",
+                            format!(
+                                "ACT during REF/RFM window (blocked until {})",
+                                b.blocked_until
+                            ),
+                        );
+                    }
+                    if b.open.is_some() {
+                        violate(
+                            now,
+                            rec.bank,
+                            "open-row",
+                            "ACT with a row already open".into(),
+                        );
+                    }
+                    if let Some(last) = b.last_act {
+                        if now < last + t.t_rc {
+                            violate(
+                                now,
+                                rec.bank,
+                                "tRC",
+                                format!(
+                                    "ACT {} after previous ACT at {last} (< tRC {})",
+                                    now, t.t_rc
+                                ),
+                            );
+                        }
+                    }
+                    if let Some(pre) = b.last_pre {
+                        if now < pre + t.t_rp {
+                            violate(
+                                now,
+                                rec.bank,
+                                "tRP",
+                                format!("ACT {} after PRE at {pre} (< tRP {})", now, t.t_rp),
+                            );
+                        }
+                    }
+                    if let Some((saum, until)) = b.saum {
+                        if now < until && self.geometry.subarray_of(row) == saum {
+                            violate(now, rec.bank, "SAUM", format!(
+                                "accepted ACT of {row} into {saum} during mitigation (until {until})"
+                            ));
+                        }
+                    }
+                    b.open = Some(row);
+                    b.last_act = Some(now);
+                }
+                CommandKind::Pre => {
+                    // PRE on a closed bank is a legal no-op; timed PREs must
+                    // respect tRAS.
+                    if b.open.is_some() {
+                        if let Some(act) = b.last_act {
+                            if now < act + t.t_ras {
+                                violate(
+                                    now,
+                                    rec.bank,
+                                    "tRAS",
+                                    format!("PRE {} after ACT at {act} (< tRAS {})", now, t.t_ras),
+                                );
+                            }
+                        }
+                        b.open = None;
+                        b.last_pre = Some(now);
+                    }
+                }
+                CommandKind::Rd | CommandKind::Wr => {
+                    if b.open.is_none() {
+                        violate(
+                            now,
+                            rec.bank,
+                            "open-row",
+                            "column access with no open row".into(),
+                        );
+                    }
+                    if let Some(act) = b.last_act {
+                        if now < act + t.t_rcd {
+                            violate(
+                                now,
+                                rec.bank,
+                                "tRCD",
+                                format!("column {} after ACT at {act} (< tRCD {})", now, t.t_rcd),
+                            );
+                        }
+                    }
+                    if now < b.blocked_until {
+                        violate(
+                            now,
+                            rec.bank,
+                            "blocked",
+                            "column access during blocking window".into(),
+                        );
+                    }
+                }
+                CommandKind::Ref { blocked } => {
+                    b.open = None;
+                    b.blocked_until = b.blocked_until.max(now + blocked);
+                }
+                CommandKind::Rfm | CommandKind::Abo => {
+                    b.open = None;
+                    b.blocked_until = b.blocked_until.max(now + t.t_rfm);
+                }
+                CommandKind::Mitigation { subarray, duration } => {
+                    b.saum = Some((subarray, now + duration));
+                }
+                CommandKind::Alert { .. } => {
+                    // ALERTs are informational; the invariant they encode is
+                    // checked on the ACT side (no accepted ACT into the SAUM).
+                }
+            }
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checker() -> TimingChecker {
+        TimingChecker::new(DramTimings::ddr5(), Geometry::small())
+    }
+
+    fn trace(cmds: &[(u64, u16, CommandKind)]) -> CommandTrace {
+        let mut t = CommandTrace::new(1024);
+        for &(ns, bank, kind) in cmds {
+            t.record(Cycle::from_ns(ns), BankId(bank), kind);
+        }
+        t
+    }
+
+    #[test]
+    fn clean_sequence_passes() {
+        let t = trace(&[
+            (100, 0, CommandKind::Act { row: RowAddr(5) }),
+            (112, 0, CommandKind::Rd),
+            (136, 0, CommandKind::Pre),
+            (150, 0, CommandKind::Act { row: RowAddr(9) }),
+        ]);
+        assert!(checker().check(&t).is_ok());
+    }
+
+    #[test]
+    fn trc_violation_detected() {
+        let t = trace(&[
+            (100, 0, CommandKind::Act { row: RowAddr(5) }),
+            (136, 0, CommandKind::Pre),
+            (140, 0, CommandKind::Act { row: RowAddr(6) }), // 40ns < tRC
+        ]);
+        let errs = checker().check(&t).unwrap_err();
+        assert!(errs.iter().any(|v| v.rule == "tRC"), "{errs:?}");
+    }
+
+    #[test]
+    fn tras_violation_detected() {
+        let t = trace(&[
+            (100, 0, CommandKind::Act { row: RowAddr(5) }),
+            (120, 0, CommandKind::Pre), // 20ns < tRAS
+        ]);
+        let errs = checker().check(&t).unwrap_err();
+        assert_eq!(errs[0].rule, "tRAS");
+    }
+
+    #[test]
+    fn trcd_violation_detected() {
+        let t = trace(&[
+            (100, 0, CommandKind::Act { row: RowAddr(5) }),
+            (105, 0, CommandKind::Rd), // 5ns < tRCD
+        ]);
+        let errs = checker().check(&t).unwrap_err();
+        assert_eq!(errs[0].rule, "tRCD");
+    }
+
+    #[test]
+    fn ref_window_blocks_commands() {
+        let t = trace(&[
+            (
+                100,
+                0,
+                CommandKind::Ref {
+                    blocked: Cycle::from_ns(410),
+                },
+            ),
+            (200, 0, CommandKind::Act { row: RowAddr(1) }), // inside tRFC window
+        ]);
+        let errs = checker().check(&t).unwrap_err();
+        assert!(errs.iter().any(|v| v.rule == "blocked"));
+        // A shorter REFsb window admits the same ACT.
+        let t = trace(&[
+            (
+                100,
+                0,
+                CommandKind::Ref {
+                    blocked: Cycle::from_ns(90),
+                },
+            ),
+            (200, 0, CommandKind::Act { row: RowAddr(1) }),
+        ]);
+        assert!(checker().check(&t).is_ok());
+    }
+
+    #[test]
+    fn saum_exclusion_detected() {
+        let g = Geometry::small(); // 512 rows per subarray
+        let t = trace(&[
+            (
+                100,
+                0,
+                CommandKind::Mitigation {
+                    subarray: SubarrayId(0),
+                    duration: Cycle::from_ns(192),
+                },
+            ),
+            (150, 0, CommandKind::Act { row: RowAddr(10) }), // row 10 is in SA0
+        ]);
+        let errs = TimingChecker::new(DramTimings::ddr5(), g)
+            .check(&t)
+            .unwrap_err();
+        assert!(errs.iter().any(|v| v.rule == "SAUM"), "{errs:?}");
+    }
+
+    #[test]
+    fn act_after_saum_expiry_is_fine() {
+        let t = trace(&[
+            (
+                100,
+                0,
+                CommandKind::Mitigation {
+                    subarray: SubarrayId(0),
+                    duration: Cycle::from_ns(192),
+                },
+            ),
+            (300, 0, CommandKind::Act { row: RowAddr(10) }),
+        ]);
+        assert!(checker().check(&t).is_ok());
+    }
+
+    #[test]
+    fn open_row_discipline() {
+        let t = trace(&[(100, 0, CommandKind::Rd)]);
+        let errs = checker().check(&t).unwrap_err();
+        assert_eq!(errs[0].rule, "open-row");
+
+        let t = trace(&[
+            (100, 0, CommandKind::Act { row: RowAddr(1) }),
+            (200, 0, CommandKind::Act { row: RowAddr(2) }),
+        ]);
+        let errs = checker().check(&t).unwrap_err();
+        assert!(errs.iter().any(|v| v.rule == "open-row"));
+    }
+
+    #[test]
+    fn independent_banks_do_not_interact() {
+        let t = trace(&[
+            (100, 0, CommandKind::Act { row: RowAddr(5) }),
+            (101, 1, CommandKind::Act { row: RowAddr(5) }),
+        ]);
+        assert!(checker().check(&t).is_ok());
+    }
+
+    #[test]
+    fn capacity_bounds_memory() {
+        let mut t = CommandTrace::new(2);
+        for i in 0..5 {
+            t.record(Cycle::from_ns(i), BankId(0), CommandKind::Pre);
+        }
+
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert_eq!(t.count(|k| matches!(k, CommandKind::Pre)), 2);
+    }
+
+    #[test]
+    fn trace_stats_aggregate() {
+        let mut t = CommandTrace::new(64);
+        t.record(
+            Cycle::from_ns(0),
+            BankId(0),
+            CommandKind::Act { row: RowAddr(1) },
+        );
+        t.record(
+            Cycle::from_ns(50),
+            BankId(0),
+            CommandKind::Act { row: RowAddr(2) },
+        );
+        t.record(
+            Cycle::from_ns(60),
+            BankId(1),
+            CommandKind::Act { row: RowAddr(3) },
+        );
+        t.record(
+            Cycle::from_ns(70),
+            BankId(0),
+            CommandKind::Alert { row: RowAddr(9) },
+        );
+        let s = TraceStats::from_trace(&t, 2);
+        assert_eq!(s.acts_per_bank, vec![2, 1]);
+        assert_eq!(s.alerts_per_bank, vec![1, 0]);
+        assert_eq!(s.total_acts(), 3);
+        assert_eq!(s.mean_act_interarrival_ns(), 50.0);
+    }
+
+    #[test]
+    fn trace_stats_empty() {
+        let t = CommandTrace::new(4);
+        let s = TraceStats::from_trace(&t, 2);
+        assert_eq!(s.total_acts(), 0);
+        assert_eq!(s.mean_act_interarrival_ns(), 0.0);
+    }
+
+    #[test]
+    fn violation_display_nonempty() {
+        let v = TimingViolation {
+            at: Cycle::from_ns(1),
+            bank: BankId(2),
+            rule: "tRC",
+            detail: "x".into(),
+        };
+        assert!(v.to_string().contains("tRC"));
+    }
+}

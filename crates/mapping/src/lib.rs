@@ -1,0 +1,52 @@
+//! # autorfm-mapping
+//!
+//! Physical-address mapping policies for the AutoRFM reproduction.
+//!
+//! The memory controller translates a cache-line address into a DRAM
+//! `(bank, row, column)` location. The paper evaluates two policies:
+//!
+//! * [`ZenMap`] — the AMD-Zen-like baseline mapping (Table IV / \[13\]): two lines
+//!   of every 4 KB page land in the same DRAM row, and the page is striped
+//!   across half the banks for bank-level parallelism. Spatially-correlated
+//!   access streams therefore revisit the same row/subarray, which is what makes
+//!   AutoRFM conflicts frequent under this mapping (Section IV-E).
+//! * [`RubixMap`] — Rubix \[42\] randomized mapping: the line address is passed
+//!   through a low-latency block cipher (the paper uses K-cipher \[24\]; we
+//!   implement an equivalent bit-width-parameterizable Feistel PRP,
+//!   [`FeistelPrp`]) before decomposition, destroying all spatial correlation
+//!   (Section IV-F).
+//!
+//! A [`LinearMap`] (plain row-major bit slicing, no interleaving) is included as
+//! a pathological baseline for tests and ablations.
+//!
+//! # Examples
+//!
+//! ```
+//! use autorfm_sim_core::{Geometry, LineAddr};
+//! use autorfm_mapping::{MemoryMap, RubixMap, ZenMap};
+//!
+//! let g = Geometry::paper_baseline();
+//! let zen = ZenMap::new(g)?;
+//! let rubix = RubixMap::new(g, 0xC0FFEE)?;
+//!
+//! // Both are bijections over the full address space.
+//! let line = LineAddr(123_456);
+//! assert_eq!(zen.line_of(zen.locate(line)), line);
+//! assert_eq!(rubix.line_of(rubix.locate(line)), line);
+//! # Ok::<(), autorfm_sim_core::ConfigError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod kcipher;
+pub mod linear;
+pub mod location;
+pub mod rubix;
+pub mod zen;
+
+pub use kcipher::FeistelPrp;
+pub use linear::LinearMap;
+pub use location::{Location, MemoryMap};
+pub use rubix::RubixMap;
+pub use zen::ZenMap;

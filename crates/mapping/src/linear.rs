@@ -1,0 +1,107 @@
+//! A plain row-major mapping with no interleaving, used as a pathological
+//! baseline in tests and ablations: consecutive lines fill a row before moving
+//! to the next row, and a bank is filled completely before the next bank.
+
+use crate::location::{Location, MemoryMap, Widths};
+use autorfm_sim_core::{BankId, ConfigError, Geometry, LineAddr, RowAddr};
+
+/// Row-major mapping: `line = ((bank * rows + row) * lines_per_row) + col`.
+///
+/// Maximizes row-buffer locality and minimizes bank-level parallelism — the
+/// opposite extreme from [`crate::RubixMap`].
+///
+/// # Examples
+///
+/// ```
+/// use autorfm_mapping::{LinearMap, MemoryMap};
+/// use autorfm_sim_core::{Geometry, LineAddr};
+///
+/// let map = LinearMap::new(Geometry::small())?;
+/// let a = map.locate(LineAddr(0));
+/// let b = map.locate(LineAddr(1));
+/// assert_eq!(a.row, b.row); // consecutive lines share the row
+/// assert_eq!(a.bank, b.bank);
+/// # Ok::<(), autorfm_sim_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearMap {
+    geometry: Geometry,
+    widths: Widths,
+}
+
+impl LinearMap {
+    /// Creates a linear mapping for the given geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the geometry is invalid.
+    pub fn new(geometry: Geometry) -> Result<Self, ConfigError> {
+        geometry.validate()?;
+        Ok(LinearMap {
+            geometry,
+            widths: Widths::of(&geometry),
+        })
+    }
+}
+
+impl MemoryMap for LinearMap {
+    fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    fn locate(&self, line: LineAddr) -> Location {
+        let w = self.widths;
+        debug_assert!(line.0 < self.geometry.total_lines());
+        let col = line.0 & ((1 << w.col_bits) - 1);
+        let row = (line.0 >> w.col_bits) & ((1 << w.row_bits) - 1);
+        let bank = line.0 >> (w.col_bits + w.row_bits);
+        Location {
+            bank: BankId(bank as u16),
+            row: RowAddr(row as u32),
+            col: col as u32,
+        }
+    }
+
+    fn line_of(&self, loc: Location) -> LineAddr {
+        let w = self.widths;
+        LineAddr(
+            ((loc.bank.0 as u64) << (w.col_bits + w.row_bits))
+                | ((loc.row.0 as u64) << w.col_bits)
+                | loc.col as u64,
+        )
+    }
+
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn bijective_on_small_geometry() {
+        let g = Geometry::small();
+        let map = LinearMap::new(g).unwrap();
+        let mut seen = HashSet::new();
+        for l in (0..g.total_lines()).step_by(17) {
+            let loc = map.locate(LineAddr(l));
+            assert!(seen.insert(loc));
+            assert_eq!(map.line_of(loc), LineAddr(l));
+        }
+    }
+
+    #[test]
+    fn row_major_order() {
+        let g = Geometry::small();
+        let map = LinearMap::new(g).unwrap();
+        let lines_per_row = g.lines_per_row() as u64;
+        let a = map.locate(LineAddr(lines_per_row - 1));
+        let b = map.locate(LineAddr(lines_per_row));
+        assert_eq!(a.row, RowAddr(0));
+        assert_eq!(b.row, RowAddr(1));
+        assert_eq!(a.bank, b.bank);
+    }
+}

@@ -1,0 +1,139 @@
+//! The [`MemoryMap`] trait and the [`Location`] a map produces.
+
+use autorfm_sim_core::{BankId, Geometry, LineAddr, RowAddr, RowId, SubarrayId};
+
+/// A fully-decoded DRAM location for one cache line.
+///
+/// # Examples
+///
+/// ```
+/// use autorfm_mapping::Location;
+/// use autorfm_sim_core::{BankId, RowAddr};
+///
+/// let loc = Location { bank: BankId(3), row: RowAddr(100), col: 7 };
+/// assert_eq!(loc.row_id().bank, BankId(3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Location {
+    /// Flat bank index across the memory system.
+    pub bank: BankId,
+    /// Row within the bank.
+    pub row: RowAddr,
+    /// Cache-line slot within the row (0..lines_per_row).
+    pub col: u32,
+}
+
+impl Location {
+    /// The globally unique row identity of this location.
+    #[inline]
+    pub const fn row_id(&self) -> RowId {
+        RowId {
+            bank: self.bank,
+            row: self.row,
+        }
+    }
+
+    /// The subarray this location falls in, for a given geometry.
+    #[inline]
+    pub const fn subarray(&self, g: &Geometry) -> SubarrayId {
+        g.subarray_of(self.row)
+    }
+}
+
+/// A bijective translation from cache-line addresses to DRAM locations.
+///
+/// Implementations must be pure functions of the line address (plus any fixed
+/// key material), and must be invertible over the full address space of their
+/// [`Geometry`] — the memory controller relies on distinct lines mapping to
+/// distinct `(bank, row, col)` triples.
+pub trait MemoryMap: Send + Sync {
+    /// The DRAM organization this map targets.
+    fn geometry(&self) -> &Geometry;
+
+    /// Decodes a line address into its DRAM location.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `line` is outside the geometry's address
+    /// space (`line.0 >= geometry().total_lines()`).
+    fn locate(&self, line: LineAddr) -> Location;
+
+    /// Inverse of [`MemoryMap::locate`]; used by tests and attack tooling to
+    /// construct a line address that lands on a chosen row.
+    fn line_of(&self, loc: Location) -> LineAddr;
+
+    /// Short human-readable policy name (e.g. `"zen"`, `"rubix"`).
+    fn name(&self) -> &'static str;
+}
+
+impl<M: MemoryMap + ?Sized> MemoryMap for Box<M> {
+    fn geometry(&self) -> &Geometry {
+        (**self).geometry()
+    }
+    fn locate(&self, line: LineAddr) -> Location {
+        (**self).locate(line)
+    }
+    fn line_of(&self, loc: Location) -> LineAddr {
+        (**self).line_of(loc)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Bit widths shared by the concrete mapping implementations.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Widths {
+    /// log2(number of banks).
+    pub bank_bits: u32,
+    /// log2(rows per bank).
+    pub row_bits: u32,
+    /// log2(lines per row).
+    pub col_bits: u32,
+}
+
+impl Widths {
+    pub(crate) fn of(g: &Geometry) -> Self {
+        Widths {
+            bank_bits: (g.num_banks as u64).trailing_zeros(),
+            row_bits: (g.rows_per_bank as u64).trailing_zeros(),
+            col_bits: (g.lines_per_row() as u64).trailing_zeros(),
+        }
+    }
+
+    pub(crate) fn total_bits(&self) -> u32 {
+        self.bank_bits + self.row_bits + self.col_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_of_baseline() {
+        let w = Widths::of(&Geometry::paper_baseline());
+        assert_eq!(w.bank_bits, 6);
+        assert_eq!(w.row_bits, 17);
+        assert_eq!(w.col_bits, 6);
+        assert_eq!(w.total_bits(), 29);
+    }
+
+    #[test]
+    fn location_subarray() {
+        let g = Geometry::paper_baseline();
+        let loc = Location {
+            bank: BankId(0),
+            row: RowAddr(512),
+            col: 0,
+        };
+        assert_eq!(loc.subarray(&g), SubarrayId(1));
+        assert_eq!(
+            loc.row_id(),
+            RowId {
+                bank: BankId(0),
+                row: RowAddr(512)
+            }
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! The AMD-Zen-like baseline memory mapping (Table IV, \[13\]).
+//!
+//! Properties the paper relies on (Section III and IV-E):
+//!
+//! * Two cache lines of every 4 KB OS page map to the *same row* of the *same
+//!   bank* — this preserves some row-buffer-hit opportunity under the
+//!   closed-page policy (a later request within tRAS can hit the open row).
+//! * Each 4 KB page is striped across half of the banks (32 of 64), maximizing
+//!   bank-level parallelism for streaming access patterns.
+//! * Consecutive pages reuse the same row-index range, so spatially-correlated
+//!   streams revisit the same rows/subarrays — the root cause of AutoRFM's
+//!   SAUM conflicts under this mapping.
+
+use crate::location::{Location, MemoryMap, Widths};
+use autorfm_sim_core::{BankId, ConfigError, Geometry, LineAddr, RowAddr};
+
+/// The AMD-Zen-like mapping.
+///
+/// Bit-level layout for the baseline geometry (29-bit line address, 6 column
+/// bits `o`, 23 page bits `p`):
+///
+/// ```text
+/// bank = (p\[5\] << 5) | (o[4:0] XOR p[4:0])   -- page striped over 32 banks
+/// row  = p[22:6]                             -- consecutive page groups share rows
+/// col  = (o\[5\] << 5) | p[4:0]
+/// ```
+///
+/// This is a bijection: see [`MemoryMap::line_of`].
+#[derive(Debug, Clone)]
+pub struct ZenMap {
+    geometry: Geometry,
+    widths: Widths,
+    /// Width of the XOR-striped part of the bank index.
+    spread_bits: u32,
+}
+
+impl ZenMap {
+    /// Creates a Zen mapping for the given geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the geometry is invalid (see
+    /// [`Geometry::validate`]) or has fewer than two banks.
+    pub fn new(geometry: Geometry) -> Result<Self, ConfigError> {
+        geometry.validate()?;
+        if geometry.num_banks < 2 {
+            return Err(ConfigError::new("ZenMap requires at least 2 banks"));
+        }
+        let widths = Widths::of(&geometry);
+        debug_assert_eq!(widths.total_bits(), geometry.line_addr_bits());
+        let spread_bits = (widths.bank_bits.saturating_sub(1)).min(widths.col_bits - 1);
+        Ok(ZenMap {
+            geometry,
+            widths,
+            spread_bits,
+        })
+    }
+
+    /// Number of banks a single page is striped across.
+    pub fn page_spread(&self) -> u32 {
+        1 << self.spread_bits
+    }
+}
+
+impl MemoryMap for ZenMap {
+    fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    fn locate(&self, line: LineAddr) -> Location {
+        let w = self.widths;
+        let s = self.spread_bits;
+        debug_assert!(
+            line.0 < self.geometry.total_lines(),
+            "line address out of range"
+        );
+
+        let smask = (1u64 << s) - 1;
+        let o = line.0 & ((1 << w.col_bits) - 1);
+        let p = line.0 >> w.col_bits;
+
+        let o_lo = o & smask;
+        let o_hi = o >> s;
+        let p_lo = p & smask;
+        let p_sub = (p >> s) & ((1 << (w.bank_bits - s)) - 1);
+        let p_hi = p >> w.bank_bits;
+
+        let bank = (p_sub << s) | (o_lo ^ p_lo);
+        let col = (o_hi << s) | p_lo;
+        Location {
+            bank: BankId(bank as u16),
+            row: RowAddr(p_hi as u32),
+            col: col as u32,
+        }
+    }
+
+    fn line_of(&self, loc: Location) -> LineAddr {
+        let w = self.widths;
+        let s = self.spread_bits;
+        let smask = (1u64 << s) - 1;
+
+        let bank = loc.bank.0 as u64;
+        let col = loc.col as u64;
+        let p_lo = col & smask;
+        let o_hi = col >> s;
+        let o_lo = (bank & smask) ^ p_lo;
+        let p_sub = bank >> s;
+        let p_hi = loc.row.0 as u64;
+
+        let p = (p_hi << w.bank_bits) | (p_sub << s) | p_lo;
+        let o = (o_hi << s) | o_lo;
+        LineAddr((p << w.col_bits) | o)
+    }
+
+    fn name(&self) -> &'static str {
+        "zen"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn bijective_on_small_geometry() {
+        let g = Geometry::small();
+        let map = ZenMap::new(g).unwrap();
+        let mut seen = HashSet::new();
+        for l in 0..g.total_lines() {
+            let loc = map.locate(LineAddr(l));
+            assert!(loc.bank.0 < g.num_banks);
+            assert!(loc.row.0 < g.rows_per_bank);
+            assert!(loc.col < g.lines_per_row());
+            assert!(seen.insert(loc), "collision at line {l}");
+            assert_eq!(map.line_of(loc), LineAddr(l));
+        }
+    }
+
+    #[test]
+    fn page_striped_across_half_the_banks() {
+        let g = Geometry::paper_baseline();
+        let map = ZenMap::new(g).unwrap();
+        assert_eq!(map.page_spread(), 32);
+        // All 64 lines of one page should touch exactly 32 distinct banks,
+        // two lines per bank.
+        let page_base = 12_345u64 * 64;
+        let mut per_bank = std::collections::HashMap::new();
+        for o in 0..64 {
+            let loc = map.locate(LineAddr(page_base + o));
+            *per_bank.entry(loc.bank).or_insert(0u32) += 1;
+        }
+        assert_eq!(per_bank.len(), 32);
+        assert!(per_bank.values().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn two_lines_of_page_share_a_row() {
+        let g = Geometry::paper_baseline();
+        let map = ZenMap::new(g).unwrap();
+        let page_base = 777u64 * 64;
+        let mut by_bank = std::collections::HashMap::new();
+        for o in 0..64 {
+            let loc = map.locate(LineAddr(page_base + o));
+            by_bank.entry(loc.bank).or_insert_with(Vec::new).push(loc);
+        }
+        for locs in by_bank.values() {
+            assert_eq!(locs.len(), 2);
+            assert_eq!(
+                locs[0].row, locs[1].row,
+                "page lines in a bank must share the row"
+            );
+            assert_ne!(locs[0].col, locs[1].col);
+        }
+    }
+
+    #[test]
+    fn consecutive_pages_share_row_index_range() {
+        // Spatial correlation: page p and p+1 reuse the same row index unless p
+        // crosses a 64-page group. This is what makes SAUM conflicts likely.
+        let g = Geometry::paper_baseline();
+        let map = ZenMap::new(g).unwrap();
+        let r0 = map.locate(LineAddr(1000 * 64)).row;
+        let r1 = map.locate(LineAddr(1001 * 64)).row;
+        assert_eq!(r0, r1);
+    }
+
+    #[test]
+    fn sequential_lines_alternate_banks() {
+        let g = Geometry::paper_baseline();
+        let map = ZenMap::new(g).unwrap();
+        let b0 = map.locate(LineAddr(0)).bank;
+        let b1 = map.locate(LineAddr(1)).bank;
+        assert_ne!(b0, b1, "consecutive lines must hit different banks for BLP");
+    }
+
+    #[test]
+    fn rejects_single_bank() {
+        let mut g = Geometry::small();
+        g.num_banks = 1;
+        assert!(ZenMap::new(g).is_err());
+    }
+}

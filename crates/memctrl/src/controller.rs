@@ -1,0 +1,934 @@
+//! The memory controller: scheduling, page policy, RFM/AutoRFM/PRAC support.
+
+use crate::request::{MemRequest, MemResponse};
+use crate::stats::McStats;
+use autorfm_dram::{ActOutcome, DeviceMitigation, DramDevice};
+use autorfm_mapping::MemoryMap;
+use autorfm_sim_core::{BankId, Cycle, DramTimings, RowAddr};
+use std::collections::VecDeque;
+
+/// How the controller handles an ALERTed (failed) ACT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetryPolicy {
+    /// The paper's simple design (Fig 7): one busy bit + timestamp per bank;
+    /// the whole bank is held for `t_M` and then retried.
+    #[default]
+    WholeBank,
+    /// The complex alternative the paper describes but does not build: only
+    /// the conflicting request is held; other requests to the bank (mapping to
+    /// other subarrays) keep being serviced. Implemented as an ablation.
+    PerRequest,
+}
+
+/// How writes are scheduled relative to reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WritePolicy {
+    /// Writes share the per-bank queues with reads in FCFS order (the simple
+    /// model used for the paper's experiments).
+    #[default]
+    Inline,
+    /// Writes are buffered separately and drained in bursts: reads always win
+    /// until the buffer crosses `high`, then writes drain until `low`
+    /// (standard watermark-based write draining). Extension/ablation.
+    Buffered {
+        /// Total write-buffer capacity (admission blocks when full).
+        capacity: usize,
+        /// Occupancy that starts a drain burst.
+        high: usize,
+        /// Occupancy that ends a drain burst.
+        low: usize,
+    },
+}
+
+/// Row-buffer management policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PagePolicy {
+    /// The paper's policy (Section III): closed-page with a tRAS hit window —
+    /// rows are auto-precharged once tRAS elapses, but requests serviced
+    /// within tRAS of the ACT still hit the open row.
+    #[default]
+    ClosedWithinTras,
+    /// Conventional open-page: the row stays open until a conflicting request
+    /// arrives. The paper notes this performs *worse* under the Zen mapping;
+    /// the `ablations` harness quantifies that claim.
+    Open,
+}
+
+/// How much a REF command reduces the RAA counter (Section II-E: "a refresh
+/// operation also reduces RAA by 50% or 100% of RFMTH").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RaaRefCredit {
+    /// REF reduces RAA by the full RFMTH (the paper's Section II-F setting).
+    #[default]
+    Full,
+    /// REF reduces RAA by RFMTH/2 (the conservative JEDEC option).
+    Half,
+}
+
+/// Controller configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct McConfig {
+    /// Retry policy for ALERTed ACTs.
+    pub retry: RetryPolicy,
+    /// Per-bank request-queue capacity.
+    pub queue_capacity: usize,
+    /// RAA reduction granted per REF (RFM mode only).
+    pub raa_ref_credit: RaaRefCredit,
+    /// Row-buffer management policy.
+    pub page_policy: PagePolicy,
+    /// How writes are scheduled relative to reads.
+    pub write_policy: WritePolicy,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        McConfig {
+            retry: RetryPolicy::WholeBank,
+            queue_capacity: 16,
+            raa_ref_credit: RaaRefCredit::Full,
+            page_policy: PagePolicy::ClosedWithinTras,
+            write_policy: WritePolicy::Inline,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct QueuedReq {
+    id: u64,
+    core: u8,
+    is_write: bool,
+    row: RowAddr,
+    enqueued_at: Cycle,
+    /// Per-request hold (RetryPolicy::PerRequest only).
+    blocked_until: Cycle,
+}
+
+/// The memory controller. Generic over the address mapping policy.
+pub struct MemController<M: MemoryMap> {
+    map: M,
+    device: DramDevice,
+    cfg: McConfig,
+    timings: DramTimings,
+    queues: Vec<VecDeque<QueuedReq>>,
+    /// Fig 7: per-bank busy timestamp for the AutoRFM retry.
+    bank_hold_until: Vec<Cycle>,
+    /// Rolling Activation counters (RFM mode).
+    raa: Vec<u32>,
+    /// Per-sub-channel data-bus free time.
+    bus_free: Vec<Cycle>,
+    /// Whether the open row has serviced its activating (miss) access yet.
+    miss_serviced: Vec<bool>,
+    /// Per-bank write queues (WritePolicy::Buffered only).
+    wqueues: Vec<VecDeque<QueuedReq>>,
+    /// Total buffered writes across banks.
+    write_count: usize,
+    /// Currently in a drain burst.
+    draining: bool,
+    responses: Vec<MemResponse>,
+    stats: McStats,
+    rr_start: usize,
+    prev_ref_epoch: u64,
+    banks_per_subch: u16,
+    rfm_th: Option<u32>,
+    t_m: Cycle,
+}
+
+impl<M: MemoryMap> core::fmt::Debug for MemController<M> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("MemController")
+            .field("map", &self.map.name())
+            .field("banks", &self.queues.len())
+            .field("pending", &self.pending_requests())
+            .finish()
+    }
+}
+
+impl<M: MemoryMap> MemController<M> {
+    /// Creates a controller owning `device`, decoding addresses with `map`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` and `device` disagree on the geometry.
+    pub fn new(map: M, device: DramDevice, cfg: McConfig) -> Self {
+        assert_eq!(
+            map.geometry(),
+            &device.config().geometry,
+            "mapping and device geometry must match"
+        );
+        let n = device.config().geometry.num_banks as usize;
+        let timings = device.config().timings.clone();
+        let rfm_th = match device.config().mitigation {
+            DeviceMitigation::Rfm { window, .. } => Some(window),
+            _ => None,
+        };
+        let t_m = device.mitigation_duration();
+        let banks_per_subch = (device.config().geometry.num_banks / 2).max(1);
+        let prev_ref_epoch = device.ref_epoch();
+        MemController {
+            map,
+            cfg,
+            queues: vec![VecDeque::new(); n],
+            bank_hold_until: vec![Cycle::ZERO; n],
+            raa: vec![0; n],
+            bus_free: vec![Cycle::ZERO; 2],
+            miss_serviced: vec![true; n],
+            wqueues: vec![VecDeque::new(); n],
+            write_count: 0,
+            draining: false,
+            responses: Vec::new(),
+            stats: McStats::new(),
+            rr_start: 0,
+            prev_ref_epoch,
+            banks_per_subch,
+            rfm_th,
+            t_m,
+            timings,
+            device,
+        }
+    }
+
+    /// The owned DRAM device (for statistics inspection).
+    pub fn device(&self) -> &DramDevice {
+        &self.device
+    }
+
+    /// Controller statistics.
+    pub fn stats(&self) -> &McStats {
+        &self.stats
+    }
+
+    /// The address mapping in use.
+    pub fn map(&self) -> &M {
+        &self.map
+    }
+
+    /// Total requests sitting in the bank queues (reads + buffered writes).
+    pub fn pending_requests(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum::<usize>() + self.write_count
+    }
+
+    /// Whether every queue is empty (no work left).
+    pub fn is_idle(&self) -> bool {
+        self.queues.iter().all(VecDeque::is_empty) && self.write_count == 0
+    }
+
+    /// Attempts to accept a request; returns `false` if the target bank's
+    /// queue is full (the caller should retry next cycle).
+    pub fn enqueue(&mut self, req: MemRequest, now: Cycle) -> bool {
+        let loc = self.map.locate(req.line);
+        let queued = QueuedReq {
+            id: req.id,
+            core: req.core,
+            is_write: req.is_write,
+            row: loc.row,
+            enqueued_at: now,
+            blocked_until: Cycle::ZERO,
+        };
+        if req.is_write {
+            if let WritePolicy::Buffered { capacity, high, .. } = self.cfg.write_policy {
+                if self.write_count >= capacity {
+                    return false;
+                }
+                self.wqueues[loc.bank.0 as usize].push_back(queued);
+                self.write_count += 1;
+                if self.write_count >= high {
+                    self.draining = true;
+                }
+                self.stats.enqueued.inc();
+                return true;
+            }
+        }
+        let q = &mut self.queues[loc.bank.0 as usize];
+        if q.len() >= self.cfg.queue_capacity {
+            return false;
+        }
+        q.push_back(queued);
+        self.stats.enqueued.inc();
+        true
+    }
+
+    /// Takes all responses produced since the last call.
+    pub fn take_responses(&mut self) -> Vec<MemResponse> {
+        core::mem::take(&mut self.responses)
+    }
+
+    /// Advances the controller (and device) to cycle `now`, issuing at most
+    /// one command per bank. Call once per simulation step with monotonically
+    /// non-decreasing `now`.
+    pub fn tick(&mut self, now: Cycle) {
+        self.device.tick(now);
+        // Each completed tREFI period reduces every RAA counter by the
+        // configured fraction of RFMTH (Section II-E/F).
+        let epoch = self.device.ref_epoch();
+        if epoch != self.prev_ref_epoch {
+            if let Some(th) = self.rfm_th {
+                let credit = match self.cfg.raa_ref_credit {
+                    RaaRefCredit::Full => th,
+                    RaaRefCredit::Half => (th / 2).max(1),
+                } * (epoch - self.prev_ref_epoch) as u32;
+                for raa in &mut self.raa {
+                    *raa = raa.saturating_sub(credit);
+                }
+            }
+            self.prev_ref_epoch = epoch;
+        }
+        let n = self.queues.len();
+        for i in 0..n {
+            let b = (self.rr_start + i) % n;
+            self.service_bank(BankId(b as u16), now);
+        }
+        self.rr_start = (self.rr_start + 1) % n;
+    }
+
+    fn subch_of(&self, bank: BankId) -> usize {
+        (bank.0 / self.banks_per_subch) as usize % self.bus_free.len()
+    }
+
+    fn service_bank(&mut self, bank: BankId, now: Cycle) {
+        let bi = bank.0 as usize;
+        // AutoRFM whole-bank hold (busy bit + timestamp, Fig 7).
+        if now < self.bank_hold_until[bi] {
+            return;
+        }
+        // Device-level blocking (REF / RFM / ABO in progress).
+        if now < self.device.blocked_until(bank) {
+            return;
+        }
+        // PRAC: service ABO mitigation requests first. If a row is open with
+        // an unserviced request, let that service finish (via the open-row
+        // path below) rather than wasting its activation.
+        if self.device.abo_pending(bank) && self.miss_serviced[bi] {
+            if self.device.open_row(bank).is_some() {
+                if now >= self.device.earliest_pre(bank) {
+                    self.device.precharge(bank, now);
+                }
+            } else {
+                self.device.service_abo(bank, now);
+                self.stats.abo_serviced.inc();
+            }
+            return;
+        }
+        // RFM insertion when the RAA counter reaches RFMTH — again only once
+        // the in-flight service (if any) has used its activation.
+        if let Some(th) = self.rfm_th {
+            if self.raa[bi] >= th && self.miss_serviced[bi] {
+                if self.device.open_row(bank).is_some() {
+                    if now >= self.device.earliest_pre(bank) {
+                        self.device.precharge(bank, now);
+                    }
+                } else {
+                    self.device.issue_rfm(bank, now);
+                    self.raa[bi] -= th;
+                    self.stats.rfms_issued.inc();
+                }
+                return;
+            }
+        }
+        match self.device.open_row(bank) {
+            Some(row) => self.service_open(bank, row, now),
+            None => self.service_closed(bank, now),
+        }
+    }
+
+    fn service_open(&mut self, bank: BankId, row: RowAddr, now: Cycle) {
+        let bi = bank.0 as usize;
+        // Row-buffer hits are permitted only while within tRAS of the ACT
+        // under the paper's closed-page variant (Section III); the open-page
+        // ablation keeps the hit window open indefinitely.
+        let hit_window_open = match self.cfg.page_policy {
+            PagePolicy::ClosedWithinTras => now <= self.device.act_time(bank) + self.timings.t_ras,
+            PagePolicy::Open => true,
+        };
+        let sub = self.subch_of(bank);
+        if hit_window_open {
+            // Prefer reads; a buffered write to the open row may also hit.
+            let mut from_writes = false;
+            let mut pos = self.queues[bi]
+                .iter()
+                .position(|r| r.row == row && now >= r.blocked_until);
+            if pos.is_none() && matches!(self.cfg.write_policy, WritePolicy::Buffered { .. }) {
+                pos = self.wqueues[bi]
+                    .iter()
+                    .position(|r| r.row == row && now >= r.blocked_until);
+                from_writes = pos.is_some();
+            }
+            if let Some(pos) = pos {
+                let col_ready = now >= self.device.earliest_col(bank);
+                let bus_ready = self.bus_free[sub] <= now;
+                let transfer_done = now + self.timings.t_cl + self.timings.t_burst;
+                let before_ref = transfer_done <= self.device.bank_next_ref(bank);
+                if col_ready && bus_ready && before_ref {
+                    let req = if from_writes {
+                        self.wqueues[bi].remove(pos).expect("position valid")
+                    } else {
+                        self.queues[bi].remove(pos).expect("position valid")
+                    };
+                    if from_writes {
+                        self.write_count -= 1;
+                        if let WritePolicy::Buffered { low, .. } = self.cfg.write_policy {
+                            if self.write_count <= low {
+                                self.draining = false;
+                            }
+                        }
+                    }
+                    self.device.column_access(bank, req.is_write, now);
+                    self.bus_free[sub] = now + self.timings.t_burst;
+                    if self.miss_serviced[bi] {
+                        self.stats.row_hits.inc();
+                    } else {
+                        self.miss_serviced[bi] = true;
+                        self.stats.row_misses.inc();
+                    }
+                    self.complete(req, transfer_done);
+                }
+                return;
+            }
+        }
+        // No serviceable hit right now.
+        match self.cfg.page_policy {
+            // Closed-page: auto-precharge once tRAS allows.
+            PagePolicy::ClosedWithinTras => {
+                if now >= self.device.earliest_pre(bank) {
+                    self.device.precharge(bank, now);
+                }
+            }
+            // Open-page: precharge only when a conflicting request waits.
+            PagePolicy::Open => {
+                let conflict_waiting = self.queues[bi]
+                    .iter()
+                    .chain(self.wqueues[bi].iter())
+                    .any(|r| r.row != row && now >= r.blocked_until);
+                if conflict_waiting && now >= self.device.earliest_pre(bank) {
+                    self.device.precharge(bank, now);
+                }
+            }
+        }
+    }
+
+    fn service_closed(&mut self, bank: BankId, now: Cycle) {
+        let bi = bank.0 as usize;
+        // Under buffered writes, serve the write queue when draining or when
+        // the bank has no reads to do; otherwise reads win.
+        let from_writes = matches!(self.cfg.write_policy, WritePolicy::Buffered { .. })
+            && !self.wqueues[bi].is_empty()
+            && (self.draining || self.queues[bi].is_empty());
+        let pos = if from_writes {
+            Some(0)
+        } else {
+            self.queues[bi].iter().position(|r| now >= r.blocked_until)
+        };
+        let Some(pos) = pos else {
+            return;
+        };
+        if now < self.device.earliest_act(bank) {
+            return;
+        }
+        // Do not start a service whose data phase would collide with REF.
+        let service_end = now + self.timings.t_rcd + self.timings.t_cl + self.timings.t_burst;
+        if service_end > self.device.bank_next_ref(bank) {
+            return;
+        }
+        let row = if from_writes {
+            self.wqueues[bi][pos].row
+        } else {
+            self.queues[bi][pos].row
+        };
+        match self.device.try_act(bank, row, now) {
+            ActOutcome::Accepted => {
+                self.miss_serviced[bi] = false;
+                if self.rfm_th.is_some() {
+                    self.raa[bi] += 1;
+                }
+            }
+            ActOutcome::Alerted { retry_at } => {
+                self.stats.alerts.inc();
+                match self.cfg.retry {
+                    RetryPolicy::WholeBank => {
+                        // Fig 7: busy bit set, timestamp = now + t_M.
+                        self.bank_hold_until[bi] = now + self.t_m;
+                        self.stats.retries.inc();
+                    }
+                    RetryPolicy::PerRequest => {
+                        if from_writes {
+                            self.wqueues[bi][pos].blocked_until = retry_at;
+                        } else {
+                            self.queues[bi][pos].blocked_until = retry_at;
+                        }
+                        self.stats.retries.inc();
+                    }
+                }
+            }
+        }
+    }
+
+    fn complete(&mut self, req: QueuedReq, done_at: Cycle) {
+        if !req.is_write {
+            self.stats
+                .record_read_latency((done_at - req.enqueued_at).raw());
+        }
+        self.stats.record_completion_for(req.core);
+        self.stats.completed.inc();
+        self.responses.push(MemResponse {
+            id: req.id,
+            core: req.core,
+            is_write: req.is_write,
+            done_at,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autorfm_dram::DramConfig;
+    use autorfm_mapping::ZenMap;
+    use autorfm_sim_core::{Geometry, LineAddr};
+
+    const STEP: Cycle = Cycle::new(4); // 1 ns
+
+    fn mc(mitigation: DeviceMitigation) -> MemController<ZenMap> {
+        let geometry = Geometry::small();
+        let cfg = DramConfig {
+            geometry,
+            mitigation,
+            ..DramConfig::default()
+        };
+        let device = DramDevice::new(cfg, 11).unwrap();
+        MemController::new(ZenMap::new(geometry).unwrap(), device, McConfig::default())
+    }
+
+    /// Enqueues with admission retry: ticks the controller until accepted.
+    fn enqueue_blocking(m: &mut MemController<ZenMap>, req: MemRequest, now: &mut Cycle) {
+        while !m.enqueue(req, *now) {
+            *now += STEP;
+            m.tick(*now);
+        }
+    }
+
+    fn run_until_idle(mc: &mut MemController<ZenMap>, mut now: Cycle) -> (Vec<MemResponse>, Cycle) {
+        let mut out = Vec::new();
+        let deadline = now + Cycle::from_us(200);
+        while !mc.is_idle() {
+            now += STEP;
+            mc.tick(now);
+            out.extend(mc.take_responses());
+            assert!(now < deadline, "controller failed to drain");
+        }
+        (out, now)
+    }
+
+    #[test]
+    fn single_read_completes() {
+        let mut m = mc(DeviceMitigation::None);
+        assert!(m.enqueue(
+            MemRequest {
+                id: 1,
+                core: 0,
+                line: LineAddr(123),
+                is_write: false
+            },
+            Cycle::ZERO
+        ));
+        let (resps, _) = run_until_idle(&mut m, Cycle::ZERO);
+        assert_eq!(resps.len(), 1);
+        assert_eq!(resps[0].id, 1);
+        assert!(!resps[0].is_write);
+        assert_eq!(m.stats().completed.get(), 1);
+        assert_eq!(m.stats().row_misses.get(), 1);
+    }
+
+    #[test]
+    fn same_row_requests_hit_in_row_buffer() {
+        let mut m = mc(DeviceMitigation::None);
+        // Two lines of the same 4KB page map to the same row under Zen.
+        let line_a = LineAddr(0);
+        let loc = m.map().locate(line_a);
+        // Find the sibling line in the same row.
+        let mut sibling = None;
+        for l in 1..64u64 {
+            let c = m.map().locate(LineAddr(l));
+            if c.bank == loc.bank && c.row == loc.row {
+                sibling = Some(LineAddr(l));
+                break;
+            }
+        }
+        let line_b = sibling.expect("Zen puts 2 lines of a page in one row");
+        m.enqueue(
+            MemRequest {
+                id: 1,
+                core: 0,
+                line: line_a,
+                is_write: false,
+            },
+            Cycle::ZERO,
+        );
+        m.enqueue(
+            MemRequest {
+                id: 2,
+                core: 0,
+                line: line_b,
+                is_write: false,
+            },
+            Cycle::ZERO,
+        );
+        let (resps, _) = run_until_idle(&mut m, Cycle::ZERO);
+        assert_eq!(resps.len(), 2);
+        assert_eq!(m.stats().row_hits.get(), 1);
+        assert_eq!(m.stats().row_misses.get(), 1);
+        assert!(m.stats().row_hit_rate() > 0.49);
+    }
+
+    #[test]
+    fn different_rows_same_bank_serialize_with_two_acts() {
+        let mut m = mc(DeviceMitigation::None);
+        let loc_a = m.map().locate(LineAddr(0));
+        // Construct a line in the same bank, different row via inverse mapping.
+        let line_b = m.map().line_of(autorfm_mapping::Location {
+            bank: loc_a.bank,
+            row: RowAddr(loc_a.row.0 + 1),
+            col: 0,
+        });
+        m.enqueue(
+            MemRequest {
+                id: 1,
+                core: 0,
+                line: LineAddr(0),
+                is_write: false,
+            },
+            Cycle::ZERO,
+        );
+        m.enqueue(
+            MemRequest {
+                id: 2,
+                core: 0,
+                line: line_b,
+                is_write: false,
+            },
+            Cycle::ZERO,
+        );
+        let (resps, _) = run_until_idle(&mut m, Cycle::ZERO);
+        assert_eq!(resps.len(), 2);
+        assert_eq!(m.stats().row_misses.get(), 2);
+        assert_eq!(m.device().stats().acts.get(), 2);
+        // Second request cannot complete before tRC of the first.
+        let t = DramTimings::ddr5();
+        assert!(resps[1].done_at >= resps[0].done_at + t.t_rc - t.t_ras);
+    }
+
+    #[test]
+    fn queue_capacity_enforced() {
+        let geometry = Geometry::small();
+        let cfg = DramConfig {
+            geometry,
+            ..DramConfig::default()
+        };
+        let device = DramDevice::new(cfg, 1).unwrap();
+        let mut m = MemController::new(
+            ZenMap::new(geometry).unwrap(),
+            device,
+            McConfig {
+                queue_capacity: 2,
+                ..McConfig::default()
+            },
+        );
+        // All to the same bank/row region.
+        let base = LineAddr(0);
+        assert!(m.enqueue(
+            MemRequest {
+                id: 1,
+                core: 0,
+                line: base,
+                is_write: false
+            },
+            Cycle::ZERO
+        ));
+        let loc = m.map().locate(base);
+        let l2 = m.map().line_of(autorfm_mapping::Location {
+            bank: loc.bank,
+            row: RowAddr(10),
+            col: 0,
+        });
+        let l3 = m.map().line_of(autorfm_mapping::Location {
+            bank: loc.bank,
+            row: RowAddr(20),
+            col: 0,
+        });
+        assert!(m.enqueue(
+            MemRequest {
+                id: 2,
+                core: 0,
+                line: l2,
+                is_write: false
+            },
+            Cycle::ZERO
+        ));
+        assert!(!m.enqueue(
+            MemRequest {
+                id: 3,
+                core: 0,
+                line: l3,
+                is_write: false
+            },
+            Cycle::ZERO
+        ));
+    }
+
+    #[test]
+    fn rfm_mode_issues_rfms_and_slows_bank() {
+        let mut m = mc(DeviceMitigation::rfm(4));
+        // 8 different-row requests to one bank -> 8 ACTs -> 2 RFMs.
+        let loc0 = m.map().locate(LineAddr(0));
+        for i in 0..8u32 {
+            let line = m.map().line_of(autorfm_mapping::Location {
+                bank: loc0.bank,
+                row: RowAddr(i * 100),
+                col: 0,
+            });
+            m.enqueue(
+                MemRequest {
+                    id: i as u64,
+                    core: 0,
+                    line,
+                    is_write: false,
+                },
+                Cycle::ZERO,
+            );
+        }
+        let (resps, _) = run_until_idle(&mut m, Cycle::ZERO);
+        assert_eq!(resps.len(), 8);
+        assert!(m.stats().rfms_issued.get() >= 1, "RFM never issued");
+        assert_eq!(m.device().stats().rfms.get(), m.stats().rfms_issued.get());
+    }
+
+    #[test]
+    fn autorfm_alert_holds_bank_and_retry_succeeds() {
+        let mut m = mc(DeviceMitigation::auto_rfm(4));
+        // Drive many same-subarray rows through one bank. With the whole
+        // window in one subarray, the SAUM is that subarray and the next ACT
+        // conflicts, producing alerts that must all resolve.
+        let loc0 = m.map().locate(LineAddr(0));
+        let mut now = Cycle::ZERO;
+        let mut served = Vec::new();
+        for i in 0..32u32 {
+            let line = m.map().line_of(autorfm_mapping::Location {
+                bank: loc0.bank,
+                row: RowAddr(i * 7 % 512), // all in subarray 0
+                col: (i % 64),
+            });
+            let req = MemRequest {
+                id: i as u64,
+                core: 0,
+                line,
+                is_write: false,
+            };
+            enqueue_blocking(&mut m, req, &mut now);
+            served.extend(m.take_responses());
+        }
+        let (resps, _) = run_until_idle(&mut m, now);
+        served.extend(resps);
+        assert_eq!(served.len(), 32, "every request must eventually complete");
+        assert!(m.device().stats().mitigations.get() >= 4);
+        assert!(m.stats().alerts.get() >= 1, "expected SAUM conflicts");
+    }
+
+    #[test]
+    fn prac_mode_services_abo() {
+        let geometry = Geometry::small();
+        let cfg = DramConfig {
+            geometry,
+            mitigation: DeviceMitigation::Prac {
+                abo_threshold: 4,
+                policy: autorfm_mitigation::MitigationKind::Fractal,
+            },
+            timings: DramTimings::ddr5_prac(),
+            ..DramConfig::default()
+        };
+        let device = DramDevice::new(cfg, 3).unwrap();
+        let mut m = MemController::new(ZenMap::new(geometry).unwrap(), device, McConfig::default());
+        // Hammer one row: 8 activations of the same row (interleave a second
+        // row so each access needs a fresh ACT).
+        let loc0 = m.map().locate(LineAddr(0));
+        let lines: Vec<LineAddr> = (0..8u64)
+            .map(|i| {
+                let row = if i % 2 == 0 { 100 } else { 300 };
+                m.map().line_of(autorfm_mapping::Location {
+                    bank: loc0.bank,
+                    row: RowAddr(row),
+                    col: (i % 64) as u32,
+                })
+            })
+            .collect();
+        let mut now = Cycle::ZERO;
+        for (i, &line) in lines.iter().enumerate() {
+            let i = i as u64;
+            m.enqueue(
+                MemRequest {
+                    id: i,
+                    core: 0,
+                    line,
+                    is_write: false,
+                },
+                now,
+            );
+            let (r, t) = run_until_idle(&mut m, now);
+            assert_eq!(r.len(), 1);
+            now = t;
+        }
+        assert!(m.stats().abo_serviced.get() >= 1, "ABO never serviced");
+    }
+
+    #[test]
+    fn writes_complete_and_count() {
+        let mut m = mc(DeviceMitigation::None);
+        m.enqueue(
+            MemRequest {
+                id: 1,
+                core: 2,
+                line: LineAddr(77),
+                is_write: true,
+            },
+            Cycle::ZERO,
+        );
+        let (resps, _) = run_until_idle(&mut m, Cycle::ZERO);
+        assert_eq!(resps.len(), 1);
+        assert!(resps[0].is_write);
+        assert_eq!(m.device().stats().writes.get(), 1);
+        assert_eq!(m.stats().read_latency.count(), 0);
+    }
+
+    #[test]
+    fn per_request_retry_allows_other_subarrays() {
+        let geometry = Geometry::small();
+        let cfg = DramConfig {
+            geometry,
+            mitigation: DeviceMitigation::auto_rfm(4),
+            ..DramConfig::default()
+        };
+        let device = DramDevice::new(cfg, 11).unwrap();
+        let mut m = MemController::new(
+            ZenMap::new(geometry).unwrap(),
+            device,
+            McConfig {
+                retry: RetryPolicy::PerRequest,
+                ..McConfig::default()
+            },
+        );
+        let loc0 = m.map().locate(LineAddr(0));
+        let mut now = Cycle::ZERO;
+        let mut served = Vec::new();
+        for i in 0..32u32 {
+            let line = m.map().line_of(autorfm_mapping::Location {
+                bank: loc0.bank,
+                row: RowAddr(i * 7 % 512),
+                col: (i % 64),
+            });
+            let req = MemRequest {
+                id: i as u64,
+                core: 0,
+                line,
+                is_write: false,
+            };
+            enqueue_blocking(&mut m, req, &mut now);
+            served.extend(m.take_responses());
+        }
+        let (resps, _) = run_until_idle(&mut m, now);
+        served.extend(resps);
+        assert_eq!(served.len(), 32);
+    }
+
+    #[test]
+    fn buffered_writes_drain_and_complete() {
+        let geometry = Geometry::small();
+        let device = DramDevice::new(
+            DramConfig {
+                geometry,
+                ..DramConfig::default()
+            },
+            21,
+        )
+        .unwrap();
+        let mut m = MemController::new(
+            ZenMap::new(geometry).unwrap(),
+            device,
+            McConfig {
+                write_policy: WritePolicy::Buffered {
+                    capacity: 32,
+                    high: 8,
+                    low: 2,
+                },
+                ..McConfig::default()
+            },
+        );
+        let mut now = Cycle::ZERO;
+        // 12 writes + 4 reads, all to distinct rows.
+        let mut expected = Vec::new();
+        for i in 0..16u64 {
+            let req = MemRequest {
+                id: i,
+                core: 0,
+                line: LineAddr(i * 64 * 64), // distinct rows
+                is_write: i < 12,
+            };
+            enqueue_blocking(&mut m, req, &mut now);
+            expected.push(i);
+        }
+        assert!(m.pending_requests() > 0);
+        let (resps, _) = run_until_idle(&mut m, now);
+        let mut ids: Vec<u64> = resps.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, expected, "all buffered writes and reads must complete");
+        assert_eq!(m.device().stats().writes.get(), 12);
+        assert_eq!(m.device().stats().reads.get(), 4);
+    }
+
+    #[test]
+    fn buffered_write_admission_blocks_at_capacity() {
+        let geometry = Geometry::small();
+        let device = DramDevice::new(
+            DramConfig {
+                geometry,
+                ..DramConfig::default()
+            },
+            22,
+        )
+        .unwrap();
+        let mut m = MemController::new(
+            ZenMap::new(geometry).unwrap(),
+            device,
+            McConfig {
+                write_policy: WritePolicy::Buffered {
+                    capacity: 2,
+                    high: 2,
+                    low: 0,
+                },
+                ..McConfig::default()
+            },
+        );
+        let mk = |id: u64| MemRequest {
+            id,
+            core: 0,
+            line: LineAddr(id * 4096),
+            is_write: true,
+        };
+        assert!(m.enqueue(mk(0), Cycle::ZERO));
+        assert!(m.enqueue(mk(1), Cycle::ZERO));
+        assert!(!m.enqueue(mk(2), Cycle::ZERO), "capacity must block");
+    }
+
+    #[test]
+    fn geometry_mismatch_panics() {
+        let device = DramDevice::new(
+            DramConfig {
+                geometry: Geometry::small(),
+                ..Default::default()
+            },
+            1,
+        )
+        .unwrap();
+        let map = ZenMap::new(Geometry::paper_baseline()).unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            MemController::new(map, device, McConfig::default())
+        }));
+        assert!(result.is_err());
+    }
+}

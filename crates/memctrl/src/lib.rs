@@ -1,0 +1,60 @@
+//! # autorfm-memctrl
+//!
+//! The DDR5 memory controller of the AutoRFM reproduction.
+//!
+//! The controller owns the [`autorfm_dram::DramDevice`], decodes cache-line
+//! requests through a [`autorfm_mapping::MemoryMap`], and schedules DRAM
+//! commands under the paper's baseline policy (Section III):
+//!
+//! * per-bank FCFS queues with row-hit bypass (FR-FCFS within a bank);
+//! * **closed-page policy with a tRAS hit window**: a row is auto-precharged
+//!   once tRAS elapses, but later requests to the same row are serviced as
+//!   row-buffer hits if they issue within tRAS of the activation;
+//! * per-sub-channel data-bus contention and REF-boundary avoidance.
+//!
+//! Mitigation-time support follows the device's configured mode:
+//!
+//! * **RFM** (Section II-E): the controller counts activations per bank (RAA)
+//!   and inserts a bank-blocking RFM command when RAA reaches RFMTH; a REF
+//!   reduces RAA by RFMTH.
+//! * **AutoRFM** (Section IV-C, Fig 7): the controller keeps a *busy bit and a
+//!   timestamp per bank*. When an ACT is declined with an ALERT, the bank is
+//!   marked busy for `t_M` and retried afterwards — the retry is guaranteed to
+//!   succeed. The ablation [`RetryPolicy::PerRequest`] implements the complex
+//!   per-request alternative the paper chose not to build.
+//! * **PRAC/ABO** (Section VII-A): the controller services the device's ABO
+//!   mitigation requests with a bank-blocking stall.
+//!
+//! # Examples
+//!
+//! ```
+//! use autorfm_dram::{DeviceMitigation, DramConfig, DramDevice};
+//! use autorfm_mapping::ZenMap;
+//! use autorfm_memctrl::{MemController, MemRequest};
+//! use autorfm_sim_core::{Cycle, Geometry, LineAddr};
+//!
+//! let geometry = Geometry::small();
+//! let cfg = DramConfig { geometry, mitigation: DeviceMitigation::auto_rfm(4), ..Default::default() };
+//! let device = DramDevice::new(cfg, 7)?;
+//! let map = ZenMap::new(geometry)?;
+//! let mut mc = MemController::new(map, device, Default::default());
+//!
+//! mc.enqueue(MemRequest { id: 1, core: 0, line: LineAddr(100), is_write: false }, Cycle::ZERO);
+//! let mut now = Cycle::ZERO;
+//! while mc.take_responses().is_empty() {
+//!     now += Cycle::from_ns(1);
+//!     mc.tick(now);
+//! }
+//! # Ok::<(), autorfm_sim_core::ConfigError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod controller;
+pub mod request;
+pub mod stats;
+
+pub use controller::{McConfig, MemController, PagePolicy, RaaRefCredit, RetryPolicy, WritePolicy};
+pub use request::{MemRequest, MemResponse};
+pub use stats::McStats;

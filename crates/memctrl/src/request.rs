@@ -1,0 +1,53 @@
+//! Memory request/response types exchanged with the cache hierarchy.
+
+use autorfm_sim_core::{Cycle, LineAddr};
+
+/// A cache-line request from the LLC (miss fill or dirty writeback).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRequest {
+    /// Caller-chosen identifier echoed in the response.
+    pub id: u64,
+    /// Issuing core (for per-core statistics).
+    pub core: u8,
+    /// The requested cache line.
+    pub line: LineAddr,
+    /// Write (dirty eviction) vs read (demand fill).
+    pub is_write: bool,
+}
+
+/// Completion notification for a [`MemRequest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemResponse {
+    /// The request's identifier.
+    pub id: u64,
+    /// The issuing core.
+    pub core: u8,
+    /// Whether the request was a write.
+    pub is_write: bool,
+    /// Cycle at which data transfer completed.
+    pub done_at: Cycle,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip_fields() {
+        let r = MemRequest {
+            id: 9,
+            core: 3,
+            line: LineAddr(0x40),
+            is_write: true,
+        };
+        assert_eq!(r.id, 9);
+        assert!(r.is_write);
+        let resp = MemResponse {
+            id: r.id,
+            core: r.core,
+            is_write: r.is_write,
+            done_at: Cycle::new(5),
+        };
+        assert_eq!(resp.core, 3);
+    }
+}

@@ -1,0 +1,99 @@
+//! Controller-level statistics.
+
+use autorfm_sim_core::{Average, Counter};
+
+/// Event counts and latency statistics for the memory controller.
+#[derive(Debug, Clone, Default)]
+pub struct McStats {
+    /// Requests accepted into the queues.
+    pub enqueued: Counter,
+    /// Requests completed (responses produced).
+    pub completed: Counter,
+    /// Column accesses that hit the open row (no new ACT needed).
+    pub row_hits: Counter,
+    /// Requests that required an activation.
+    pub row_misses: Counter,
+    /// ALERTs received from the device (failed ACTs).
+    pub alerts: Counter,
+    /// ACT retries performed after an ALERT wait.
+    pub retries: Counter,
+    /// RFM commands issued (RFM mode).
+    pub rfms_issued: Counter,
+    /// ABO mitigations serviced (PRAC mode).
+    pub abo_serviced: Counter,
+    /// Read latency (enqueue to data) in cycles.
+    pub read_latency: Average,
+    /// Worst-case read latency observed, in cycles (starvation check).
+    pub max_read_latency: Counter,
+    /// Completed requests per issuing core (fairness visibility).
+    pub completed_per_core: Vec<u64>,
+}
+
+impl McStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a completion for `core` (fairness accounting).
+    pub fn record_completion_for(&mut self, core: u8) {
+        let idx = core as usize;
+        if self.completed_per_core.len() <= idx {
+            self.completed_per_core.resize(idx + 1, 0);
+        }
+        self.completed_per_core[idx] += 1;
+    }
+
+    /// Records a completed read's latency in cycles.
+    pub fn record_read_latency(&mut self, cycles: u64) {
+        self.read_latency.push(cycles as f64);
+        if cycles > self.max_read_latency.get() {
+            let delta = cycles - self.max_read_latency.get();
+            self.max_read_latency.add(delta);
+        }
+    }
+
+    /// Row-buffer hit rate among serviced column accesses.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits.get() + self.row_misses.get();
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits.get() as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_core_completions_resize_on_demand() {
+        let mut s = McStats::new();
+        s.record_completion_for(3);
+        s.record_completion_for(0);
+        s.record_completion_for(3);
+        assert_eq!(s.completed_per_core, vec![1, 0, 0, 2]);
+    }
+
+    #[test]
+    fn max_read_latency_tracks_high_water() {
+        let mut s = McStats::new();
+        s.record_read_latency(100);
+        s.record_read_latency(50);
+        s.record_read_latency(300);
+        assert_eq!(s.max_read_latency.get(), 300);
+        assert_eq!(s.read_latency.count(), 3);
+        assert!((s.read_latency.mean() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn row_hit_rate_zero_safe() {
+        let mut s = McStats::new();
+        assert_eq!(s.row_hit_rate(), 0.0);
+        s.row_hits.add(1);
+        s.row_misses.add(3);
+        assert_eq!(s.row_hit_rate(), 0.25);
+    }
+}

@@ -1,0 +1,211 @@
+//! Fixed blast-radius and Recursive Mitigation policies (Section V-A/V-B).
+
+use crate::policy::{MitigationPolicy, VictimRefresh};
+use autorfm_sim_core::{ConfigError, DetRng, RowAddr};
+use autorfm_trackers::MitigationTarget;
+
+fn push_pair(out: &mut Vec<VictimRefresh>, aggressor: RowAddr, d: u32, rows_per_bank: u32) {
+    for delta in [-(d as i32), d as i32] {
+        if let Some(row) = aggressor.neighbor(delta, rows_per_bank) {
+            out.push(VictimRefresh {
+                row,
+                distance: d.min(255) as u8,
+            });
+        }
+    }
+}
+
+/// The baseline mitigation: always refresh `radius` rows on each side of the
+/// aggressor (blast radius 2 in the paper ⇒ 4 victim refreshes).
+///
+/// Ignores the transitive mitigation level, so it provides no defense against
+/// Half-Double-style attacks — the security test-suite demonstrates this.
+///
+/// # Examples
+///
+/// ```
+/// use autorfm_mitigation::{BlastRadiusPolicy, MitigationPolicy};
+/// use autorfm_trackers::MitigationTarget;
+/// use autorfm_sim_core::{DetRng, RowAddr};
+///
+/// let p = BlastRadiusPolicy::new(2)?;
+/// let mut rng = DetRng::seeded(0);
+/// let v = p.victims(MitigationTarget::direct(RowAddr(100)), 1024, &mut rng);
+/// let rows: Vec<u32> = v.iter().map(|x| x.row.0).collect();
+/// assert_eq!(rows, vec![99, 101, 98, 102]);
+/// # Ok::<(), autorfm_sim_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlastRadiusPolicy {
+    radius: u32,
+}
+
+impl BlastRadiusPolicy {
+    /// Creates a policy with the given blast radius.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `radius == 0`.
+    pub fn new(radius: u32) -> Result<Self, ConfigError> {
+        if radius == 0 {
+            return Err(ConfigError::new("blast radius must be at least 1"));
+        }
+        Ok(BlastRadiusPolicy { radius })
+    }
+
+    /// The configured blast radius.
+    pub const fn radius(&self) -> u32 {
+        self.radius
+    }
+}
+
+impl MitigationPolicy for BlastRadiusPolicy {
+    fn victims(
+        &self,
+        target: MitigationTarget,
+        rows_per_bank: u32,
+        _rng: &mut DetRng,
+    ) -> Vec<VictimRefresh> {
+        let mut out = Vec::with_capacity(2 * self.radius as usize);
+        for d in 1..=self.radius {
+            push_pair(&mut out, target.row, d, rows_per_bank);
+        }
+        out
+    }
+
+    fn refreshes_per_round(&self) -> u32 {
+        2 * self.radius
+    }
+
+    fn name(&self) -> &'static str {
+        "blast-radius"
+    }
+}
+
+/// Recursive Mitigation (Section V-B, Fig 9b).
+///
+/// A mitigation at transitive level `k` refreshes the pairs at distances
+/// `2k+1` and `2k+2` from the original aggressor: level 0 refreshes ±1/±2,
+/// level 1 (triggered by a level-0 victim refresh being re-selected) refreshes
+/// ±3/±4, and so on. The recursion itself is driven by the tracker
+/// ([`autorfm_trackers::Mint`] in `N+1` mode re-selects the previously
+/// mitigated row), which is why [`MitigationPolicy::wants_recursion`] is true.
+#[derive(Debug, Clone, Default)]
+pub struct RecursivePolicy {
+    _priv: (),
+}
+
+impl RecursivePolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        RecursivePolicy { _priv: () }
+    }
+
+    /// The two distances refreshed at transitive level `level`.
+    pub fn distances_at_level(level: u8) -> (u32, u32) {
+        let base = 2 * level as u32;
+        (base + 1, base + 2)
+    }
+}
+
+impl MitigationPolicy for RecursivePolicy {
+    fn victims(
+        &self,
+        target: MitigationTarget,
+        rows_per_bank: u32,
+        _rng: &mut DetRng,
+    ) -> Vec<VictimRefresh> {
+        let (d1, d2) = Self::distances_at_level(target.level);
+        let mut out = Vec::with_capacity(4);
+        push_pair(&mut out, target.row, d1, rows_per_bank);
+        push_pair(&mut out, target.row, d2, rows_per_bank);
+        out
+    }
+
+    fn wants_recursion(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "recursive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blast_radius_two_refreshes_four_rows() {
+        let p = BlastRadiusPolicy::new(2).unwrap();
+        let mut rng = DetRng::seeded(0);
+        let v = p.victims(MitigationTarget::direct(RowAddr(10)), 1024, &mut rng);
+        assert_eq!(v.len(), 4);
+        let rows: Vec<u32> = v.iter().map(|x| x.row.0).collect();
+        assert!(rows.contains(&8) && rows.contains(&9) && rows.contains(&11) && rows.contains(&12));
+        assert!(v.iter().all(|x| x.distance <= 2));
+    }
+
+    #[test]
+    fn blast_clips_at_bank_edges() {
+        let p = BlastRadiusPolicy::new(2).unwrap();
+        let mut rng = DetRng::seeded(0);
+        let v = p.victims(MitigationTarget::direct(RowAddr(0)), 1024, &mut rng);
+        let rows: Vec<u32> = v.iter().map(|x| x.row.0).collect();
+        assert_eq!(rows, vec![1, 2]); // no negative neighbors
+
+        let v = p.victims(MitigationTarget::direct(RowAddr(1023)), 1024, &mut rng);
+        let rows: Vec<u32> = v.iter().map(|x| x.row.0).collect();
+        assert_eq!(rows, vec![1022, 1021]);
+    }
+
+    #[test]
+    fn recursive_level_scaling_matches_fig9() {
+        let p = RecursivePolicy::new();
+        let mut rng = DetRng::seeded(0);
+        // Level 0 on row E=100: C,D,F,G = 98,99,101,102.
+        let v0 = p.victims(
+            MitigationTarget {
+                row: RowAddr(100),
+                level: 0,
+            },
+            1024,
+            &mut rng,
+        );
+        let mut r0: Vec<u32> = v0.iter().map(|x| x.row.0).collect();
+        r0.sort_unstable();
+        assert_eq!(r0, vec![98, 99, 101, 102]);
+        // Level 1 on row E=100: A,B,H,I = 96,97,103,104 (distances 3 and 4).
+        let v1 = p.victims(
+            MitigationTarget {
+                row: RowAddr(100),
+                level: 1,
+            },
+            1024,
+            &mut rng,
+        );
+        let mut r1: Vec<u32> = v1.iter().map(|x| x.row.0).collect();
+        r1.sort_unstable();
+        assert_eq!(r1, vec![96, 97, 103, 104]);
+    }
+
+    #[test]
+    fn recursive_distances_formula() {
+        assert_eq!(RecursivePolicy::distances_at_level(0), (1, 2));
+        assert_eq!(RecursivePolicy::distances_at_level(1), (3, 4));
+        assert_eq!(RecursivePolicy::distances_at_level(5), (11, 12));
+    }
+
+    #[test]
+    fn zero_radius_rejected() {
+        assert!(BlastRadiusPolicy::new(0).is_err());
+        assert_eq!(BlastRadiusPolicy::new(3).unwrap().radius(), 3);
+    }
+
+    #[test]
+    fn refresh_slot_counts() {
+        assert_eq!(BlastRadiusPolicy::new(2).unwrap().refreshes_per_round(), 4);
+        assert_eq!(BlastRadiusPolicy::new(3).unwrap().refreshes_per_round(), 6);
+        assert_eq!(RecursivePolicy::new().refreshes_per_round(), 4);
+    }
+}

@@ -1,0 +1,196 @@
+//! Fractal Mitigation (Section V-C, Fig 10).
+
+use crate::policy::{MitigationPolicy, VictimRefresh};
+use autorfm_sim_core::DetRng;
+use autorfm_trackers::MitigationTarget;
+
+/// Fractal Mitigation: probabilistic victim refreshes covering all distances.
+///
+/// Per mitigation (Fig 10):
+///
+/// * the immediate neighbors (d = 1) on both sides are **always** refreshed;
+/// * one additional pair is refreshed at distance `d = 2 + lz`, where `lz` is
+///   the number of leading zeros in a fresh 16-bit random number. Since
+///   `P(lz = k) = 2^-(k+1)`, each distance-d pair is refreshed with probability
+///   `2^(1-d)`: d=2 with 1/2, d=3 with 1/4, and so on.
+///
+/// This defends transitive attacks *within a single round* — no recursion, so
+/// the subarray under mitigation is busy for exactly `4·tRC` and then free,
+/// giving AutoRFM its deterministic retry latency. It also lets MINT select
+/// from `N` slots instead of `N+1`, lowering the tolerated threshold (74
+/// instead of 96 at AutoRFMTH=4, Table VI).
+///
+/// # Examples
+///
+/// ```
+/// use autorfm_mitigation::{FractalPolicy, MitigationPolicy};
+/// use autorfm_trackers::MitigationTarget;
+/// use autorfm_sim_core::{DetRng, RowAddr};
+///
+/// let fm = FractalPolicy::new();
+/// let mut rng = DetRng::seeded(9);
+/// let v = fm.victims(MitigationTarget::direct(RowAddr(5000)), 131_072, &mut rng);
+/// assert_eq!(v.len(), 4);
+/// assert_eq!(v.iter().filter(|x| x.distance == 1).count(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FractalPolicy {
+    _priv: (),
+}
+
+impl FractalPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        FractalPolicy { _priv: () }
+    }
+
+    /// Draws the distance for the probabilistic pair: `2 + leading_zeros` of a
+    /// 16-bit random number (Fig 10b). Range: 2..=18.
+    pub fn draw_distance(rng: &mut DetRng) -> u32 {
+        2 + rng.next_u16().leading_zeros().min(16)
+    }
+
+    /// The probability that the distance-`d` pair is refreshed in one
+    /// mitigation: 1 for d=1, `2^(1-d)` for d ≥ 2.
+    pub fn refresh_probability(d: u32) -> f64 {
+        match d {
+            0 => 0.0,
+            1 => 1.0,
+            _ => 0.5f64.powi(d as i32 - 1),
+        }
+    }
+}
+
+impl MitigationPolicy for FractalPolicy {
+    fn victims(
+        &self,
+        target: MitigationTarget,
+        rows_per_bank: u32,
+        rng: &mut DetRng,
+    ) -> Vec<VictimRefresh> {
+        let mut out = Vec::with_capacity(4);
+        // d = 1 is always refreshed on both sides.
+        for delta in [-1i32, 1] {
+            if let Some(row) = target.row.neighbor(delta, rows_per_bank) {
+                out.push(VictimRefresh { row, distance: 1 });
+            }
+        }
+        // The probabilistic pair at d = 2 + leading-zeros(rand16).
+        let d = Self::draw_distance(rng);
+        for delta in [-(d as i32), d as i32] {
+            if let Some(row) = target.row.neighbor(delta, rows_per_bank) {
+                out.push(VictimRefresh {
+                    row,
+                    distance: d as u8,
+                });
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "fractal"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autorfm_sim_core::RowAddr;
+
+    #[test]
+    fn always_refreshes_immediate_neighbors() {
+        let fm = FractalPolicy::new();
+        let mut rng = DetRng::seeded(1);
+        for _ in 0..100 {
+            let v = fm.victims(MitigationTarget::direct(RowAddr(1000)), 4096, &mut rng);
+            assert!(v.iter().any(|x| x.row == RowAddr(999) && x.distance == 1));
+            assert!(v.iter().any(|x| x.row == RowAddr(1001) && x.distance == 1));
+            assert_eq!(v.len(), 4);
+        }
+    }
+
+    #[test]
+    fn distance_distribution_is_exponential() {
+        // P(pair at distance d) should be 2^(1-d) for d >= 2.
+        let mut rng = DetRng::seeded(2);
+        let n = 200_000;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..n {
+            *counts
+                .entry(FractalPolicy::draw_distance(&mut rng))
+                .or_insert(0u32) += 1;
+        }
+        for d in 2..=6u32 {
+            let expect = n as f64 * FractalPolicy::refresh_probability(d);
+            let got = *counts.get(&d).unwrap_or(&0) as f64;
+            assert!(
+                (got - expect).abs() < expect * 0.1,
+                "d={d}: got {got}, expected {expect}"
+            );
+        }
+        // Distances stay within the 16-bit bound.
+        assert!(counts.keys().all(|&d| (2..=18).contains(&d)));
+    }
+
+    #[test]
+    fn refresh_probability_values() {
+        assert_eq!(FractalPolicy::refresh_probability(1), 1.0);
+        assert_eq!(FractalPolicy::refresh_probability(2), 0.5);
+        assert_eq!(FractalPolicy::refresh_probability(3), 0.25);
+        assert_eq!(FractalPolicy::refresh_probability(4), 0.125);
+        assert_eq!(FractalPolicy::refresh_probability(0), 0.0);
+    }
+
+    #[test]
+    fn exactly_four_refreshes_away_from_edges() {
+        let fm = FractalPolicy::new();
+        let mut rng = DetRng::seeded(3);
+        for _ in 0..1000 {
+            let v = fm.victims(MitigationTarget::direct(RowAddr(65_536)), 131_072, &mut rng);
+            assert_eq!(v.len(), 4, "fractal must always issue 4 refreshes mid-bank");
+            // Two at d=1, two at the drawn distance.
+            assert_eq!(v.iter().filter(|x| x.distance == 1).count(), 2);
+            let far: Vec<_> = v.iter().filter(|x| x.distance >= 2).collect();
+            assert_eq!(far.len(), 2);
+            assert_eq!(far[0].distance, far[1].distance);
+        }
+    }
+
+    #[test]
+    fn clips_at_edges_but_keeps_other_side() {
+        let fm = FractalPolicy::new();
+        let mut rng = DetRng::seeded(4);
+        let v = fm.victims(MitigationTarget::direct(RowAddr(0)), 1024, &mut rng);
+        // Left neighbors don't exist; right side survives.
+        assert!(v.iter().all(|x| x.row.0 > 0));
+        assert!(v.iter().any(|x| x.row == RowAddr(1)));
+    }
+
+    #[test]
+    fn level_is_ignored_no_recursion_needed() {
+        // Fractal handles transitive attacks in one round: the victims for a
+        // level-3 target are the same distribution as level-0.
+        let fm = FractalPolicy::new();
+        let mut rng_a = DetRng::seeded(5);
+        let mut rng_b = DetRng::seeded(5);
+        let v0 = fm.victims(
+            MitigationTarget {
+                row: RowAddr(100),
+                level: 0,
+            },
+            1024,
+            &mut rng_a,
+        );
+        let v3 = fm.victims(
+            MitigationTarget {
+                row: RowAddr(100),
+                level: 3,
+            },
+            1024,
+            &mut rng_b,
+        );
+        assert_eq!(v0, v3);
+        assert!(!fm.wants_recursion());
+    }
+}

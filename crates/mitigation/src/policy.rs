@@ -1,0 +1,155 @@
+//! The [`MitigationPolicy`] trait and victim-refresh descriptors.
+
+use autorfm_sim_core::{ConfigError, DetRng, RowAddr};
+use autorfm_trackers::MitigationTarget;
+use core::fmt;
+
+/// One victim refresh produced by a mitigation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VictimRefresh {
+    /// The refreshed row.
+    pub row: RowAddr,
+    /// Absolute distance from the aggressor row (1 = immediate neighbor).
+    pub distance: u8,
+}
+
+impl fmt::Display for VictimRefresh {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(d{})", self.row, self.distance)
+    }
+}
+
+/// A victim-refresh policy: maps an aggressor row to the set of rows that
+/// receive a mitigative refresh.
+///
+/// All policies in this crate issue at most [`MitigationPolicy::refreshes_per_round`]
+/// victim refreshes per mitigation, so the subarray occupancy per round is the
+/// constant `refreshes_per_round × tRC` the paper calls `t_M` (~200 ns for 4
+/// refreshes).
+pub trait MitigationPolicy: Send {
+    /// Computes the victim rows for mitigating `target` in a bank of
+    /// `rows_per_bank` rows. Victims that would fall off either edge of the
+    /// bank are dropped (edge rows have fewer neighbors).
+    fn victims(
+        &self,
+        target: MitigationTarget,
+        rows_per_bank: u32,
+        rng: &mut DetRng,
+    ) -> Vec<VictimRefresh>;
+
+    /// The fixed number of refresh slots per mitigation round (4 in the paper;
+    /// clipped victims still consume their slot's time).
+    fn refreshes_per_round(&self) -> u32 {
+        4
+    }
+
+    /// Whether victim rows must be reported back to the tracker so they can
+    /// trigger follow-up mitigations (true for recursive mitigation; false for
+    /// fractal, which handles transitive attacks within a single round).
+    fn wants_recursion(&self) -> bool {
+        false
+    }
+
+    /// Short policy name.
+    fn name(&self) -> &'static str;
+}
+
+/// Selects a mitigation policy by name; used by configuration surfaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MitigationKind {
+    /// Fixed blast-radius-2 victim refresh (baseline, no transitive defense).
+    Baseline,
+    /// Recursive Mitigation: level-scaled distances + tracker recursion.
+    Recursive,
+    /// Fractal Mitigation (the paper's proposal).
+    #[default]
+    Fractal,
+    /// Minimal pair: only the two d=1 neighbors (Section IV-B's "reduce the
+    /// number of rows that receive victim refresh from 4 to 2" option, which
+    /// shrinks the SAUM busy window to 2·tRC and permits AutoRFMTH = 2).
+    /// No transitive defense — ablation use only.
+    MinimalPair,
+}
+
+impl fmt::Display for MitigationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MitigationKind::Baseline => "baseline",
+            MitigationKind::Recursive => "recursive",
+            MitigationKind::Fractal => "fractal",
+            MitigationKind::MinimalPair => "minimal-pair",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Builds a boxed policy of the given kind.
+///
+/// # Errors
+///
+/// Currently infallible for all kinds; returns `Result` for uniformity with
+/// the other factory functions and future parameterized policies.
+///
+/// # Examples
+///
+/// ```
+/// use autorfm_mitigation::{build_policy, MitigationKind};
+///
+/// let p = build_policy(MitigationKind::Fractal)?;
+/// assert_eq!(p.name(), "fractal");
+/// assert!(!p.wants_recursion());
+/// # Ok::<(), autorfm_sim_core::ConfigError>(())
+/// ```
+pub fn build_policy(kind: MitigationKind) -> Result<Box<dyn MitigationPolicy>, ConfigError> {
+    Ok(match kind {
+        MitigationKind::Baseline => Box::new(crate::BlastRadiusPolicy::new(2)?),
+        MitigationKind::Recursive => Box::new(crate::RecursivePolicy::new()),
+        MitigationKind::Fractal => Box::new(crate::FractalPolicy::new()),
+        MitigationKind::MinimalPair => Box::new(crate::BlastRadiusPolicy::new(1)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_all_kinds() {
+        for kind in [
+            MitigationKind::Baseline,
+            MitigationKind::Recursive,
+            MitigationKind::Fractal,
+        ] {
+            let p = build_policy(kind).unwrap();
+            assert_eq!(p.refreshes_per_round(), 4);
+            assert!(!p.name().is_empty());
+        }
+        let minimal = build_policy(MitigationKind::MinimalPair).unwrap();
+        assert_eq!(minimal.refreshes_per_round(), 2);
+        assert_eq!(minimal.name(), "blast-radius");
+    }
+
+    #[test]
+    fn recursion_flags() {
+        assert!(!build_policy(MitigationKind::Baseline)
+            .unwrap()
+            .wants_recursion());
+        assert!(build_policy(MitigationKind::Recursive)
+            .unwrap()
+            .wants_recursion());
+        assert!(!build_policy(MitigationKind::Fractal)
+            .unwrap()
+            .wants_recursion());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(MitigationKind::Fractal.to_string(), "fractal");
+        assert_eq!(MitigationKind::default(), MitigationKind::Fractal);
+        let v = VictimRefresh {
+            row: RowAddr(3),
+            distance: 1,
+        };
+        assert_eq!(v.to_string(), "R3(d1)");
+    }
+}

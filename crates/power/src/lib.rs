@@ -1,0 +1,247 @@
+//! # autorfm-power
+//!
+//! A Micron-style DDR5 DRAM power model (Section VI-B, Fig 12).
+//!
+//! The paper uses the public Micron system-power calculator, which converts
+//! event rates into power through per-operation energies derived from the IDD
+//! currents. This crate implements that structure directly: the simulator
+//! supplies event counts ([`EventCounts`]) and the elapsed time; the model
+//! produces the four-component breakdown of Fig 12:
+//!
+//! * **ACT + RD/WR** — activation/precharge pairs and column accesses,
+//! * **Other** — standby and termination (background),
+//! * **Refresh** — periodic REF,
+//! * **Mitig** — Rowhammer mitigation (victim refreshes, which are internally
+//!   ACT/PRE pairs).
+//!
+//! # Examples
+//!
+//! ```
+//! use autorfm_power::{EventCounts, PowerModel};
+//!
+//! let model = PowerModel::ddr5();
+//! let counts = EventCounts { acts: 1_000_000, reads: 900_000, writes: 100_000,
+//!                            refs: 2_000, victim_refreshes: 0 };
+//! let p = model.breakdown(&counts, 0.01); // 10 ms of simulated time
+//! assert!(p.act_rw_mw > 0.0);
+//! assert_eq!(p.mitigation_mw, 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use autorfm_sim_core::ConfigError;
+
+/// DRAM event counts over a simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    /// Demand activations (each implies a precharge).
+    pub acts: u64,
+    /// Column reads.
+    pub reads: u64,
+    /// Column writes.
+    pub writes: u64,
+    /// REF commands (counted per bank).
+    pub refs: u64,
+    /// Victim refreshes from Rowhammer mitigation.
+    pub victim_refreshes: u64,
+}
+
+/// Power breakdown in milliwatts, matching Fig 12's four components.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PowerBreakdown {
+    /// Activations + column reads/writes.
+    pub act_rw_mw: f64,
+    /// Standby and termination ("Other").
+    pub background_mw: f64,
+    /// Periodic refresh.
+    pub refresh_mw: f64,
+    /// Rowhammer mitigation refreshes ("Mitig").
+    pub mitigation_mw: f64,
+}
+
+impl PowerBreakdown {
+    /// Total DRAM power in milliwatts.
+    pub fn total_mw(&self) -> f64 {
+        self.act_rw_mw + self.background_mw + self.refresh_mw + self.mitigation_mw
+    }
+}
+
+/// Per-operation energy model.
+///
+/// Default constants are derived from DDR5 IDD values for a 2-sub-channel
+/// x64 DIMM: an ACT/PRE pair costs roughly `(IDD0 − IDD3N) · tRC · VDD` summed
+/// over the chips of a rank; a 64 B column transfer costs the burst I/O plus
+/// core access energy. Absolute milliwatt values depend on the DIMM
+/// configuration; the *breakdown shape* (what Fig 12 reports) is robust to the
+/// exact constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Energy per ACT+PRE pair, in nanojoules.
+    pub e_act_pre_nj: f64,
+    /// Energy per 64-byte read, in nanojoules.
+    pub e_read_nj: f64,
+    /// Energy per 64-byte write, in nanojoules.
+    pub e_write_nj: f64,
+    /// Energy per per-bank REF, in nanojoules.
+    pub e_ref_nj: f64,
+    /// Energy per victim refresh (an internal ACT/PRE), in nanojoules.
+    pub e_victim_refresh_nj: f64,
+    /// Static background (standby + termination) power, in milliwatts.
+    pub background_mw: f64,
+}
+
+impl PowerModel {
+    /// DDR5 defaults (see the type-level docs for derivation).
+    pub fn ddr5() -> Self {
+        PowerModel {
+            e_act_pre_nj: 2.0,
+            e_read_nj: 2.6,
+            e_write_nj: 2.8,
+            e_ref_nj: 60.0,
+            e_victim_refresh_nj: 2.0,
+            background_mw: 450.0,
+        }
+    }
+
+    /// Validates that all energies are non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any constant is negative.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let vals = [
+            self.e_act_pre_nj,
+            self.e_read_nj,
+            self.e_write_nj,
+            self.e_ref_nj,
+            self.e_victim_refresh_nj,
+            self.background_mw,
+        ];
+        if vals.iter().any(|v| *v < 0.0) {
+            return Err(ConfigError::new("power constants must be non-negative"));
+        }
+        Ok(())
+    }
+
+    /// Computes the Fig 12 breakdown for `counts` over `elapsed_s` seconds of
+    /// simulated time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elapsed_s <= 0`.
+    pub fn breakdown(&self, counts: &EventCounts, elapsed_s: f64) -> PowerBreakdown {
+        assert!(elapsed_s > 0.0, "elapsed time must be positive");
+        let mw = |energy_nj: f64, events: u64| energy_nj * 1e-9 * events as f64 / elapsed_s * 1e3;
+        PowerBreakdown {
+            act_rw_mw: mw(self.e_act_pre_nj, counts.acts)
+                + mw(self.e_read_nj, counts.reads)
+                + mw(self.e_write_nj, counts.writes),
+            background_mw: self.background_mw,
+            refresh_mw: mw(self.e_ref_nj, counts.refs),
+            mitigation_mw: mw(self.e_victim_refresh_nj, counts.victim_refreshes),
+        }
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self::ddr5()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(acts: u64, vrefs: u64) -> EventCounts {
+        EventCounts {
+            acts,
+            reads: acts * 9 / 10,
+            writes: acts / 10,
+            refs: 1000,
+            victim_refreshes: vrefs,
+        }
+    }
+
+    #[test]
+    fn background_is_constant() {
+        let m = PowerModel::ddr5();
+        let a = m.breakdown(&counts(1000, 0), 1.0);
+        let b = m.breakdown(&counts(1_000_000, 0), 1.0);
+        assert_eq!(a.background_mw, b.background_mw);
+        assert!(b.act_rw_mw > a.act_rw_mw);
+    }
+
+    #[test]
+    fn mitigation_component_scales_with_victim_refreshes() {
+        let m = PowerModel::ddr5();
+        let no_mit = m.breakdown(&counts(1_000_000, 0), 0.01);
+        let auto8 = m.breakdown(&counts(1_000_000, 500_000), 0.01);
+        let auto4 = m.breakdown(&counts(1_000_000, 1_000_000), 0.01);
+        assert_eq!(no_mit.mitigation_mw, 0.0);
+        assert!(auto4.mitigation_mw > auto8.mitigation_mw);
+        assert!((auto4.mitigation_mw / auto8.mitigation_mw - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extra_acts_raise_act_component() {
+        // Rubix adds ~18% activations (Section VI-B): the ACT component must
+        // grow proportionally.
+        let m = PowerModel::ddr5();
+        let base = m.breakdown(
+            &EventCounts {
+                acts: 1_000_000,
+                ..Default::default()
+            },
+            0.01,
+        );
+        let rubix = m.breakdown(
+            &EventCounts {
+                acts: 1_180_000,
+                ..Default::default()
+            },
+            0.01,
+        );
+        let ratio = rubix.act_rw_mw / base.act_rw_mw;
+        assert!((ratio - 1.18).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_arithmetic() {
+        let m = PowerModel {
+            e_act_pre_nj: 1.0,
+            e_read_nj: 0.0,
+            e_write_nj: 0.0,
+            e_ref_nj: 0.0,
+            e_victim_refresh_nj: 0.0,
+            background_mw: 0.0,
+        };
+        // 1e6 acts x 1 nJ over 1 s = 1 mW.
+        let p = m.breakdown(
+            &EventCounts {
+                acts: 1_000_000,
+                ..Default::default()
+            },
+            1.0,
+        );
+        assert!((p.act_rw_mw - 1.0).abs() < 1e-12);
+        assert!((p.total_mw() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "elapsed time must be positive")]
+    fn zero_elapsed_panics() {
+        PowerModel::ddr5().breakdown(&EventCounts::default(), 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(PowerModel::ddr5().validate().is_ok());
+        let bad = PowerModel {
+            e_act_pre_nj: -1.0,
+            ..PowerModel::ddr5()
+        };
+        assert!(bad.validate().is_err());
+    }
+}

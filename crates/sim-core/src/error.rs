@@ -1,0 +1,59 @@
+//! Error types shared across the workspace.
+
+use core::fmt;
+use std::error::Error;
+
+/// An invalid configuration was supplied to a simulator component.
+///
+/// # Examples
+///
+/// ```
+/// use autorfm_sim_core::ConfigError;
+///
+/// let err = ConfigError::new("window size must be at least 1");
+/// assert!(err.to_string().contains("window size"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates a configuration error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+
+    /// The human-readable description of what was invalid.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = ConfigError::new("boom");
+        assert_eq!(e.to_string(), "invalid configuration: boom");
+        assert_eq!(e.message(), "boom");
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<ConfigError>();
+    }
+}

@@ -1,0 +1,312 @@
+//! DRAM organization and typed addresses.
+//!
+//! The paper's baseline (Table IV): 32 GB DDR5, 64 banks (32 banks × 2
+//! sub-channels × 1 rank), 128K rows per bank, 4 KB rows, 256 subarrays per bank
+//! (512 rows per subarray), 64 B cache lines.
+
+use crate::error::ConfigError;
+use core::fmt;
+
+/// A byte-granular physical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(pub u64);
+
+impl PhysAddr {
+    /// The cache-line index of this address for 64 B lines.
+    #[inline]
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 >> 6)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PA:{:#x}", self.0)
+    }
+}
+
+/// A 64-byte cache-line index (physical address >> 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// The byte address of the start of this line.
+    #[inline]
+    pub const fn to_phys(self) -> PhysAddr {
+        PhysAddr(self.0 << 6)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LA:{:#x}", self.0)
+    }
+}
+
+/// A flat bank index across the whole memory system (0..64 in the baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BankId(pub u16);
+
+impl fmt::Display for BankId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// A row index *within* a bank (0..128K in the baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RowAddr(pub u32);
+
+impl RowAddr {
+    /// The row `delta` positions away, clamped to the valid range
+    /// `[0, rows_per_bank)`. Returns `None` if the neighbor falls off either
+    /// edge of the bank (edge rows have fewer neighbors).
+    #[inline]
+    pub fn neighbor(self, delta: i32, rows_per_bank: u32) -> Option<RowAddr> {
+        let r = self.0 as i64 + delta as i64;
+        if r < 0 || r >= rows_per_bank as i64 {
+            None
+        } else {
+            Some(RowAddr(r as u32))
+        }
+    }
+}
+
+impl fmt::Display for RowAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// A subarray index within a bank (0..256 in the baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SubarrayId(pub u16);
+
+impl fmt::Display for SubarrayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SA{}", self.0)
+    }
+}
+
+/// A globally unique row identity: `(bank, row-within-bank)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RowId {
+    /// The bank holding the row.
+    pub bank: BankId,
+    /// The row index within the bank.
+    pub row: RowAddr,
+}
+
+impl fmt::Display for RowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.bank, self.row)
+    }
+}
+
+/// The DRAM organization: bank count, rows, row size, and subarray structure.
+///
+/// # Examples
+///
+/// ```
+/// use autorfm_sim_core::{Geometry, RowAddr};
+///
+/// let g = Geometry::paper_baseline();
+/// assert_eq!(g.num_banks, 64);
+/// assert_eq!(g.rows_per_subarray(), 512);
+/// assert_eq!(g.subarray_of(RowAddr(513)).0, 1);
+/// assert_eq!(g.total_bytes(), 32 << 30);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Total number of banks in the system (banks × sub-channels × ranks).
+    pub num_banks: u16,
+    /// Rows per bank.
+    pub rows_per_bank: u32,
+    /// Row (page) size in bytes.
+    pub row_bytes: u32,
+    /// Cache-line size in bytes.
+    pub line_bytes: u32,
+    /// Independent subarrays per bank, each with its own row buffer.
+    pub subarrays_per_bank: u16,
+}
+
+impl Geometry {
+    /// The paper's baseline configuration (Table IV).
+    pub const fn paper_baseline() -> Self {
+        Geometry {
+            num_banks: 64,
+            rows_per_bank: 128 * 1024,
+            row_bytes: 4096,
+            line_bytes: 64,
+            subarrays_per_bank: 256,
+        }
+    }
+
+    /// A reduced configuration for fast tests: 8 banks × 8K rows (256 MB),
+    /// same subarray structure as the baseline.
+    pub const fn small() -> Self {
+        Geometry {
+            num_banks: 8,
+            rows_per_bank: 8 * 1024,
+            row_bytes: 4096,
+            line_bytes: 64,
+            subarrays_per_bank: 16,
+        }
+    }
+
+    /// Cache lines per row (64 for 4 KB rows with 64 B lines).
+    #[inline]
+    pub const fn lines_per_row(&self) -> u32 {
+        self.row_bytes / self.line_bytes
+    }
+
+    /// Rows per subarray (512 in the baseline).
+    #[inline]
+    pub const fn rows_per_subarray(&self) -> u32 {
+        self.rows_per_bank / self.subarrays_per_bank as u32
+    }
+
+    /// The subarray containing `row`. Rows are assigned to subarrays in
+    /// contiguous blocks of [`Self::rows_per_subarray`] (Section II-B).
+    #[inline]
+    pub const fn subarray_of(&self, row: RowAddr) -> SubarrayId {
+        SubarrayId((row.0 / self.rows_per_subarray()) as u16)
+    }
+
+    /// Total capacity in bytes.
+    #[inline]
+    pub const fn total_bytes(&self) -> u64 {
+        self.num_banks as u64 * self.rows_per_bank as u64 * self.row_bytes as u64
+    }
+
+    /// Total number of cache lines.
+    #[inline]
+    pub const fn total_lines(&self) -> u64 {
+        self.total_bytes() / self.line_bytes as u64
+    }
+
+    /// Number of bits in a line address (`log2(total_lines)`).
+    #[inline]
+    pub const fn line_addr_bits(&self) -> u32 {
+        self.total_lines().trailing_zeros()
+    }
+
+    /// Validates that all dimensions are powers of two and consistent, which the
+    /// mapping layers rely on for bit-slicing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any dimension is zero or not a power of two,
+    /// or if `subarrays_per_bank` does not divide `rows_per_bank`.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        fn pow2(name: &str, v: u64) -> Result<(), ConfigError> {
+            if v == 0 || !v.is_power_of_two() {
+                return Err(ConfigError::new(format!(
+                    "{name} must be a power of two, got {v}"
+                )));
+            }
+            Ok(())
+        }
+        pow2("num_banks", self.num_banks as u64)?;
+        pow2("rows_per_bank", self.rows_per_bank as u64)?;
+        pow2("row_bytes", self.row_bytes as u64)?;
+        pow2("line_bytes", self.line_bytes as u64)?;
+        pow2("subarrays_per_bank", self.subarrays_per_bank as u64)?;
+        if self.subarrays_per_bank as u32 > self.rows_per_bank {
+            return Err(ConfigError::new("more subarrays than rows"));
+        }
+        if self.row_bytes < self.line_bytes {
+            return Err(ConfigError::new("row smaller than a cache line"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for Geometry {
+    fn default() -> Self {
+        Self::paper_baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table4() {
+        let g = Geometry::paper_baseline();
+        assert_eq!(g.num_banks, 64); // 32 banks x 2 subchannels x 1 rank
+        assert_eq!(g.rows_per_bank, 131_072);
+        assert_eq!(g.row_bytes, 4096);
+        assert_eq!(g.subarrays_per_bank, 256);
+        assert_eq!(g.rows_per_subarray(), 512);
+        assert_eq!(g.total_bytes(), 32 << 30);
+        assert_eq!(g.total_lines(), 1 << 29);
+        assert_eq!(g.line_addr_bits(), 29);
+        assert_eq!(g.lines_per_row(), 64);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn subarray_assignment_is_contiguous() {
+        let g = Geometry::paper_baseline();
+        assert_eq!(g.subarray_of(RowAddr(0)).0, 0);
+        assert_eq!(g.subarray_of(RowAddr(511)).0, 0);
+        assert_eq!(g.subarray_of(RowAddr(512)).0, 1);
+        assert_eq!(g.subarray_of(RowAddr(131_071)).0, 255);
+    }
+
+    #[test]
+    fn neighbor_clamps_at_edges() {
+        let rows = 1024;
+        assert_eq!(RowAddr(0).neighbor(-1, rows), None);
+        assert_eq!(RowAddr(0).neighbor(2, rows), Some(RowAddr(2)));
+        assert_eq!(RowAddr(1023).neighbor(1, rows), None);
+        assert_eq!(RowAddr(1023).neighbor(-2, rows), Some(RowAddr(1021)));
+        assert_eq!(RowAddr(5).neighbor(0, rows), Some(RowAddr(5)));
+    }
+
+    #[test]
+    fn phys_line_round_trip() {
+        let pa = PhysAddr(0x1234_5678);
+        let line = pa.line();
+        assert_eq!(line.0, 0x1234_5678 >> 6);
+        assert_eq!(line.to_phys().0, pa.0 & !63);
+    }
+
+    #[test]
+    fn validation_rejects_bad_geometry() {
+        let mut g = Geometry::paper_baseline();
+        g.num_banks = 63;
+        assert!(g.validate().is_err());
+
+        let mut g = Geometry::paper_baseline();
+        g.subarrays_per_bank = 0;
+        assert!(g.validate().is_err());
+
+        let mut g = Geometry::small();
+        g.row_bytes = 32; // smaller than line
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn small_geometry_is_valid() {
+        let g = Geometry::small();
+        assert!(g.validate().is_ok());
+        assert_eq!(g.rows_per_subarray(), 512);
+    }
+
+    #[test]
+    fn display_impls_are_nonempty() {
+        assert_eq!(BankId(3).to_string(), "B3");
+        assert_eq!(RowAddr(9).to_string(), "R9");
+        assert_eq!(SubarrayId(1).to_string(), "SA1");
+        let rid = RowId {
+            bank: BankId(2),
+            row: RowAddr(7),
+        };
+        assert_eq!(rid.to_string(), "B2/R7");
+        assert!(PhysAddr(64).to_string().contains("0x40"));
+        assert!(LineAddr(1).to_string().contains("0x1"));
+    }
+}

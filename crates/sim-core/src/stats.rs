@@ -1,0 +1,365 @@
+//! Lightweight statistics primitives used across the simulator for reporting:
+//! event counters, running averages, ratios, and fixed-bin histograms.
+
+use core::fmt;
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use autorfm_sim_core::Counter;
+///
+/// let mut acts = Counter::new();
+/// acts.inc();
+/// acts.add(3);
+/// assert_eq!(acts.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    #[inline]
+    pub const fn get(&self) -> u64 {
+        self.0
+    }
+
+    /// Resets the counter to zero and returns the previous value.
+    pub fn take(&mut self) -> u64 {
+        core::mem::take(&mut self.0)
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A running average over `f64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use autorfm_sim_core::Average;
+///
+/// let mut avg = Average::new();
+/// avg.push(1.0);
+/// avg.push(3.0);
+/// assert_eq!(avg.mean(), 2.0);
+/// assert_eq!(avg.count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Average {
+    sum: f64,
+    count: u64,
+}
+
+impl Average {
+    /// Creates an empty average.
+    pub const fn new() -> Self {
+        Average { sum: 0.0, count: 0 }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, sample: f64) {
+        self.sum += sample;
+        self.count += 1;
+    }
+
+    /// Arithmetic mean of the samples so far; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Number of samples.
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples.
+    pub const fn sum(&self) -> f64 {
+        self.sum
+    }
+}
+
+impl FromIterator<f64> for Average {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut avg = Average::new();
+        for x in iter {
+            avg.push(x);
+        }
+        avg
+    }
+}
+
+/// A numerator/denominator pair for rate metrics such as "ALERTs per ACT".
+///
+/// # Examples
+///
+/// ```
+/// use autorfm_sim_core::Ratio;
+///
+/// let mut alerts_per_act = Ratio::new();
+/// alerts_per_act.add_denom(1000);
+/// alerts_per_act.add_num(2);
+/// assert_eq!(alerts_per_act.value(), 0.002);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Ratio {
+    num: u64,
+    denom: u64,
+}
+
+impl Ratio {
+    /// Creates a zeroed ratio.
+    pub const fn new() -> Self {
+        Ratio { num: 0, denom: 0 }
+    }
+
+    /// Increments the numerator by `n`.
+    pub fn add_num(&mut self, n: u64) {
+        self.num += n;
+    }
+
+    /// Increments the denominator by `n`.
+    pub fn add_denom(&mut self, n: u64) {
+        self.denom += n;
+    }
+
+    /// `num / denom`; `0.0` when the denominator is zero.
+    pub fn value(&self) -> f64 {
+        if self.denom == 0 {
+            0.0
+        } else {
+            self.num as f64 / self.denom as f64
+        }
+    }
+
+    /// The numerator.
+    pub const fn num(&self) -> u64 {
+        self.num
+    }
+
+    /// The denominator.
+    pub const fn denom(&self) -> u64 {
+        self.denom
+    }
+}
+
+/// A histogram over `u64` values with fixed-width bins and an overflow bin.
+///
+/// # Examples
+///
+/// ```
+/// use autorfm_sim_core::Histogram;
+///
+/// let mut h = Histogram::new(10, 8); // 8 bins of width 10
+/// h.record(0);
+/// h.record(15);
+/// h.record(1_000); // overflow
+/// assert_eq!(h.bin_count(0), 1);
+/// assert_eq!(h.bin_count(1), 1);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bin_width: u64,
+    bins: Vec<u64>,
+    overflow: u64,
+    total: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `nbins` bins of width `bin_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width == 0` or `nbins == 0`.
+    pub fn new(bin_width: u64, nbins: usize) -> Self {
+        assert!(bin_width > 0, "bin width must be positive");
+        assert!(nbins > 0, "need at least one bin");
+        Histogram {
+            bin_width,
+            bins: vec![0; nbins],
+            overflow: 0,
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = (value / self.bin_width) as usize;
+        if idx < self.bins.len() {
+            self.bins[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.total += 1;
+        self.sum += value as u128;
+        self.max = self.max.max(value);
+    }
+
+    /// Count in bin `idx` (values in `[idx*w, (idx+1)*w)`).
+    pub fn bin_count(&self, idx: usize) -> u64 {
+        self.bins.get(idx).copied().unwrap_or(0)
+    }
+
+    /// Count of samples that exceeded the last bin.
+    pub const fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of recorded samples.
+    pub const fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of recorded samples; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub const fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Iterates over `(bin_start, count)` pairs for non-empty bins.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.bins
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(move |(i, &c)| (i as u64 * self.bin_width, c))
+    }
+}
+
+/// Formats a fraction as a percentage string with one decimal, e.g. `"3.1%"`.
+pub fn percent(frac: f64) -> String {
+    format!("{:.1}%", frac * 100.0)
+}
+
+/// Geometric mean of a slice of positive values; `0.0` for an empty slice.
+///
+/// Slowdown aggregates in the paper are arithmetic means across workloads; the
+/// geometric mean is provided for weighted-speedup style reporting.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.take(), 10);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn average_from_iterator() {
+        let avg: Average = [2.0, 4.0, 6.0].into_iter().collect();
+        assert_eq!(avg.mean(), 4.0);
+        assert_eq!(avg.count(), 3);
+        assert_eq!(avg.sum(), 12.0);
+    }
+
+    #[test]
+    fn average_empty_is_zero() {
+        assert_eq!(Average::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn ratio_zero_denominator() {
+        let mut r = Ratio::new();
+        r.add_num(5);
+        assert_eq!(r.value(), 0.0);
+        r.add_denom(10);
+        assert_eq!(r.value(), 0.5);
+        assert_eq!(r.num(), 5);
+        assert_eq!(r.denom(), 10);
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let mut h = Histogram::new(5, 4);
+        for v in [0, 4, 5, 19, 20, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.bin_count(0), 2); // 0, 4
+        assert_eq!(h.bin_count(1), 1); // 5
+        assert_eq!(h.bin_count(3), 1); // 19
+        assert_eq!(h.overflow(), 2); // 20, 100
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 148.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_iter_skips_empty() {
+        let mut h = Histogram::new(10, 10);
+        h.record(35);
+        let bins: Vec<_> = h.iter().collect();
+        assert_eq!(bins, vec![(30, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width must be positive")]
+    fn histogram_zero_width_panics() {
+        Histogram::new(0, 4);
+    }
+
+    #[test]
+    fn percent_formatting() {
+        assert_eq!(percent(0.031), "3.1%");
+        assert_eq!(percent(0.0), "0.0%");
+    }
+
+    #[test]
+    fn geomean_values() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,302 @@
+//! The global simulation clock.
+//!
+//! Every component of the simulator (cores, LLC, memory controller, DRAM device)
+//! runs on a single clock domain: CPU cycles at 4 GHz, i.e. 0.25 ns per cycle.
+//! DRAM timing parameters, which JEDEC specifies in nanoseconds, are converted to
+//! cycles once at configuration time (see [`crate::timing::DramTimings`]).
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Number of simulation cycles per nanosecond (4 GHz CPU clock).
+pub const CYCLES_PER_NS: u64 = 4;
+
+/// A duration or point in time, measured in CPU cycles at 4 GHz.
+///
+/// `Cycle` is used both as an absolute timestamp ("the current cycle") and as a
+/// duration ("tRC is 192 cycles"); the arithmetic operators make the common
+/// `deadline = now + latency` pattern natural.
+///
+/// # Examples
+///
+/// ```
+/// use autorfm_sim_core::Cycle;
+///
+/// let now = Cycle::from_ns(100);
+/// let t_rc = Cycle::from_ns(48);
+/// assert_eq!((now + t_rc).as_ns(), 148);
+/// assert!(now + t_rc > now);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// The zero timestamp (simulation start).
+    pub const ZERO: Cycle = Cycle(0);
+    /// The maximum representable timestamp; used as "never".
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
+    /// Creates a `Cycle` from a raw cycle count.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Cycle(raw)
+    }
+
+    /// Creates a `Cycle` from a duration in nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        Cycle(ns * CYCLES_PER_NS)
+    }
+
+    /// Creates a `Cycle` from a duration in microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        Cycle::from_ns(us * 1_000)
+    }
+
+    /// Creates a `Cycle` from a duration in milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        Cycle::from_ns(ms * 1_000_000)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration in (whole) nanoseconds, rounding down.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0 / CYCLES_PER_NS
+    }
+
+    /// Returns the duration in seconds as a float (for reporting).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / (CYCLES_PER_NS as f64 * 1e9)
+    }
+
+    /// Saturating subtraction; clamps at zero instead of wrapping.
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition; `None` on overflow. Useful when adding to
+    /// [`Cycle::MAX`]-style sentinels.
+    #[inline]
+    pub const fn checked_add(self, rhs: Cycle) -> Option<Cycle> {
+        match self.0.checked_add(rhs.0) {
+            Some(v) => Some(Cycle(v)),
+            None => None,
+        }
+    }
+
+    /// Returns the larger of two timestamps.
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two timestamps.
+    #[inline]
+    pub fn min(self, other: Cycle) -> Cycle {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycle) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycle {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycle) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn mul(self, rhs: u64) -> Cycle {
+        Cycle(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn div(self, rhs: u64) -> Cycle {
+        Cycle(self.0 / rhs)
+    }
+}
+
+impl Sum for Cycle {
+    fn sum<I: Iterator<Item = Cycle>>(iter: I) -> Cycle {
+        iter.fold(Cycle::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+/// A duration expressed in nanoseconds, used at configuration boundaries where
+/// JEDEC parameters are quoted (Table I of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use autorfm_sim_core::NanoSec;
+///
+/// let t_rfm = NanoSec::new(205);
+/// assert_eq!(t_rfm.to_cycles().raw(), 820);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NanoSec(u64);
+
+impl NanoSec {
+    /// Creates a duration of `ns` nanoseconds.
+    #[inline]
+    pub const fn new(ns: u64) -> Self {
+        NanoSec(ns)
+    }
+
+    /// The duration in nanoseconds.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Converts to the global cycle clock (4 GHz).
+    #[inline]
+    pub const fn to_cycles(self) -> Cycle {
+        Cycle::from_ns(self.0)
+    }
+
+    /// Multiplies the duration by an integer scale.
+    #[inline]
+    pub const fn scaled(self, num: u64, den: u64) -> NanoSec {
+        NanoSec(self.0 * num / den)
+    }
+}
+
+impl fmt::Display for NanoSec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl From<NanoSec> for Cycle {
+    fn from(ns: NanoSec) -> Cycle {
+        ns.to_cycles()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_ns_round_trip() {
+        for ns in [0u64, 1, 12, 48, 205, 410, 3900] {
+            assert_eq!(Cycle::from_ns(ns).as_ns(), ns);
+        }
+    }
+
+    #[test]
+    fn cycle_arithmetic() {
+        let a = Cycle::new(100);
+        let b = Cycle::new(30);
+        assert_eq!((a + b).raw(), 130);
+        assert_eq!((a - b).raw(), 70);
+        assert_eq!((a * 3).raw(), 300);
+        assert_eq!((a / 4).raw(), 25);
+        assert_eq!(b.saturating_sub(a), Cycle::ZERO);
+    }
+
+    #[test]
+    fn cycle_ordering_and_minmax() {
+        let a = Cycle::new(5);
+        let b = Cycle::new(9);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn cycle_sum() {
+        let total: Cycle = [Cycle::new(1), Cycle::new(2), Cycle::new(3)]
+            .into_iter()
+            .sum();
+        assert_eq!(total.raw(), 6);
+    }
+
+    #[test]
+    fn cycle_checked_add_overflow() {
+        assert!(Cycle::MAX.checked_add(Cycle::new(1)).is_none());
+        assert_eq!(
+            Cycle::new(1).checked_add(Cycle::new(2)),
+            Some(Cycle::new(3))
+        );
+    }
+
+    #[test]
+    fn nanosec_conversions() {
+        assert_eq!(NanoSec::new(48).to_cycles().raw(), 192);
+        assert_eq!(NanoSec::new(410).scaled(1, 2).as_ns(), 205);
+        let c: Cycle = NanoSec::new(10).into();
+        assert_eq!(c.raw(), 40);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Cycle::new(7).to_string(), "7cy");
+        assert_eq!(NanoSec::new(48).to_string(), "48ns");
+    }
+
+    #[test]
+    fn ms_and_us_constructors() {
+        assert_eq!(Cycle::from_ms(32).raw(), 32 * 1_000_000 * CYCLES_PER_NS);
+        assert_eq!(Cycle::from_us(1).raw(), 4_000);
+    }
+
+    #[test]
+    fn as_secs() {
+        let one_sec = Cycle::from_ms(1000);
+        assert!((one_sec.as_secs_f64() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,252 @@
+//! DDR5 timing parameters (Table I of the paper) plus the handful of rank-level
+//! constraints (tRRD, tFAW, tBURST) the paper's simulator models implicitly.
+//!
+//! All values are stored pre-converted to the global 4 GHz cycle clock so hot
+//! simulation paths never divide or multiply.
+
+use crate::error::ConfigError;
+use crate::time::{Cycle, NanoSec};
+
+/// DDR5 timing parameters.
+///
+/// Defaults come from Table I of the paper; individual parameters can be
+/// overridden through [`TimingOverride`] (used, e.g., to model PRAC's increased
+/// tRP/tRC — Section VII-A).
+///
+/// # Examples
+///
+/// ```
+/// use autorfm_sim_core::DramTimings;
+///
+/// let t = DramTimings::ddr5();
+/// assert_eq!(t.t_rcd.as_ns(), 12);
+/// assert_eq!(t.t_refi.as_ns(), 3900);
+/// // The paper: "given a tRC of 48ns, we can perform a maximum of 73
+/// // activations within tREFI" (tREFI minus tRFC).
+/// assert_eq!(t.max_acts_per_refi(), 72);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DramTimings {
+    /// Time for performing ACT (row-address to column-address delay): 12 ns.
+    pub t_rcd: Cycle,
+    /// Time to precharge an open row: 12 ns.
+    pub t_rp: Cycle,
+    /// Minimum time a row must be kept open: 36 ns.
+    pub t_ras: Cycle,
+    /// Time between successive ACTs to the same bank: 48 ns.
+    pub t_rc: Cycle,
+    /// Refresh window: every row refreshed once per 32 ms.
+    pub t_refw: Cycle,
+    /// Time between successive REF commands: 3900 ns.
+    pub t_refi: Cycle,
+    /// Duration of a REF command (bank blocked): 410 ns.
+    pub t_rfc: Cycle,
+    /// Duration of an RFM command (bank blocked): 205 ns.
+    pub t_rfm: Cycle,
+    /// Column access latency (CAS): 16 ns (DDR5-4800 CL38-ish at 4 GHz granularity).
+    pub t_cl: Cycle,
+    /// Data burst occupancy of the sub-channel data bus per 64B transfer.
+    pub t_burst: Cycle,
+    /// ACT-to-ACT minimum spacing across banks of the same rank.
+    pub t_rrd: Cycle,
+    /// Four-activation window per rank.
+    pub t_faw: Cycle,
+    /// Write recovery time (WR data end to PRE).
+    pub t_wr: Cycle,
+}
+
+impl DramTimings {
+    /// DDR5 timings from Table I of the paper, with common values for the
+    /// parameters the table omits (CL, burst, tRRD, tFAW, tWR).
+    pub fn ddr5() -> Self {
+        DramTimings {
+            t_rcd: NanoSec::new(12).to_cycles(),
+            t_rp: NanoSec::new(12).to_cycles(),
+            t_ras: NanoSec::new(36).to_cycles(),
+            t_rc: NanoSec::new(48).to_cycles(),
+            t_refw: Cycle::from_ms(32),
+            t_refi: NanoSec::new(3900).to_cycles(),
+            t_rfc: NanoSec::new(410).to_cycles(),
+            t_rfm: NanoSec::new(205).to_cycles(),
+            t_cl: NanoSec::new(16).to_cycles(),
+            t_burst: NanoSec::new(3).to_cycles() + Cycle::new(1), // ~3.3ns per 64B
+            t_rrd: NanoSec::new(3).to_cycles(),
+            t_faw: NanoSec::new(13).to_cycles(),
+            t_wr: NanoSec::new(30).to_cycles(),
+        }
+    }
+
+    /// Applies an override, returning the modified timings.
+    pub fn with_override(mut self, ov: TimingOverride) -> Self {
+        ov.apply(&mut self);
+        self
+    }
+
+    /// Timings under PRAC (Section VII-A): the per-row counter read-modify-write
+    /// lengthens the precharge path. The paper reports tRP increased by almost
+    /// 150% and tRC by ~10%.
+    pub fn ddr5_prac() -> Self {
+        let base = Self::ddr5();
+        let t_rp = base.t_rp + base.t_rp * 3 / 2; // +150%
+        let t_rc = base.t_rc + base.t_rc / 10; // +10%
+        DramTimings { t_rp, t_rc, ..base }
+    }
+
+    /// Mitigation latency for AutoRFM: refreshing four victim rows back-to-back,
+    /// i.e. four tRC (~192 ns ≈ the paper's 200 ns `t_M`).
+    pub fn t_mitigation(&self) -> Cycle {
+        self.t_rc * 4
+    }
+
+    /// Maximum demand activations between two REF commands:
+    /// `(tREFI - tRFC) / tRC` (the paper quotes 73 with exact-ns rounding).
+    pub fn max_acts_per_refi(&self) -> u64 {
+        (self.t_refi - self.t_rfc).raw() / self.t_rc.raw()
+    }
+
+    /// Validates internal consistency (e.g. tRAS + tRP <= tRC is *not* required
+    /// by JEDEC, but tRC must cover tRAS, and tREFI must exceed tRFC).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if a parameter combination can deadlock the bank
+    /// state machine (zero tRC, tRFC >= tREFI, or tRAS > tRC).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.t_rc == Cycle::ZERO {
+            return Err(ConfigError::new("tRC must be non-zero"));
+        }
+        if self.t_rfc >= self.t_refi {
+            return Err(ConfigError::new("tRFC must be smaller than tREFI"));
+        }
+        if self.t_ras > self.t_rc {
+            return Err(ConfigError::new("tRAS must not exceed tRC"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for DramTimings {
+    fn default() -> Self {
+        Self::ddr5()
+    }
+}
+
+/// A set of optional overrides applied on top of a [`DramTimings`] preset.
+///
+/// # Examples
+///
+/// ```
+/// use autorfm_sim_core::{DramTimings, TimingOverride, Cycle};
+///
+/// let t = DramTimings::ddr5().with_override(TimingOverride {
+///     t_rfm: Some(Cycle::from_ns(410)), // use full tRFC for RFM
+///     ..TimingOverride::default()
+/// });
+/// assert_eq!(t.t_rfm.as_ns(), 410);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimingOverride {
+    /// Override for tRC.
+    pub t_rc: Option<Cycle>,
+    /// Override for tRP.
+    pub t_rp: Option<Cycle>,
+    /// Override for tRAS.
+    pub t_ras: Option<Cycle>,
+    /// Override for tRFM.
+    pub t_rfm: Option<Cycle>,
+    /// Override for tRFC.
+    pub t_rfc: Option<Cycle>,
+    /// Override for tREFI.
+    pub t_refi: Option<Cycle>,
+}
+
+impl TimingOverride {
+    fn apply(self, t: &mut DramTimings) {
+        if let Some(v) = self.t_rc {
+            t.t_rc = v;
+        }
+        if let Some(v) = self.t_rp {
+            t.t_rp = v;
+        }
+        if let Some(v) = self.t_ras {
+            t.t_ras = v;
+        }
+        if let Some(v) = self.t_rfm {
+            t.t_rfm = v;
+        }
+        if let Some(v) = self.t_rfc {
+            t.t_rfc = v;
+        }
+        if let Some(v) = self.t_refi {
+            t.t_refi = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        let t = DramTimings::ddr5();
+        assert_eq!(t.t_rcd.as_ns(), 12);
+        assert_eq!(t.t_rp.as_ns(), 12);
+        assert_eq!(t.t_ras.as_ns(), 36);
+        assert_eq!(t.t_rc.as_ns(), 48);
+        assert_eq!(t.t_refw, Cycle::from_ms(32));
+        assert_eq!(t.t_refi.as_ns(), 3900);
+        assert_eq!(t.t_rfc.as_ns(), 410);
+        assert_eq!(t.t_rfm.as_ns(), 205);
+    }
+
+    #[test]
+    fn mitigation_latency_is_four_trc() {
+        let t = DramTimings::ddr5();
+        assert_eq!(t.t_mitigation(), t.t_rc * 4);
+        assert_eq!(t.t_mitigation().as_ns(), 192); // ~200 ns in the paper
+    }
+
+    #[test]
+    fn acts_per_refi_near_paper_value() {
+        // The paper says "a maximum of 73 activations within tREFI"; with integer
+        // cycle math we land within one activation of that.
+        let n = DramTimings::ddr5().max_acts_per_refi();
+        assert!((72..=73).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn prac_timings_increased() {
+        let base = DramTimings::ddr5();
+        let prac = DramTimings::ddr5_prac();
+        assert_eq!(prac.t_rp.as_ns(), 30); // 12 * 2.5
+        assert_eq!(prac.t_rc.as_ns(), 52); // ~+10%
+        assert!(prac.t_rc > base.t_rc);
+    }
+
+    #[test]
+    fn overrides_apply() {
+        let t = DramTimings::ddr5().with_override(TimingOverride {
+            t_rc: Some(Cycle::from_ns(50)),
+            t_refi: Some(Cycle::from_ns(4000)),
+            ..TimingOverride::default()
+        });
+        assert_eq!(t.t_rc.as_ns(), 50);
+        assert_eq!(t.t_refi.as_ns(), 4000);
+        assert_eq!(t.t_rp.as_ns(), 12); // untouched
+    }
+
+    #[test]
+    fn validation_catches_deadlocks() {
+        let mut t = DramTimings::ddr5();
+        assert!(t.validate().is_ok());
+        t.t_rfc = t.t_refi;
+        assert!(t.validate().is_err());
+        let mut t = DramTimings::ddr5();
+        t.t_rc = Cycle::ZERO;
+        assert!(t.validate().is_err());
+        let mut t = DramTimings::ddr5();
+        t.t_ras = t.t_rc + Cycle::new(1);
+        assert!(t.validate().is_err());
+    }
+}

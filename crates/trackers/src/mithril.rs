@@ -1,0 +1,191 @@
+//! Mithril-style counter-based tracker \[18\] (Appendix D of the paper).
+//!
+//! Mithril keeps a Misra-Gries frequent-items summary of activated rows. At
+//! each mitigation opportunity it mitigates the row with the highest estimated
+//! count. Deterministic trackers of this style need large tables to tolerate
+//! low thresholds (the paper notes >30K entries/bank for sub-125 TRH-D when
+//! paired with AutoRFM-4), which is exactly the storage cost MINT avoids.
+
+use crate::tracker::{MitigationTarget, Tracker};
+use autorfm_sim_core::{ConfigError, DetRng, RowAddr};
+
+/// A Misra-Gries entry: a row and its estimated activation count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    row: RowAddr,
+    count: u32,
+}
+
+/// The Mithril-style counter tracker.
+///
+/// # Examples
+///
+/// ```
+/// use autorfm_trackers::{Mithril, Tracker};
+/// use autorfm_sim_core::{DetRng, RowAddr};
+///
+/// let mut rng = DetRng::seeded(1);
+/// let mut m = Mithril::new(4, 8)?;
+/// for _ in 0..100 {
+///     m.on_activation(RowAddr(7), &mut rng); // hammer row 7 twice as hard
+///     m.on_activation(RowAddr(7), &mut rng);
+///     m.on_activation(RowAddr(1), &mut rng);
+/// }
+/// let t = m.select_for_mitigation(&mut rng).unwrap();
+/// assert_eq!(t.row, RowAddr(7)); // the hottest row is mitigated first
+/// # Ok::<(), autorfm_sim_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mithril {
+    window: u32,
+    entries: Vec<Entry>,
+    capacity: usize,
+}
+
+impl Mithril {
+    /// Creates a Mithril tracker with `capacity` counter entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `window == 0` or `capacity == 0`.
+    pub fn new(window: u32, capacity: usize) -> Result<Self, ConfigError> {
+        if window == 0 {
+            return Err(ConfigError::new("Mithril window must be at least 1"));
+        }
+        if capacity == 0 {
+            return Err(ConfigError::new("Mithril needs at least 1 counter entry"));
+        }
+        Ok(Mithril {
+            window,
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        })
+    }
+
+    /// Current number of tracked rows.
+    pub fn tracked_rows(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The estimated count for `row`, if tracked.
+    pub fn count_of(&self, row: RowAddr) -> Option<u32> {
+        self.entries.iter().find(|e| e.row == row).map(|e| e.count)
+    }
+}
+
+impl Tracker for Mithril {
+    fn on_activation(&mut self, row: RowAddr, _rng: &mut DetRng) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.row == row) {
+            e.count += 1;
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push(Entry { row, count: 1 });
+            return;
+        }
+        // Misra-Gries decrement step: all counters lose one; empty entries are
+        // evicted, making room for future rows.
+        for e in &mut self.entries {
+            e.count -= 1;
+        }
+        self.entries.retain(|e| e.count > 0);
+        if self.entries.len() < self.capacity {
+            self.entries.push(Entry { row, count: 1 });
+        }
+    }
+
+    fn select_for_mitigation(&mut self, _rng: &mut DetRng) -> Option<MitigationTarget> {
+        let idx = self
+            .entries
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, e)| e.count)
+            .map(|(i, _)| i)?;
+        let row = self.entries[idx].row;
+        // Mitigation resets the row's pressure.
+        self.entries.swap_remove(idx);
+        Some(MitigationTarget::direct(row))
+    }
+
+    fn on_victim_refresh(&mut self, row: RowAddr, _level: u8, rng: &mut DetRng) {
+        // Victim refreshes count as disturbance for transitive defense.
+        self.on_activation(row, rng);
+    }
+
+    fn window(&self) -> u32 {
+        self.window
+    }
+
+    fn storage_bits(&self) -> u32 {
+        // row address (17b) + counter (16b) per entry.
+        (self.capacity as u32) * 33
+    }
+
+    fn name(&self) -> &'static str {
+        "mithril"
+    }
+
+    fn reset(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hottest_row_selected_and_cleared() {
+        let mut rng = DetRng::seeded(1);
+        let mut m = Mithril::new(4, 4).unwrap();
+        for _ in 0..10 {
+            m.on_activation(RowAddr(5), &mut rng);
+        }
+        m.on_activation(RowAddr(9), &mut rng);
+        assert_eq!(m.select_for_mitigation(&mut rng).unwrap().row, RowAddr(5));
+        // 5 was cleared; next hottest is 9.
+        assert_eq!(m.select_for_mitigation(&mut rng).unwrap().row, RowAddr(9));
+        assert!(m.select_for_mitigation(&mut rng).is_none());
+    }
+
+    #[test]
+    fn misra_gries_eviction_keeps_heavy_hitters() {
+        let mut rng = DetRng::seeded(2);
+        let mut m = Mithril::new(4, 2).unwrap();
+        // Heavy hitter 1 interleaved with a parade of one-shot rows.
+        for i in 0..100u32 {
+            m.on_activation(RowAddr(1), &mut rng);
+            m.on_activation(RowAddr(1), &mut rng);
+            m.on_activation(RowAddr(1000 + i), &mut rng);
+        }
+        assert_eq!(m.select_for_mitigation(&mut rng).unwrap().row, RowAddr(1));
+    }
+
+    #[test]
+    fn count_of_reports_estimates() {
+        let mut rng = DetRng::seeded(3);
+        let mut m = Mithril::new(4, 4).unwrap();
+        for _ in 0..3 {
+            m.on_activation(RowAddr(2), &mut rng);
+        }
+        assert_eq!(m.count_of(RowAddr(2)), Some(3));
+        assert_eq!(m.count_of(RowAddr(3)), None);
+        assert_eq!(m.tracked_rows(), 1);
+    }
+
+    #[test]
+    fn capacity_bound_respected() {
+        let mut rng = DetRng::seeded(4);
+        let mut m = Mithril::new(4, 3).unwrap();
+        for r in 0..100 {
+            m.on_activation(RowAddr(r), &mut rng);
+        }
+        assert!(m.tracked_rows() <= 3);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(Mithril::new(0, 4).is_err());
+        assert!(Mithril::new(4, 0).is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! PARFM: PARA adapted to RFM-style mitigation windows \[18\] (Section II-D).
+
+use crate::tracker::{MitigationTarget, Tracker};
+use autorfm_sim_core::{ConfigError, DetRng, RowAddr};
+
+/// The PARFM tracker: buffers the row addresses activated during the current
+/// mitigation window; at mitigation, one buffered address is selected uniformly
+/// at random.
+///
+/// The buffer size equals the window, so PARFM's storage grows with the
+/// mitigation window — one of the costs MINT's pre-selection avoids.
+///
+/// # Examples
+///
+/// ```
+/// use autorfm_trackers::{Parfm, Tracker};
+/// use autorfm_sim_core::{DetRng, RowAddr};
+///
+/// let mut rng = DetRng::seeded(1);
+/// let mut p = Parfm::new(4)?;
+/// for r in [10, 11, 12, 13] {
+///     p.on_activation(RowAddr(r), &mut rng);
+/// }
+/// let t = p.select_for_mitigation(&mut rng).unwrap();
+/// assert!((10..=13).contains(&t.row.0));
+/// # Ok::<(), autorfm_sim_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Parfm {
+    window: u32,
+    buffer: Vec<RowAddr>,
+}
+
+impl Parfm {
+    /// Creates a PARFM tracker with a buffer of `window` entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `window == 0`.
+    pub fn new(window: u32) -> Result<Self, ConfigError> {
+        if window == 0 {
+            return Err(ConfigError::new("PARFM window must be at least 1"));
+        }
+        Ok(Parfm {
+            window,
+            buffer: Vec::with_capacity(window as usize),
+        })
+    }
+
+    /// Rows buffered so far in the current window.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+}
+
+impl Tracker for Parfm {
+    fn on_activation(&mut self, row: RowAddr, _rng: &mut DetRng) {
+        if self.buffer.len() < self.window as usize {
+            self.buffer.push(row);
+        }
+    }
+
+    fn select_for_mitigation(&mut self, rng: &mut DetRng) -> Option<MitigationTarget> {
+        if self.buffer.is_empty() {
+            return None;
+        }
+        let idx = rng.gen_range(self.buffer.len() as u64) as usize;
+        let row = self.buffer[idx];
+        self.buffer.clear();
+        Some(MitigationTarget::direct(row))
+    }
+
+    fn on_victim_refresh(&mut self, row: RowAddr, _level: u8, rng: &mut DetRng) {
+        self.on_activation(row, rng);
+    }
+
+    fn window(&self) -> u32 {
+        self.window
+    }
+
+    fn storage_bits(&self) -> u32 {
+        self.window * 17
+    }
+
+    fn name(&self) -> &'static str {
+        "parfm"
+    }
+
+    fn reset(&mut self) {
+        self.buffer.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_uniformly_from_buffer() {
+        let mut rng = DetRng::seeded(1);
+        let mut p = Parfm::new(4).unwrap();
+        let mut hits = [0u32; 4];
+        let n = 40_000;
+        for _ in 0..n {
+            for r in 0..4 {
+                p.on_activation(RowAddr(r), &mut rng);
+            }
+            hits[p.select_for_mitigation(&mut rng).unwrap().row.0 as usize] += 1;
+        }
+        for &h in &hits {
+            let expect = n as f64 / 4.0;
+            assert!((h as f64 - expect).abs() < expect * 0.05);
+        }
+    }
+
+    #[test]
+    fn empty_buffer_yields_none_and_buffer_clears() {
+        let mut rng = DetRng::seeded(2);
+        let mut p = Parfm::new(4).unwrap();
+        assert!(p.select_for_mitigation(&mut rng).is_none());
+        p.on_activation(RowAddr(1), &mut rng);
+        assert_eq!(p.buffered(), 1);
+        let _ = p.select_for_mitigation(&mut rng);
+        assert_eq!(p.buffered(), 0);
+    }
+
+    #[test]
+    fn buffer_capped_at_window() {
+        let mut rng = DetRng::seeded(3);
+        let mut p = Parfm::new(2).unwrap();
+        for r in 0..10 {
+            p.on_activation(RowAddr(r), &mut rng);
+        }
+        assert_eq!(p.buffered(), 2);
+    }
+}

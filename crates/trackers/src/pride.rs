@@ -1,0 +1,185 @@
+//! PrIDE: probabilistic sampling into a small FIFO \[11\] (Section II-D).
+
+use crate::tracker::{MitigationTarget, Tracker};
+use autorfm_sim_core::{ConfigError, DetRng, RowAddr};
+use std::collections::VecDeque;
+
+/// The PrIDE tracker.
+///
+/// Each activation is sampled with probability `1/window` and inserted into a
+/// small FIFO (4 entries in the paper). At each mitigation opportunity the
+/// *oldest* FIFO entry is mitigated. Unlike MINT, PrIDE can miss a window
+/// (empty FIFO) or lose samples (full FIFO), which is why its tolerated
+/// threshold is ~25% higher than MINT's at the same mitigation rate.
+///
+/// # Examples
+///
+/// ```
+/// use autorfm_trackers::{Pride, Tracker};
+/// use autorfm_sim_core::{DetRng, RowAddr};
+///
+/// let mut rng = DetRng::seeded(1);
+/// let mut pride = Pride::new(4, 4)?;
+/// for r in 0..400 {
+///     pride.on_activation(RowAddr(r % 8), &mut rng);
+/// }
+/// // After many activations the FIFO holds something.
+/// assert!(pride.select_for_mitigation(&mut rng).is_some());
+/// # Ok::<(), autorfm_sim_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pride {
+    window: u32,
+    fifo_capacity: usize,
+    fifo: VecDeque<RowAddr>,
+    /// Samples dropped because the FIFO was full (loss statistic).
+    dropped: u64,
+}
+
+impl Pride {
+    /// Creates a PrIDE tracker sampling with probability `1/window` into a FIFO
+    /// of `fifo_capacity` entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `window == 0` or `fifo_capacity == 0`.
+    pub fn new(window: u32, fifo_capacity: usize) -> Result<Self, ConfigError> {
+        if window == 0 {
+            return Err(ConfigError::new("PrIDE window must be at least 1"));
+        }
+        if fifo_capacity == 0 {
+            return Err(ConfigError::new("PrIDE FIFO must hold at least 1 entry"));
+        }
+        Ok(Pride {
+            window,
+            fifo_capacity,
+            fifo: VecDeque::with_capacity(fifo_capacity.min(64)),
+            dropped: 0,
+        })
+    }
+
+    /// Number of samples lost to a full FIFO so far.
+    pub const fn dropped_samples(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Current FIFO occupancy.
+    pub fn occupancy(&self) -> usize {
+        self.fifo.len()
+    }
+}
+
+impl Tracker for Pride {
+    fn on_activation(&mut self, row: RowAddr, rng: &mut DetRng) {
+        if rng.gen_range(self.window as u64) == 0 {
+            if self.fifo.len() == self.fifo_capacity {
+                self.dropped += 1;
+            } else {
+                self.fifo.push_back(row);
+            }
+        }
+    }
+
+    fn select_for_mitigation(&mut self, _rng: &mut DetRng) -> Option<MitigationTarget> {
+        self.fifo.pop_front().map(MitigationTarget::direct)
+    }
+
+    fn on_victim_refresh(&mut self, row: RowAddr, _level: u8, rng: &mut DetRng) {
+        // PrIDE treats victim refreshes like demand activations for sampling
+        // purposes (transitive defense via re-sampling).
+        self.on_activation(row, rng);
+    }
+
+    fn window(&self) -> u32 {
+        self.window
+    }
+
+    fn storage_bits(&self) -> u32 {
+        // 4 FIFO entries of a 17-bit row address plus valid bits.
+        (self.fifo_capacity as u32) * 18
+    }
+
+    fn name(&self) -> &'static str {
+        "pride"
+    }
+
+    fn reset(&mut self) {
+        self.fifo.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_rate_approximates_one_over_window() {
+        let mut rng = DetRng::seeded(1);
+        let mut pride = Pride::new(8, 1_000_000).unwrap(); // effectively unbounded
+        let n = 80_000u32;
+        for r in 0..n {
+            pride.on_activation(RowAddr(r), &mut rng);
+        }
+        let sampled = pride.occupancy() as f64;
+        let expect = n as f64 / 8.0;
+        assert!(
+            (sampled - expect).abs() < expect * 0.05,
+            "sampled {sampled}, expected ~{expect}"
+        );
+    }
+
+    #[test]
+    fn fifo_overflow_drops_and_counts() {
+        let mut rng = DetRng::seeded(2);
+        let mut pride = Pride::new(1, 4).unwrap(); // sample everything
+        for r in 0..10 {
+            pride.on_activation(RowAddr(r), &mut rng);
+        }
+        assert_eq!(pride.occupancy(), 4);
+        assert_eq!(pride.dropped_samples(), 6);
+        // Oldest entries survive (FIFO, not LIFO).
+        assert_eq!(
+            pride.select_for_mitigation(&mut rng),
+            Some(MitigationTarget::direct(RowAddr(0)))
+        );
+        assert_eq!(
+            pride.select_for_mitigation(&mut rng),
+            Some(MitigationTarget::direct(RowAddr(1)))
+        );
+    }
+
+    #[test]
+    fn empty_fifo_selects_none() {
+        let mut rng = DetRng::seeded(3);
+        let mut pride = Pride::new(4, 4).unwrap();
+        assert!(pride.select_for_mitigation(&mut rng).is_none());
+    }
+
+    #[test]
+    fn victim_refresh_feeds_sampler() {
+        let mut rng = DetRng::seeded(4);
+        let mut pride = Pride::new(1, 4).unwrap();
+        pride.on_victim_refresh(RowAddr(42), 1, &mut rng);
+        assert_eq!(
+            pride.select_for_mitigation(&mut rng),
+            Some(MitigationTarget::direct(RowAddr(42)))
+        );
+    }
+
+    #[test]
+    fn reset_clears_fifo() {
+        let mut rng = DetRng::seeded(5);
+        let mut pride = Pride::new(1, 4).unwrap();
+        pride.on_activation(RowAddr(1), &mut rng);
+        pride.reset();
+        assert_eq!(pride.occupancy(), 0);
+        assert_eq!(pride.dropped_samples(), 0);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(Pride::new(0, 4).is_err());
+        assert!(Pride::new(4, 0).is_err());
+    }
+}

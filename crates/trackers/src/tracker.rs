@@ -1,0 +1,176 @@
+//! The [`Tracker`] trait shared by all in-DRAM trackers.
+
+use autorfm_sim_core::{ConfigError, DetRng, RowAddr};
+use core::fmt;
+
+/// The row a tracker nominated for mitigation.
+///
+/// `level` carries the *transitive mitigation level*: `0` for a row selected
+/// from demand activations, `k > 0` for a row whose selection was triggered by
+/// a level-`k-1` victim refresh (Recursive Mitigation, Section V-B). Mitigation
+/// policies may widen the refresh distance with the level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MitigationTarget {
+    /// The aggressor row to mitigate.
+    pub row: RowAddr,
+    /// Transitive mitigation level (0 = direct).
+    pub level: u8,
+}
+
+impl MitigationTarget {
+    /// A direct (level-0) mitigation of `row`.
+    pub const fn direct(row: RowAddr) -> Self {
+        MitigationTarget { row, level: 0 }
+    }
+}
+
+impl fmt::Display for MitigationTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@L{}", self.row, self.level)
+    }
+}
+
+/// A per-bank in-DRAM aggressor-row tracker.
+///
+/// The caller (the DRAM bank's mitigation engine) drives the tracker with one
+/// [`Tracker::on_activation`] per demand ACT, and calls
+/// [`Tracker::select_for_mitigation`] once per mitigation window (every
+/// `window()` activations). Trackers that support Recursive Mitigation also
+/// receive [`Tracker::on_victim_refresh`] callbacks so victim rows can become
+/// candidates for subsequent mitigation.
+pub trait Tracker: Send {
+    /// Observes one demand activation of `row`.
+    fn on_activation(&mut self, row: RowAddr, rng: &mut DetRng);
+
+    /// Called at the end of a mitigation window; returns the row to mitigate,
+    /// or `None` if the tracker has no candidate (e.g. an empty PrIDE FIFO).
+    fn select_for_mitigation(&mut self, rng: &mut DetRng) -> Option<MitigationTarget>;
+
+    /// Observes that `row` received a victim refresh as part of a level-`level`
+    /// mitigation. Default: ignored (trackers paired with Fractal Mitigation do
+    /// not need recursion).
+    fn on_victim_refresh(&mut self, row: RowAddr, level: u8, rng: &mut DetRng) {
+        let _ = (row, level, rng);
+    }
+
+    /// The mitigation window size `N` (one mitigation per `N` activations).
+    fn window(&self) -> u32;
+
+    /// SRAM bits this tracker needs per bank (storage-overhead reporting,
+    /// Section VI-C).
+    fn storage_bits(&self) -> u32;
+
+    /// Short policy name (`"mint"`, `"pride"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Resets all transient state (used between simulation phases).
+    fn reset(&mut self);
+}
+
+/// Selects a tracker implementation by name; used by configuration surfaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TrackerKind {
+    /// MINT in fractal mode (selects from `N` slots).
+    #[default]
+    Mint,
+    /// MINT in recursive mode (selects from `N+1` slots, transitive defense).
+    MintRecursive,
+    /// PrIDE with a 4-entry FIFO.
+    Pride,
+    /// Mithril-style Misra-Gries counter tracker with 32 entries.
+    Mithril,
+    /// PARFM: uniform choice among the window's activations.
+    Parfm,
+    /// Deliberately weak most-recent-row tracker (contrast case).
+    NaiveTrr,
+    /// DSAC-style stochastic approximate counting (the broken industry
+    /// design \[10\]; contrast case).
+    Dsac,
+}
+
+impl fmt::Display for TrackerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TrackerKind::Mint => "mint",
+            TrackerKind::MintRecursive => "mint-recursive",
+            TrackerKind::Pride => "pride",
+            TrackerKind::Mithril => "mithril",
+            TrackerKind::Parfm => "parfm",
+            TrackerKind::NaiveTrr => "naive-trr",
+            TrackerKind::Dsac => "dsac",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Builds a boxed tracker of the given kind with mitigation window `window`.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if `window == 0` (every tracker needs at least one
+/// activation per mitigation) or violates a tracker-specific constraint.
+///
+/// # Examples
+///
+/// ```
+/// use autorfm_trackers::{build_tracker, TrackerKind};
+///
+/// let t = build_tracker(TrackerKind::Pride, 8)?;
+/// assert_eq!(t.name(), "pride");
+/// assert_eq!(t.window(), 8);
+/// # Ok::<(), autorfm_sim_core::ConfigError>(())
+/// ```
+pub fn build_tracker(kind: TrackerKind, window: u32) -> Result<Box<dyn Tracker>, ConfigError> {
+    Ok(match kind {
+        TrackerKind::Mint => Box::new(crate::Mint::new(window, false)?),
+        TrackerKind::MintRecursive => Box::new(crate::Mint::new(window, true)?),
+        TrackerKind::Pride => Box::new(crate::Pride::new(window, 4)?),
+        TrackerKind::Mithril => Box::new(crate::Mithril::new(window, 32)?),
+        TrackerKind::Parfm => Box::new(crate::Parfm::new(window)?),
+        TrackerKind::NaiveTrr => Box::new(crate::NaiveTrr::new(window)?),
+        TrackerKind::Dsac => Box::new(crate::Dsac::new(window, 8)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_all_kinds() {
+        for kind in [
+            TrackerKind::Mint,
+            TrackerKind::MintRecursive,
+            TrackerKind::Pride,
+            TrackerKind::Mithril,
+            TrackerKind::Parfm,
+            TrackerKind::NaiveTrr,
+            TrackerKind::Dsac,
+        ] {
+            let t = build_tracker(kind, 4).unwrap();
+            assert_eq!(t.window(), 4);
+            assert!(!t.name().is_empty());
+            assert!(t.storage_bits() > 0);
+        }
+    }
+
+    #[test]
+    fn zero_window_rejected() {
+        assert!(build_tracker(TrackerKind::Mint, 0).is_err());
+        assert!(build_tracker(TrackerKind::Pride, 0).is_err());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(TrackerKind::Mint.to_string(), "mint");
+        assert_eq!(TrackerKind::MintRecursive.to_string(), "mint-recursive");
+        assert_eq!(TrackerKind::default(), TrackerKind::Mint);
+    }
+
+    #[test]
+    fn target_display() {
+        let t = MitigationTarget::direct(RowAddr(5));
+        assert_eq!(t.to_string(), "R5@L0");
+        assert_eq!(t.level, 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! A deliberately weak TRR-like tracker, kept as a contrast case.
+//!
+//! Industry TRR implementations track a small number of "suspicious" rows
+//! deterministically and have been broken by many-sided patterns (TRRespass
+//! \[5\], Blacksmith \[12\]). This module implements a single-entry
+//! most-frequent-recent tracker in that spirit; the security test-suite
+//! demonstrates that a two-row decoy pattern evades it, motivating the
+//! probabilistic trackers the paper builds on.
+
+use crate::tracker::{MitigationTarget, Tracker};
+use autorfm_sim_core::{ConfigError, DetRng, RowAddr};
+
+/// A single-entry deterministic tracker (majority-vote style).
+///
+/// Keeps one candidate row with a confidence counter: activations of the
+/// candidate increment it, other rows decrement it, and the candidate is
+/// replaced when confidence reaches zero — the classic Boyer–Moore majority
+/// scheme. An attacker alternating two decoy rows with the true aggressor
+/// keeps confidence oscillating and the aggressor untracked.
+///
+/// # Examples
+///
+/// ```
+/// use autorfm_trackers::{NaiveTrr, Tracker};
+/// use autorfm_sim_core::{DetRng, RowAddr};
+///
+/// let mut rng = DetRng::seeded(1);
+/// let mut trr = NaiveTrr::new(4)?;
+/// for _ in 0..16 {
+///     trr.on_activation(RowAddr(3), &mut rng);
+/// }
+/// assert_eq!(trr.select_for_mitigation(&mut rng).unwrap().row, RowAddr(3));
+/// # Ok::<(), autorfm_sim_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NaiveTrr {
+    window: u32,
+    candidate: Option<RowAddr>,
+    confidence: u32,
+}
+
+impl NaiveTrr {
+    /// Creates the tracker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `window == 0`.
+    pub fn new(window: u32) -> Result<Self, ConfigError> {
+        if window == 0 {
+            return Err(ConfigError::new("TRR window must be at least 1"));
+        }
+        Ok(NaiveTrr {
+            window,
+            candidate: None,
+            confidence: 0,
+        })
+    }
+}
+
+impl Tracker for NaiveTrr {
+    fn on_activation(&mut self, row: RowAddr, _rng: &mut DetRng) {
+        match self.candidate {
+            Some(c) if c == row => self.confidence += 1,
+            Some(_) if self.confidence > 0 => self.confidence -= 1,
+            _ => {
+                self.candidate = Some(row);
+                self.confidence = 1;
+            }
+        }
+    }
+
+    fn select_for_mitigation(&mut self, _rng: &mut DetRng) -> Option<MitigationTarget> {
+        self.candidate.map(MitigationTarget::direct)
+    }
+
+    fn window(&self) -> u32 {
+        self.window
+    }
+
+    fn storage_bits(&self) -> u32 {
+        17 + 8
+    }
+
+    fn name(&self) -> &'static str {
+        "naive-trr"
+    }
+
+    fn reset(&mut self) {
+        self.candidate = None;
+        self.confidence = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_a_lone_aggressor() {
+        let mut rng = DetRng::seeded(1);
+        let mut trr = NaiveTrr::new(4).unwrap();
+        for _ in 0..100 {
+            trr.on_activation(RowAddr(7), &mut rng);
+        }
+        assert_eq!(trr.select_for_mitigation(&mut rng).unwrap().row, RowAddr(7));
+    }
+
+    #[test]
+    fn decoy_pattern_evades_tracking() {
+        // Aggressor once, then two decoys: the aggressor's confidence is wiped
+        // each round, so the tracker ends up pointing at a decoy — the classic
+        // TRR bypass that motivates probabilistic trackers.
+        let mut rng = DetRng::seeded(2);
+        let mut trr = NaiveTrr::new(4).unwrap();
+        for _ in 0..100 {
+            trr.on_activation(RowAddr(7), &mut rng); // aggressor
+            trr.on_activation(RowAddr(100), &mut rng); // decoy A
+            trr.on_activation(RowAddr(101), &mut rng); // decoy B
+        }
+        let selected = trr.select_for_mitigation(&mut rng).unwrap().row;
+        assert_ne!(
+            selected,
+            RowAddr(7),
+            "decoy pattern should evade the naive tracker"
+        );
+    }
+
+    #[test]
+    fn empty_tracker_selects_none() {
+        let mut rng = DetRng::seeded(3);
+        let mut trr = NaiveTrr::new(4).unwrap();
+        assert!(trr.select_for_mitigation(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,221 @@
+//! Rowhammer attack patterns (threat model of Section II-A).
+//!
+//! Attack patterns are row-level activation sequences against a single bank —
+//! the attacker's optimal strategy never benefits from spreading over banks
+//! (each bank's tracker is independent). The security harness drives these
+//! directly into the DRAM device or into a tracker+mitigation stack.
+
+use autorfm_sim_core::{DetRng, RowAddr};
+
+/// An adversarial activation pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackPattern {
+    /// Classic single-sided hammering of one aggressor row.
+    SingleSided {
+        /// The hammered row.
+        aggressor: RowAddr,
+    },
+    /// Double-sided hammering: alternate the two rows sandwiching the victim.
+    DoubleSided {
+        /// The victim row (aggressors are `victim ± 1`).
+        victim: RowAddr,
+    },
+    /// The MINT-adversarial pattern of Appendix A: `window` unique rows
+    /// activated in a circular fashion, `(A B C D)^K`.
+    Circular {
+        /// First row of the set.
+        base: RowAddr,
+        /// Number of distinct rows (should equal the tracker window).
+        window: u32,
+    },
+    /// Half-Double \[23\]: hammer far aggressors (distance 2) heavily plus a few
+    /// near (distance 1) activations, flipping bits in the middle row via
+    /// transitive disturbance from the victim refreshes.
+    HalfDouble {
+        /// The ultimate victim row; far aggressors are `victim ± 2`, near
+        /// aggressors `victim ± 1`.
+        victim: RowAddr,
+        /// Near-row activations interleaved per far-row burst.
+        near_ratio: u32,
+    },
+    /// A decoy pattern that defeats deterministic single-entry trackers:
+    /// one aggressor activation followed by `decoys` distinct decoy rows.
+    Decoy {
+        /// The true aggressor row.
+        aggressor: RowAddr,
+        /// Number of decoy rows per aggressor activation.
+        decoys: u32,
+    },
+}
+
+/// An infinite stream of row activations realizing an [`AttackPattern`].
+#[derive(Debug, Clone)]
+pub struct AttackStream {
+    pattern: AttackPattern,
+    step: u64,
+}
+
+impl AttackStream {
+    /// Creates the stream.
+    pub fn new(pattern: AttackPattern) -> Self {
+        AttackStream { pattern, step: 0 }
+    }
+
+    /// The pattern being generated.
+    pub fn pattern(&self) -> AttackPattern {
+        self.pattern
+    }
+
+    /// Produces the next row to activate. `rng` is unused by the deterministic
+    /// patterns but kept in the signature for randomized variants.
+    pub fn next_row(&mut self, _rng: &mut DetRng) -> RowAddr {
+        let i = self.step;
+        self.step += 1;
+        match self.pattern {
+            AttackPattern::SingleSided { aggressor } => aggressor,
+            AttackPattern::DoubleSided { victim } => {
+                if i.is_multiple_of(2) {
+                    RowAddr(victim.0 - 1)
+                } else {
+                    RowAddr(victim.0 + 1)
+                }
+            }
+            AttackPattern::Circular { base, window } => {
+                RowAddr(base.0 + (i % window as u64) as u32)
+            }
+            AttackPattern::HalfDouble { victim, near_ratio } => {
+                // Mostly hammer the distance-2 rows; sprinkle distance-1
+                // activations so the victim's neighbors accumulate refreshes.
+                let burst = (near_ratio as u64 + 2).max(3);
+                match i % burst {
+                    0 => RowAddr(victim.0 - 2),
+                    1 => RowAddr(victim.0 + 2),
+                    k if k % 2 == 0 => RowAddr(victim.0 - 1),
+                    _ => RowAddr(victim.0 + 1),
+                }
+            }
+            AttackPattern::Decoy { aggressor, decoys } => {
+                let period = decoys as u64 + 1;
+                if i.is_multiple_of(period) {
+                    aggressor
+                } else {
+                    RowAddr(aggressor.0 + 1000 + (i % period) as u32)
+                }
+            }
+        }
+    }
+
+    /// The victim rows whose bit-flips this pattern targets.
+    pub fn target_victims(&self) -> Vec<RowAddr> {
+        match self.pattern {
+            AttackPattern::SingleSided { aggressor } => {
+                vec![
+                    RowAddr(aggressor.0.wrapping_sub(1)),
+                    RowAddr(aggressor.0 + 1),
+                ]
+            }
+            AttackPattern::DoubleSided { victim } | AttackPattern::HalfDouble { victim, .. } => {
+                vec![victim]
+            }
+            AttackPattern::Circular { base, window } => (0..window)
+                .flat_map(|k| {
+                    [
+                        RowAddr((base.0 + k).wrapping_sub(1)),
+                        RowAddr(base.0 + k + 1),
+                    ]
+                })
+                .collect(),
+            AttackPattern::Decoy { aggressor, .. } => {
+                vec![
+                    RowAddr(aggressor.0.wrapping_sub(1)),
+                    RowAddr(aggressor.0 + 1),
+                ]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(pattern: AttackPattern, n: usize) -> Vec<u32> {
+        let mut s = AttackStream::new(pattern);
+        let mut rng = DetRng::seeded(0);
+        (0..n).map(|_| s.next_row(&mut rng).0).collect()
+    }
+
+    #[test]
+    fn single_sided_repeats_one_row() {
+        let r = rows(
+            AttackPattern::SingleSided {
+                aggressor: RowAddr(100),
+            },
+            10,
+        );
+        assert!(r.iter().all(|&x| x == 100));
+    }
+
+    #[test]
+    fn double_sided_alternates_sandwich() {
+        let r = rows(
+            AttackPattern::DoubleSided {
+                victim: RowAddr(100),
+            },
+            6,
+        );
+        assert_eq!(r, vec![99, 101, 99, 101, 99, 101]);
+    }
+
+    #[test]
+    fn circular_cycles_window_rows() {
+        let r = rows(
+            AttackPattern::Circular {
+                base: RowAddr(10),
+                window: 4,
+            },
+            8,
+        );
+        assert_eq!(r, vec![10, 11, 12, 13, 10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn half_double_mixes_far_and_near() {
+        let r = rows(
+            AttackPattern::HalfDouble {
+                victim: RowAddr(100),
+                near_ratio: 2,
+            },
+            100,
+        );
+        assert!(r.contains(&98) && r.contains(&102), "far rows hammered");
+        assert!(r.contains(&99) && r.contains(&101), "near rows touched");
+        let far = r.iter().filter(|&&x| x == 98 || x == 102).count();
+        assert!(far >= 40, "far rows should dominate: {far}");
+    }
+
+    #[test]
+    fn decoy_hits_aggressor_periodically() {
+        let r = rows(
+            AttackPattern::Decoy {
+                aggressor: RowAddr(50),
+                decoys: 2,
+            },
+            9,
+        );
+        assert_eq!(r.iter().filter(|&&x| x == 50).count(), 3);
+        assert_eq!(r[0], 50);
+        assert_ne!(r[1], 50);
+    }
+
+    #[test]
+    fn victims_identified() {
+        let s = AttackStream::new(AttackPattern::DoubleSided { victim: RowAddr(7) });
+        assert_eq!(s.target_victims(), vec![RowAddr(7)]);
+        let s = AttackStream::new(AttackPattern::Circular {
+            base: RowAddr(10),
+            window: 2,
+        });
+        assert_eq!(s.target_victims().len(), 4);
+    }
+}

@@ -1,0 +1,42 @@
+//! # autorfm-workloads
+//!
+//! Synthetic workload generators and Rowhammer attack patterns.
+//!
+//! The paper evaluates on SPEC-2017, GAP, and STREAM binaries (Table V). Real
+//! traces are not redistributable, so this crate provides one synthetic
+//! generator per named workload, calibrated to reproduce each benchmark's
+//! memory behaviour class (streaming / random / graph-mixed), memory intensity
+//! (ACT-PKI) and write mix. Every spec also records the paper's reported
+//! ACT-PKI and ACT-per-tREFI so the Table-V harness can print paper-vs-measured
+//! side by side. See DESIGN.md ("Substitutions") for why this preserves the
+//! paper's results.
+//!
+//! The [`attacks`] module provides the adversarial access patterns used by the
+//! security analyses: single-/double-sided hammering, the MINT-adversarial
+//! circular pattern of Appendix A, Half-Double \[23\], and the mixed
+//! direct+fractal attack of Appendix B.
+//!
+//! # Examples
+//!
+//! ```
+//! use autorfm_workloads::{WorkloadGen, WorkloadSpec};
+//! use autorfm_cpu::InstructionStream;
+//!
+//! let spec = WorkloadSpec::by_name("bwaves").unwrap();
+//! let mut gen = WorkloadGen::new(spec, /*core=*/0, /*seed=*/42);
+//! let _first_op = gen.next_op();
+//! assert_eq!(spec.paper_act_pki, 35.7);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod attacks;
+pub mod generator;
+pub mod spec;
+pub mod tracefile;
+
+pub use attacks::{AttackPattern, AttackStream};
+pub use generator::WorkloadGen;
+pub use spec::{Pattern, Suite, WorkloadSpec, ALL_WORKLOADS};
+pub use tracefile::{TraceFile, TraceOp, TraceReplay};

@@ -1,0 +1,401 @@
+//! Workload specifications: one per Table-V benchmark.
+
+use core::fmt;
+
+/// The benchmark suite a workload belongs to (Table V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPEC CPU 2017 (memory-intensive subset, ≥1 ACT-PKI).
+    Spec2k17,
+    /// GAP graph-analytics benchmarks.
+    Gap,
+    /// McCalpin STREAM kernels.
+    Stream,
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Suite::Spec2k17 => "SPEC2K17",
+            Suite::Gap => "GAP",
+            Suite::Stream => "Stream",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The memory access pattern class of a synthetic workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pattern {
+    /// `streams` concurrent sequential streams over the footprint
+    /// (scientific/stencil codes, STREAM kernels).
+    Streaming {
+        /// Number of concurrent sequential streams.
+        streams: u32,
+    },
+    /// Uniform random accesses over the footprint (mcf/omnetpp-like).
+    /// `dependent_fraction` of loads serialize dispatch (pointer chasing).
+    Random {
+        /// Fraction of loads that are dependent (serialize dispatch).
+        dependent_fraction: f64,
+    },
+    /// Graph-analytics mix: sequential offset-array scans interleaved with
+    /// random neighbor-array accesses.
+    GraphMixed {
+        /// Fraction of memory accesses that are random (neighbor lookups).
+        random_fraction: f64,
+        /// Number of concurrent sequential streams (CSR offset scans).
+        streams: u32,
+    },
+}
+
+/// A synthetic workload specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Benchmark name as in Table V.
+    pub name: &'static str,
+    /// Owning suite.
+    pub suite: Suite,
+    /// Access pattern class.
+    pub pattern: Pattern,
+    /// LLC-level memory operations per 1000 instructions.
+    pub mem_pki: f64,
+    /// Fraction of memory operations that are stores.
+    pub write_fraction: f64,
+    /// Per-core footprint in cache lines (should exceed the LLC share for
+    /// memory-intensive workloads).
+    pub footprint_lines: u64,
+    /// ACT-PKI the paper reports (Table V) — for paper-vs-measured reporting.
+    pub paper_act_pki: f64,
+    /// ACT-per-tREFI per bank the paper reports (Table V).
+    pub paper_act_per_trefi: f64,
+}
+
+impl WorkloadSpec {
+    /// Looks up a workload by its Table-V name (case-insensitive).
+    pub fn by_name(name: &str) -> Option<&'static WorkloadSpec> {
+        ALL_WORKLOADS
+            .iter()
+            .find(|w| w.name.eq_ignore_ascii_case(name))
+    }
+
+    /// All workloads of one suite.
+    pub fn suite_workloads(suite: Suite) -> impl Iterator<Item = &'static WorkloadSpec> {
+        ALL_WORKLOADS.iter().filter(move |w| w.suite == suite)
+    }
+}
+
+/// 64 MB of lines (per core) — comfortably exceeds the 1 MB per-core LLC share.
+const BIG: u64 = (64 << 20) / 64;
+/// 16 MB footprint for moderate workloads.
+const MID: u64 = (16 << 20) / 64;
+/// 4 MB footprint for cache-friendlier workloads (some LLC hits).
+const SMALL: u64 = (4 << 20) / 64;
+
+/// The 21 workloads of Table V.
+///
+/// `mem_pki` values are calibrated so the simulated ACT-PKI lands near the
+/// paper's column under the baseline Zen mapping: streaming patterns keep some
+/// row-buffer hits (2 lines/row) and add writeback ACTs, random patterns miss
+/// almost every access.
+pub const ALL_WORKLOADS: &[WorkloadSpec] = &[
+    // ---- SPEC CPU 2017 ----
+    WorkloadSpec {
+        name: "bwaves",
+        suite: Suite::Spec2k17,
+        pattern: Pattern::Streaming { streams: 8 },
+        mem_pki: 42.0,
+        write_fraction: 0.25,
+        footprint_lines: BIG,
+        paper_act_pki: 35.7,
+        paper_act_per_trefi: 27.7,
+    },
+    WorkloadSpec {
+        name: "fotonik3d",
+        suite: Suite::Spec2k17,
+        pattern: Pattern::Streaming { streams: 6 },
+        mem_pki: 31.0,
+        write_fraction: 0.3,
+        footprint_lines: BIG,
+        paper_act_pki: 26.7,
+        paper_act_per_trefi: 33.0,
+    },
+    WorkloadSpec {
+        name: "lbm",
+        suite: Suite::Spec2k17,
+        pattern: Pattern::Streaming { streams: 10 },
+        mem_pki: 30.0,
+        write_fraction: 0.45,
+        footprint_lines: BIG,
+        paper_act_pki: 25.5,
+        paper_act_per_trefi: 34.4,
+    },
+    WorkloadSpec {
+        name: "parest",
+        suite: Suite::Spec2k17,
+        pattern: Pattern::GraphMixed {
+            random_fraction: 0.3,
+            streams: 4,
+        },
+        mem_pki: 23.0,
+        write_fraction: 0.2,
+        footprint_lines: MID,
+        paper_act_pki: 20.0,
+        paper_act_per_trefi: 28.4,
+    },
+    WorkloadSpec {
+        name: "mcf",
+        suite: Suite::Spec2k17,
+        pattern: Pattern::Random {
+            dependent_fraction: 0.25,
+        },
+        mem_pki: 23.0,
+        write_fraction: 0.15,
+        footprint_lines: BIG,
+        paper_act_pki: 22.0,
+        paper_act_per_trefi: 31.4,
+    },
+    WorkloadSpec {
+        name: "roms",
+        suite: Suite::Spec2k17,
+        pattern: Pattern::Streaming { streams: 4 },
+        mem_pki: 16.0,
+        write_fraction: 0.3,
+        footprint_lines: BIG,
+        paper_act_pki: 13.4,
+        paper_act_per_trefi: 26.7,
+    },
+    WorkloadSpec {
+        name: "omnetpp",
+        suite: Suite::Spec2k17,
+        pattern: Pattern::Random {
+            dependent_fraction: 0.35,
+        },
+        mem_pki: 10.0,
+        write_fraction: 0.2,
+        footprint_lines: MID,
+        paper_act_pki: 9.5,
+        paper_act_per_trefi: 29.0,
+    },
+    WorkloadSpec {
+        name: "xz",
+        suite: Suite::Spec2k17,
+        pattern: Pattern::Random {
+            dependent_fraction: 0.2,
+        },
+        mem_pki: 6.2,
+        write_fraction: 0.25,
+        footprint_lines: MID,
+        paper_act_pki: 5.9,
+        paper_act_per_trefi: 25.0,
+    },
+    WorkloadSpec {
+        name: "cam4",
+        suite: Suite::Spec2k17,
+        pattern: Pattern::GraphMixed {
+            random_fraction: 0.2,
+            streams: 3,
+        },
+        mem_pki: 5.0,
+        write_fraction: 0.25,
+        footprint_lines: MID,
+        paper_act_pki: 4.2,
+        paper_act_per_trefi: 18.2,
+    },
+    WorkloadSpec {
+        name: "blender",
+        suite: Suite::Spec2k17,
+        pattern: Pattern::GraphMixed {
+            random_fraction: 0.3,
+            streams: 2,
+        },
+        mem_pki: 1.7,
+        write_fraction: 0.2,
+        footprint_lines: SMALL,
+        paper_act_pki: 1.4,
+        paper_act_per_trefi: 9.7,
+    },
+    WorkloadSpec {
+        name: "wrf",
+        suite: Suite::Spec2k17,
+        pattern: Pattern::Streaming { streams: 2 },
+        mem_pki: 1.2,
+        write_fraction: 0.3,
+        footprint_lines: SMALL,
+        paper_act_pki: 1.0,
+        paper_act_per_trefi: 6.6,
+    },
+    // ---- GAP ----
+    WorkloadSpec {
+        name: "ConnComp",
+        suite: Suite::Gap,
+        pattern: Pattern::GraphMixed {
+            random_fraction: 0.7,
+            streams: 4,
+        },
+        mem_pki: 85.0,
+        write_fraction: 0.15,
+        footprint_lines: BIG,
+        paper_act_pki: 80.7,
+        paper_act_per_trefi: 35.0,
+    },
+    WorkloadSpec {
+        name: "PageRank",
+        suite: Suite::Gap,
+        pattern: Pattern::GraphMixed {
+            random_fraction: 0.5,
+            streams: 6,
+        },
+        mem_pki: 45.0,
+        write_fraction: 0.2,
+        footprint_lines: BIG,
+        paper_act_pki: 40.9,
+        paper_act_per_trefi: 31.5,
+    },
+    WorkloadSpec {
+        name: "TriCount",
+        suite: Suite::Gap,
+        pattern: Pattern::GraphMixed {
+            random_fraction: 0.6,
+            streams: 4,
+        },
+        mem_pki: 38.0,
+        write_fraction: 0.05,
+        footprint_lines: BIG,
+        paper_act_pki: 35.2,
+        paper_act_per_trefi: 26.1,
+    },
+    WorkloadSpec {
+        name: "BFS",
+        suite: Suite::Gap,
+        pattern: Pattern::GraphMixed {
+            random_fraction: 0.6,
+            streams: 3,
+        },
+        mem_pki: 34.0,
+        write_fraction: 0.15,
+        footprint_lines: BIG,
+        paper_act_pki: 31.1,
+        paper_act_per_trefi: 30.4,
+    },
+    WorkloadSpec {
+        name: "BC",
+        suite: Suite::Gap,
+        pattern: Pattern::GraphMixed {
+            random_fraction: 0.5,
+            streams: 3,
+        },
+        mem_pki: 18.0,
+        write_fraction: 0.2,
+        footprint_lines: BIG,
+        paper_act_pki: 16.0,
+        paper_act_per_trefi: 26.3,
+    },
+    WorkloadSpec {
+        name: "SSSPath",
+        suite: Suite::Gap,
+        pattern: Pattern::GraphMixed {
+            random_fraction: 0.4,
+            streams: 2,
+        },
+        mem_pki: 10.0,
+        write_fraction: 0.2,
+        footprint_lines: MID,
+        paper_act_pki: 9.0,
+        paper_act_per_trefi: 23.9,
+    },
+    // ---- STREAM ----
+    WorkloadSpec {
+        name: "add",
+        suite: Suite::Stream,
+        pattern: Pattern::Streaming { streams: 3 }, // a[i] = b[i] + c[i]
+        mem_pki: 14.0,
+        write_fraction: 0.33,
+        footprint_lines: BIG,
+        paper_act_pki: 12.1,
+        paper_act_per_trefi: 29.2,
+    },
+    WorkloadSpec {
+        name: "triad",
+        suite: Suite::Stream,
+        pattern: Pattern::Streaming { streams: 3 }, // a[i] = b[i] + s*c[i]
+        mem_pki: 12.0,
+        write_fraction: 0.33,
+        footprint_lines: BIG,
+        paper_act_pki: 10.3,
+        paper_act_per_trefi: 28.6,
+    },
+    WorkloadSpec {
+        name: "copy",
+        suite: Suite::Stream,
+        pattern: Pattern::Streaming { streams: 2 }, // a[i] = b[i]
+        mem_pki: 11.0,
+        write_fraction: 0.5,
+        footprint_lines: BIG,
+        paper_act_pki: 9.3,
+        paper_act_per_trefi: 27.8,
+    },
+    WorkloadSpec {
+        name: "scale",
+        suite: Suite::Stream,
+        pattern: Pattern::Streaming { streams: 2 }, // a[i] = s*b[i]
+        mem_pki: 9.0,
+        write_fraction: 0.5,
+        footprint_lines: BIG,
+        paper_act_pki: 7.6,
+        paper_act_per_trefi: 27.1,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_one_workloads() {
+        assert_eq!(ALL_WORKLOADS.len(), 21);
+        assert_eq!(WorkloadSpec::suite_workloads(Suite::Spec2k17).count(), 11);
+        assert_eq!(WorkloadSpec::suite_workloads(Suite::Gap).count(), 6);
+        assert_eq!(WorkloadSpec::suite_workloads(Suite::Stream).count(), 4);
+    }
+
+    #[test]
+    fn names_unique_and_lookup_works() {
+        let mut names: Vec<_> = ALL_WORKLOADS.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 21);
+        assert!(WorkloadSpec::by_name("BWAVES").is_some());
+        assert!(WorkloadSpec::by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn paper_values_recorded() {
+        let bwaves = WorkloadSpec::by_name("bwaves").unwrap();
+        assert_eq!(bwaves.paper_act_pki, 35.7);
+        assert_eq!(bwaves.paper_act_per_trefi, 27.7);
+        let cc = WorkloadSpec::by_name("ConnComp").unwrap();
+        assert_eq!(cc.paper_act_pki, 80.7);
+    }
+
+    #[test]
+    fn sane_parameters() {
+        for w in ALL_WORKLOADS {
+            assert!(w.mem_pki > 0.0, "{}", w.name);
+            assert!((0.0..=1.0).contains(&w.write_fraction), "{}", w.name);
+            assert!(w.footprint_lines > 1024, "{}", w.name);
+            assert!(
+                w.mem_pki >= w.paper_act_pki,
+                "{}: mem_pki must exceed ACT-PKI",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn suite_display() {
+        assert_eq!(Suite::Spec2k17.to_string(), "SPEC2K17");
+        assert_eq!(Suite::Gap.to_string(), "GAP");
+        assert_eq!(Suite::Stream.to_string(), "Stream");
+    }
+}

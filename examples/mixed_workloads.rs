@@ -1,0 +1,58 @@
+//! Heterogeneous multi-programmed mix (extension beyond the paper's rate
+//! mode): four different workloads share the memory system, and we check how
+//! AutoRFM's overhead distributes across them.
+//!
+//! Run with: `cargo run --release --example mixed_workloads`
+
+use autorfm::experiments::Scenario;
+use autorfm::{MappingKind, SimConfig, System};
+use autorfm_workloads::WorkloadSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mix: Vec<_> = ["bwaves", "mcf", "PageRank", "copy"]
+        .iter()
+        .map(|n| WorkloadSpec::by_name(n).expect("Table-V workload"))
+        .collect();
+    let instr = 40_000;
+
+    let base_cfg = SimConfig::scenario(
+        mix[0],
+        Scenario::Baseline {
+            mapping: MappingKind::Zen,
+        },
+    )
+    .with_mix(mix.clone())
+    .with_cores(8)
+    .with_instructions(instr);
+    let base = System::new(base_cfg)?.run();
+
+    let auto_cfg = SimConfig::scenario(mix[0], Scenario::AutoRfm { th: 4 })
+        .with_mix(mix.clone())
+        .with_cores(8)
+        .with_instructions(instr);
+    let auto = System::new(auto_cfg)?.run();
+
+    println!("8-core mix: 2x bwaves, 2x mcf, 2x PageRank, 2x copy\n");
+    println!(
+        "{:<10} {:>14} {:>14} {:>10}",
+        "core", "baseline IPC", "AutoRFM-4 IPC", "slowdown"
+    );
+    for i in 0..8usize {
+        let name = mix[i % mix.len()].name;
+        let b = base.per_core_ipc[i];
+        let a = auto.per_core_ipc[i];
+        println!(
+            "{:<10} {b:>14.3} {a:>14.3} {:>9.1}%",
+            format!("{i} ({name})"),
+            (1.0 - a / b) * 100.0
+        );
+    }
+    println!(
+        "\naggregate: baseline {:.3} IPC, AutoRFM-4 {:.3} IPC, slowdown {:.1}%",
+        base.perf(),
+        auto.perf(),
+        auto.slowdown_vs(&base) * 100.0
+    );
+    println!("ALERTs per ACT: {:.3}%", auto.alerts_per_act * 100.0);
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Quickstart: simulate a workload under AutoRFM and print the key metrics.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use autorfm::experiments::Scenario;
+use autorfm::{MappingKind, SimConfig, System};
+use autorfm_workloads::WorkloadSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Pick a memory-intensive SPEC workload (Table V).
+    let spec = WorkloadSpec::by_name("bwaves").expect("bwaves is a Table-V workload");
+
+    // Baseline: the paper's 8-core DDR5 system, AMD-Zen mapping, no mitigation.
+    let baseline_cfg = SimConfig::scenario(
+        spec,
+        Scenario::Baseline {
+            mapping: MappingKind::Zen,
+        },
+    )
+    .with_instructions(50_000);
+    let baseline = System::new(baseline_cfg)?.run();
+
+    // AutoRFM-4: MINT tracker + Fractal Mitigation + Rubix randomized mapping.
+    // Tolerates a Rowhammer threshold of 74 (Table VI).
+    let autorfm_cfg =
+        SimConfig::scenario(spec, Scenario::AutoRfm { th: 4 }).with_instructions(50_000);
+    let autorfm = System::new(autorfm_cfg)?.run();
+
+    println!("workload: {}", spec.name);
+    println!(
+        "baseline performance : {:.3} aggregate IPC",
+        baseline.perf()
+    );
+    println!("AutoRFM-4 performance: {:.3} aggregate IPC", autorfm.perf());
+    println!(
+        "slowdown             : {:.1}%",
+        autorfm.slowdown_vs(&baseline) * 100.0
+    );
+    println!();
+    println!("activations          : {}", autorfm.dram.acts.get());
+    println!("mitigations          : {}", autorfm.dram.mitigations.get());
+    println!(
+        "victim refreshes     : {}",
+        autorfm.dram.victim_refreshes.get()
+    );
+    println!("ALERTs (SAUM hits)   : {}", autorfm.dram.alerts.get());
+    println!(
+        "ALERTs per ACT       : {:.3}%",
+        autorfm.alerts_per_act * 100.0
+    );
+    Ok(())
+}

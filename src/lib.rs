@@ -1,0 +1,11 @@
+//! # autorfm-repro
+//!
+//! Root package of the AutoRFM reproduction workspace: hosts the runnable
+//! examples (`examples/`) and the cross-crate integration tests (`tests/`).
+//! The library surface simply re-exports the main crate; depend on
+//! [`autorfm`] directly for programmatic use.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use autorfm::*;

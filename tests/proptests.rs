@@ -1,0 +1,147 @@
+//! Property-based tests (proptest) for the core data structures and
+//! invariants: the PRP bijection, mapping round-trips, tracker window
+//! guarantees, Fractal Mitigation's distribution, and the bank state machine.
+
+use autorfm::mapping::{FeistelPrp, LinearMap, MemoryMap, RubixMap, ZenMap};
+use autorfm::mitigation::{FractalPolicy, MitigationPolicy, RecursivePolicy};
+use autorfm::sim_core::{Cycle, DetRng, Geometry, LineAddr, NanoSec, RowAddr};
+use autorfm::trackers::{Mint, MitigationTarget, Tracker};
+use proptest::prelude::*;
+
+proptest! {
+    /// The Feistel PRP is invertible for any width and key.
+    #[test]
+    fn prp_round_trips(bits in 2u32..=48, key in any::<u64>(), x in any::<u64>()) {
+        let prp = FeistelPrp::new(bits, key).unwrap();
+        let x = x & ((1u64 << bits) - 1);
+        let y = prp.encrypt(x);
+        prop_assert!(y < (1u64 << bits));
+        prop_assert_eq!(prp.decrypt(y), x);
+    }
+
+    /// Distinct inputs encrypt to distinct outputs (injectivity sample).
+    #[test]
+    fn prp_injective_on_pairs(key in any::<u64>(), a in 0u64..(1<<20), b in 0u64..(1<<20)) {
+        prop_assume!(a != b);
+        let prp = FeistelPrp::new(20, key).unwrap();
+        prop_assert_ne!(prp.encrypt(a), prp.encrypt(b));
+    }
+
+    /// Zen mapping round-trips on the full baseline geometry.
+    #[test]
+    fn zen_round_trips(line in 0u64..(1u64 << 29)) {
+        let map = ZenMap::new(Geometry::paper_baseline()).unwrap();
+        let loc = map.locate(LineAddr(line));
+        prop_assert_eq!(map.line_of(loc), LineAddr(line));
+        prop_assert!(loc.bank.0 < 64);
+        prop_assert!(loc.row.0 < 128 * 1024);
+        prop_assert!(loc.col < 64);
+    }
+
+    /// Rubix mapping round-trips on the full baseline geometry.
+    #[test]
+    fn rubix_round_trips(line in 0u64..(1u64 << 29), key in any::<u64>()) {
+        let map = RubixMap::new(Geometry::paper_baseline(), key).unwrap();
+        let loc = map.locate(LineAddr(line));
+        prop_assert_eq!(map.line_of(loc), LineAddr(line));
+    }
+
+    /// Linear mapping round-trips.
+    #[test]
+    fn linear_round_trips(line in 0u64..(1u64 << 29)) {
+        let map = LinearMap::new(Geometry::paper_baseline()).unwrap();
+        let loc = map.locate(LineAddr(line));
+        prop_assert_eq!(map.line_of(loc), LineAddr(line));
+    }
+
+    /// Zen invariant: all 64 lines of any 4KB page land in exactly 32 banks,
+    /// two lines per bank, sharing a row.
+    #[test]
+    fn zen_page_structure(page in 0u64..(1u64 << 23)) {
+        let map = ZenMap::new(Geometry::paper_baseline()).unwrap();
+        let mut by_bank = std::collections::HashMap::new();
+        for o in 0..64u64 {
+            let loc = map.locate(LineAddr(page * 64 + o));
+            by_bank.entry(loc.bank).or_insert_with(Vec::new).push(loc);
+        }
+        prop_assert_eq!(by_bank.len(), 32);
+        for locs in by_bank.values() {
+            prop_assert_eq!(locs.len(), 2);
+            prop_assert_eq!(locs[0].row, locs[1].row);
+        }
+    }
+
+    /// MINT (fractal mode) always selects a row activated in the window.
+    #[test]
+    fn mint_selects_within_window(window in 1u32..=16, seed in any::<u64>(), base in 0u32..10_000) {
+        let mut mint = Mint::new(window, false).unwrap();
+        let mut rng = DetRng::seeded(seed);
+        for w in 0..5u32 {
+            let rows: Vec<u32> = (0..window).map(|s| base + w * window + s).collect();
+            for &r in &rows {
+                mint.on_activation(RowAddr(r), &mut rng);
+            }
+            let t = mint.select_for_mitigation(&mut rng);
+            let t = t.expect("fractal MINT always selects");
+            prop_assert!(rows.contains(&t.row.0), "selected {} outside window {:?}", t.row.0, rows);
+            prop_assert_eq!(t.level, 0);
+        }
+    }
+
+    /// Fractal Mitigation always refreshes both d=1 neighbors and issues at
+    /// most 4 refreshes, with the far pair sharing one distance in [2, 18].
+    #[test]
+    fn fractal_victim_invariants(row in 32u32..130_000, seed in any::<u64>()) {
+        let fm = FractalPolicy::new();
+        let mut rng = DetRng::seeded(seed);
+        let v = fm.victims(MitigationTarget::direct(RowAddr(row)), 131_072, &mut rng);
+        prop_assert!(v.len() <= 4);
+        prop_assert!(v.iter().any(|x| x.row.0 == row - 1 && x.distance == 1));
+        prop_assert!(v.iter().any(|x| x.row.0 == row + 1 && x.distance == 1));
+        let far: Vec<_> = v.iter().filter(|x| x.distance >= 2).collect();
+        prop_assert!(far.len() <= 2);
+        for f in &far {
+            prop_assert!((2..=18).contains(&f.distance));
+            let d = (f.row.0 as i64 - row as i64).unsigned_abs() as u8;
+            prop_assert_eq!(d, f.distance);
+        }
+    }
+
+    /// Recursive Mitigation refreshes exactly the level-scaled distances.
+    #[test]
+    fn recursive_victim_distances(row in 64u32..100_000, level in 0u8..8) {
+        let policy = RecursivePolicy::new();
+        let mut rng = DetRng::seeded(1);
+        let v = policy.victims(MitigationTarget { row: RowAddr(row), level }, 131_072, &mut rng);
+        let (d1, d2) = RecursivePolicy::distances_at_level(level);
+        let distances: std::collections::HashSet<u32> =
+            v.iter().map(|x| (x.row.0 as i64 - row as i64).unsigned_abs() as u32).collect();
+        prop_assert_eq!(distances, [d1, d2].into_iter().collect());
+    }
+
+    /// Cycle time arithmetic: ns round trip and ordering.
+    #[test]
+    fn cycle_ns_round_trip(ns in 0u64..(1 << 40)) {
+        prop_assert_eq!(Cycle::from_ns(ns).as_ns(), ns);
+        prop_assert_eq!(NanoSec::new(ns).to_cycles(), Cycle::from_ns(ns));
+    }
+
+    /// Geometry subarray assignment is total and contiguous.
+    #[test]
+    fn subarray_assignment_total(row in 0u32..(128 * 1024)) {
+        let g = Geometry::paper_baseline();
+        let sa = g.subarray_of(RowAddr(row));
+        prop_assert!(sa.0 < g.subarrays_per_bank);
+        prop_assert_eq!(sa.0 as u32, row / 512);
+    }
+
+    /// The deterministic RNG's gen_range never exceeds its bound and both
+    /// extremes are reachable for tiny bounds.
+    #[test]
+    fn rng_range_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = DetRng::seeded(seed);
+        for _ in 0..64 {
+            prop_assert!(rng.gen_range(bound) < bound);
+        }
+    }
+}
