@@ -14,20 +14,21 @@ use autorfm::experiments::Scenario;
 use autorfm::memctrl::{PagePolicy, RaaRefCredit, RetryPolicy, WritePolicy};
 use autorfm::sim_core::{Cycle, TimingOverride};
 use autorfm::{SimConfig, System};
-use autorfm_bench::{banner, pct, print_table, ResultCache, RunOpts, BASELINE_ZEN};
+use autorfm_bench::{banner, par_map, pct, print_table, ResultCache, RunOpts, SimJob, BASELINE_ZEN};
 
-fn avg<F: Fn(&'static autorfm_workloads::WorkloadSpec) -> SimConfig>(
+/// Average slowdown of the custom-configured system vs the cached baseline,
+/// with the per-workload simulations fanned out on `opts.jobs` threads.
+fn avg<F: Fn(&'static autorfm_workloads::WorkloadSpec) -> SimConfig + Sync>(
     make: F,
-    cache: &mut ResultCache,
+    cache: &ResultCache,
     opts: &RunOpts,
 ) -> f64 {
-    let mut sum = 0.0;
-    for spec in &opts.workloads {
-        let base = cache.get(spec, BASELINE_ZEN, opts).clone();
+    let slowdowns = par_map(&opts.workloads, opts.jobs, |spec| {
+        let base = cache.get(spec, BASELINE_ZEN, opts);
         let r = System::new(make(spec)).expect("valid config").run();
-        sum += r.slowdown_vs(&base);
-    }
-    sum / opts.workloads.len() as f64
+        r.slowdown_vs(&base)
+    });
+    slowdowns.iter().sum::<f64>() / opts.workloads.len() as f64
 }
 
 fn main() {
@@ -36,7 +37,9 @@ fn main() {
         "Ablations: retry policy, tRFM, RAA credit, minimal-pair mitigation",
         &opts,
     );
-    let mut cache = ResultCache::new();
+    let cache = ResultCache::new();
+    let baselines: Vec<SimJob> = opts.workloads.iter().map(|&s| (s, BASELINE_ZEN)).collect();
+    cache.prefetch(&baselines, &opts);
     let instr = opts.instructions;
     let cores = opts.cores;
     let mut rows = Vec::new();
@@ -54,7 +57,7 @@ fn main() {
                 cfg.mc.retry = retry;
                 cfg
             },
-            &mut cache,
+            &cache,
             &opts,
         );
         rows.push(vec!["retry policy".into(), name.into(), pct(s)]);
@@ -76,7 +79,7 @@ fn main() {
                 });
                 cfg
             },
-            &mut cache,
+            &cache,
             &opts,
         );
         rows.push(vec!["RFM-8 latency".into(), name.into(), pct(s)]);
@@ -95,7 +98,7 @@ fn main() {
                 cfg.mc.raa_ref_credit = credit;
                 cfg
             },
-            &mut cache,
+            &cache,
             &opts,
         );
         rows.push(vec!["RFM-16 RAA credit".into(), name.into(), pct(s)]);
@@ -109,7 +112,7 @@ fn main() {
                     .with_cores(cores)
                     .with_instructions(instr)
             },
-            &mut cache,
+            &cache,
             &opts,
         );
         let trhd = MintModel::auto_rfm(th, false).tolerated_trh_d();
@@ -133,7 +136,7 @@ fn main() {
                 cfg.refresh = policy;
                 cfg
             },
-            &mut cache,
+            &cache,
             &opts,
         );
         rows.push(vec!["refresh policy".into(), name.into(), pct(s)]);
@@ -149,7 +152,7 @@ fn main() {
                 cfg.uncore.next_line_prefetch = pf;
                 cfg
             },
-            &mut cache,
+            &cache,
             &opts,
         );
         rows.push(vec!["prefetcher".into(), name.into(), pct(s)]);
@@ -178,7 +181,7 @@ fn main() {
                 cfg.mc.page_policy = policy;
                 cfg
             },
-            &mut cache,
+            &cache,
             &opts,
         );
         rows.push(vec!["page policy".into(), name.into(), pct(s)]);
@@ -204,7 +207,7 @@ fn main() {
                 cfg.mc.write_policy = policy;
                 cfg
             },
-            &mut cache,
+            &cache,
             &opts,
         );
         rows.push(vec!["write policy".into(), name.into(), pct(s)]);

@@ -7,7 +7,7 @@
 
 use autorfm::analysis::{MintModel, TRH_HISTORY};
 use autorfm::experiments::Scenario;
-use autorfm_bench::{banner, bar_chart, pct, run, ResultCache, RunOpts, BASELINE_ZEN};
+use autorfm_bench::{banner, bar_chart, pct, ResultCache, RunOpts, SimJob, BASELINE_ZEN};
 
 fn main() {
     let opts = RunOpts::from_args();
@@ -29,14 +29,21 @@ fn main() {
     });
 
     println!("\n(d) RFM slowdown as the tolerated threshold shrinks:");
-    let mut cache = ResultCache::new();
+    let ths = [32u32, 16, 8, 4];
+    let cache = ResultCache::new();
+    let mut matrix: Vec<SimJob> = Vec::new();
+    for spec in &opts.workloads {
+        matrix.push((spec, BASELINE_ZEN));
+        matrix.extend(ths.iter().map(|&th| (*spec, Scenario::Rfm { th })));
+    }
+    cache.prefetch(&matrix, &opts);
     let mut chart = Vec::new();
-    for th in [32u32, 16, 8, 4] {
+    for th in ths {
         let trhd = MintModel::rfm(th, true).tolerated_trh_d();
         let mut sum = 0.0;
         for spec in &opts.workloads {
-            let base = cache.get(spec, BASELINE_ZEN, &opts).clone();
-            sum += run(spec, Scenario::Rfm { th }, &opts).slowdown_vs(&base);
+            let base = cache.get(spec, BASELINE_ZEN, &opts);
+            sum += cache.get(spec, Scenario::Rfm { th }, &opts).slowdown_vs(&base);
         }
         let s = sum / opts.workloads.len() as f64;
         chart.push((format!("TRH-D ~{trhd:.0} (RFM-{th})"), s));

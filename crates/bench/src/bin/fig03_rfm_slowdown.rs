@@ -4,7 +4,7 @@
 //! no-mitigation Zen baseline. Paper averages: 33%, 12.9%, 4.4%, 0.2%.
 
 use autorfm::experiments::Scenario;
-use autorfm_bench::{banner, pct, print_table, run, ResultCache, RunOpts, BASELINE_ZEN};
+use autorfm_bench::{banner, pct, print_table, ResultCache, RunOpts, SimJob, BASELINE_ZEN};
 
 fn main() {
     let opts = RunOpts::from_args();
@@ -14,15 +14,21 @@ fn main() {
     );
 
     let ths = [4u32, 8, 16, 32];
-    let mut cache = ResultCache::new();
+    let cache = ResultCache::new();
+    let mut matrix: Vec<SimJob> = Vec::new();
+    for spec in &opts.workloads {
+        matrix.push((spec, BASELINE_ZEN));
+        matrix.extend(ths.iter().map(|&th| (*spec, Scenario::Rfm { th })));
+    }
+    cache.prefetch(&matrix, &opts);
     let mut rows = Vec::new();
     let mut sums = vec![0.0f64; ths.len()];
 
     for spec in &opts.workloads {
-        let base = cache.get(spec, BASELINE_ZEN, &opts).clone();
+        let base = cache.get(spec, BASELINE_ZEN, &opts);
         let mut row = vec![spec.name.to_string()];
         for (i, th) in ths.iter().enumerate() {
-            let r = run(spec, Scenario::Rfm { th: *th }, &opts);
+            let r = cache.get(spec, Scenario::Rfm { th: *th }, &opts);
             let s = r.slowdown_vs(&base);
             sums[i] += s;
             row.push(pct(s));

@@ -5,20 +5,32 @@
 //! Rubix 3.1% / 0.22%.
 
 use autorfm::experiments::Scenario;
-use autorfm_bench::{banner, pct, print_table, run, ResultCache, RunOpts, BASELINE_ZEN};
+use autorfm_bench::{banner, pct, print_table, ResultCache, RunOpts, SimJob, BASELINE_ZEN};
 
 fn main() {
     let opts = RunOpts::from_args();
     banner("Figure 8: AutoRFM-4 under Zen vs Rubix mapping", &opts);
 
-    let mut cache = ResultCache::new();
+    let cache = ResultCache::new();
+    let matrix: Vec<SimJob> = opts
+        .workloads
+        .iter()
+        .flat_map(|&spec| {
+            [
+                (spec, BASELINE_ZEN),
+                (spec, Scenario::AutoRfmZen { th: 4 }),
+                (spec, Scenario::AutoRfm { th: 4 }),
+            ]
+        })
+        .collect();
+    cache.prefetch(&matrix, &opts);
     let mut rows = Vec::new();
     let (mut s_zen, mut s_rbx, mut a_zen, mut a_rbx) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
 
     for spec in &opts.workloads {
-        let base = cache.get(spec, BASELINE_ZEN, &opts).clone();
-        let zen = run(spec, Scenario::AutoRfmZen { th: 4 }, &opts);
-        let rbx = run(spec, Scenario::AutoRfm { th: 4 }, &opts);
+        let base = cache.get(spec, BASELINE_ZEN, &opts);
+        let zen = cache.get(spec, Scenario::AutoRfmZen { th: 4 }, &opts);
+        let rbx = cache.get(spec, Scenario::AutoRfm { th: 4 }, &opts);
         let (sz, sr) = (zen.slowdown_vs(&base), rbx.slowdown_vs(&base));
         s_zen += sz;
         s_rbx += sr;

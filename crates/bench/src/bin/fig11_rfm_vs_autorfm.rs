@@ -3,7 +3,7 @@
 //! Paper averages: RFM-4 33%, RFM-8 12.9%, AutoRFM-4 3.1%, AutoRFM-8 2.3%.
 
 use autorfm::experiments::Scenario;
-use autorfm_bench::{banner, pct, print_table, run, ResultCache, RunOpts, BASELINE_ZEN};
+use autorfm_bench::{banner, pct, print_table, ResultCache, RunOpts, SimJob, BASELINE_ZEN};
 
 fn main() {
     let opts = RunOpts::from_args();
@@ -15,15 +15,21 @@ fn main() {
         ("AutoRFM-4", Scenario::AutoRfm { th: 4 }),
         ("AutoRFM-8", Scenario::AutoRfm { th: 8 }),
     ];
-    let mut cache = ResultCache::new();
+    let cache = ResultCache::new();
+    let mut matrix: Vec<SimJob> = Vec::new();
+    for spec in &opts.workloads {
+        matrix.push((spec, BASELINE_ZEN));
+        matrix.extend(scenarios.iter().map(|&(_, scen)| (*spec, scen)));
+    }
+    cache.prefetch(&matrix, &opts);
     let mut rows = Vec::new();
     let mut sums = vec![0.0f64; scenarios.len()];
 
     for spec in &opts.workloads {
-        let base = cache.get(spec, BASELINE_ZEN, &opts).clone();
+        let base = cache.get(spec, BASELINE_ZEN, &opts);
         let mut row = vec![spec.name.to_string()];
         for (i, (_, scen)) in scenarios.iter().enumerate() {
-            let s = run(spec, *scen, &opts).slowdown_vs(&base);
+            let s = cache.get(spec, *scen, &opts).slowdown_vs(&base);
             sums[i] += s;
             row.push(pct(s));
         }

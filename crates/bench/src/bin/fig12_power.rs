@@ -5,7 +5,7 @@
 
 use autorfm::experiments::Scenario;
 use autorfm::power::PowerModel;
-use autorfm_bench::{banner, print_table, run, RunOpts, BASELINE_RUBIX, BASELINE_ZEN};
+use autorfm_bench::{banner, print_table, ResultCache, RunOpts, SimJob, BASELINE_RUBIX, BASELINE_ZEN};
 
 fn main() {
     let opts = RunOpts::from_args();
@@ -17,6 +17,12 @@ fn main() {
         ("AutoRFM-8", Scenario::AutoRfm { th: 8 }),
         ("AutoRFM-4", Scenario::AutoRfm { th: 4 }),
     ];
+    let cache = ResultCache::new();
+    let matrix: Vec<SimJob> = configs
+        .iter()
+        .flat_map(|&(_, scen)| opts.workloads.iter().map(move |&spec| (spec, scen)))
+        .collect();
+    cache.prefetch(&matrix, &opts);
     let model = PowerModel::ddr5();
     let mut rows = Vec::new();
     let mut base_total = None;
@@ -25,7 +31,7 @@ fn main() {
         // Average the breakdown across workloads.
         let mut acc = autorfm::power::PowerBreakdown::default();
         for spec in &opts.workloads {
-            let r = run(spec, scen, &opts);
+            let r = cache.get(spec, scen, &opts);
             let p = model.breakdown(&r.power_counts, r.elapsed.as_secs_f64());
             acc.act_rw_mw += p.act_rw_mw;
             acc.background_mw += p.background_mw;

@@ -6,13 +6,17 @@
 
 use autorfm::analysis::MintModel;
 use autorfm::experiments::Scenario;
-use autorfm_bench::{banner, pct, print_table, run, ResultCache, RunOpts, BASELINE_ZEN};
+use autorfm_bench::{banner, pct, print_table, ResultCache, RunOpts, SimJob, BASELINE_ZEN};
 
-fn avg_slowdown(scen: Scenario, cache: &mut ResultCache, opts: &RunOpts) -> f64 {
+const RFM_THS: [u32; 4] = [4, 8, 16, 32];
+const AUTORFM_THS: [u32; 5] = [4, 6, 8, 12, 16];
+const PRAC_ABOS: [u32; 3] = [64, 128, 256];
+
+fn avg_slowdown(scen: Scenario, cache: &ResultCache, opts: &RunOpts) -> f64 {
     let mut sum = 0.0;
     for spec in &opts.workloads {
-        let base = cache.get(spec, BASELINE_ZEN, opts).clone();
-        sum += run(spec, scen, opts).slowdown_vs(&base);
+        let base = cache.get(spec, BASELINE_ZEN, opts);
+        sum += cache.get(spec, scen, opts).slowdown_vs(&base);
     }
     sum / opts.workloads.len() as f64
 }
@@ -21,13 +25,21 @@ fn main() {
     let opts = RunOpts::from_args();
     banner("Figure 13: PRAC vs RFM vs AutoRFM across thresholds", &opts);
 
-    let mut cache = ResultCache::new();
+    let cache = ResultCache::new();
+    let mut matrix: Vec<SimJob> = Vec::new();
+    for spec in &opts.workloads {
+        matrix.push((spec, BASELINE_ZEN));
+        matrix.extend(RFM_THS.iter().map(|&th| (*spec, Scenario::Rfm { th })));
+        matrix.extend(AUTORFM_THS.iter().map(|&th| (*spec, Scenario::AutoRfm { th })));
+        matrix.extend(PRAC_ABOS.iter().map(|&abo_th| (*spec, Scenario::Prac { abo_th })));
+    }
+    cache.prefetch(&matrix, &opts);
     let mut rows = Vec::new();
 
     // RFM points: RFMTH -> (tolerated TRH-D from the recursive model, slowdown).
-    for th in [4u32, 8, 16, 32] {
+    for th in RFM_THS {
         let trhd = MintModel::rfm(th, true).tolerated_trh_d();
-        let s = avg_slowdown(Scenario::Rfm { th }, &mut cache, &opts);
+        let s = avg_slowdown(Scenario::Rfm { th }, &cache, &opts);
         rows.push(vec![
             "RFM".into(),
             format!("{th}"),
@@ -36,9 +48,9 @@ fn main() {
         ]);
     }
     // AutoRFM points (fractal model thresholds).
-    for th in [4u32, 6, 8, 12, 16] {
+    for th in AUTORFM_THS {
         let trhd = MintModel::auto_rfm(th, false).tolerated_trh_d();
-        let s = avg_slowdown(Scenario::AutoRfm { th }, &mut cache, &opts);
+        let s = avg_slowdown(Scenario::AutoRfm { th }, &cache, &opts);
         rows.push(vec![
             "AutoRFM".into(),
             format!("{th}"),
@@ -48,8 +60,8 @@ fn main() {
     }
     // PRAC: slowdown is dominated by the increased timings and is nearly flat
     // in the threshold; the ABO threshold tracks the tolerated TRH-D (MOAT).
-    for abo in [64u32, 128, 256] {
-        let s = avg_slowdown(Scenario::Prac { abo_th: abo }, &mut cache, &opts);
+    for abo in PRAC_ABOS {
+        let s = avg_slowdown(Scenario::Prac { abo_th: abo }, &cache, &opts);
         rows.push(vec![
             "PRAC".into(),
             format!("ABO{abo}"),

@@ -6,7 +6,7 @@
 
 use autorfm::experiments::Scenario;
 use autorfm_bench::{
-    banner, pct, print_table, run, ResultCache, RunOpts, BASELINE_RUBIX, BASELINE_ZEN,
+    banner, pct, print_table, ResultCache, RunOpts, SimJob, BASELINE_RUBIX, BASELINE_ZEN,
 };
 
 fn main() {
@@ -16,15 +16,30 @@ fn main() {
         &opts,
     );
 
-    let mut cache = ResultCache::new();
+    let ths = [4u32, 8, 16, 32];
+    let cache = ResultCache::new();
+    let mut matrix: Vec<SimJob> = Vec::new();
+    for spec in &opts.workloads {
+        matrix.push((spec, BASELINE_ZEN));
+        matrix.push((spec, BASELINE_RUBIX));
+        for &th in &ths {
+            matrix.push((spec, Scenario::Rfm { th }));
+            matrix.push((spec, Scenario::RfmOnRubix { th }));
+        }
+    }
+    cache.prefetch(&matrix, &opts);
     let mut rows = Vec::new();
-    for th in [4u32, 8, 16, 32] {
+    for th in ths {
         let (mut s_zen, mut s_rbx) = (0.0f64, 0.0f64);
         for spec in &opts.workloads {
-            let base_zen = cache.get(spec, BASELINE_ZEN, &opts).clone();
-            let base_rbx = cache.get(spec, BASELINE_RUBIX, &opts).clone();
-            s_zen += run(spec, Scenario::Rfm { th }, &opts).slowdown_vs(&base_zen);
-            s_rbx += run(spec, Scenario::RfmOnRubix { th }, &opts).slowdown_vs(&base_rbx);
+            let base_zen = cache.get(spec, BASELINE_ZEN, &opts);
+            let base_rbx = cache.get(spec, BASELINE_RUBIX, &opts);
+            s_zen += cache
+                .get(spec, Scenario::Rfm { th }, &opts)
+                .slowdown_vs(&base_zen);
+            s_rbx += cache
+                .get(spec, Scenario::RfmOnRubix { th }, &opts)
+                .slowdown_vs(&base_rbx);
         }
         let n = opts.workloads.len() as f64;
         rows.push(vec![format!("RFM-{th}"), pct(s_zen / n), pct(s_rbx / n)]);

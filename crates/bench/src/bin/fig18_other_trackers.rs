@@ -13,10 +13,10 @@ use autorfm::mitigation::MitigationKind;
 use autorfm::sim_core::RowAddr;
 use autorfm::trackers::TrackerKind;
 use autorfm::workloads::{AttackPattern, AttackStream};
-use autorfm_bench::print_table;
+use autorfm_bench::{par_map, print_table, RunOpts};
 
 /// Empirical worst-case damage for a tracker under its adversarial pattern.
-fn empirical_worst_damage(tracker: TrackerKind, window: u32, entries_note: &mut String) -> u64 {
+fn empirical_worst_damage(tracker: TrackerKind, window: u32) -> u64 {
     let mut worst = 0u64;
     for (i, pattern) in [
         AttackPattern::Circular {
@@ -50,22 +50,34 @@ fn empirical_worst_damage(tracker: TrackerKind, window: u32, entries_note: &mut 
         let report = sim.run(500_000, move |rng| stream.next_row(rng));
         worst = worst.max(report.max_damage);
     }
-    if tracker == TrackerKind::Mithril && entries_note.is_empty() {
-        entries_note.push_str("Mithril simulated with 32 counter entries/bank.");
-    }
     worst
 }
 
 fn main() {
+    let opts = RunOpts::from_args();
     println!("=== Figure 18: TRH-D tolerated by PrIDE / MINT / Mithril with AutoRFM ===\n");
-    let mut note = String::new();
+    // Each (threshold, tracker) Monte-Carlo sweep is independent: fan the six
+    // combinations out and re-assemble rows in threshold order.
+    let ths = [4u32, 8];
+    let combos: Vec<(u32, TrackerKind)> = ths
+        .iter()
+        .flat_map(|&th| {
+            [TrackerKind::Mithril, TrackerKind::Mint, TrackerKind::Pride]
+                .into_iter()
+                .map(move |t| (th, t))
+        })
+        .collect();
+    let damages = par_map(&combos, opts.jobs, |&(th, tracker)| {
+        empirical_worst_damage(tracker, th)
+    });
+
+    let note = "Mithril simulated with 32 counter entries/bank.";
     let mut rows = Vec::new();
-    for th in [4u32, 8] {
+    for (i, &th) in ths.iter().enumerate() {
         let mint = MintModel::auto_rfm(th, false).tolerated_trh_d();
         let pride = mint / 0.75; // MINT tolerates ~25% lower than PrIDE [37]
-        let mithril_mc = empirical_worst_damage(TrackerKind::Mithril, th, &mut note);
-        let mint_mc = empirical_worst_damage(TrackerKind::Mint, th, &mut note);
-        let pride_mc = empirical_worst_damage(TrackerKind::Pride, th, &mut note);
+        let (mithril_mc, mint_mc, pride_mc) =
+            (damages[i * 3], damages[i * 3 + 1], damages[i * 3 + 2]);
         rows.push(vec![
             format!("AutoRFM-{th}"),
             format!("{pride:.0}"),

@@ -6,7 +6,7 @@
 
 use autorfm::analysis::{AutoRfmConflictModel, RfmPerfModel};
 use autorfm::experiments::Scenario;
-use autorfm_bench::{banner, pct, print_table, run, ResultCache, RunOpts, BASELINE_ZEN};
+use autorfm_bench::{banner, pct, print_table, ResultCache, RunOpts, SimJob, BASELINE_ZEN};
 
 fn main() {
     let opts = RunOpts::from_args();
@@ -15,17 +15,29 @@ fn main() {
         &opts,
     );
 
-    let mut cache = ResultCache::new();
+    let cache = ResultCache::new();
+    let matrix: Vec<SimJob> = opts
+        .workloads
+        .iter()
+        .flat_map(|&spec| {
+            [
+                (spec, BASELINE_ZEN),
+                (spec, Scenario::AutoRfm { th: 4 }),
+                (spec, Scenario::Rfm { th: 4 }),
+            ]
+        })
+        .collect();
+    cache.prefetch(&matrix, &opts);
     let mut rows = Vec::new();
     for spec in &opts.workloads {
-        let base = cache.get(spec, BASELINE_ZEN, &opts).clone();
+        let base = cache.get(spec, BASELINE_ZEN, &opts);
         // Per-bank activation rate measured on the baseline, in ACTs/ns.
         let acts_per_ns = base.act_per_trefi_per_bank / 3900.0;
 
-        let auto = run(spec, Scenario::AutoRfm { th: 4 }, &opts);
+        let auto = cache.get(spec, Scenario::AutoRfm { th: 4 }, &opts);
         let alert_model = AutoRfmConflictModel::paper_defaults(4).alert_probability(acts_per_ns);
 
-        let rfm = run(spec, Scenario::Rfm { th: 4 }, &opts);
+        let rfm = cache.get(spec, Scenario::Rfm { th: 4 }, &opts);
         let rfm_model = RfmPerfModel::paper_defaults(4).slowdown_estimate(acts_per_ns);
 
         rows.push(vec![

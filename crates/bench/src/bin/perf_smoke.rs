@@ -1,0 +1,67 @@
+//! Parallel-harness smoke benchmark: times a fixed quick (workload × scenario)
+//! matrix through `run_matrix` serially and with the requested `--jobs`, then
+//! emits a single JSON line:
+//!
+//! ```text
+//! {"serial_s":12.34,"parallel_s":3.21,"jobs":8}
+//! ```
+//!
+//! Used by `scripts/verify.sh` (and by hand) to confirm the fan-out actually
+//! buys wall-clock time on multi-core hosts. The parallel pass must also
+//! produce bitwise-identical results to the serial pass — this binary asserts
+//! that before reporting the timings.
+
+use autorfm::experiments::Scenario;
+use autorfm_bench::{run_matrix, RunOpts, SimJob, BASELINE_ZEN};
+use std::time::Instant;
+
+fn main() {
+    let opts = RunOpts::from_args();
+
+    // Fixed quick matrix: enough independent cells to keep every worker busy,
+    // small enough to finish in seconds.
+    let mut quick = opts.clone();
+    quick.cores = 2;
+    quick.instructions = 5_000;
+    let matrix: Vec<SimJob> = quick
+        .workloads
+        .iter()
+        .flat_map(|&spec| {
+            [
+                (spec, BASELINE_ZEN),
+                (spec, Scenario::Rfm { th: 4 }),
+                (spec, Scenario::AutoRfm { th: 4 }),
+            ]
+        })
+        .collect();
+
+    let mut serial = quick.clone();
+    serial.jobs = 1;
+    let t0 = Instant::now();
+    let serial_results = run_matrix(&matrix, &serial);
+    let serial_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let parallel_results = run_matrix(&matrix, &quick);
+    let parallel_s = t1.elapsed().as_secs_f64();
+
+    assert_eq!(
+        serial_results.len(),
+        parallel_results.len(),
+        "result count must not depend on --jobs"
+    );
+    for (i, (s, p)) in serial_results.iter().zip(&parallel_results).enumerate() {
+        assert!(
+            s.elapsed == p.elapsed
+                && s.dram.acts.get() == p.dram.acts.get()
+                && s.dram.alerts.get() == p.dram.alerts.get()
+                && s.per_core_ipc == p.per_core_ipc,
+            "parallel result {i} diverged from serial"
+        );
+    }
+
+    println!(
+        "{{\"serial_s\":{serial_s:.3},\"parallel_s\":{parallel_s:.3},\"jobs\":{}}}",
+        quick.jobs
+    );
+}

@@ -1,7 +1,14 @@
-//! Runs every experiment binary in sequence, writing each report to
-//! `results/<target>.txt`. Pass the usual flags (`--quick`, `--full`, …) and
-//! they are forwarded to each experiment.
+//! Runs every experiment binary, writing each report to
+//! `results/<target>.txt`. Pass the usual flags (`--quick`, `--full`,
+//! `--jobs N`, …) and they are forwarded to each experiment.
+//!
+//! Experiments run as child processes with bounded concurrency: up to
+//! `AUTORFM_PROCS` targets at a time (default 2 — each child already fans its
+//! simulations out over `--jobs` threads, so a small process pool keeps the
+//! host busy without oversubscribing it). Failures still produce a
+//! `results/<target>.txt` capturing the partial stdout and a stderr tail.
 
+use autorfm_bench::par_map;
 use std::process::Command;
 
 const TARGETS: &[&str] = &[
@@ -37,10 +44,19 @@ const TAKES_FLAGS: &[&str] = &[
     "fig12_power",
     "fig13_prac_comparison",
     "fig17_rubix_rfm",
+    "fig18_other_trackers",
     "ablations",
     "model_vs_sim",
     "seed_sensitivity",
 ];
+
+/// Last `lines` lines of a child's stderr, lossily decoded.
+fn stderr_tail(stderr: &[u8], lines: usize) -> String {
+    let text = String::from_utf8_lossy(stderr);
+    let all: Vec<&str> = text.lines().collect();
+    let at = all.len().saturating_sub(lines);
+    all[at..].join("\n")
+}
 
 fn main() {
     let flags: Vec<String> = std::env::args().skip(1).collect();
@@ -49,27 +65,52 @@ fn main() {
         .ok()
         .and_then(|p| p.parent().map(|d| d.to_path_buf()))
         .expect("locate target dir");
-    for target in TARGETS {
+    let procs = std::env::var("AUTORFM_PROCS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(2);
+
+    let failures: Vec<Option<String>> = par_map(TARGETS, procs, |&target| {
         eprintln!("=== running {target} ===");
         let mut cmd = Command::new(exe_dir.join(target));
-        if TAKES_FLAGS.contains(target) {
+        if TAKES_FLAGS.contains(&target) {
             cmd.args(&flags);
         }
+        let path = format!("results/{target}.txt");
         match cmd.output() {
             Ok(out) if out.status.success() => {
-                let path = format!("results/{target}.txt");
                 std::fs::write(&path, &out.stdout).expect("write result");
                 eprintln!("    -> {path}");
+                None
             }
             Ok(out) => {
-                eprintln!(
-                    "    FAILED ({}): {}",
-                    out.status,
-                    String::from_utf8_lossy(&out.stderr)
+                // Keep whatever the experiment printed before dying, plus the
+                // end of its stderr, so the report directory stays complete.
+                let mut body = out.stdout.clone();
+                let tail = stderr_tail(&out.stderr, 20);
+                body.extend_from_slice(
+                    format!("\n=== FAILED ({}) — stderr tail ===\n{tail}\n", out.status)
+                        .as_bytes(),
                 );
+                std::fs::write(&path, &body).expect("write result");
+                eprintln!("    FAILED ({}) -> {path}", out.status);
+                Some(format!("{target}: exited with {}", out.status))
             }
-            Err(e) => eprintln!("    could not launch (build all bins first): {e}"),
+            Err(e) => Some(format!(
+                "{target}: could not launch (build all bins first): {e}"
+            )),
         }
+    });
+
+    let failures: Vec<String> = failures.into_iter().flatten().collect();
+    if failures.is_empty() {
+        eprintln!("done.");
+    } else {
+        eprintln!("done with {} failure(s):", failures.len());
+        for f in &failures {
+            eprintln!("    {f}");
+        }
+        std::process::exit(1);
     }
-    eprintln!("done.");
 }

@@ -4,34 +4,42 @@
 
 use autorfm::experiments::Scenario;
 use autorfm::{MappingKind, SimConfig, System};
-use autorfm_bench::{banner, print_table, RunOpts};
+use autorfm_bench::{banner, par_map, print_table, RunOpts};
 use autorfm_workloads::WorkloadSpec;
 
 const SEEDS: &[u64] = &[42, 1337, 2024, 7, 99];
+const SCENARIOS: [Scenario; 2] = [Scenario::Rfm { th: 4 }, Scenario::AutoRfm { th: 4 }];
 
-fn slowdowns(spec: &'static WorkloadSpec, scenario: Scenario, opts: &RunOpts) -> (f64, f64, u64) {
-    let mut values = Vec::new();
-    let mut worst_latency = 0u64;
-    for &seed in SEEDS {
-        let mk = |s| {
-            SimConfig::scenario(spec, s)
-                .with_cores(opts.cores)
-                .with_instructions(opts.instructions)
-                .with_seed(seed)
-        };
-        let base = System::new(mk(Scenario::Baseline {
-            mapping: MappingKind::Zen,
-        }))
-        .expect("valid config")
-        .run();
-        let mut sys = System::new(mk(scenario)).expect("valid config");
-        let r = sys.run();
-        values.push(r.slowdown_vs(&base));
-        worst_latency = worst_latency.max(sys.mc().stats().max_read_latency.get() / 4);
-    }
-    let mean = values.iter().sum::<f64>() / values.len() as f64;
-    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
-    (mean, var.sqrt(), worst_latency)
+/// One grid cell: a (workload, scenario, seed) triple simulated against its
+/// own same-seed baseline. Returns the slowdown and the worst read latency
+/// of the mitigated run (in ns).
+fn cell(spec: &'static WorkloadSpec, scenario: Scenario, seed: u64, opts: &RunOpts) -> (f64, u64) {
+    let mk = |s| {
+        SimConfig::scenario(spec, s)
+            .with_cores(opts.cores)
+            .with_instructions(opts.instructions)
+            .with_seed(seed)
+    };
+    let base = System::new(mk(Scenario::Baseline {
+        mapping: MappingKind::Zen,
+    }))
+    .expect("valid config")
+    .run();
+    let mut sys = System::new(mk(scenario)).expect("valid config");
+    let r = sys.run();
+    (
+        r.slowdown_vs(&base),
+        sys.mc().stats().max_read_latency.get() / 4,
+    )
+}
+
+/// Mean, population std-dev, and worst latency over the per-seed cells,
+/// accumulated in seed order (identical to the serial loop).
+fn stats(cells: &[(f64, u64)]) -> (f64, f64, u64) {
+    let mean = cells.iter().map(|c| c.0).sum::<f64>() / cells.len() as f64;
+    let var = cells.iter().map(|c| (c.0 - mean).powi(2)).sum::<f64>() / cells.len() as f64;
+    let worst = cells.iter().fold(0u64, |w, c| w.max(c.1));
+    (mean, var.sqrt(), worst)
 }
 
 fn main() {
@@ -41,10 +49,28 @@ fn main() {
         opts.workloads.truncate(6);
     }
     banner("Seed sensitivity (5 seeds): mean ± std of slowdown", &opts);
+
+    // Every (workload, scenario, seed) cell is independent, so fan the whole
+    // grid out at once and re-assemble the per-workload statistics afterwards.
+    let grid: Vec<(&'static WorkloadSpec, Scenario, u64)> = opts
+        .workloads
+        .iter()
+        .flat_map(|&spec| {
+            SCENARIOS
+                .iter()
+                .flat_map(move |&sc| SEEDS.iter().map(move |&seed| (spec, sc, seed)))
+        })
+        .collect();
+    let results = par_map(&grid, opts.jobs, |&(spec, scenario, seed)| {
+        cell(spec, scenario, seed, &opts)
+    });
+
+    let per_scenario = SEEDS.len();
     let mut rows = Vec::new();
-    for spec in &opts.workloads {
-        let (rfm_m, rfm_s, _) = slowdowns(spec, Scenario::Rfm { th: 4 }, &opts);
-        let (auto_m, auto_s, worst) = slowdowns(spec, Scenario::AutoRfm { th: 4 }, &opts);
+    for (wi, spec) in opts.workloads.iter().enumerate() {
+        let at = wi * SCENARIOS.len() * per_scenario;
+        let (rfm_m, rfm_s, _) = stats(&results[at..at + per_scenario]);
+        let (auto_m, auto_s, worst) = stats(&results[at + per_scenario..at + 2 * per_scenario]);
         rows.push(vec![
             spec.name.to_string(),
             format!("{:.1}% ± {:.1}", rfm_m * 100.0, rfm_s * 100.0),

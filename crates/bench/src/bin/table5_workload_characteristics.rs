@@ -1,7 +1,7 @@
 //! Table V: workload characteristics (ACT-PKI and ACT-per-tREFI per bank)
 //! measured on the baseline system, against the paper's reported values.
 
-use autorfm_bench::{banner, print_table, run, RunOpts, BASELINE_ZEN};
+use autorfm_bench::{banner, print_table, run_matrix, RunOpts, SimJob, BASELINE_ZEN};
 
 fn main() {
     let opts = RunOpts::from_args();
@@ -10,9 +10,10 @@ fn main() {
         &opts,
     );
 
+    let matrix: Vec<SimJob> = opts.workloads.iter().map(|&s| (s, BASELINE_ZEN)).collect();
+    let results = run_matrix(&matrix, &opts);
     let mut rows = Vec::new();
-    for spec in &opts.workloads {
-        let r = run(spec, BASELINE_ZEN, &opts);
+    for (spec, r) in opts.workloads.iter().zip(&results) {
         rows.push(vec![
             spec.suite.to_string(),
             spec.name.to_string(),

@@ -6,7 +6,7 @@
 
 use autorfm::analysis::MintModel;
 use autorfm::experiments::Scenario;
-use autorfm_bench::{banner, pct, print_table, run, ResultCache, RunOpts, BASELINE_ZEN};
+use autorfm_bench::{banner, pct, print_table, ResultCache, RunOpts, SimJob, BASELINE_ZEN};
 
 fn main() {
     let opts = RunOpts::from_args();
@@ -19,7 +19,16 @@ fn main() {
         (2.7, 139, 117),
         (2.3, 182, 161),
     ];
-    let mut cache = ResultCache::new();
+    let cache = ResultCache::new();
+    let mut matrix: Vec<SimJob> = Vec::new();
+    for spec in &opts.workloads {
+        matrix.push((spec, BASELINE_ZEN));
+        for &th in &ths {
+            matrix.push((spec, Scenario::AutoRfm { th }));
+            matrix.push((spec, Scenario::AutoRfmRecursive { th }));
+        }
+    }
+    cache.prefetch(&matrix, &opts);
     let mut rows = Vec::new();
 
     for (i, th) in ths.iter().enumerate() {
@@ -28,9 +37,13 @@ fn main() {
         let mut s_fm = 0.0f64;
         let mut s_rm = 0.0f64;
         for spec in &opts.workloads {
-            let base = cache.get(spec, BASELINE_ZEN, &opts).clone();
-            s_fm += run(spec, Scenario::AutoRfm { th: *th }, &opts).slowdown_vs(&base);
-            s_rm += run(spec, Scenario::AutoRfmRecursive { th: *th }, &opts).slowdown_vs(&base);
+            let base = cache.get(spec, BASELINE_ZEN, &opts);
+            s_fm += cache
+                .get(spec, Scenario::AutoRfm { th: *th }, &opts)
+                .slowdown_vs(&base);
+            s_rm += cache
+                .get(spec, Scenario::AutoRfmRecursive { th: *th }, &opts)
+                .slowdown_vs(&base);
         }
         let n = opts.workloads.len() as f64;
         let rm_trhd = MintModel::auto_rfm(*th, true).tolerated_trh_d();

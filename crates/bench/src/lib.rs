@@ -7,9 +7,37 @@
 //!
 //! * `--quick` — 25K instructions/core (smoke-test fidelity),
 //! * `--full` — 400K instructions/core (report fidelity),
-//! * `--instructions N`, `--cores N`, `--workloads a,b,c` — manual control.
+//! * `--instructions N`, `--cores N`, `--workloads a,b,c` — manual control,
+//! * `--jobs N` — worker threads for the simulation fan-out (see below).
 //!
 //! Defaults: 100K instructions/core, 8 cores, all 21 Table-V workloads.
+//!
+//! ## Parallel execution
+//!
+//! Each `(workload, scenario)` simulation is completely independent and
+//! deterministic given its seed, so the harness fans the experiment matrix out
+//! across threads:
+//!
+//! * [`run_matrix`] runs a slice of `(workload, scenario)` jobs on
+//!   `opts.jobs` scoped worker threads (an atomic work index — no external
+//!   thread-pool dependency) and returns results **in input order**,
+//!   regardless of completion order.
+//! * [`ResultCache`] is shared and thread-safe: each distinct
+//!   `(workload, scenario)` key is simulated **exactly once** even when many
+//!   scenarios request it concurrently (e.g. the Zen/Rubix baselines every
+//!   figure normalizes against), via a `Mutex<HashMap>` of per-key
+//!   `OnceLock` slots.
+//! * [`par_map`] is the underlying generic fan-out for experiments that build
+//!   custom [`SimConfig`]s (ablations, seed sweeps).
+//!
+//! `--jobs N` selects the worker count; the default is the machine's
+//! available parallelism, and the `AUTORFM_JOBS` environment variable
+//! overrides it (set `AUTORFM_JOBS=1` for strictly serial execution).
+//! **Determinism guarantee:** simulations share no mutable state, so every
+//! `SimResult` — and therefore every table and figure — is bitwise identical
+//! for any `--jobs` value; only wall-clock changes. Expected speedup on an
+//! N-thread host is close to N× for the big matrices (21 workloads × several
+//! scenarios), bounded by the longest single simulation.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -18,6 +46,8 @@ use autorfm::experiments::Scenario;
 use autorfm::{MappingKind, SimConfig, SimResult, System};
 use autorfm_workloads::{WorkloadSpec, ALL_WORKLOADS};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Common run options parsed from the command line.
 #[derive(Debug, Clone)]
@@ -28,6 +58,21 @@ pub struct RunOpts {
     pub instructions: u64,
     /// Workloads to simulate.
     pub workloads: Vec<&'static WorkloadSpec>,
+    /// Worker threads for [`run_matrix`] / [`par_map`] (`--jobs N`,
+    /// env `AUTORFM_JOBS`; default: available parallelism).
+    pub jobs: usize,
+}
+
+/// The default worker-thread count: `AUTORFM_JOBS` if set and valid,
+/// otherwise the machine's available parallelism (1 if unknown).
+pub fn default_jobs() -> usize {
+    if let Some(n) = std::env::var("AUTORFM_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        return n.max(1);
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
 }
 
 impl Default for RunOpts {
@@ -36,6 +81,7 @@ impl Default for RunOpts {
             cores: 8,
             instructions: 100_000,
             workloads: ALL_WORKLOADS.iter().collect(),
+            jobs: default_jobs(),
         }
     }
 }
@@ -63,6 +109,13 @@ impl RunOpts {
                     opts.cores =
                         args.next().and_then(|v| v.parse().ok()).expect("--cores needs a number");
                 }
+                "--jobs" => {
+                    opts.jobs = args
+                        .next()
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .map(|n| n.max(1))
+                        .expect("--jobs needs a positive number");
+                }
                 "--workloads" => {
                     let list = args.next().expect("--workloads needs a comma-separated list");
                     opts.workloads = list
@@ -74,7 +127,7 @@ impl RunOpts {
                         .collect();
                 }
                 other => panic!(
-                    "unknown flag {other}; expected --quick|--full|--instructions N|--cores N|--workloads a,b"
+                    "unknown flag {other}; expected --quick|--full|--instructions N|--cores N|--jobs N|--workloads a,b"
                 ),
             }
         }
@@ -90,10 +143,75 @@ pub fn run(spec: &'static WorkloadSpec, scenario: Scenario, opts: &RunOpts) -> S
     System::new(cfg).expect("valid scenario config").run()
 }
 
-/// A cache of per-workload results so baselines are simulated only once.
+/// One entry of an experiment matrix: a workload under a scenario.
+pub type SimJob = (&'static WorkloadSpec, Scenario);
+
+/// Applies `f` to every item on `jobs` scoped worker threads, returning
+/// results in input order regardless of completion order.
+///
+/// Work is distributed through an atomic index, so uneven item costs balance
+/// automatically. With `jobs <= 1` (or a single item) the map runs serially
+/// on the calling thread — the `AUTORFM_JOBS=1` reproduction path.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers first).
+pub fn par_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs == 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let r = f(item);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+/// Runs a `(workload, scenario)` matrix in parallel, returning results in
+/// input order.
+///
+/// Duplicate jobs are simulated once (a fresh shared [`ResultCache`] dedups
+/// them) and the duplicates receive clones. Use [`ResultCache::prefetch`]
+/// instead when the cache should outlive the call.
+pub fn run_matrix(jobs: &[SimJob], opts: &RunOpts) -> Vec<SimResult> {
+    let cache = ResultCache::new();
+    let results = par_map(jobs, opts.jobs, |&(spec, scenario)| {
+        cache.get(spec, scenario, opts)
+    });
+    results.into_iter().map(|arc| (*arc).clone()).collect()
+}
+
+/// A thread-safe cache of per-`(workload, scenario)` results so shared
+/// scenarios (the normalization baselines above all) are simulated only once.
+///
+/// Concurrent `get`s for the same key rendezvous on a per-key
+/// [`OnceLock`]: the first caller simulates, the rest block until the result
+/// is ready — never re-running the simulation.
 #[derive(Default)]
 pub struct ResultCache {
-    results: HashMap<(String, &'static str), SimResult>,
+    results: Mutex<HashMap<(String, &'static str), Arc<OnceLock<Arc<SimResult>>>>>,
+    runs: AtomicUsize,
 }
 
 impl ResultCache {
@@ -103,15 +221,58 @@ impl ResultCache {
     }
 
     /// Runs (or returns the cached result of) `scenario` on `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned (a simulation panicked).
     pub fn get(
-        &mut self,
+        &self,
         spec: &'static WorkloadSpec,
         scenario: Scenario,
         opts: &RunOpts,
-    ) -> &SimResult {
-        self.results
-            .entry((scenario.to_string(), spec.name))
-            .or_insert_with(|| run(spec, scenario, opts))
+    ) -> Arc<SimResult> {
+        let slot = {
+            let mut map = self.results.lock().expect("cache lock poisoned");
+            map.entry((scenario.to_string(), spec.name))
+                .or_default()
+                .clone()
+        };
+        slot.get_or_init(|| {
+            self.runs.fetch_add(1, Ordering::Relaxed);
+            Arc::new(run(spec, scenario, opts))
+        })
+        .clone()
+    }
+
+    /// Simulates every job in the matrix on `opts.jobs` threads, warming the
+    /// cache so later `get`s are instant hits. Duplicate keys (and keys
+    /// already cached) are simulated only once.
+    pub fn prefetch(&self, jobs: &[SimJob], opts: &RunOpts) {
+        par_map(jobs, opts.jobs, |&(spec, scenario)| {
+            self.get(spec, scenario, opts);
+        });
+    }
+
+    /// Number of distinct `(workload, scenario)` keys cached so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned.
+    pub fn len(&self) -> usize {
+        self.results.lock().expect("cache lock poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total simulations actually executed (cache misses). Equal to [`len`]
+    /// unless a simulation is still in flight.
+    ///
+    /// [`len`]: ResultCache::len
+    pub fn simulations_run(&self) -> usize {
+        self.runs.load(Ordering::Relaxed)
     }
 }
 
@@ -255,6 +416,7 @@ mod tests {
         let opts = RunOpts::default();
         assert_eq!(opts.workloads.len(), 21);
         assert_eq!(opts.cores, 8);
+        assert!(opts.jobs >= 1);
     }
 
     #[test]
@@ -288,11 +450,33 @@ mod tests {
             cores: 1,
             instructions: 2_000,
             workloads: vec![spec],
+            jobs: 1,
         };
-        let mut cache = ResultCache::new();
+        let cache = ResultCache::new();
         let a = cache.get(spec, BASELINE_ZEN, &opts).perf();
         let b = cache.get(spec, BASELINE_ZEN, &opts).perf();
         assert_eq!(a, b);
-        assert_eq!(cache.results.len(), 1);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.simulations_run(), 1);
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        // Uneven per-item cost so completion order differs from input order.
+        let out = par_map(&items, 8, |&x| {
+            if x % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_serial_when_one_job() {
+        let items = [1u32, 2, 3];
+        assert_eq!(par_map(&items, 1, |&x| x + 1), vec![2, 3, 4]);
+        assert_eq!(par_map::<u32, u32, _>(&[], 4, |&x| x), Vec::<u32>::new());
     }
 }

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification entry point: build, run the full test suite, then run
+# the quick experiment sweep through the parallel harness and report how long
+# it took. Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== run_all --quick --jobs ${JOBS} =="
+start=$(date +%s)
+cargo run --release -p autorfm-bench --bin run_all -- --quick --jobs "${JOBS}"
+end=$(date +%s)
+echo "run_all --quick --jobs ${JOBS}: $((end - start))s"
+
+echo "== perf_smoke (serial vs parallel timings) =="
+cargo run --release -p autorfm-bench --bin perf_smoke -- --jobs "${JOBS}"
+
+echo "verify: OK"

@@ -1,0 +1,111 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace builds in an air-gapped environment (see `vendor/README.md`),
+//! so this package re-implements the small slice of the criterion API the
+//! repo's benches use: [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! It is a real (if simple) benchmark runner: each closure is warmed up, then
+//! timed over enough iterations to fill a ~100 ms measurement window, and the
+//! mean ns/iter is printed. There is no statistical analysis, HTML report, or
+//! baseline comparison — the goal is keeping `cargo bench` useful offline.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collects timing for one benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, running it `self.iters` times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its mean iteration time.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        // Warm-up / calibration pass: find an iteration count that runs for
+        // roughly 100 ms so cheap bodies are still measured above timer noise.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        let target = Duration::from_millis(100);
+        let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 10_000_000) as u64;
+
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let ns_per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+        println!(
+            "{:<40} {:>12.1} ns/iter ({} iters)",
+            id.as_ref(),
+            ns_per_iter,
+            b.iters
+        );
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut ran = 0u64;
+        Criterion::default().bench_function("t", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+}

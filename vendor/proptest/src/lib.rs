@@ -1,0 +1,167 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds in an air-gapped environment where crates.io is
+//! unreachable (see `vendor/README.md`), so this package re-implements the
+//! subset of proptest the repo's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`], [`prop_oneof!`],
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`, range
+//!   strategies for unsigned integers, [`strategy::Just`], and
+//!   [`strategy::any`] for integers and `bool`.
+//!
+//! Differences from real proptest: no shrinking (a failure reports the seed
+//! that reproduces it instead of a minimized input), no persistence of
+//! regression files, and a default of 64 cases per property.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop import mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, ArbitraryValue, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng, TestRunner};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { body }` item
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($cfg);
+            runner.run_named(stringify!($name), |rng| {
+                $(let $arg = $crate::strategy::Strategy::new_value(&($strat), rng);)*
+                let case = || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                };
+                case()
+            });
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property, failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assert_eq failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assert_eq failed: {:?} != {:?}: {}", l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assert_ne failed: both {:?}", l);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assert_ne failed: both {:?}: {}", l, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                format!("assumption failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range + map + assume + all assertion forms, end to end.
+        #[test]
+        fn macro_pipeline_works(x in 1u32..100, flip in any::<bool>(), y in 0u64..=10) {
+            prop_assume!(x != 50);
+            let doubled = x * 2;
+            prop_assert!(doubled >= 2, "doubled was {}", doubled);
+            prop_assert_eq!(doubled / 2, x);
+            prop_assert_ne!(doubled, 0);
+            prop_assert!(y <= 10);
+            let _ = flip;
+        }
+    }
+
+    proptest! {
+        /// Default config and oneof/flat_map arms compile and run.
+        #[test]
+        fn oneof_and_flat_map(v in prop_oneof![
+            Just(1u32).boxed(),
+            (5u32..8).prop_map(|x| x).boxed(),
+            (1u32..3).prop_flat_map(|x| Just(x * 100)).boxed(),
+        ]) {
+            prop_assert!(v == 1 || (5..8).contains(&v) || v == 100 || v == 200);
+        }
+    }
+}

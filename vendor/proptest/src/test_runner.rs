@@ -1,0 +1,171 @@
+//! Test-case execution: RNG, config, error type, and the case loop.
+
+/// Deterministic RNG (splitmix64) driving value generation.
+///
+/// Seeded per test from the test name and the case index (override the base
+/// with `PROPTEST_SEED`), so failures reproduce exactly on re-run.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn seeded(seed: u64) -> Self {
+        TestRng(seed ^ 0x5DEE_CE66_D1CE_4E5B)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be positive.
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range bound must be positive");
+        // Multiply-shift reduction: unbiased enough for test generation.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// Runner configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps simulation-heavy property
+        // tests fast while still exploring the space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the inputs out; the case is skipped.
+    Reject(String),
+    /// A `prop_assert*!` failed; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Constructs a failure.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+
+    /// Constructs a rejection.
+    pub fn reject(msg: String) -> Self {
+        TestCaseError::Reject(msg)
+    }
+}
+
+/// Runs the configured number of cases for one property.
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// Creates a runner.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Runs `case` up to `config.cases` times with per-case RNGs derived from
+    /// `name`. Panics (failing the enclosing `#[test]`) on the first
+    /// [`TestCaseError::Fail`], reporting the case seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a case fails or when (nearly) all cases are rejected.
+    pub fn run_named<F>(&mut self, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| {
+                // Stable per-test-name seed (FNV-1a) so runs are reproducible.
+                name.bytes().fold(0xCBF2_9CE4_8422_2325u64, |h, b| {
+                    (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3)
+                })
+            });
+        let mut rejected = 0u32;
+        let mut executed = 0u32;
+        let max_rejects = self.config.cases.saturating_mul(16).max(1024);
+        let mut attempt = 0u64;
+        while executed < self.config.cases {
+            let seed = base.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            attempt += 1;
+            let mut rng = TestRng::seeded(seed);
+            match case(&mut rng) {
+                Ok(()) => executed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= max_rejects,
+                        "property `{name}`: too many prop_assume! rejections \
+                         ({rejected} rejects for {executed} executed cases)"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "property `{name}` failed at case {executed} \
+                     (PROPTEST_SEED={seed} reproduces): {msg}"
+                ),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_exactly_configured_cases() {
+        let mut n = 0;
+        TestRunner::new(ProptestConfig::with_cases(10)).run_named("t", |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "property `boom` failed")]
+    fn failure_panics() {
+        TestRunner::new(ProptestConfig::with_cases(3)).run_named("boom", |_| {
+            Err(TestCaseError::fail("nope".into()))
+        });
+    }
+
+    #[test]
+    fn rejects_are_skipped() {
+        let mut executed = 0;
+        let mut toggle = false;
+        TestRunner::new(ProptestConfig::with_cases(5)).run_named("r", |_| {
+            toggle = !toggle;
+            if toggle {
+                Err(TestCaseError::reject("skip".into()))
+            } else {
+                executed += 1;
+                Ok(())
+            }
+        });
+        assert_eq!(executed, 5);
+    }
+}

@@ -1,0 +1,57 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace builds in an air-gapped environment where crates.io is
+//! unreachable, so external dependencies are replaced by minimal local
+//! packages (see `vendor/README.md`). No first-party code uses `rand`
+//! directly — the simulator has its own deterministic RNG
+//! (`autorfm_sim_core::DetRng`) — so this package only needs to exist for
+//! dependency resolution. A tiny splitmix64-based [`Rng`] is provided in case
+//! a future test wants ad-hoc randomness.
+
+#![forbid(unsafe_code)]
+
+/// A minimal random-number generator (splitmix64).
+#[derive(Debug, Clone)]
+pub struct SmallRng(u64);
+
+impl SmallRng {
+    /// Creates a generator from a seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SmallRng(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Minimal subset of `rand::Rng`.
+pub trait Rng {
+    /// Uniform value in `[0, bound)`.
+    fn gen_range_u64(&mut self, bound: u64) -> u64;
+}
+
+impl Rng for SmallRng {
+    fn gen_range_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range_u64 bound must be positive");
+        self.next_u64() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_respects_bound() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert!(rng.gen_range_u64(7) < 7);
+        }
+    }
+}
