@@ -49,7 +49,7 @@ fn bench_trackers(c: &mut Criterion) {
     for kind in [TrackerKind::Mint, TrackerKind::Pride, TrackerKind::Mithril] {
         let mut tracker = build_tracker(kind, 4).unwrap();
         let mut rng = DetRng::seeded(1);
-        c.bench_function(&format!("tracker/{kind}_window"), |b| {
+        c.bench_function(format!("tracker/{kind}_window"), |b| {
             let mut row = 0u32;
             b.iter(|| {
                 for _ in 0..4 {

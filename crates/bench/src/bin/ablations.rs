@@ -14,7 +14,9 @@ use autorfm::experiments::Scenario;
 use autorfm::memctrl::{PagePolicy, RaaRefCredit, RetryPolicy, WritePolicy};
 use autorfm::sim_core::{Cycle, TimingOverride};
 use autorfm::{SimConfig, System};
-use autorfm_bench::{banner, par_map, pct, print_table, ResultCache, RunOpts, SimJob, BASELINE_ZEN};
+use autorfm_bench::{
+    banner, par_map, pct, print_table, Harness, ResultCache, RunOpts, SimJob, BASELINE_ZEN,
+};
 
 /// Average slowdown of the custom-configured system vs the cached baseline,
 /// with the per-workload simulations fanned out on `opts.jobs` threads.
@@ -33,6 +35,7 @@ fn avg<F: Fn(&'static autorfm_workloads::WorkloadSpec) -> SimConfig + Sync>(
 
 fn main() {
     let opts = RunOpts::from_args();
+    let mut harness = Harness::new(&opts);
     banner(
         "Ablations: retry policy, tRFM, RAA credit, minimal-pair mitigation",
         &opts,
@@ -214,4 +217,7 @@ fn main() {
     }
 
     print_table(&["ablation", "variant", "avg slowdown"], &rows);
+
+    harness.record_cache(&cache);
+    harness.finish();
 }

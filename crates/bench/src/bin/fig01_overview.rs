@@ -7,10 +7,11 @@
 
 use autorfm::analysis::{MintModel, TRH_HISTORY};
 use autorfm::experiments::Scenario;
-use autorfm_bench::{banner, bar_chart, pct, ResultCache, RunOpts, SimJob, BASELINE_ZEN};
+use autorfm_bench::{banner, bar_chart, pct, Harness, ResultCache, RunOpts, SimJob, BASELINE_ZEN};
 
 fn main() {
     let opts = RunOpts::from_args();
+    let mut harness = Harness::new(&opts);
     banner(
         "Figure 1(a) + 1(d): threshold trend and RFM slowdown trend",
         &opts,
@@ -43,11 +44,16 @@ fn main() {
         let mut sum = 0.0;
         for spec in &opts.workloads {
             let base = cache.get(spec, BASELINE_ZEN, &opts);
-            sum += cache.get(spec, Scenario::Rfm { th }, &opts).slowdown_vs(&base);
+            sum += cache
+                .get(spec, Scenario::Rfm { th }, &opts)
+                .slowdown_vs(&base);
         }
         let s = sum / opts.workloads.len() as f64;
         chart.push((format!("TRH-D ~{trhd:.0} (RFM-{th})"), s));
     }
     bar_chart("average RFM slowdown", &chart, pct);
     println!("\npaper: negligible at today's thresholds (~800), 33% at a threshold of 100.");
+
+    harness.record_cache(&cache);
+    harness.finish();
 }

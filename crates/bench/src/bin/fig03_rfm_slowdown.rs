@@ -4,10 +4,13 @@
 //! no-mitigation Zen baseline. Paper averages: 33%, 12.9%, 4.4%, 0.2%.
 
 use autorfm::experiments::Scenario;
-use autorfm_bench::{banner, pct, print_table, ResultCache, RunOpts, SimJob, BASELINE_ZEN};
+use autorfm_bench::{
+    banner, pct, print_table, Harness, ResultCache, RunOpts, SimJob, BASELINE_ZEN,
+};
 
 fn main() {
     let opts = RunOpts::from_args();
+    let mut harness = Harness::new(&opts);
     banner(
         "Figure 3: slowdown of RFM-N vs no-mitigation baseline",
         &opts,
@@ -53,4 +56,7 @@ fn main() {
         .map(|(th, s)| (format!("RFM-{th}"), s / n))
         .collect();
     autorfm_bench::bar_chart("average slowdown", &chart, pct);
+
+    harness.record_cache(&cache);
+    harness.finish();
 }

@@ -5,10 +5,13 @@
 //! Rubix 3.1% / 0.22%.
 
 use autorfm::experiments::Scenario;
-use autorfm_bench::{banner, pct, print_table, ResultCache, RunOpts, SimJob, BASELINE_ZEN};
+use autorfm_bench::{
+    banner, pct, print_table, Harness, ResultCache, RunOpts, SimJob, BASELINE_ZEN,
+};
 
 fn main() {
     let opts = RunOpts::from_args();
+    let mut harness = Harness::new(&opts);
     banner("Figure 8: AutoRFM-4 under Zen vs Rubix mapping", &opts);
 
     let cache = ResultCache::new();
@@ -69,4 +72,7 @@ fn main() {
         ],
         &rows,
     );
+
+    harness.record_cache(&cache);
+    harness.finish();
 }

@@ -3,10 +3,13 @@
 //! Paper averages: RFM-4 33%, RFM-8 12.9%, AutoRFM-4 3.1%, AutoRFM-8 2.3%.
 
 use autorfm::experiments::Scenario;
-use autorfm_bench::{banner, pct, print_table, ResultCache, RunOpts, SimJob, BASELINE_ZEN};
+use autorfm_bench::{
+    banner, pct, print_table, Harness, ResultCache, RunOpts, SimJob, BASELINE_ZEN,
+};
 
 fn main() {
     let opts = RunOpts::from_args();
+    let mut harness = Harness::new(&opts);
     banner("Figure 11: RFM vs AutoRFM", &opts);
 
     let scenarios = [
@@ -58,4 +61,7 @@ fn main() {
         .map(|((name, _), s)| (name.to_string(), s / n))
         .collect();
     autorfm_bench::bar_chart("average slowdown", &chart, pct);
+
+    harness.record_cache(&cache);
+    harness.finish();
 }

@@ -5,10 +5,13 @@
 
 use autorfm::experiments::Scenario;
 use autorfm::power::PowerModel;
-use autorfm_bench::{banner, print_table, ResultCache, RunOpts, SimJob, BASELINE_RUBIX, BASELINE_ZEN};
+use autorfm_bench::{
+    banner, print_table, Harness, ResultCache, RunOpts, SimJob, BASELINE_RUBIX, BASELINE_ZEN,
+};
 
 fn main() {
     let opts = RunOpts::from_args();
+    let mut harness = Harness::new(&opts);
     banner("Figure 12: DRAM power breakdown", &opts);
 
     let configs = [
@@ -73,4 +76,7 @@ fn main() {
         &rows,
     );
     println!("\npaper deltas: rubix +36 mW, AutoRFM-8 +65 mW, AutoRFM-4 +92 mW");
+
+    harness.record_cache(&cache);
+    harness.finish();
 }

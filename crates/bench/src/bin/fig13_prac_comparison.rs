@@ -6,7 +6,9 @@
 
 use autorfm::analysis::MintModel;
 use autorfm::experiments::Scenario;
-use autorfm_bench::{banner, pct, print_table, ResultCache, RunOpts, SimJob, BASELINE_ZEN};
+use autorfm_bench::{
+    banner, pct, print_table, Harness, ResultCache, RunOpts, SimJob, BASELINE_ZEN,
+};
 
 const RFM_THS: [u32; 4] = [4, 8, 16, 32];
 const AUTORFM_THS: [u32; 5] = [4, 6, 8, 12, 16];
@@ -23,6 +25,7 @@ fn avg_slowdown(scen: Scenario, cache: &ResultCache, opts: &RunOpts) -> f64 {
 
 fn main() {
     let opts = RunOpts::from_args();
+    let mut harness = Harness::new(&opts);
     banner("Figure 13: PRAC vs RFM vs AutoRFM across thresholds", &opts);
 
     let cache = ResultCache::new();
@@ -30,8 +33,16 @@ fn main() {
     for spec in &opts.workloads {
         matrix.push((spec, BASELINE_ZEN));
         matrix.extend(RFM_THS.iter().map(|&th| (*spec, Scenario::Rfm { th })));
-        matrix.extend(AUTORFM_THS.iter().map(|&th| (*spec, Scenario::AutoRfm { th })));
-        matrix.extend(PRAC_ABOS.iter().map(|&abo_th| (*spec, Scenario::Prac { abo_th })));
+        matrix.extend(
+            AUTORFM_THS
+                .iter()
+                .map(|&th| (*spec, Scenario::AutoRfm { th })),
+        );
+        matrix.extend(
+            PRAC_ABOS
+                .iter()
+                .map(|&abo_th| (*spec, Scenario::Prac { abo_th })),
+        );
     }
     cache.prefetch(&matrix, &opts);
     let mut rows = Vec::new();
@@ -75,4 +86,7 @@ fn main() {
     );
     println!("\npaper: PRAC ~4% flat; RFM 33%/12.9%/4.4%/0.2% at TRH-D 96/182/356/702;");
     println!("       AutoRFM 3.1% at 74 falling to ~2% at 200-800.");
+
+    harness.record_cache(&cache);
+    harness.finish();
 }

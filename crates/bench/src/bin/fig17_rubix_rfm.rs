@@ -6,11 +6,12 @@
 
 use autorfm::experiments::Scenario;
 use autorfm_bench::{
-    banner, pct, print_table, ResultCache, RunOpts, SimJob, BASELINE_RUBIX, BASELINE_ZEN,
+    banner, pct, print_table, Harness, ResultCache, RunOpts, SimJob, BASELINE_RUBIX, BASELINE_ZEN,
 };
 
 fn main() {
     let opts = RunOpts::from_args();
+    let mut harness = Harness::new(&opts);
     banner(
         "Figure 17: RFM on Zen vs Rubix (own-baseline normalization)",
         &opts,
@@ -47,4 +48,7 @@ fn main() {
     print_table(&["config", "slowdown on Zen", "slowdown on Rubix"], &rows);
     println!("\npaper: 33.1% vs 35.1% for RFM-4 — Rubix spreads ACTs over more rows but");
     println!("issues more ACTs per bank, so bank-counted RFM fires more often.");
+
+    harness.record_cache(&cache);
+    harness.finish();
 }

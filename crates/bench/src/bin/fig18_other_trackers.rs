@@ -13,7 +13,7 @@ use autorfm::mitigation::MitigationKind;
 use autorfm::sim_core::RowAddr;
 use autorfm::trackers::TrackerKind;
 use autorfm::workloads::{AttackPattern, AttackStream};
-use autorfm_bench::{par_map, print_table, RunOpts};
+use autorfm_bench::{par_map, print_table, Harness, RunOpts};
 
 /// Empirical worst-case damage for a tracker under its adversarial pattern.
 fn empirical_worst_damage(tracker: TrackerKind, window: u32) -> u64 {
@@ -55,6 +55,7 @@ fn empirical_worst_damage(tracker: TrackerKind, window: u32) -> u64 {
 
 fn main() {
     let opts = RunOpts::from_args();
+    let mut harness = Harness::new(&opts);
     println!("=== Figure 18: TRH-D tolerated by PrIDE / MINT / Mithril with AutoRFM ===\n");
     // Each (threshold, tracker) Monte-Carlo sweep is independent: fan the six
     // combinations out and re-assemble rows in threshold order.
@@ -99,4 +100,15 @@ fn main() {
     println!("\n{note}");
     println!("paper: all three trackers tolerate sub-125 TRH-D at AutoRFMTH-4;");
     println!("MINT needs the least storage (4 B/bank); Mithril needs >30K entries/bank.");
+
+    for (&(th, tracker), &damage) in combos.iter().zip(&damages) {
+        let th = th.to_string();
+        let tracker = tracker.to_string();
+        harness.gauge(
+            "mc_worst_damage",
+            &[("th", &th), ("tracker", &tracker)],
+            damage as f64,
+        );
+    }
+    harness.finish();
 }

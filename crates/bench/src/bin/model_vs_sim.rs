@@ -6,10 +6,13 @@
 
 use autorfm::analysis::{AutoRfmConflictModel, RfmPerfModel};
 use autorfm::experiments::Scenario;
-use autorfm_bench::{banner, pct, print_table, ResultCache, RunOpts, SimJob, BASELINE_ZEN};
+use autorfm_bench::{
+    banner, pct, print_table, Harness, ResultCache, RunOpts, SimJob, BASELINE_ZEN,
+};
 
 fn main() {
     let opts = RunOpts::from_args();
+    let mut harness = Harness::new(&opts);
     banner(
         "Model vs simulation: ALERT probability and RFM slowdown",
         &opts,
@@ -62,4 +65,7 @@ fn main() {
     );
     println!("\nThe models capture the first-order trends (both grow with the per-bank");
     println!("rate); queueing and burstiness effects account for the residuals.");
+
+    harness.record_cache(&cache);
+    harness.finish();
 }

@@ -3,8 +3,12 @@
 //! emits a single JSON line:
 //!
 //! ```text
-//! {"serial_s":12.34,"parallel_s":3.21,"jobs":8}
+//! {"serial_s":12.34,"parallel_s":3.21,"jobs":8,"host_parallelism":16,
+//!  "sim_cycles":123456789,"cycles_per_sec":38460000.0}
 //! ```
+//!
+//! `sim_cycles` is the total simulated CPU-cycle count of the matrix and
+//! `cycles_per_sec` the parallel-pass simulation throughput.
 //!
 //! Used by `scripts/verify.sh` (and by hand) to confirm the fan-out actually
 //! buys wall-clock time on multi-core hosts. The parallel pass must also
@@ -60,8 +64,17 @@ fn main() {
         );
     }
 
+    let host = std::thread::available_parallelism().map_or(1, usize::from);
+    let sim_cycles: u64 = parallel_results.iter().map(|r| r.elapsed.raw()).sum();
+    let cycles_per_sec = if parallel_s > 0.0 {
+        sim_cycles as f64 / parallel_s
+    } else {
+        0.0
+    };
     println!(
-        "{{\"serial_s\":{serial_s:.3},\"parallel_s\":{parallel_s:.3},\"jobs\":{}}}",
+        "{{\"serial_s\":{serial_s:.3},\"parallel_s\":{parallel_s:.3},\"jobs\":{},\
+         \"host_parallelism\":{host},\"sim_cycles\":{sim_cycles},\
+         \"cycles_per_sec\":{cycles_per_sec:.0}}}",
         quick.jobs
     );
 }

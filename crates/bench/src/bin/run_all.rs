@@ -1,15 +1,22 @@
 //! Runs every experiment binary, writing each report to
-//! `results/<target>.txt`. Pass the usual flags (`--quick`, `--full`,
-//! `--jobs N`, …) and they are forwarded to each experiment.
+//! `results/<target>.txt` and a machine-readable manifest to
+//! `results/<target>.json` (see `autorfm_telemetry::RunManifest`). Pass the
+//! usual flags (`--quick`, `--full`, `--jobs N`, `--telemetry`, …) and they
+//! are forwarded to each experiment.
 //!
 //! Experiments run as child processes with bounded concurrency: up to
-//! `AUTORFM_PROCS` targets at a time (default 2 — each child already fans its
-//! simulations out over `--jobs` threads, so a small process pool keeps the
-//! host busy without oversubscribing it). Failures still produce a
-//! `results/<target>.txt` capturing the partial stdout and a stderr tail.
+//! `AUTORFM_PROCS` targets at a time. The default pool size is the host's
+//! available parallelism divided by the per-child `--jobs` thread count
+//! (min 1, capped at 8) — each child already fans its simulations out over
+//! `--jobs` threads, so the pool fills the host without oversubscribing it.
+//! Failures still produce a `results/<target>.txt` capturing the partial
+//! stdout, the child's exit code, and a stderr tail.
 
-use autorfm_bench::par_map;
+use autorfm::telemetry::{Json, RunManifest};
+use autorfm_bench::{default_jobs, par_map};
+use std::path::Path;
 use std::process::Command;
+use std::time::Instant;
 
 const TARGETS: &[&str] = &[
     "fig01_overview",
@@ -58,6 +65,51 @@ fn stderr_tail(stderr: &[u8], lines: usize) -> String {
     all[at..].join("\n")
 }
 
+/// The per-child worker-thread count the forwarded flags will produce:
+/// `--jobs N` if present, else the harness default (`AUTORFM_JOBS` / host
+/// parallelism).
+fn child_jobs(flags: &[String]) -> usize {
+    flags
+        .iter()
+        .position(|f| f == "--jobs")
+        .and_then(|i| flags.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or_else(default_jobs, |n| n.max(1))
+}
+
+/// Process-pool size: `AUTORFM_PROCS` if set, else available parallelism
+/// divided by the per-child thread count (min 1, capped at 8).
+fn pool_size(flags: &[String]) -> usize {
+    if let Some(n) = std::env::var("AUTORFM_PROCS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+    {
+        return n;
+    }
+    let host = std::thread::available_parallelism().map_or(1, usize::from);
+    (host / child_jobs(flags)).clamp(1, 8)
+}
+
+/// Ensures `results/<target>.json` exists and carries the child's exit code
+/// and (for analytic targets without their own harness) its wall clock.
+fn finalize_manifest(target: &str, exit_code: Option<i64>, wall_s: f64, jobs: usize) {
+    let path = Path::new("results").join(format!("{target}.json"));
+    let mut manifest = RunManifest::load(&path).unwrap_or_else(|_| {
+        // The child didn't write one (analytic experiment or early crash):
+        // record the run shape run_all observed from the outside.
+        let mut m = RunManifest::new(target);
+        m.jobs = jobs as u64;
+        m.wall_s = wall_s;
+        m.set_config("recorded_by", Json::Str("run_all".into()));
+        m
+    });
+    manifest.exit_code = exit_code;
+    if let Err(e) = manifest.save(&path) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
 fn main() {
     let flags: Vec<String> = std::env::args().skip(1).collect();
     std::fs::create_dir_all("results").expect("create results/");
@@ -65,22 +117,27 @@ fn main() {
         .ok()
         .and_then(|p| p.parent().map(|d| d.to_path_buf()))
         .expect("locate target dir");
-    let procs = std::env::var("AUTORFM_PROCS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or(2);
+    let procs = pool_size(&flags);
+    let jobs = child_jobs(&flags);
+    eprintln!("process pool: {procs} (child --jobs {jobs})");
 
     let failures: Vec<Option<String>> = par_map(TARGETS, procs, |&target| {
         eprintln!("=== running {target} ===");
+        let manifest_path = format!("results/{target}.json");
+        // Remove any stale manifest so a crash can't leave last run's data
+        // behind wearing this run's exit code.
+        let _ = std::fs::remove_file(&manifest_path);
         let mut cmd = Command::new(exe_dir.join(target));
         if TAKES_FLAGS.contains(&target) {
             cmd.args(&flags);
         }
+        cmd.env("AUTORFM_MANIFEST", &manifest_path);
         let path = format!("results/{target}.txt");
+        let started = Instant::now();
         match cmd.output() {
             Ok(out) if out.status.success() => {
                 std::fs::write(&path, &out.stdout).expect("write result");
+                finalize_manifest(target, Some(0), started.elapsed().as_secs_f64(), jobs);
                 eprintln!("    -> {path}");
                 None
             }
@@ -89,11 +146,24 @@ fn main() {
                 // end of its stderr, so the report directory stays complete.
                 let mut body = out.stdout.clone();
                 let tail = stderr_tail(&out.stderr, 20);
+                let code = out
+                    .status
+                    .code()
+                    .map_or("killed by signal".to_string(), |c| c.to_string());
                 body.extend_from_slice(
-                    format!("\n=== FAILED ({}) — stderr tail ===\n{tail}\n", out.status)
-                        .as_bytes(),
+                    format!(
+                        "\n=== FAILED ({}) — stderr tail ===\nexit code: {code}\n{tail}\n",
+                        out.status
+                    )
+                    .as_bytes(),
                 );
                 std::fs::write(&path, &body).expect("write result");
+                finalize_manifest(
+                    target,
+                    out.status.code().map(i64::from),
+                    started.elapsed().as_secs_f64(),
+                    jobs,
+                );
                 eprintln!("    FAILED ({}) -> {path}", out.status);
                 Some(format!("{target}: exited with {}", out.status))
             }

@@ -3,8 +3,9 @@
 //! RFM-4 and AutoRFM-4, plus the DoS-relevant worst-case read latency.
 
 use autorfm::experiments::Scenario;
+use autorfm::telemetry::Json;
 use autorfm::{MappingKind, SimConfig, System};
-use autorfm_bench::{banner, par_map, print_table, RunOpts};
+use autorfm_bench::{banner, par_map, print_table, Harness, RunOpts};
 use autorfm_workloads::WorkloadSpec;
 
 const SEEDS: &[u64] = &[42, 1337, 2024, 7, 99];
@@ -49,6 +50,11 @@ fn main() {
         opts.workloads.truncate(6);
     }
     banner("Seed sensitivity (5 seeds): mean ± std of slowdown", &opts);
+    let mut harness = Harness::new(&opts);
+    harness.set_config(
+        "seeds",
+        Json::Arr(SEEDS.iter().map(|&s| Json::Num(s as f64)).collect()),
+    );
 
     // Every (workload, scenario, seed) cell is independent, so fan the whole
     // grid out at once and re-assemble the per-workload statistics afterwards.
@@ -71,6 +77,11 @@ fn main() {
         let at = wi * SCENARIOS.len() * per_scenario;
         let (rfm_m, rfm_s, _) = stats(&results[at..at + per_scenario]);
         let (auto_m, auto_s, worst) = stats(&results[at + per_scenario..at + 2 * per_scenario]);
+        for (scenario, mean, std) in [("RFM-4", rfm_m, rfm_s), ("AutoRFM-4", auto_m, auto_s)] {
+            let labels = [("workload", spec.name), ("scenario", scenario)];
+            harness.gauge("slowdown_mean", &labels, mean);
+            harness.gauge("slowdown_std", &labels, std);
+        }
         rows.push(vec![
             spec.name.to_string(),
             format!("{:.1}% ± {:.1}", rfm_m * 100.0, rfm_s * 100.0),
@@ -84,4 +95,5 @@ fn main() {
     );
     println!("\nThe worst-case latency bounds the DoS exposure: an ALERTed ACT adds at");
     println!("most ~200 ns, so the tail should stay within a few retry windows.");
+    harness.finish();
 }

@@ -1,10 +1,11 @@
 //! Table V: workload characteristics (ACT-PKI and ACT-per-tREFI per bank)
 //! measured on the baseline system, against the paper's reported values.
 
-use autorfm_bench::{banner, print_table, run_matrix, RunOpts, SimJob, BASELINE_ZEN};
+use autorfm_bench::{banner, print_table, run_matrix, Harness, RunOpts, SimJob, BASELINE_ZEN};
 
 fn main() {
     let opts = RunOpts::from_args();
+    let mut harness = Harness::new(&opts);
     banner(
         "Table V: workload characteristics (baseline Zen system)",
         &opts,
@@ -38,4 +39,9 @@ fn main() {
     );
     println!("\nNote: measured ACT-PKI includes writeback activations and reflects the");
     println!("ROB-model IPC; the paper's trend across workloads is what should match.");
+
+    for ((spec, scenario), r) in matrix.iter().zip(&results) {
+        harness.record(&format!("{}/{scenario}", spec.name), r);
+    }
+    harness.finish();
 }

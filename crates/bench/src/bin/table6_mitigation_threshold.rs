@@ -6,10 +6,13 @@
 
 use autorfm::analysis::MintModel;
 use autorfm::experiments::Scenario;
-use autorfm_bench::{banner, pct, print_table, ResultCache, RunOpts, SimJob, BASELINE_ZEN};
+use autorfm_bench::{
+    banner, pct, print_table, Harness, ResultCache, RunOpts, SimJob, BASELINE_ZEN,
+};
 
 fn main() {
     let opts = RunOpts::from_args();
+    let mut harness = Harness::new(&opts);
     banner("Table VI: Recursive vs Fractal Mitigation", &opts);
 
     let ths = [4u32, 5, 6, 8];
@@ -73,4 +76,7 @@ fn main() {
         ],
         &rows,
     );
+
+    harness.record_cache(&cache);
+    harness.finish();
 }

@@ -8,7 +8,12 @@
 //! * `--quick` — 25K instructions/core (smoke-test fidelity),
 //! * `--full` — 400K instructions/core (report fidelity),
 //! * `--instructions N`, `--cores N`, `--workloads a,b,c` — manual control,
-//! * `--jobs N` — worker threads for the simulation fan-out (see below).
+//! * `--jobs N` — worker threads for the simulation fan-out (see below),
+//! * `--telemetry` — record epoch time series and full final-metric
+//!   registries, and write a `results/<target>.json` manifest
+//!   (env `AUTORFM_TELEMETRY=1`; see [`Harness`]),
+//! * `--epoch-ns N` — telemetry sampling window (default: one tREFI),
+//! * `--telemetry-csv DIR` — stream each run's epoch series as CSV.
 //!
 //! Defaults: 100K instructions/core, 8 cores, all 21 Table-V workloads.
 //!
@@ -43,11 +48,15 @@
 #![forbid(unsafe_code)]
 
 use autorfm::experiments::Scenario;
-use autorfm::{MappingKind, SimConfig, SimResult, System};
+use autorfm::telemetry::{Json, Labels, RunEntry, RunManifest};
+use autorfm::{MappingKind, SimConfig, SimResult, System, TelemetryConfig};
+use autorfm_sim_core::Cycle;
 use autorfm_workloads::{WorkloadSpec, ALL_WORKLOADS};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Common run options parsed from the command line.
 #[derive(Debug, Clone)]
@@ -61,6 +70,16 @@ pub struct RunOpts {
     /// Worker threads for [`run_matrix`] / [`par_map`] (`--jobs N`,
     /// env `AUTORFM_JOBS`; default: available parallelism).
     pub jobs: usize,
+    /// Record epoch time series and final-metric registries
+    /// (`--telemetry`, env `AUTORFM_TELEMETRY=1`; default off — the default
+    /// path is bitwise identical to a build without telemetry).
+    pub telemetry: bool,
+    /// Telemetry epoch length in nanoseconds (`--epoch-ns N`, implies
+    /// `--telemetry`; default: one tREFI).
+    pub epoch_ns: Option<u64>,
+    /// Stream each run's epoch series as CSV into this directory
+    /// (`--telemetry-csv DIR`, implies `--telemetry`).
+    pub telemetry_csv: Option<PathBuf>,
 }
 
 /// The default worker-thread count: `AUTORFM_JOBS` if set and valid,
@@ -75,6 +94,13 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, usize::from)
 }
 
+/// Whether `AUTORFM_TELEMETRY` asks for telemetry by default (`1`/`true`).
+fn default_telemetry() -> bool {
+    std::env::var("AUTORFM_TELEMETRY")
+        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        .unwrap_or(false)
+}
+
 impl Default for RunOpts {
     fn default() -> Self {
         RunOpts {
@@ -82,6 +108,9 @@ impl Default for RunOpts {
             instructions: 100_000,
             workloads: ALL_WORKLOADS.iter().collect(),
             jobs: default_jobs(),
+            telemetry: default_telemetry(),
+            epoch_ns: None,
+            telemetry_csv: None,
         }
     }
 }
@@ -126,8 +155,23 @@ impl RunOpts {
                         })
                         .collect();
                 }
+                "--telemetry" => opts.telemetry = true,
+                "--epoch-ns" => {
+                    opts.telemetry = true;
+                    opts.epoch_ns = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n| n > 0)
+                            .expect("--epoch-ns needs a positive number"),
+                    );
+                }
+                "--telemetry-csv" => {
+                    opts.telemetry = true;
+                    opts.telemetry_csv =
+                        Some(args.next().expect("--telemetry-csv needs a directory").into());
+                }
                 other => panic!(
-                    "unknown flag {other}; expected --quick|--full|--instructions N|--cores N|--jobs N|--workloads a,b"
+                    "unknown flag {other}; expected --quick|--full|--instructions N|--cores N|--jobs N|--workloads a,b|--telemetry|--epoch-ns N|--telemetry-csv DIR"
                 ),
             }
         }
@@ -135,11 +179,31 @@ impl RunOpts {
     }
 }
 
+/// Builds the [`TelemetryConfig`] `opts` asks for (`None` when disabled).
+/// `tag` names the streamed CSV file inside `opts.telemetry_csv`.
+pub fn telemetry_config(opts: &RunOpts, tag: &str) -> Option<TelemetryConfig> {
+    if !opts.telemetry {
+        return None;
+    }
+    let csv_path = opts.telemetry_csv.as_ref().map(|dir| {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: could not create {}: {e}", dir.display());
+        }
+        dir.join(format!("{tag}.csv"))
+    });
+    Some(TelemetryConfig {
+        epoch: opts.epoch_ns.map(Cycle::from_ns),
+        max_samples: None,
+        csv_path,
+    })
+}
+
 /// Runs one workload under one scenario.
 pub fn run(spec: &'static WorkloadSpec, scenario: Scenario, opts: &RunOpts) -> SimResult {
-    let cfg = SimConfig::scenario(spec, scenario)
+    let mut cfg = SimConfig::scenario(spec, scenario)
         .with_cores(opts.cores)
         .with_instructions(opts.instructions);
+    cfg.telemetry = telemetry_config(opts, &format!("{}__{scenario}", spec.name));
     System::new(cfg).expect("valid scenario config").run()
 }
 
@@ -202,6 +266,13 @@ pub fn run_matrix(jobs: &[SimJob], opts: &RunOpts) -> Vec<SimResult> {
     results.into_iter().map(|arc| (*arc).clone()).collect()
 }
 
+/// Cache key: (scenario display name, workload name).
+type CacheKey = (String, &'static str);
+
+/// One cached simulation: its `OnceLock` is filled exactly once by the first
+/// requester; concurrent requesters block on it.
+type CacheSlot = Arc<OnceLock<Arc<SimResult>>>;
+
 /// A thread-safe cache of per-`(workload, scenario)` results so shared
 /// scenarios (the normalization baselines above all) are simulated only once.
 ///
@@ -210,7 +281,7 @@ pub fn run_matrix(jobs: &[SimJob], opts: &RunOpts) -> Vec<SimResult> {
 /// is ready — never re-running the simulation.
 #[derive(Default)]
 pub struct ResultCache {
-    results: Mutex<HashMap<(String, &'static str), Arc<OnceLock<Arc<SimResult>>>>>,
+    results: Mutex<HashMap<CacheKey, CacheSlot>>,
     runs: AtomicUsize,
 }
 
@@ -273,6 +344,143 @@ impl ResultCache {
     /// [`len`]: ResultCache::len
     pub fn simulations_run(&self) -> usize {
         self.runs.load(Ordering::Relaxed)
+    }
+
+    /// Every completed result as `(workload, scenario, result)`, sorted by
+    /// key for deterministic iteration. Slots still being simulated by
+    /// another thread are skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned.
+    pub fn results(&self) -> Vec<(&'static str, String, Arc<SimResult>)> {
+        let map = self.results.lock().expect("cache lock poisoned");
+        let mut out: Vec<_> = map
+            .iter()
+            .filter_map(|((scenario, workload), slot)| {
+                slot.get().map(|r| (*workload, scenario.clone(), r.clone()))
+            })
+            .collect();
+        out.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        out
+    }
+}
+
+/// Records a machine-readable manifest of one experiment binary's runs and
+/// writes it to `results/<target>.json` (see `autorfm_telemetry::RunManifest`
+/// for the schema).
+///
+/// Where the manifest goes:
+///
+/// * the `AUTORFM_MANIFEST` environment variable, when set (how `run_all`
+///   directs each child's manifest next to its `.txt` report), else
+/// * `results/<target>.json` when telemetry is enabled, else
+/// * nowhere — [`Harness::finish`] is a no-op, so default runs leave the
+///   filesystem untouched.
+pub struct Harness {
+    manifest: RunManifest,
+    write_without_env: bool,
+    started: Instant,
+}
+
+impl Harness {
+    /// Starts recording for the current binary (`target` is the executable
+    /// name) and snapshots `opts` into the manifest's config block.
+    pub fn new(opts: &RunOpts) -> Self {
+        let target = std::env::current_exe()
+            .ok()
+            .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+            .unwrap_or_else(|| "experiment".into());
+        let mut manifest = RunManifest::new(&target);
+        manifest.jobs = opts.jobs as u64;
+        manifest.set_config("cores", Json::Num(f64::from(opts.cores)));
+        manifest.set_config("instructions_per_core", Json::Num(opts.instructions as f64));
+        manifest.set_config(
+            "workloads",
+            Json::Arr(
+                opts.workloads
+                    .iter()
+                    .map(|w| Json::Str(w.name.to_string()))
+                    .collect(),
+            ),
+        );
+        manifest.set_config("seed", Json::Num(42.0));
+        manifest.set_config("telemetry", Json::Bool(opts.telemetry));
+        if let Some(ns) = opts.epoch_ns {
+            manifest.set_config("epoch_ns", Json::Num(ns as f64));
+        }
+        Harness {
+            manifest,
+            write_without_env: opts.telemetry,
+            started: Instant::now(),
+        }
+    }
+
+    /// Records one simulation under `key` (convention: `workload/scenario`).
+    /// Duplicate keys are kept once — the first recording wins.
+    pub fn record(&mut self, key: &str, result: &SimResult) {
+        if self.manifest.run(key).is_some() {
+            return;
+        }
+        self.manifest.runs.push(RunEntry {
+            key: key.to_string(),
+            metrics: result.to_registry(),
+            series: result.series.clone(),
+        });
+    }
+
+    /// Records every completed simulation in `cache` (the usual one-liner for
+    /// cache-driven experiments).
+    pub fn record_cache(&mut self, cache: &ResultCache) {
+        for (workload, scenario, result) in cache.results() {
+            self.record(&format!("{workload}/{scenario}"), &result);
+        }
+    }
+
+    /// Adds a free-form config entry (experiment-specific knobs).
+    pub fn set_config(&mut self, key: &str, value: Json) {
+        self.manifest.set_config(key, value);
+    }
+
+    /// Records a top-level scalar metric — for analytic experiments whose
+    /// outputs aren't full simulation results.
+    pub fn gauge(&mut self, name: &str, labels: Labels<'_>, value: f64) {
+        self.manifest.metrics.gauge(name, labels, value);
+    }
+
+    /// Finalizes wall-clock and throughput figures and writes the manifest.
+    /// Does nothing unless telemetry is enabled or `AUTORFM_MANIFEST` is set.
+    pub fn finish(mut self) {
+        let path = match std::env::var("AUTORFM_MANIFEST") {
+            Ok(p) if !p.is_empty() => PathBuf::from(p),
+            _ if self.write_without_env => {
+                PathBuf::from("results").join(format!("{}.json", self.manifest.target))
+            }
+            _ => return,
+        };
+        self.manifest.wall_s = self.started.elapsed().as_secs_f64();
+        self.manifest.sim_cycles = self
+            .manifest
+            .runs
+            .iter()
+            .filter_map(|r| r.metrics.get("elapsed_cycles", &[]))
+            .map(|v| v.scalar() as u64)
+            .sum();
+        self.manifest.cycles_per_sec = if self.manifest.wall_s > 0.0 {
+            self.manifest.sim_cycles as f64 / self.manifest.wall_s
+        } else {
+            0.0
+        };
+        let simulations = self.manifest.runs.len() as u64;
+        self.manifest
+            .metrics
+            .counter("simulations", &[], simulations);
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = self.manifest.save(&path) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
     }
 }
 
@@ -451,6 +659,9 @@ mod tests {
             instructions: 2_000,
             workloads: vec![spec],
             jobs: 1,
+            telemetry: false,
+            epoch_ns: None,
+            telemetry_csv: None,
         };
         let cache = ResultCache::new();
         let a = cache.get(spec, BASELINE_ZEN, &opts).perf();

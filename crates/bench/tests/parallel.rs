@@ -15,6 +15,9 @@ fn quick_opts(jobs: usize) -> RunOpts {
             .map(|n| WorkloadSpec::by_name(n).unwrap())
             .collect(),
         jobs,
+        telemetry: false,
+        epoch_ns: None,
+        telemetry_csv: None,
     }
 }
 

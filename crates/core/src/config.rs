@@ -4,8 +4,9 @@ use crate::experiments::Scenario;
 use autorfm_cpu::{CoreParams, UncoreParams};
 use autorfm_dram::{DeviceMitigation, RefreshPolicy};
 use autorfm_memctrl::McConfig;
-use autorfm_sim_core::{ConfigError, DramTimings, Geometry};
+use autorfm_sim_core::{ConfigError, Cycle, DramTimings, Geometry};
 use autorfm_workloads::WorkloadSpec;
+use std::path::PathBuf;
 
 /// Which physical-address mapping the memory controller uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +31,23 @@ impl MappingKind {
             MappingKind::Linear => "linear",
         }
     }
+}
+
+/// Epoch time-series telemetry configuration (see `autorfm_telemetry`).
+///
+/// Telemetry is off by default ([`SimConfig::telemetry`] is `None`), and the
+/// simulation loop then pays only a single branch per step.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryConfig {
+    /// Sampling window length; `None` means one tREFI
+    /// ([`SimConfig::timings`]`.t_refi`), the paper's natural unit of time.
+    pub epoch: Option<Cycle>,
+    /// Cap on retained windows; `None` means
+    /// [`autorfm_telemetry::DEFAULT_MAX_SAMPLES`].
+    pub max_samples: Option<usize>,
+    /// Stream samples as CSV to this file while the run progresses (in
+    /// addition to retaining the series in the result).
+    pub csv_path: Option<PathBuf>,
 }
 
 /// Full system configuration for one simulation.
@@ -72,6 +90,9 @@ pub struct SimConfig {
     pub trace_capacity: usize,
     /// Refresh scheduling policy (all-bank REFab is the paper's model).
     pub refresh: RefreshPolicy,
+    /// Epoch time-series telemetry (`None` disables sampling entirely and
+    /// leaves every result bitwise identical to a build without telemetry).
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl SimConfig {
@@ -95,6 +116,7 @@ impl SimConfig {
             warmup_mem_ops_per_core: 64_000,
             trace_capacity: 0,
             refresh: RefreshPolicy::AllBank,
+            telemetry: None,
         }
     }
 
@@ -140,6 +162,12 @@ impl SimConfig {
         self
     }
 
+    /// Enables epoch telemetry sampling (builder style).
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
     /// The workload assigned to `core`.
     pub fn workload_of(&self, core: u8) -> &'static WorkloadSpec {
         if self.mix.is_empty() {
@@ -161,6 +189,16 @@ impl SimConfig {
         }
         if self.instructions_per_core == 0 {
             return Err(ConfigError::new("instruction budget must be positive"));
+        }
+        if let Some(t) = &self.telemetry {
+            if t.epoch == Some(Cycle::ZERO) {
+                return Err(ConfigError::new("telemetry epoch must be positive"));
+            }
+            if t.max_samples == Some(0) {
+                return Err(ConfigError::new(
+                    "telemetry must retain at least one sample",
+                ));
+            }
         }
         self.geometry.validate()?;
         self.timings.validate()?;

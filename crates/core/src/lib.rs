@@ -44,7 +44,7 @@ pub mod result;
 pub mod storage;
 pub mod system;
 
-pub use config::{MappingKind, SimConfig};
+pub use config::{MappingKind, SimConfig, TelemetryConfig};
 pub use result::SimResult;
 pub use system::System;
 
@@ -52,7 +52,7 @@ pub use system::System;
 /// `use autorfm::prelude::*;` pulls in the types most programs need.
 pub mod prelude {
     pub use crate::experiments::Scenario;
-    pub use crate::{MappingKind, SimConfig, SimResult, System};
+    pub use crate::{MappingKind, SimConfig, SimResult, System, TelemetryConfig};
     pub use autorfm_dram::DeviceMitigation;
     pub use autorfm_mitigation::MitigationKind;
     pub use autorfm_sim_core::{Cycle, DramTimings, Geometry};
@@ -69,5 +69,6 @@ pub use autorfm_memctrl as memctrl;
 pub use autorfm_mitigation as mitigation;
 pub use autorfm_power as power;
 pub use autorfm_sim_core as sim_core;
+pub use autorfm_telemetry as telemetry;
 pub use autorfm_trackers as trackers;
 pub use autorfm_workloads as workloads;

@@ -3,6 +3,7 @@
 use autorfm_dram::DramStats;
 use autorfm_power::EventCounts;
 use autorfm_sim_core::Cycle;
+use autorfm_telemetry::{EpochSeries, Registry};
 
 /// The outcome of one simulation run.
 #[derive(Debug, Clone)]
@@ -31,6 +32,12 @@ pub struct SimResult {
     pub power_counts: EventCounts,
     /// Worst Rowhammer damage observed (if the audit was enabled).
     pub max_damage: Option<u64>,
+    /// Epoch time series (if telemetry was enabled; see
+    /// [`crate::TelemetryConfig`]).
+    pub series: Option<EpochSeries>,
+    /// Full final-metric registry — headline metrics plus every DRAM,
+    /// controller, and uncore counter (if telemetry was enabled).
+    pub metrics: Option<Registry>,
 }
 
 impl SimResult {
@@ -44,6 +51,34 @@ impl SimResult {
     /// `1 − perf(self) / perf(baseline)`. Negative values are speedups.
     pub fn slowdown_vs(&self, baseline: &SimResult) -> f64 {
         1.0 - self.perf() / baseline.perf()
+    }
+
+    /// Exports the headline metrics plus every DRAM counter into a fresh
+    /// telemetry registry. Returns [`Self::metrics`] (which additionally
+    /// carries controller and uncore counters) when the run recorded one.
+    pub fn to_registry(&self) -> Registry {
+        if let Some(reg) = &self.metrics {
+            return reg.clone();
+        }
+        let mut reg = Registry::new();
+        reg.gauge("perf", &[], self.perf());
+        reg.counter("instructions", &[], self.total_instructions);
+        reg.counter("elapsed_ns", &[], self.elapsed.as_ns());
+        reg.counter("elapsed_cycles", &[], self.elapsed.raw());
+        reg.gauge("act_pki", &[], self.act_pki);
+        reg.gauge("act_per_trefi_per_bank", &[], self.act_per_trefi_per_bank);
+        reg.gauge("row_hit_rate", &[], self.row_hit_rate);
+        reg.gauge("avg_read_latency_ns", &[], self.avg_read_latency_ns);
+        reg.gauge("alerts_per_act", &[], self.alerts_per_act);
+        for (i, ipc) in self.per_core_ipc.iter().enumerate() {
+            let core = i.to_string();
+            reg.gauge("ipc", &[("core", &core)], *ipc);
+        }
+        if let Some(d) = self.max_damage {
+            reg.counter("max_row_damage", &[], d);
+        }
+        self.dram.export(&mut reg, &[]);
+        reg
     }
 
     /// A multi-line human-readable summary (used by the CLI and examples).
@@ -111,6 +146,8 @@ mod tests {
             avg_read_latency_ns: 0.0,
             power_counts: EventCounts::default(),
             max_damage: None,
+            series: None,
+            metrics: None,
         }
     }
 

@@ -7,6 +7,7 @@ use autorfm_dram::{DramConfig, DramDevice};
 use autorfm_mapping::{LinearMap, MemoryMap, RubixMap, ZenMap};
 use autorfm_memctrl::MemController;
 use autorfm_sim_core::{ConfigError, Cycle, LineAddr};
+use autorfm_telemetry::{CsvSink, EpochSampler, NullSink, Observation, Sink, DEFAULT_MAX_SAMPLES};
 use autorfm_workloads::WorkloadGen;
 
 /// Simulation step: 1 ns (4 CPU cycles at 4 GHz). All DRAM timings are
@@ -40,6 +41,12 @@ impl InstructionStream for BoundedStream {
     }
 }
 
+/// Live telemetry state: the epoch sampler plus the sink it streams to.
+struct Telemetry {
+    sampler: EpochSampler,
+    sink: Box<dyn Sink>,
+}
+
 /// The full simulated machine: cores + LLC + memory controller + DRAM.
 pub struct System {
     cfg: SimConfig,
@@ -49,6 +56,7 @@ pub struct System {
     mc: MemController<Box<dyn MemoryMap>>,
     now: Cycle,
     finish_at: Vec<Option<Cycle>>,
+    telemetry: Option<Telemetry>,
 }
 
 impl core::fmt::Debug for System {
@@ -97,6 +105,24 @@ impl System {
                 line_mask,
             })
             .collect();
+        let telemetry = cfg.telemetry.as_ref().map(|t| {
+            let epoch = t.epoch.unwrap_or(cfg.timings.t_refi);
+            let max_samples = t.max_samples.unwrap_or(DEFAULT_MAX_SAMPLES);
+            let sink: Box<dyn Sink> = match &t.csv_path {
+                Some(path) => match std::fs::File::create(path) {
+                    Ok(f) => Box::new(CsvSink::new(std::io::BufWriter::new(f))),
+                    Err(e) => {
+                        eprintln!("warning: cannot open telemetry CSV {}: {e}", path.display());
+                        Box::new(NullSink)
+                    }
+                },
+                None => Box::new(NullSink),
+            };
+            Telemetry {
+                sampler: EpochSampler::with_max_samples(epoch, max_samples),
+                sink,
+            }
+        });
         let mut system = System {
             finish_at: vec![None; cfg.num_cores as usize],
             cores,
@@ -105,6 +131,7 @@ impl System {
             mc,
             now: Cycle::ZERO,
             cfg,
+            telemetry,
         };
         system.warmup();
         Ok(system)
@@ -154,11 +181,53 @@ impl System {
             self.uncore.tick(&mut self.mc, now);
             self.mc.tick(now);
             self.uncore.tick(&mut self.mc, now);
+            // Disabled telemetry (the default) costs exactly this one branch
+            // per step; an Observation is only built at epoch boundaries.
+            if let Some(t) = &mut self.telemetry {
+                if t.sampler.due(now) {
+                    let obs = Self::observation(&self.mc, &self.cores);
+                    t.sampler.observe(now, obs, t.sink.as_mut());
+                }
+            }
             if all_done {
                 break;
             }
         }
-        self.collect()
+        let closed = self.telemetry.take().map(|mut t| {
+            let obs = Self::observation(&self.mc, &self.cores);
+            let series = t.sampler.finish(self.now, obs, t.sink.as_mut());
+            (series, t.sink)
+        });
+        let mut result = self.collect();
+        if let Some((series, mut sink)) = closed {
+            result.series = Some(series);
+            let mut reg = result.to_registry();
+            self.mc.stats().export(&mut reg, &[]);
+            self.uncore.stats().export(&mut reg, &[]);
+            sink.on_final(&reg);
+            result.metrics = Some(reg);
+        }
+        result
+    }
+
+    /// A cumulative snapshot of the machine's counters for epoch sampling.
+    fn observation(mc: &MemController<Box<dyn MemoryMap>>, cores: &[Core]) -> Observation {
+        let dram = mc.device().stats();
+        let ctrl = mc.stats();
+        Observation {
+            acts: dram.acts.get(),
+            alerts: dram.alerts.get(),
+            reads: dram.reads.get(),
+            writes: dram.writes.get(),
+            refs: dram.refs.get(),
+            rfms: dram.rfms.get(),
+            mitigations: dram.mitigations.get(),
+            victim_refreshes: dram.victim_refreshes.get(),
+            row_hits: ctrl.row_hits.get(),
+            row_misses: ctrl.row_misses.get(),
+            queue_depth: mc.pending_requests() as u64,
+            retired: cores.iter().map(Core::retired).collect(),
+        }
     }
 
     fn collect(&self) -> SimResult {
@@ -200,6 +269,8 @@ impl System {
             },
             max_damage: self.mc.device().audit().map(|a| a.max_damage()),
             dram,
+            series: None,
+            metrics: None,
         }
     }
 
@@ -301,6 +372,39 @@ mod tests {
         cfg.geometry = Geometry::small();
         let r = System::new(cfg).unwrap().run();
         assert!(r.dram.acts.get() > 0);
+    }
+
+    #[test]
+    fn telemetry_records_series_without_perturbing_results() {
+        let spec = WorkloadSpec::by_name("bwaves").unwrap();
+        let cfg = SimConfig::scenario(spec, Scenario::AutoRfm { th: 4 })
+            .with_cores(2)
+            .with_instructions(15_000);
+        let plain = System::new(cfg.clone()).unwrap().run();
+        let traced = System::new(cfg.with_telemetry(crate::TelemetryConfig::default()))
+            .unwrap()
+            .run();
+        // The sampler must not perturb the simulation.
+        assert_eq!(plain.elapsed, traced.elapsed);
+        assert_eq!(plain.dram.acts.get(), traced.dram.acts.get());
+        assert_eq!(plain.per_core_ipc, traced.per_core_ipc);
+        assert!(plain.series.is_none() && plain.metrics.is_none());
+        let series = traced.series.as_ref().unwrap();
+        assert!(!series.samples.is_empty());
+        assert_eq!(series.samples[0].ipc.len(), 2);
+        // Epoch deltas must tally back to the cumulative totals.
+        let acts: u64 = series.samples.iter().map(|s| s.acts).sum();
+        assert_eq!(acts, traced.dram.acts.get());
+        // The final registry carries all three layers' exports.
+        let reg = traced.metrics.as_ref().unwrap();
+        assert!(reg.get("dram_acts", &[]).is_some());
+        assert!(reg.get("mc_row_hits", &[]).is_some());
+        assert!(reg.get("llc_load_misses", &[]).is_some());
+        assert_eq!(
+            reg.get("perf", &[]).unwrap().scalar(),
+            traced.perf(),
+            "headline perf must round-trip into the registry"
+        );
     }
 
     #[test]

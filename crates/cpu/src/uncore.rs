@@ -4,6 +4,7 @@ use crate::llc::{AccessResult, Llc, LlcParams};
 use autorfm_mapping::MemoryMap;
 use autorfm_memctrl::{MemController, MemRequest, MemResponse};
 use autorfm_sim_core::{ConfigError, Counter, Cycle, LineAddr};
+use autorfm_telemetry::{Labels, Registry};
 use std::cell::Cell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
@@ -52,6 +53,26 @@ pub struct UncoreStats {
     pub writebacks: Counter,
     /// Next-line prefetches issued to memory.
     pub prefetches: Counter,
+}
+
+impl UncoreStats {
+    /// Exports every uncore counter into `reg` under `llc_*` names with the
+    /// given labels.
+    pub fn export(&self, reg: &mut Registry, labels: Labels<'_>) {
+        reg.record_counter("llc_load_hits", labels, &self.llc_load_hits);
+        reg.record_counter("llc_load_misses", labels, &self.llc_load_misses);
+        reg.record_counter("llc_mshr_merges", labels, &self.mshr_merges);
+        reg.record_counter("llc_mshr_stalls", labels, &self.mshr_stalls);
+        reg.record_counter("llc_writebacks", labels, &self.writebacks);
+        reg.record_counter("llc_prefetches", labels, &self.prefetches);
+        let accesses = self.llc_load_hits.get() + self.llc_load_misses.get();
+        let hit_rate = if accesses == 0 {
+            0.0
+        } else {
+            self.llc_load_hits.get() as f64 / accesses as f64
+        };
+        reg.gauge("llc_hit_rate", labels, hit_rate);
+    }
 }
 
 struct MshrEntry {

@@ -1,6 +1,7 @@
 //! Device-level event statistics.
 
 use autorfm_sim_core::{Counter, Histogram};
+use autorfm_telemetry::{Labels, Registry};
 
 /// Counts of every DRAM event class, used by performance reporting, the power
 /// model, and the experiment harness.
@@ -58,6 +59,35 @@ impl DramStats {
             mitigations_by_subarray: Histogram::new(1, 256),
             conflicts_by_subarray: Histogram::new(1, 256),
         }
+    }
+
+    /// Exports every device counter and histogram into `reg` under
+    /// `dram_*` names with the given labels.
+    pub fn export(&self, reg: &mut Registry, labels: Labels<'_>) {
+        reg.record_counter("dram_acts", labels, &self.acts);
+        reg.record_counter("dram_alerts", labels, &self.alerts);
+        reg.record_counter("dram_reads", labels, &self.reads);
+        reg.record_counter("dram_writes", labels, &self.writes);
+        reg.record_counter("dram_precharges", labels, &self.precharges);
+        reg.record_counter("dram_refs", labels, &self.refs);
+        reg.record_counter("dram_rfms", labels, &self.rfms);
+        reg.record_counter("dram_abo_events", labels, &self.abo_events);
+        reg.record_counter("dram_mitigations", labels, &self.mitigations);
+        reg.record_counter("dram_victim_refreshes", labels, &self.victim_refreshes);
+        reg.record_counter("dram_empty_mitigations", labels, &self.empty_mitigations);
+        reg.record_histogram("dram_mitigation_levels", labels, &self.mitigation_levels);
+        reg.record_histogram("dram_victim_distances", labels, &self.victim_distances);
+        reg.record_histogram(
+            "dram_mitigations_by_subarray",
+            labels,
+            &self.mitigations_by_subarray,
+        );
+        reg.record_histogram(
+            "dram_conflicts_by_subarray",
+            labels,
+            &self.conflicts_by_subarray,
+        );
+        reg.gauge("dram_alerts_per_act", labels, self.alerts_per_act());
     }
 
     /// ALERTs per successful ACT — the paper's Fig 8(b) metric.

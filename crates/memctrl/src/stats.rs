@@ -1,6 +1,7 @@
 //! Controller-level statistics.
 
 use autorfm_sim_core::{Average, Counter};
+use autorfm_telemetry::{Labels, Registry};
 
 /// Event counts and latency statistics for the memory controller.
 #[derive(Debug, Clone, Default)]
@@ -50,6 +51,28 @@ impl McStats {
         if cycles > self.max_read_latency.get() {
             let delta = cycles - self.max_read_latency.get();
             self.max_read_latency.add(delta);
+        }
+    }
+
+    /// Exports every controller counter into `reg` under `mc_*` names with
+    /// the given labels.
+    pub fn export(&self, reg: &mut Registry, labels: Labels<'_>) {
+        reg.record_counter("mc_enqueued", labels, &self.enqueued);
+        reg.record_counter("mc_completed", labels, &self.completed);
+        reg.record_counter("mc_row_hits", labels, &self.row_hits);
+        reg.record_counter("mc_row_misses", labels, &self.row_misses);
+        reg.record_counter("mc_alerts", labels, &self.alerts);
+        reg.record_counter("mc_retries", labels, &self.retries);
+        reg.record_counter("mc_rfms_issued", labels, &self.rfms_issued);
+        reg.record_counter("mc_abo_serviced", labels, &self.abo_serviced);
+        reg.record_average("mc_read_latency_cycles", labels, &self.read_latency);
+        reg.record_counter("mc_max_read_latency_cycles", labels, &self.max_read_latency);
+        reg.gauge("mc_row_hit_rate", labels, self.row_hit_rate());
+        for (core, completed) in self.completed_per_core.iter().enumerate() {
+            let core = core.to_string();
+            let mut with_core: Vec<(&str, &str)> = labels.to_vec();
+            with_core.push(("core", &core));
+            reg.counter("mc_completed_per_core", &with_core, *completed);
         }
     }
 

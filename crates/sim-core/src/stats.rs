@@ -232,6 +232,21 @@ impl Histogram {
         self.bins.get(idx).copied().unwrap_or(0)
     }
 
+    /// Width of each bin.
+    pub const fn bin_width(&self) -> u64 {
+        self.bin_width
+    }
+
+    /// All bin counts, including empty bins (telemetry snapshots).
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Sum of all recorded samples.
+    pub const fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// Count of samples that exceeded the last bin.
     pub const fn overflow(&self) -> u64 {
         self.overflow

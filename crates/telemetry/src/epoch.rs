@@ -1,0 +1,544 @@
+//! Epoch time-series sampling.
+//!
+//! An [`EpochSampler`] divides simulated time into fixed-length windows
+//! (per-tREFI by default, matching the paper's Table V / Fig 8b metrics) and
+//! converts cumulative system counters into per-window deltas: ACT/ALERT/REF/
+//! RFM rates, queue occupancy, row-hit rate, and per-core IPC. The produced
+//! [`EpochSeries`] rides on the run manifest and can be dumped as CSV by the
+//! `telemetry_report` binary.
+
+use crate::json::Json;
+use crate::sink::Sink;
+use autorfm_sim_core::Cycle;
+
+/// Cumulative system counters observed at one point in simulated time.
+///
+/// Producers (the simulation loop) fill this from the DRAM device, memory
+/// controller, and CPU model; the sampler turns consecutive observations into
+/// per-epoch deltas. All fields except `queue_depth` are cumulative.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Observation {
+    /// Successful activations (DRAM engine).
+    pub acts: u64,
+    /// ACTs declined with an ALERT (DRAM engine).
+    pub alerts: u64,
+    /// Column reads (DRAM engine).
+    pub reads: u64,
+    /// Column writes (DRAM engine).
+    pub writes: u64,
+    /// REF commands (DRAM engine).
+    pub refs: u64,
+    /// Explicit RFM commands (DRAM engine).
+    pub rfms: u64,
+    /// Mitigations performed (DRAM engine).
+    pub mitigations: u64,
+    /// Victim refreshes issued (DRAM engine).
+    pub victim_refreshes: u64,
+    /// Row-buffer hits (memory controller).
+    pub row_hits: u64,
+    /// Row-buffer misses (memory controller).
+    pub row_misses: u64,
+    /// Requests currently queued in the controller — a gauge, not cumulative.
+    pub queue_depth: u64,
+    /// Instructions retired so far, per core (CPU model).
+    pub retired: Vec<u64>,
+}
+
+/// Per-window deltas and derived rates for one epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochSample {
+    /// Zero-based epoch index.
+    pub index: u64,
+    /// Window start (inclusive).
+    pub start: Cycle,
+    /// Window end (exclusive; the observation point for the final partial
+    /// epoch).
+    pub end: Cycle,
+    /// Whether this is the trailing partial window of the run.
+    pub partial: bool,
+    /// ACTs in the window.
+    pub acts: u64,
+    /// ALERTs in the window.
+    pub alerts: u64,
+    /// Reads in the window.
+    pub reads: u64,
+    /// Writes in the window.
+    pub writes: u64,
+    /// REFs in the window.
+    pub refs: u64,
+    /// RFMs in the window.
+    pub rfms: u64,
+    /// Mitigations in the window.
+    pub mitigations: u64,
+    /// Victim refreshes in the window.
+    pub victim_refreshes: u64,
+    /// Row-buffer hits in the window.
+    pub row_hits: u64,
+    /// Row-buffer misses in the window.
+    pub row_misses: u64,
+    /// Controller queue depth at the end of the window (gauge).
+    pub queue_depth: u64,
+    /// Per-core IPC over the window (instructions / CPU cycles).
+    pub ipc: Vec<f64>,
+}
+
+impl EpochSample {
+    /// Row-buffer hit rate within the window.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Aggregate IPC (sum over cores) within the window.
+    pub fn total_ipc(&self) -> f64 {
+        self.ipc.iter().sum()
+    }
+
+    /// The scalar column names every sample exposes, in CSV order
+    /// (`ipc_core<i>` columns follow, one per core).
+    pub const SCALAR_COLUMNS: &'static [&'static str] = &[
+        "acts",
+        "alerts",
+        "reads",
+        "writes",
+        "refs",
+        "rfms",
+        "mitigations",
+        "victim_refreshes",
+        "row_hits",
+        "row_misses",
+        "queue_depth",
+        "row_hit_rate",
+        "total_ipc",
+    ];
+
+    /// Looks a scalar column up by name (see [`Self::SCALAR_COLUMNS`], plus
+    /// `ipc_core<i>`).
+    pub fn column(&self, name: &str) -> Option<f64> {
+        let v = match name {
+            "acts" => self.acts as f64,
+            "alerts" => self.alerts as f64,
+            "reads" => self.reads as f64,
+            "writes" => self.writes as f64,
+            "refs" => self.refs as f64,
+            "rfms" => self.rfms as f64,
+            "mitigations" => self.mitigations as f64,
+            "victim_refreshes" => self.victim_refreshes as f64,
+            "row_hits" => self.row_hits as f64,
+            "row_misses" => self.row_misses as f64,
+            "queue_depth" => self.queue_depth as f64,
+            "row_hit_rate" => self.row_hit_rate(),
+            "total_ipc" => self.total_ipc(),
+            _ => {
+                let idx: usize = name.strip_prefix("ipc_core")?.parse().ok()?;
+                return self.ipc.get(idx).copied();
+            }
+        };
+        Some(v)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("index", Json::Num(self.index as f64)),
+            ("start_ns", Json::Num(self.start.as_ns() as f64)),
+            ("end_ns", Json::Num(self.end.as_ns() as f64)),
+            ("partial", Json::Bool(self.partial)),
+            ("acts", Json::Num(self.acts as f64)),
+            ("alerts", Json::Num(self.alerts as f64)),
+            ("reads", Json::Num(self.reads as f64)),
+            ("writes", Json::Num(self.writes as f64)),
+            ("refs", Json::Num(self.refs as f64)),
+            ("rfms", Json::Num(self.rfms as f64)),
+            ("mitigations", Json::Num(self.mitigations as f64)),
+            ("victim_refreshes", Json::Num(self.victim_refreshes as f64)),
+            ("row_hits", Json::Num(self.row_hits as f64)),
+            ("row_misses", Json::Num(self.row_misses as f64)),
+            ("queue_depth", Json::Num(self.queue_depth as f64)),
+            (
+                "ipc",
+                Json::Arr(self.ipc.iter().map(|&x| Json::Num(x)).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Option<EpochSample> {
+        let num = |k: &str| v.get(k).and_then(Json::as_u64);
+        Some(EpochSample {
+            index: num("index")?,
+            start: Cycle::from_ns(num("start_ns")?),
+            end: Cycle::from_ns(num("end_ns")?),
+            partial: matches!(v.get("partial"), Some(Json::Bool(true))),
+            acts: num("acts").unwrap_or(0),
+            alerts: num("alerts").unwrap_or(0),
+            reads: num("reads").unwrap_or(0),
+            writes: num("writes").unwrap_or(0),
+            refs: num("refs").unwrap_or(0),
+            rfms: num("rfms").unwrap_or(0),
+            mitigations: num("mitigations").unwrap_or(0),
+            victim_refreshes: num("victim_refreshes").unwrap_or(0),
+            row_hits: num("row_hits").unwrap_or(0),
+            row_misses: num("row_misses").unwrap_or(0),
+            queue_depth: num("queue_depth").unwrap_or(0),
+            ipc: v
+                .get("ipc")
+                .and_then(Json::as_arr)
+                .map(|xs| xs.iter().filter_map(Json::as_f64).collect())
+                .unwrap_or_default(),
+        })
+    }
+}
+
+/// The full time series of one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EpochSeries {
+    /// Window length used by the sampler.
+    pub epoch_len: Cycle,
+    /// Samples in time order.
+    pub samples: Vec<EpochSample>,
+    /// Whether sampling stopped early because `max_samples` was reached.
+    pub truncated: bool,
+}
+
+impl EpochSeries {
+    /// All column names this series can dump (scalars plus per-core IPC).
+    pub fn columns(&self) -> Vec<String> {
+        let mut cols: Vec<String> = EpochSample::SCALAR_COLUMNS
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let cores = self.samples.first().map_or(0, |s| s.ipc.len());
+        cols.extend((0..cores).map(|i| format!("ipc_core{i}")));
+        cols
+    }
+
+    /// Serializes the series.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("epoch_ns", Json::Num(self.epoch_len.as_ns() as f64)),
+            ("truncated", Json::Bool(self.truncated)),
+            (
+                "samples",
+                Json::Arr(self.samples.iter().map(EpochSample::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Reconstructs a series from [`Self::to_json`] output.
+    pub fn from_json(v: &Json) -> EpochSeries {
+        EpochSeries {
+            epoch_len: Cycle::from_ns(v.get("epoch_ns").and_then(Json::as_u64).unwrap_or(0)),
+            truncated: matches!(v.get("truncated"), Some(Json::Bool(true))),
+            samples: v
+                .get("samples")
+                .and_then(Json::as_arr)
+                .map(|xs| xs.iter().filter_map(EpochSample::from_json).collect())
+                .unwrap_or_default(),
+        }
+    }
+}
+
+/// Default cap on stored samples per run (long `--full` runs stay bounded).
+pub const DEFAULT_MAX_SAMPLES: usize = 4096;
+
+/// Converts cumulative [`Observation`]s into an [`EpochSeries`].
+///
+/// Window `k` covers `[k·len, (k+1)·len)`. The producer calls
+/// [`EpochSampler::due`] every step (a single comparison — this is the only
+/// cost on the hot path) and [`EpochSampler::observe`] when it returns true;
+/// [`EpochSampler::finish`] closes the trailing partial window at the end of
+/// the run.
+///
+/// Deltas are attributed to the window in which the boundary-crossing
+/// observation happened; if a producer skips more than one full window between
+/// observations (it shouldn't — the simulator steps at 1 ns), the intervening
+/// windows are emitted with zero deltas.
+#[derive(Debug)]
+pub struct EpochSampler {
+    epoch_len: Cycle,
+    max_samples: usize,
+    next_boundary: Cycle,
+    window_start: Cycle,
+    index: u64,
+    prev: Observation,
+    series: EpochSeries,
+}
+
+impl EpochSampler {
+    /// Creates a sampler with the given window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_len` is zero.
+    pub fn new(epoch_len: Cycle) -> Self {
+        Self::with_max_samples(epoch_len, DEFAULT_MAX_SAMPLES)
+    }
+
+    /// Creates a sampler that stops recording after `max_samples` windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_len` is zero or `max_samples` is zero.
+    pub fn with_max_samples(epoch_len: Cycle, max_samples: usize) -> Self {
+        assert!(epoch_len > Cycle::ZERO, "epoch length must be positive");
+        assert!(max_samples > 0, "need room for at least one sample");
+        EpochSampler {
+            epoch_len,
+            max_samples,
+            next_boundary: epoch_len,
+            window_start: Cycle::ZERO,
+            index: 0,
+            prev: Observation::default(),
+            series: EpochSeries {
+                epoch_len,
+                samples: Vec::new(),
+                truncated: false,
+            },
+        }
+    }
+
+    /// Whether `now` has crossed the current window boundary. This is the hot
+    /// path: one comparison; everything else happens per epoch.
+    #[inline]
+    pub fn due(&self, now: Cycle) -> bool {
+        now >= self.next_boundary
+    }
+
+    /// Closes every window boundary crossed by `now`, attributing the deltas
+    /// since the previous observation to the first of them.
+    pub fn observe(&mut self, now: Cycle, obs: Observation, sink: &mut dyn Sink) {
+        while self.due(now) {
+            let end = self.next_boundary;
+            self.emit(end, false, &obs, sink);
+            self.window_start = end;
+            self.next_boundary = end + self.epoch_len;
+            // Any further windows crossed by the same observation get zero
+            // deltas: `prev` is already `obs` after the first emit.
+        }
+    }
+
+    /// Closes the trailing partial window (if any time has passed since the
+    /// last boundary) and returns the collected series.
+    pub fn finish(mut self, now: Cycle, obs: Observation, sink: &mut dyn Sink) -> EpochSeries {
+        // A final observation may still close whole windows first.
+        self.observe(now, obs.clone(), sink);
+        if now > self.window_start {
+            self.emit(now, true, &obs, sink);
+        }
+        self.series
+    }
+
+    fn emit(&mut self, end: Cycle, partial: bool, obs: &Observation, sink: &mut dyn Sink) {
+        let cycles = (end - self.window_start).raw();
+        let d = |cur: u64, prev: u64| cur.saturating_sub(prev);
+        let ipc: Vec<f64> = obs
+            .retired
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                let prev = self.prev.retired.get(i).copied().unwrap_or(0);
+                if cycles == 0 {
+                    0.0
+                } else {
+                    d(r, prev) as f64 / cycles as f64
+                }
+            })
+            .collect();
+        let sample = EpochSample {
+            index: self.index,
+            start: self.window_start,
+            end,
+            partial,
+            acts: d(obs.acts, self.prev.acts),
+            alerts: d(obs.alerts, self.prev.alerts),
+            reads: d(obs.reads, self.prev.reads),
+            writes: d(obs.writes, self.prev.writes),
+            refs: d(obs.refs, self.prev.refs),
+            rfms: d(obs.rfms, self.prev.rfms),
+            mitigations: d(obs.mitigations, self.prev.mitigations),
+            victim_refreshes: d(obs.victim_refreshes, self.prev.victim_refreshes),
+            row_hits: d(obs.row_hits, self.prev.row_hits),
+            row_misses: d(obs.row_misses, self.prev.row_misses),
+            queue_depth: obs.queue_depth,
+            ipc,
+        };
+        self.index += 1;
+        self.prev = obs.clone();
+        if self.series.samples.len() < self.max_samples {
+            sink.on_sample(&sample);
+            self.series.samples.push(sample);
+        } else {
+            self.series.truncated = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::NullSink;
+
+    fn obs(acts: u64, retired: &[u64]) -> Observation {
+        Observation {
+            acts,
+            retired: retired.to_vec(),
+            ..Observation::default()
+        }
+    }
+
+    #[test]
+    fn windows_align_to_multiples_of_epoch_len() {
+        let len = Cycle::from_ns(100);
+        let mut s = EpochSampler::new(len);
+        let mut sink = NullSink;
+        assert!(!s.due(Cycle::from_ns(99)));
+        assert!(s.due(Cycle::from_ns(100)));
+        s.observe(Cycle::from_ns(100), obs(10, &[400]), &mut sink);
+        s.observe(Cycle::from_ns(200), obs(30, &[800]), &mut sink);
+        let series = s.finish(Cycle::from_ns(200), obs(30, &[800]), &mut sink);
+        assert_eq!(series.samples.len(), 2, "no empty trailing partial");
+        let [a, b] = &series.samples[..] else {
+            unreachable!()
+        };
+        assert_eq!((a.start, a.end), (Cycle::ZERO, len));
+        assert_eq!((b.start, b.end), (len, len * 2));
+        assert_eq!(a.acts, 10);
+        assert_eq!(b.acts, 20);
+        assert!(!a.partial && !b.partial);
+        // 400 instructions over 400 cycles (100 ns) -> IPC 1.0.
+        assert!((a.ipc[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn late_observation_crosses_boundary_once() {
+        // The simulator steps at 1 ns, so the first observation at or after
+        // the boundary closes the window with deltas measured at that point.
+        let mut s = EpochSampler::new(Cycle::from_ns(100));
+        let mut sink = NullSink;
+        s.observe(Cycle::from_ns(103), obs(7, &[]), &mut sink);
+        let series = s.finish(Cycle::from_ns(103), obs(7, &[]), &mut sink);
+        assert_eq!(series.samples.len(), 2);
+        assert_eq!(series.samples[0].end, Cycle::from_ns(100));
+        assert_eq!(series.samples[0].acts, 7);
+        // The 3 ns past the boundary become a zero-delta trailing partial.
+        assert!(series.samples[1].partial);
+        assert_eq!(series.samples[1].end, Cycle::from_ns(103));
+        assert_eq!(series.samples[1].acts, 0);
+    }
+
+    #[test]
+    fn skipped_windows_emit_zero_deltas() {
+        let mut s = EpochSampler::new(Cycle::from_ns(100));
+        let mut sink = NullSink;
+        // One observation lands past three boundaries.
+        s.observe(Cycle::from_ns(310), obs(12, &[]), &mut sink);
+        let series = s.finish(Cycle::from_ns(310), obs(12, &[]), &mut sink);
+        assert_eq!(series.samples.len(), 4, "3 whole + 1 partial");
+        assert_eq!(series.samples[0].acts, 12, "deltas go to the first window");
+        assert_eq!(series.samples[1].acts, 0);
+        assert_eq!(series.samples[2].acts, 0);
+        assert!(series.samples[3].partial);
+        assert_eq!(series.samples[3].end, Cycle::from_ns(310));
+    }
+
+    #[test]
+    fn final_partial_epoch_is_emitted() {
+        let mut s = EpochSampler::new(Cycle::from_ns(100));
+        let mut sink = NullSink;
+        s.observe(Cycle::from_ns(100), obs(4, &[100]), &mut sink);
+        // Run ends mid-window at 140 ns with 6 more ACTs.
+        let series = s.finish(Cycle::from_ns(140), obs(10, &[260]), &mut sink);
+        assert_eq!(series.samples.len(), 2);
+        let last = &series.samples[1];
+        assert!(last.partial);
+        assert_eq!(
+            (last.start, last.end),
+            (Cycle::from_ns(100), Cycle::from_ns(140))
+        );
+        assert_eq!(last.acts, 6);
+        // 160 instructions over 160 cycles (40 ns) -> IPC 1.0.
+        assert!((last.ipc[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finish_exactly_on_boundary_has_no_partial() {
+        let mut s = EpochSampler::new(Cycle::from_ns(100));
+        let mut sink = NullSink;
+        s.observe(Cycle::from_ns(100), obs(4, &[]), &mut sink);
+        let series = s.finish(Cycle::from_ns(100), obs(4, &[]), &mut sink);
+        assert_eq!(series.samples.len(), 1);
+        assert!(!series.samples[0].partial);
+    }
+
+    #[test]
+    fn finish_closes_whole_window_then_partial() {
+        // finish() past an unobserved boundary closes the whole window first.
+        let s = EpochSampler::new(Cycle::from_ns(100));
+        let mut sink = NullSink;
+        let series = s.finish(Cycle::from_ns(150), obs(9, &[]), &mut sink);
+        assert_eq!(series.samples.len(), 2);
+        assert!(!series.samples[0].partial);
+        assert_eq!(series.samples[0].acts, 9);
+        assert!(series.samples[1].partial);
+        assert_eq!(series.samples[1].acts, 0);
+    }
+
+    #[test]
+    fn max_samples_truncates() {
+        let mut s = EpochSampler::with_max_samples(Cycle::from_ns(10), 2);
+        let mut sink = NullSink;
+        for k in 1..=5u64 {
+            s.observe(Cycle::from_ns(10 * k), obs(k, &[]), &mut sink);
+        }
+        let series = s.finish(Cycle::from_ns(55), obs(9, &[]), &mut sink);
+        assert_eq!(series.samples.len(), 2);
+        assert!(series.truncated);
+    }
+
+    #[test]
+    fn queue_depth_is_a_gauge() {
+        let mut s = EpochSampler::new(Cycle::from_ns(100));
+        let mut sink = NullSink;
+        let mut o = obs(1, &[]);
+        o.queue_depth = 17;
+        s.observe(Cycle::from_ns(100), o.clone(), &mut sink);
+        o.queue_depth = 3;
+        let series = s.finish(Cycle::from_ns(150), o, &mut sink);
+        assert_eq!(series.samples[0].queue_depth, 17);
+        assert_eq!(series.samples[1].queue_depth, 3);
+    }
+
+    #[test]
+    fn series_json_round_trip() {
+        let mut s = EpochSampler::new(Cycle::from_ns(100));
+        let mut sink = NullSink;
+        s.observe(Cycle::from_ns(100), obs(10, &[100, 200]), &mut sink);
+        let series = s.finish(Cycle::from_ns(130), obs(12, &[150, 260]), &mut sink);
+        let json = series.to_json();
+        let back = EpochSeries::from_json(&Json::parse(&json.to_pretty()).unwrap());
+        assert_eq!(back, series);
+    }
+
+    #[test]
+    fn column_lookup() {
+        let mut s = EpochSampler::new(Cycle::from_ns(100));
+        let mut sink = NullSink;
+        s.observe(Cycle::from_ns(100), obs(10, &[200, 400]), &mut sink);
+        let series = s.finish(Cycle::from_ns(100), obs(10, &[200, 400]), &mut sink);
+        let sample = &series.samples[0];
+        assert_eq!(sample.column("acts"), Some(10.0));
+        assert_eq!(sample.column("ipc_core1"), Some(1.0));
+        assert_eq!(sample.column("ipc_core2"), None);
+        assert_eq!(sample.column("nope"), None);
+        assert!(series.columns().contains(&"ipc_core0".to_string()));
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch length must be positive")]
+    fn zero_epoch_panics() {
+        EpochSampler::new(Cycle::ZERO);
+    }
+}

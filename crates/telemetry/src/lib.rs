@@ -1,0 +1,52 @@
+//! # autorfm-telemetry
+//!
+//! Observability subsystem for the AutoRFM simulator:
+//!
+//! * [`Registry`] — a labeled metrics registry (counters, gauges, histograms
+//!   with quantiles) that the simulator's [`autorfm_sim_core`] statistics
+//!   primitives plug into;
+//! * [`EpochSampler`] / [`EpochSeries`] — per-tREFI-window time series of
+//!   ACT/RFM/REF/ALERT rates, queue occupancy, row-hit rate, and per-core IPC;
+//! * [`Sink`] — pluggable sample consumers ([`NullSink`] by default — zero
+//!   overhead, output bitwise identical to a telemetry-free build —
+//!   plus [`MemorySink`] and [`CsvSink`]);
+//! * [`RunManifest`] — the machine-readable `results/<target>.json` documents
+//!   the experiment harness writes next to every `.txt` report;
+//! * [`Json`] — the self-contained JSON value/parser/writer everything above
+//!   uses (the build environment is air-gapped; no serde).
+//!
+//! The `telemetry_report` binary summarizes a manifest, diffs two manifests,
+//! and dumps a selected time series as CSV.
+//!
+//! # Example
+//!
+//! ```
+//! use autorfm_sim_core::Cycle;
+//! use autorfm_telemetry::{EpochSampler, NullSink, Observation, Registry};
+//!
+//! let mut reg = Registry::new();
+//! reg.counter("dram_acts", &[("scenario", "AutoRFM-4")], 1234);
+//!
+//! let mut sampler = EpochSampler::new(Cycle::from_ns(3900)); // one tREFI
+//! let mut sink = NullSink;
+//! let obs = Observation { acts: 40, ..Observation::default() };
+//! sampler.observe(Cycle::from_ns(3900), obs.clone(), &mut sink);
+//! let series = sampler.finish(Cycle::from_ns(5000), obs, &mut sink);
+//! assert_eq!(series.samples[0].acts, 40);
+//! assert!(series.samples[1].partial);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod epoch;
+pub mod json;
+pub mod manifest;
+pub mod registry;
+pub mod sink;
+
+pub use epoch::{EpochSample, EpochSampler, EpochSeries, Observation, DEFAULT_MAX_SAMPLES};
+pub use json::{Json, JsonError};
+pub use manifest::{MetricDelta, RunEntry, RunManifest, SCHEMA_VERSION};
+pub use registry::{HistogramSnapshot, Labels, Metric, MetricValue, Registry};
+pub use sink::{CsvSink, MemorySink, NullSink, Sink};

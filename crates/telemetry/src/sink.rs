@@ -1,0 +1,171 @@
+//! Pluggable telemetry sinks.
+//!
+//! A [`Sink`] receives epoch samples as they are produced and the final
+//! metrics registry when a run completes. The default [`NullSink`] does
+//! nothing — with telemetry disabled the simulator never constructs a sampler
+//! at all, and with telemetry enabled but no sink selected every callback is
+//! an empty inlined method, so current output stays bitwise identical.
+
+use crate::epoch::EpochSample;
+use crate::registry::Registry;
+use std::io::Write;
+
+/// Consumer of telemetry events.
+pub trait Sink: Send {
+    /// Called once per closed epoch window, in time order.
+    fn on_sample(&mut self, _sample: &EpochSample) {}
+
+    /// Called once when the run's final metrics are available.
+    fn on_final(&mut self, _registry: &Registry) {}
+}
+
+/// The default sink: discards everything, costs nothing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Sink for NullSink {}
+
+/// Collects samples and the final registry in memory (tests, reports).
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    /// Samples received so far.
+    pub samples: Vec<EpochSample>,
+    /// The final registry, once delivered.
+    pub final_registry: Option<Registry>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Sink for MemorySink {
+    fn on_sample(&mut self, sample: &EpochSample) {
+        self.samples.push(sample.clone());
+    }
+
+    fn on_final(&mut self, registry: &Registry) {
+        self.final_registry = Some(registry.clone());
+    }
+}
+
+/// Streams samples as CSV rows to any writer (files, stdout).
+///
+/// The header row is written before the first sample; per-core IPC columns are
+/// sized from that first sample.
+pub struct CsvSink<W: Write + Send> {
+    out: W,
+    wrote_header: bool,
+}
+
+impl<W: Write + Send> CsvSink<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> Self {
+        CsvSink {
+            out,
+            wrote_header: false,
+        }
+    }
+
+    /// Unwraps the inner writer (flushing is the caller's concern).
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write + Send> Sink for CsvSink<W> {
+    fn on_sample(&mut self, sample: &EpochSample) {
+        if !self.wrote_header {
+            self.wrote_header = true;
+            let mut header: Vec<String> = vec!["index".into(), "start_ns".into(), "end_ns".into()];
+            header.extend(EpochSample::SCALAR_COLUMNS.iter().map(|s| s.to_string()));
+            header.extend((0..sample.ipc.len()).map(|i| format!("ipc_core{i}")));
+            header.push("partial".into());
+            let _ = writeln!(self.out, "{}", header.join(","));
+        }
+        let mut row: Vec<String> = vec![
+            sample.index.to_string(),
+            sample.start.as_ns().to_string(),
+            sample.end.as_ns().to_string(),
+        ];
+        row.extend(
+            EpochSample::SCALAR_COLUMNS
+                .iter()
+                .map(|c| fmt_cell(sample.column(c).unwrap_or(0.0))),
+        );
+        row.extend(sample.ipc.iter().map(|&x| fmt_cell(x)));
+        row.push((sample.partial as u8).to_string());
+        let _ = writeln!(self.out, "{}", row.join(","));
+    }
+}
+
+fn fmt_cell(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 2f64.powi(53) {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.6}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autorfm_sim_core::Cycle;
+
+    fn sample(index: u64, acts: u64) -> EpochSample {
+        EpochSample {
+            index,
+            start: Cycle::from_ns(index * 100),
+            end: Cycle::from_ns((index + 1) * 100),
+            partial: false,
+            acts,
+            alerts: 1,
+            reads: 0,
+            writes: 0,
+            refs: 0,
+            rfms: 0,
+            mitigations: 0,
+            victim_refreshes: 0,
+            row_hits: 3,
+            row_misses: 1,
+            queue_depth: 5,
+            ipc: vec![0.5, 1.0],
+        }
+    }
+
+    #[test]
+    fn memory_sink_collects() {
+        let mut sink = MemorySink::new();
+        sink.on_sample(&sample(0, 10));
+        sink.on_sample(&sample(1, 20));
+        let mut reg = Registry::new();
+        reg.counter("acts", &[], 30);
+        sink.on_final(&reg);
+        assert_eq!(sink.samples.len(), 2);
+        assert_eq!(sink.final_registry, Some(reg));
+    }
+
+    #[test]
+    fn csv_sink_writes_header_and_rows() {
+        let mut sink = CsvSink::new(Vec::new());
+        sink.on_sample(&sample(0, 10));
+        sink.on_sample(&sample(1, 20));
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("index,start_ns,end_ns,acts,"));
+        assert!(lines[0].contains("ipc_core0,ipc_core1,partial"));
+        assert!(lines[1].starts_with("0,0,100,10,1,"));
+        assert!(lines[1].contains("0.750000"), "row_hit_rate: {}", lines[1]);
+        assert!(lines[2].starts_with("1,100,200,20,"));
+    }
+
+    #[test]
+    fn null_sink_is_a_noop() {
+        let mut sink = NullSink;
+        sink.on_sample(&sample(0, 1));
+        sink.on_final(&Registry::new());
+    }
+}

@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
-# Tier-1 verification entry point: build, run the full test suite, then run
-# the quick experiment sweep through the parallel harness and report how long
-# it took. Usage: scripts/verify.sh
+# Tier-1 verification entry point: lint (fmt + clippy), build, run the full
+# test suite, then run the quick experiment sweep through the parallel harness
+# and report how long it took. Usage: scripts/verify.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== cargo fmt --all --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo build --release =="
 cargo build --release

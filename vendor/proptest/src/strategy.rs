@@ -193,7 +193,9 @@ mod tests {
     #[test]
     fn combinators_compose() {
         let mut rng = TestRng::seeded(1);
-        let s = (1u32..5).prop_map(|x| x * 10).prop_flat_map(|x| Just(x + 1));
+        let s = (1u32..5)
+            .prop_map(|x| x * 10)
+            .prop_flat_map(|x| Just(x + 1));
         let v = s.new_value(&mut rng);
         assert!([11, 21, 31, 41].contains(&v));
     }

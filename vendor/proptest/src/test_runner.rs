@@ -148,9 +148,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "property `boom` failed")]
     fn failure_panics() {
-        TestRunner::new(ProptestConfig::with_cases(3)).run_named("boom", |_| {
-            Err(TestCaseError::fail("nope".into()))
-        });
+        TestRunner::new(ProptestConfig::with_cases(3))
+            .run_named("boom", |_| Err(TestCaseError::fail("nope".into())));
     }
 
     #[test]
