@@ -1,22 +1,34 @@
-//! Parallel-harness smoke benchmark: times a fixed quick (workload × scenario)
-//! matrix through `run_matrix` serially and with the requested `--jobs`, then
-//! emits a single JSON line:
+//! Harness smoke benchmark: times the parallel fan-out and the warm-fork
+//! machinery on a fixed quick (workload × scenario) matrix, then emits a
+//! single JSON line:
 //!
 //! ```text
 //! {"serial_s":12.34,"parallel_s":3.21,"jobs":8,"host_parallelism":16,
-//!  "sim_cycles":123456789,"cycles_per_sec":38460000.0}
+//!  "sim_cycles":123456789,"cycles_per_sec":38460000.0,
+//!  "warm_prefetch_s":0.42,"cold_s":2.10,"forked_s":0.95,
+//!  "warm_fork_saved_s":1.15}
 //! ```
 //!
-//! `sim_cycles` is the total simulated CPU-cycle count of the matrix and
-//! `cycles_per_sec` the parallel-pass simulation throughput.
+//! Three measurements:
 //!
-//! Used by `scripts/verify.sh` (and by hand) to confirm the fan-out actually
-//! buys wall-clock time on multi-core hosts. The parallel pass must also
-//! produce bitwise-identical results to the serial pass — this binary asserts
-//! that before reporting the timings.
+//! * **serial vs parallel** — the same matrix through `run_matrix` with one
+//!   worker and with `--jobs` workers. Warm snapshots for every workload are
+//!   prefetched first (`warm_prefetch_s`), so both passes pay identical
+//!   (zero) warmup cost and the comparison isolates the fan-out.
+//! * **cold vs forked** — a sub-matrix simulated with per-run warmup
+//!   (`run_cold`) and again by forking from the shared warm snapshots
+//!   (`run`). `warm_fork_saved_s = cold_s - forked_s` is the measured
+//!   wall-clock win of warmup forking.
+//!
+//! Both comparisons assert bitwise-identical results before reporting, so
+//! this binary is also an end-to-end determinism check for the parallel
+//! harness and the snapshot subsystem. Used by `scripts/verify.sh`.
 
 use autorfm::experiments::Scenario;
-use autorfm_bench::{run_matrix, RunOpts, SimJob, BASELINE_ZEN};
+use autorfm::SimConfig;
+use autorfm_bench::{
+    run, run_cold, run_matrix_cached, warm_cache, ResultCache, RunOpts, SimJob, BASELINE_ZEN,
+};
 use std::time::Instant;
 
 fn main() {
@@ -39,14 +51,26 @@ fn main() {
         })
         .collect();
 
+    // Prefetch warm snapshots for every workload so the serial and parallel
+    // passes below pay the same (zero) warmup cost.
+    let t_warm = Instant::now();
+    for &spec in &quick.workloads {
+        let cfg = SimConfig::scenario(spec, BASELINE_ZEN)
+            .with_cores(quick.cores)
+            .with_instructions(quick.instructions);
+        drop(warm_cache().system(cfg));
+    }
+    let warm_prefetch_s = t_warm.elapsed().as_secs_f64();
+
+    // Isolated caches: a checkpoint reload would collapse the timings.
     let mut serial = quick.clone();
     serial.jobs = 1;
     let t0 = Instant::now();
-    let serial_results = run_matrix(&matrix, &serial);
+    let serial_results = run_matrix_cached(&matrix, &serial, &ResultCache::isolated());
     let serial_s = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
-    let parallel_results = run_matrix(&matrix, &quick);
+    let parallel_results = run_matrix_cached(&matrix, &quick, &ResultCache::isolated());
     let parallel_s = t1.elapsed().as_secs_f64();
 
     assert_eq!(
@@ -64,6 +88,31 @@ fn main() {
         );
     }
 
+    // Warm-fork A/B: the same sub-matrix with per-run warmup vs forking from
+    // the (already prefetched) shared warm snapshots. Serial on both sides so
+    // the delta is pure warmup cost.
+    let sub: Vec<SimJob> = matrix.iter().copied().take(18).collect();
+    let t2 = Instant::now();
+    let cold_results: Vec<_> = sub
+        .iter()
+        .map(|&(spec, sc)| run_cold(spec, sc, &quick))
+        .collect();
+    let cold_s = t2.elapsed().as_secs_f64();
+    let t3 = Instant::now();
+    let forked_results: Vec<_> = sub
+        .iter()
+        .map(|&(spec, sc)| run(spec, sc, &quick))
+        .collect();
+    let forked_s = t3.elapsed().as_secs_f64();
+    for (i, (c, f)) in cold_results.iter().zip(&forked_results).enumerate() {
+        assert!(
+            c.elapsed == f.elapsed
+                && c.dram.acts.get() == f.dram.acts.get()
+                && c.per_core_ipc == f.per_core_ipc,
+            "warm-forked result {i} diverged from cold"
+        );
+    }
+
     let host = std::thread::available_parallelism().map_or(1, usize::from);
     let sim_cycles: u64 = parallel_results.iter().map(|r| r.elapsed.raw()).sum();
     let cycles_per_sec = if parallel_s > 0.0 {
@@ -74,7 +123,10 @@ fn main() {
     println!(
         "{{\"serial_s\":{serial_s:.3},\"parallel_s\":{parallel_s:.3},\"jobs\":{},\
          \"host_parallelism\":{host},\"sim_cycles\":{sim_cycles},\
-         \"cycles_per_sec\":{cycles_per_sec:.0}}}",
-        quick.jobs
+         \"cycles_per_sec\":{cycles_per_sec:.0},\
+         \"warm_prefetch_s\":{warm_prefetch_s:.3},\"cold_s\":{cold_s:.3},\
+         \"forked_s\":{forked_s:.3},\"warm_fork_saved_s\":{:.3}}}",
+        quick.jobs,
+        cold_s - forked_s
     );
 }

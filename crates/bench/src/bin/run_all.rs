@@ -2,7 +2,18 @@
 //! `results/<target>.txt` and a machine-readable manifest to
 //! `results/<target>.json` (see `autorfm_telemetry::RunManifest`). Pass the
 //! usual flags (`--quick`, `--full`, `--jobs N`, `--telemetry`, …) and they
-//! are forwarded to each experiment.
+//! are forwarded to each experiment. `run_all`'s own flags:
+//!
+//! * `--list` — print the target names and exit,
+//! * `--only <substring>` — run only matching targets (repeatable),
+//! * `--resume` — skip targets whose manifest records a clean exit, and let
+//!   the rest reload completed simulations from their checkpoint.
+//!
+//! Every child runs with `AUTORFM_CHECKPOINT=results/<target>.ckpt`: as its
+//! simulations complete, the harness appends them to that sealed snapshot
+//! file, so a campaign killed mid-flight resumes under `--resume` without
+//! re-running finished targets or finished simulations inside interrupted
+//! targets. Checkpoints of targets that complete cleanly are deleted.
 //!
 //! Experiments run as child processes with bounded concurrency: up to
 //! `AUTORFM_PROCS` targets at a time. The default pool size is the host's
@@ -38,10 +49,12 @@ const TARGETS: &[&str] = &[
     "ablations",
     "model_vs_sim",
     "seed_sensitivity",
+    "perf_smoke",
 ];
 
 /// Experiments that take simulation flags (the analytic ones don't need them).
 const TAKES_FLAGS: &[&str] = &[
+    "perf_smoke",
     "fig01_overview",
     "table5_workload_characteristics",
     "fig03_rfm_slowdown",
@@ -110,8 +123,48 @@ fn finalize_manifest(target: &str, exit_code: Option<i64>, wall_s: f64, jobs: us
     }
 }
 
+/// Whether `results/<target>.json` records a clean finish (`--resume` skips
+/// such targets).
+fn is_complete(target: &str) -> bool {
+    let path = Path::new("results").join(format!("{target}.json"));
+    RunManifest::load(&path).is_ok_and(|m| m.exit_code == Some(0))
+}
+
+/// Splits `run_all`'s own flags (`--list`, `--only X`, `--resume`) from the
+/// flags forwarded to each child. Returns `(list, resume, only, forwarded)`.
+fn parse_own_flags(args: Vec<String>) -> (bool, bool, Vec<String>, Vec<String>) {
+    let (mut list, mut resume) = (false, false);
+    let mut only = Vec::new();
+    let mut forwarded = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--list" => list = true,
+            "--resume" => resume = true,
+            "--only" => only.push(iter.next().expect("--only needs a substring")),
+            _ => forwarded.push(arg),
+        }
+    }
+    (list, resume, only, forwarded)
+}
+
 fn main() {
-    let flags: Vec<String> = std::env::args().skip(1).collect();
+    let (list, resume, only, flags) = parse_own_flags(std::env::args().skip(1).collect());
+    let selected: Vec<&str> = TARGETS
+        .iter()
+        .copied()
+        .filter(|t| only.is_empty() || only.iter().any(|o| t.contains(o.as_str())))
+        .collect();
+    if list {
+        for target in &selected {
+            println!("{target}");
+        }
+        return;
+    }
+    if selected.is_empty() {
+        eprintln!("no targets match --only {only:?}; try --list");
+        std::process::exit(2);
+    }
     std::fs::create_dir_all("results").expect("create results/");
     let exe_dir = std::env::current_exe()
         .ok()
@@ -121,23 +174,34 @@ fn main() {
     let jobs = child_jobs(&flags);
     eprintln!("process pool: {procs} (child --jobs {jobs})");
 
-    let failures: Vec<Option<String>> = par_map(TARGETS, procs, |&target| {
+    let failures: Vec<Option<String>> = par_map(&selected, procs, |&target| {
+        if resume && is_complete(target) {
+            eprintln!("=== {target}: already complete, skipping (--resume) ===");
+            return None;
+        }
         eprintln!("=== running {target} ===");
         let manifest_path = format!("results/{target}.json");
+        let checkpoint_path = format!("results/{target}.ckpt");
         // Remove any stale manifest so a crash can't leave last run's data
-        // behind wearing this run's exit code.
+        // behind wearing this run's exit code. The checkpoint, by contrast,
+        // deliberately survives: it's how an interrupted target resumes.
         let _ = std::fs::remove_file(&manifest_path);
+        if !resume {
+            let _ = std::fs::remove_file(&checkpoint_path);
+        }
         let mut cmd = Command::new(exe_dir.join(target));
         if TAKES_FLAGS.contains(&target) {
             cmd.args(&flags);
         }
         cmd.env("AUTORFM_MANIFEST", &manifest_path);
+        cmd.env("AUTORFM_CHECKPOINT", &checkpoint_path);
         let path = format!("results/{target}.txt");
         let started = Instant::now();
         match cmd.output() {
             Ok(out) if out.status.success() => {
                 std::fs::write(&path, &out.stdout).expect("write result");
                 finalize_manifest(target, Some(0), started.elapsed().as_secs_f64(), jobs);
+                let _ = std::fs::remove_file(&checkpoint_path);
                 eprintln!("    -> {path}");
                 None
             }

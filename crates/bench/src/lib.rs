@@ -48,11 +48,14 @@
 #![forbid(unsafe_code)]
 
 use autorfm::experiments::Scenario;
+use autorfm::snapshot::{
+    digest64, open, write_file, Reader, SnapError, Snapshot, Writer, KIND_RESULTS,
+};
 use autorfm::telemetry::{Json, Labels, RunEntry, RunManifest};
-use autorfm::{MappingKind, SimConfig, SimResult, System, TelemetryConfig};
+use autorfm::{warm_digest, MappingKind, SimConfig, SimResult, System, TelemetryConfig};
 use autorfm_sim_core::Cycle;
 use autorfm_workloads::{WorkloadSpec, ALL_WORKLOADS};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -198,13 +201,116 @@ pub fn telemetry_config(opts: &RunOpts, tag: &str) -> Option<TelemetryConfig> {
     })
 }
 
-/// Runs one workload under one scenario.
-pub fn run(spec: &'static WorkloadSpec, scenario: Scenario, opts: &RunOpts) -> SimResult {
+/// The [`SimConfig`] for one `(workload, scenario)` job under `opts`.
+fn job_config(spec: &'static WorkloadSpec, scenario: Scenario, opts: &RunOpts) -> SimConfig {
     let mut cfg = SimConfig::scenario(spec, scenario)
         .with_cores(opts.cores)
         .with_instructions(opts.instructions);
     cfg.telemetry = telemetry_config(opts, &format!("{}__{scenario}", spec.name));
-    System::new(cfg).expect("valid scenario config").run()
+    cfg
+}
+
+/// Runs one workload under one scenario.
+///
+/// Warmup is shared: the first job per warm key (workload set, core count,
+/// seed, warmup length, LLC shape, geometry — see `autorfm::warm_digest`)
+/// simulates warmup once into the process-global [`WarmCache`]; every later
+/// job forks from that snapshot. Forked runs are bitwise identical to cold
+/// runs (pinned by the golden tests), so only wall-clock changes. Set
+/// `AUTORFM_NO_WARM_FORK=1` to force the cold path everywhere.
+pub fn run(spec: &'static WorkloadSpec, scenario: Scenario, opts: &RunOpts) -> SimResult {
+    let cfg = job_config(spec, scenario, opts);
+    if warm_fork_enabled() {
+        warm_cache().system(cfg).run()
+    } else {
+        System::new(cfg).expect("valid scenario config").run()
+    }
+}
+
+/// Cold-path variant of [`run`] that always re-simulates warmup, bypassing the
+/// [`WarmCache`]. Exists for A/B wall-clock measurement (`perf_smoke`) and for
+/// callers that must not share process-global state.
+pub fn run_cold(spec: &'static WorkloadSpec, scenario: Scenario, opts: &RunOpts) -> SimResult {
+    System::new(job_config(spec, scenario, opts))
+        .expect("valid scenario config")
+        .run()
+}
+
+/// Whether [`run`] may fork from cached warm snapshots (default yes; disabled
+/// by `AUTORFM_NO_WARM_FORK=1`).
+fn warm_fork_enabled() -> bool {
+    !std::env::var("AUTORFM_NO_WARM_FORK")
+        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        .unwrap_or(false)
+}
+
+/// One cached warm snapshot: filled exactly once by the first requester;
+/// concurrent requesters block on it.
+type WarmSlot = Arc<OnceLock<Arc<Vec<u8>>>>;
+
+/// A thread-safe cache of warm-state snapshots keyed by `autorfm::warm_digest`.
+///
+/// Scenario sweeps run the same workloads under many mitigation settings, and
+/// warmup (64K memory ops per core by default) depends on none of them — so
+/// the cache simulates each distinct warmup exactly once and every other run
+/// forks from the in-memory snapshot via `System::new_from_warm`. The
+/// rendezvous discipline is the same as [`ResultCache`]: a per-key
+/// [`OnceLock`] fills once, concurrent requesters block until it's ready.
+#[derive(Default)]
+pub struct WarmCache {
+    slots: Mutex<HashMap<u64, WarmSlot>>,
+    warmups: AtomicUsize,
+    forks: AtomicUsize,
+}
+
+impl WarmCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the machine for `cfg`, forking from the cached warm snapshot
+    /// for its warm key — simulating warmup first if this is the key's first
+    /// request. The result is bitwise identical to `System::new(cfg)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid or the internal lock is poisoned.
+    pub fn system(&self, cfg: SimConfig) -> System {
+        let key = warm_digest(&cfg);
+        let slot = {
+            let mut map = self.slots.lock().expect("warm cache lock poisoned");
+            map.entry(key).or_default().clone()
+        };
+        let warm = slot
+            .get_or_init(|| {
+                self.warmups.fetch_add(1, Ordering::Relaxed);
+                // The donor exists only to produce warm bytes; don't let it
+                // open telemetry sinks meant for the real run.
+                let mut donor_cfg = cfg.clone();
+                donor_cfg.telemetry = None;
+                Arc::new(System::new(donor_cfg).expect("valid config").warm_state())
+            })
+            .clone();
+        self.forks.fetch_add(1, Ordering::Relaxed);
+        System::new_from_warm(cfg, &warm).expect("warm fork under matching digest")
+    }
+
+    /// Number of warmups actually simulated (cache misses).
+    pub fn warmups(&self) -> usize {
+        self.warmups.load(Ordering::Relaxed)
+    }
+
+    /// Number of systems built by forking (every [`WarmCache::system`] call).
+    pub fn forks(&self) -> usize {
+        self.forks.load(Ordering::Relaxed)
+    }
+}
+
+/// The process-global warm cache [`run`] forks from.
+pub fn warm_cache() -> &'static WarmCache {
+    static CACHE: OnceLock<WarmCache> = OnceLock::new();
+    CACHE.get_or_init(WarmCache::default)
 }
 
 /// One entry of an experiment matrix: a workload under a scenario.
@@ -259,7 +365,12 @@ where
 /// them) and the duplicates receive clones. Use [`ResultCache::prefetch`]
 /// instead when the cache should outlive the call.
 pub fn run_matrix(jobs: &[SimJob], opts: &RunOpts) -> Vec<SimResult> {
-    let cache = ResultCache::new();
+    run_matrix_cached(jobs, opts, &ResultCache::new())
+}
+
+/// [`run_matrix`] against a caller-supplied cache (so the cache — and its
+/// checkpoint wiring, or deliberate lack of it — can outlive the call).
+pub fn run_matrix_cached(jobs: &[SimJob], opts: &RunOpts, cache: &ResultCache) -> Vec<SimResult> {
     let results = par_map(jobs, opts.jobs, |&(spec, scenario)| {
         cache.get(spec, scenario, opts)
     });
@@ -283,15 +394,38 @@ type CacheSlot = Arc<OnceLock<Arc<SimResult>>>;
 pub struct ResultCache {
     results: Mutex<HashMap<CacheKey, CacheSlot>>,
     runs: AtomicUsize,
+    checkpoint: Option<Arc<CheckpointFile>>,
 }
 
 impl ResultCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache. When the `AUTORFM_CHECKPOINT` environment
+    /// variable names a file (how `run_all` directs each child's checkpoint),
+    /// completed results are reloaded from it and every fresh simulation is
+    /// appended to it — so a killed experiment resumes instead of starting
+    /// over. Use [`ResultCache::isolated`] to opt out.
     pub fn new() -> Self {
+        let checkpoint = std::env::var("AUTORFM_CHECKPOINT")
+            .ok()
+            .filter(|p| !p.is_empty())
+            .map(|p| Arc::new(CheckpointFile::load(PathBuf::from(p))));
+        ResultCache {
+            checkpoint,
+            ..Self::default()
+        }
+    }
+
+    /// Creates an empty cache that never touches a checkpoint file, even when
+    /// `AUTORFM_CHECKPOINT` is set — for A/B timing passes (`perf_smoke`)
+    /// whose wall clocks would be meaningless with reloaded results.
+    pub fn isolated() -> Self {
         Self::default()
     }
 
     /// Runs (or returns the cached result of) `scenario` on `spec`.
+    ///
+    /// Telemetry-enabled runs always simulate: their epoch series cannot be
+    /// checkpointed (see `SimResult`'s snapshot docs), and a reloaded result
+    /// would silently lose it.
     ///
     /// # Panics
     ///
@@ -309,8 +443,17 @@ impl ResultCache {
                 .clone()
         };
         slot.get_or_init(|| {
+            let checkpoint = self.checkpoint.as_ref().filter(|_| !opts.telemetry);
+            let key = job_digest(spec, scenario, opts);
+            if let Some(prior) = checkpoint.and_then(|c| c.get(key)) {
+                return Arc::new(prior);
+            }
             self.runs.fetch_add(1, Ordering::Relaxed);
-            Arc::new(run(spec, scenario, opts))
+            let result = run(spec, scenario, opts);
+            if let Some(c) = checkpoint {
+                c.put(key, &result);
+            }
+            Arc::new(result)
         })
         .clone()
     }
@@ -363,6 +506,141 @@ impl ResultCache {
             .collect();
         out.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
         out
+    }
+}
+
+/// Stable identity of one simulation job: scenario, workload, and the run
+/// shape (cores, instructions). Everything else that could change the result
+/// (seed, geometry, timings) is fixed by the scenario constructors, and the
+/// checkpoint file is keyed per target anyway.
+pub fn job_digest(spec: &WorkloadSpec, scenario: Scenario, opts: &RunOpts) -> u64 {
+    let mut w = Writer::new();
+    w.put_str(&scenario.to_string());
+    w.put_str(spec.name);
+    w.put_u8(opts.cores);
+    w.put_u64(opts.instructions);
+    digest64(w.bytes())
+}
+
+/// Encodes a job-digest → result-bytes map as a [`KIND_RESULTS`] payload
+/// (count, then sorted `(u64 key, length-prefixed bytes)` pairs).
+pub fn encode_results(entries: &BTreeMap<u64, Vec<u8>>) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_usize(entries.len());
+    for (key, bytes) in entries {
+        w.put_u64(*key);
+        w.put_bytes(bytes);
+    }
+    w.into_bytes()
+}
+
+/// Decodes a [`KIND_RESULTS`] payload written by [`encode_results`].
+///
+/// # Errors
+///
+/// Returns [`SnapError`] on truncation, duplicate keys, or trailing bytes.
+pub fn decode_results(payload: &[u8]) -> Result<BTreeMap<u64, Vec<u8>>, SnapError> {
+    let mut r = Reader::new(payload);
+    let n = r.take_usize()?;
+    let mut map = BTreeMap::new();
+    for _ in 0..n {
+        let key = r.take_u64()?;
+        let bytes = r.take_bytes()?.to_vec();
+        if map.insert(key, bytes).is_some() {
+            return Err(SnapError::corrupt("duplicate job key in checkpoint"));
+        }
+    }
+    if !r.is_empty() {
+        return Err(SnapError::corrupt("trailing bytes after checkpoint map"));
+    }
+    Ok(map)
+}
+
+/// An on-disk checkpoint of completed simulations: a sealed [`KIND_RESULTS`]
+/// container mapping [`job_digest`] keys to encoded `SimResult`s. Rewritten
+/// atomically (tmp file + rename) after every completed simulation, so a
+/// killed campaign loses at most the runs still in flight; on the next
+/// attempt, [`ResultCache`] serves the finished ones from here without
+/// re-simulating.
+#[derive(Debug)]
+pub struct CheckpointFile {
+    path: PathBuf,
+    entries: Mutex<BTreeMap<u64, Vec<u8>>>,
+}
+
+impl CheckpointFile {
+    /// Opens `path`, reloading any entries a previous run left behind. A
+    /// missing file starts empty; a corrupt one is ignored with a warning
+    /// (it will be overwritten by the first completed simulation).
+    pub fn load(path: PathBuf) -> Self {
+        let entries = match std::fs::read(&path) {
+            Ok(bytes) => match open(&bytes).and_then(|c| {
+                if c.kind == KIND_RESULTS {
+                    decode_results(&c.payload)
+                } else {
+                    Err(SnapError::corrupt("not a results checkpoint"))
+                }
+            }) {
+                Ok(map) => map,
+                Err(e) => {
+                    eprintln!(
+                        "warning: ignoring corrupt checkpoint {}: {e}",
+                        path.display()
+                    );
+                    BTreeMap::new()
+                }
+            },
+            Err(_) => BTreeMap::new(),
+        };
+        CheckpointFile {
+            path,
+            entries: Mutex::new(entries),
+        }
+    }
+
+    /// The completed result stored under `key`, if any. An entry that fails
+    /// to decode (e.g. written by an older build) is treated as absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned.
+    pub fn get(&self, key: u64) -> Option<SimResult> {
+        let entries = self.entries.lock().expect("checkpoint lock poisoned");
+        let bytes = entries.get(&key)?;
+        SimResult::decode(&mut Reader::new(bytes)).ok()
+    }
+
+    /// Records a completed simulation and rewrites the file atomically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned.
+    pub fn put(&self, key: u64, result: &SimResult) {
+        let mut w = Writer::new();
+        result.encode(&mut w);
+        let mut entries = self.entries.lock().expect("checkpoint lock poisoned");
+        entries.insert(key, w.into_bytes());
+        let payload = encode_results(&entries);
+        if let Err(e) = write_file(&self.path, KIND_RESULTS, &payload) {
+            eprintln!(
+                "warning: could not write checkpoint {}: {e}",
+                self.path.display()
+            );
+        }
+    }
+
+    /// Number of completed results on record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("checkpoint lock poisoned").len()
+    }
+
+    /// Whether no results are on record.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 

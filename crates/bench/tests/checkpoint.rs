@@ -1,0 +1,102 @@
+//! Checkpoint-file behaviour: results survive a reload, corrupt files are
+//! ignored rather than trusted, and the encode/decode helpers reject damage.
+
+use autorfm::experiments::Scenario;
+use autorfm::snapshot::{open, seal, SnapError, KIND_RESULTS, KIND_WARM};
+use autorfm_bench::{
+    decode_results, encode_results, job_digest, run, CheckpointFile, RunOpts, BASELINE_ZEN,
+};
+use autorfm_workloads::WorkloadSpec;
+use std::collections::BTreeMap;
+
+fn tiny_opts() -> RunOpts {
+    RunOpts {
+        cores: 1,
+        instructions: 2_000,
+        workloads: vec![WorkloadSpec::by_name("wrf").unwrap()],
+        jobs: 1,
+        telemetry: false,
+        epoch_ns: None,
+        telemetry_csv: None,
+    }
+}
+
+#[test]
+fn results_survive_a_reload() {
+    let dir = std::env::temp_dir().join("autorfm-ckpt-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("reload.ckpt");
+    let _ = std::fs::remove_file(&path);
+
+    let opts = tiny_opts();
+    let spec = opts.workloads[0];
+    let result = run(spec, BASELINE_ZEN, &opts);
+    let key = job_digest(spec, BASELINE_ZEN, &opts);
+
+    let ckpt = CheckpointFile::load(path.clone());
+    assert!(ckpt.is_empty());
+    ckpt.put(key, &result);
+    assert_eq!(ckpt.len(), 1);
+    drop(ckpt); // the "killed" campaign
+
+    let reloaded = CheckpointFile::load(path.clone());
+    let back = reloaded.get(key).expect("entry survives the reload");
+    assert_eq!(back.elapsed, result.elapsed);
+    assert_eq!(back.per_core_ipc, result.per_core_ipc);
+    assert_eq!(back.dram.acts.get(), result.dram.acts.get());
+    assert_eq!(back.workload, result.workload);
+
+    // A different job shape is a different key — no false sharing.
+    let mut other = opts.clone();
+    other.instructions = 3_000;
+    assert_ne!(key, job_digest(spec, BASELINE_ZEN, &other));
+    assert_ne!(key, job_digest(spec, Scenario::Rfm { th: 4 }, &opts));
+    assert!(reloaded
+        .get(job_digest(spec, BASELINE_ZEN, &other))
+        .is_none());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupt_and_foreign_files_start_empty() {
+    let dir = std::env::temp_dir().join("autorfm-ckpt-test");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Truncated garbage.
+    let garbage = dir.join("garbage.ckpt");
+    std::fs::write(&garbage, b"not a snapshot").unwrap();
+    assert!(CheckpointFile::load(garbage.clone()).is_empty());
+
+    // A valid container of the wrong kind.
+    let wrong_kind = dir.join("wrong_kind.ckpt");
+    std::fs::write(&wrong_kind, seal(KIND_WARM, b"")).unwrap();
+    assert!(CheckpointFile::load(wrong_kind.clone()).is_empty());
+
+    let _ = std::fs::remove_file(&garbage);
+    let _ = std::fs::remove_file(&wrong_kind);
+}
+
+#[test]
+fn results_map_encoding_round_trips_and_rejects_damage() {
+    let mut map = BTreeMap::new();
+    map.insert(3u64, vec![1u8, 2, 3]);
+    map.insert(1u64, vec![]);
+    map.insert(2u64, vec![9u8; 100]);
+    let payload = encode_results(&map);
+    assert_eq!(decode_results(&payload).unwrap(), map);
+
+    // The sealed form survives open().
+    let sealed = seal(KIND_RESULTS, &payload);
+    let container = open(&sealed).unwrap();
+    assert_eq!(container.kind, KIND_RESULTS);
+    assert_eq!(decode_results(&container.payload).unwrap(), map);
+
+    // Truncation and trailing garbage are decode errors, not panics.
+    assert!(decode_results(&payload[..payload.len() - 1]).is_err());
+    let mut trailing = payload.clone();
+    trailing.push(0);
+    assert_eq!(
+        decode_results(&trailing),
+        Err(SnapError::corrupt("trailing bytes after checkpoint map"))
+    );
+}

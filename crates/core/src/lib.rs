@@ -46,7 +46,9 @@ pub mod system;
 
 pub use config::{MappingKind, SimConfig, TelemetryConfig};
 pub use result::SimResult;
-pub use system::System;
+pub use system::{warm_digest, System};
+
+pub use autorfm_snapshot as snapshot;
 
 /// Convenience re-exports for downstream users:
 /// `use autorfm::prelude::*;` pulls in the types most programs need.

@@ -3,7 +3,9 @@
 use autorfm_dram::DramStats;
 use autorfm_power::EventCounts;
 use autorfm_sim_core::Cycle;
+use autorfm_snapshot::{Reader, SnapError, Snapshot, Writer};
 use autorfm_telemetry::{EpochSeries, Registry};
+use autorfm_workloads::WorkloadSpec;
 
 /// The outcome of one simulation run.
 #[derive(Debug, Clone)]
@@ -116,6 +118,54 @@ impl SimResult {
             let _ = writeln!(out, "max row damage    : {d}");
         }
         out
+    }
+}
+
+/// Checkpointed results carry every numeric field, but the optional telemetry
+/// attachments ([`SimResult::series`] / [`SimResult::metrics`]) are dropped:
+/// they exist only on telemetry-enabled runs, and those refuse checkpointing
+/// anyway (see `System::snapshot`).
+impl Snapshot for SimResult {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(self.workload);
+        self.elapsed.encode(w);
+        self.per_core_ipc.encode(w);
+        w.put_u64(self.total_instructions);
+        self.dram.encode(w);
+        w.put_f64(self.alerts_per_act);
+        w.put_f64(self.act_pki);
+        w.put_f64(self.act_per_trefi_per_bank);
+        w.put_f64(self.row_hit_rate);
+        w.put_f64(self.avg_read_latency_ns);
+        self.power_counts.encode(w);
+        self.max_damage.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let name = r.take_str()?;
+        // Results name workloads with `&'static str`; recover the static name
+        // from the registry. Mix labels and other synthetic names fall back to
+        // a one-time leak (results are decoded a handful of times per run).
+        let workload = match WorkloadSpec::by_name(&name) {
+            Some(spec) => spec.name,
+            None => &*Box::leak(name.into_boxed_str()),
+        };
+        Ok(SimResult {
+            workload,
+            elapsed: Cycle::decode(r)?,
+            per_core_ipc: Vec::decode(r)?,
+            total_instructions: r.take_u64()?,
+            dram: DramStats::decode(r)?,
+            alerts_per_act: r.take_f64()?,
+            act_pki: r.take_f64()?,
+            act_per_trefi_per_bank: r.take_f64()?,
+            row_hit_rate: r.take_f64()?,
+            avg_read_latency_ns: r.take_f64()?,
+            power_counts: EventCounts::decode(r)?,
+            max_damage: Option::decode(r)?,
+            series: None,
+            metrics: None,
+        })
     }
 }
 

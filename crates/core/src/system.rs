@@ -7,6 +7,9 @@ use autorfm_dram::{DramConfig, DramDevice};
 use autorfm_mapping::{LinearMap, MemoryMap, RubixMap, ZenMap};
 use autorfm_memctrl::MemController;
 use autorfm_sim_core::{ConfigError, Cycle, LineAddr};
+use autorfm_snapshot::{
+    digest64, open, seal, Reader, SnapError, Snapshot, Writer, KIND_SYSTEM, KIND_WARM,
+};
 use autorfm_telemetry::{CsvSink, EpochSampler, NullSink, Observation, Sink, DEFAULT_MAX_SAMPLES};
 use autorfm_workloads::WorkloadGen;
 
@@ -76,6 +79,15 @@ impl System {
     ///
     /// Returns [`ConfigError`] if any component configuration is invalid.
     pub fn new(cfg: SimConfig) -> Result<Self, ConfigError> {
+        let mut system = Self::assemble(cfg)?;
+        system.warmup();
+        Ok(system)
+    }
+
+    /// Builds the machine without running warmup (used by [`System::new`],
+    /// [`System::restore`], and [`System::new_from_warm`], which overwrite the
+    /// warm state anyway).
+    fn assemble(cfg: SimConfig) -> Result<Self, ConfigError> {
         cfg.validate()?;
         let map: Box<dyn MemoryMap> = match cfg.mapping {
             MappingKind::Zen => Box::new(ZenMap::new(cfg.geometry)?),
@@ -123,7 +135,7 @@ impl System {
                 sink,
             }
         });
-        let mut system = System {
+        Ok(System {
             finish_at: vec![None; cfg.num_cores as usize],
             cores,
             streams,
@@ -132,9 +144,7 @@ impl System {
             now: Cycle::ZERO,
             cfg,
             telemetry,
-        };
-        system.warmup();
-        Ok(system)
+        })
     }
 
     /// Fast-forwards the LLC to steady state: each core's stream runs its
@@ -157,42 +167,63 @@ impl System {
     /// Runs until every core retires the configured instruction budget and
     /// returns the collected metrics.
     pub fn run(&mut self) -> SimResult {
-        let target = self.cfg.instructions_per_core;
-        loop {
-            self.now += STEP;
-            let now = self.now;
-            let mut all_done = true;
-            for (i, core) in self.cores.iter_mut().enumerate() {
-                if self.finish_at[i].is_some() {
-                    continue;
-                }
-                core.step(
-                    now,
-                    CPU_CYCLES_PER_STEP,
-                    &mut self.streams[i],
-                    &mut self.uncore,
-                );
-                if core.retired() >= target {
-                    self.finish_at[i] = Some(now);
-                } else {
-                    all_done = false;
-                }
-            }
-            self.uncore.tick(&mut self.mc, now);
-            self.mc.tick(now);
-            self.uncore.tick(&mut self.mc, now);
-            // Disabled telemetry (the default) costs exactly this one branch
-            // per step; an Observation is only built at epoch boundaries.
-            if let Some(t) = &mut self.telemetry {
-                if t.sampler.due(now) {
-                    let obs = Self::observation(&self.mc, &self.cores);
-                    t.sampler.observe(now, obs, t.sink.as_mut());
-                }
-            }
-            if all_done {
-                break;
+        while !self.step_once() {}
+        self.finalize()
+    }
+
+    /// Runs for at most `max_steps` simulation steps (1 ns each). Returns the
+    /// collected metrics once every core has retired its instruction budget,
+    /// or `None` if the budget of steps ran out first — at which point the
+    /// machine sits at a clean step boundary, ready for [`System::snapshot`]
+    /// or further `run_steps` / [`System::run`] calls.
+    pub fn run_steps(&mut self, max_steps: u64) -> Option<SimResult> {
+        for _ in 0..max_steps {
+            if self.step_once() {
+                return Some(self.finalize());
             }
         }
+        None
+    }
+
+    /// Advances the machine by one step; returns `true` when every core has
+    /// finished.
+    fn step_once(&mut self) -> bool {
+        let target = self.cfg.instructions_per_core;
+        self.now += STEP;
+        let now = self.now;
+        let mut all_done = true;
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            if self.finish_at[i].is_some() {
+                continue;
+            }
+            core.step(
+                now,
+                CPU_CYCLES_PER_STEP,
+                &mut self.streams[i],
+                &mut self.uncore,
+            );
+            if core.retired() >= target {
+                self.finish_at[i] = Some(now);
+            } else {
+                all_done = false;
+            }
+        }
+        self.uncore.tick(&mut self.mc, now);
+        self.mc.tick(now);
+        self.uncore.tick(&mut self.mc, now);
+        // Disabled telemetry (the default) costs exactly this one branch
+        // per step; an Observation is only built at epoch boundaries.
+        if let Some(t) = &mut self.telemetry {
+            if t.sampler.due(now) {
+                let obs = Self::observation(&self.mc, &self.cores);
+                t.sampler.observe(now, obs, t.sink.as_mut());
+            }
+        }
+        all_done
+    }
+
+    /// Closes telemetry and collects the final metrics.
+    fn finalize(&mut self) -> SimResult {
         let closed = self.telemetry.take().map(|mut t| {
             let obs = Self::observation(&self.mc, &self.cores);
             let series = t.sampler.finish(self.now, obs, t.sink.as_mut());
@@ -274,6 +305,166 @@ impl System {
         }
     }
 
+    /// Serializes the complete machine state — clocks, workload streams,
+    /// cores, LLC/MSHRs, controller queues, and the DRAM device with all
+    /// tracker state — into a sealed [`KIND_SYSTEM`] container. A system
+    /// rebuilt with [`System::restore`] under the same configuration continues
+    /// bitwise identically to one that was never interrupted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError`] if telemetry is enabled: a live CSV sink holds an
+    /// open file handle that cannot be serialized, and silently dropping
+    /// samples would corrupt the stream.
+    pub fn snapshot(&self) -> Result<Vec<u8>, SnapError> {
+        if self.telemetry.is_some() {
+            return Err(SnapError::corrupt(
+                "cannot checkpoint a telemetry-enabled run (live sink state is not serializable)",
+            ));
+        }
+        let mut w = Writer::new();
+        w.put_u64(config_digest(&self.cfg));
+        self.now.encode(&mut w);
+        self.finish_at.encode(&mut w);
+        w.put_usize(self.streams.len());
+        for s in &self.streams {
+            s.inner.save_state(&mut w);
+        }
+        // The uncore must be encoded before the cores: encoding it builds the
+        // index that names each in-flight miss the cores wait on.
+        let index = self.uncore.snapshot_state(&mut w);
+        for core in &self.cores {
+            core.snapshot_state(&mut w, &index);
+        }
+        self.mc.snapshot_state(&mut w);
+        Ok(seal(KIND_SYSTEM, w.bytes()))
+    }
+
+    /// Rebuilds a mid-run machine from a [`System::snapshot`] taken under the
+    /// same configuration. The restored machine is at the same step boundary
+    /// and produces bitwise-identical results from there on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError`] if the container is invalid, the snapshot was
+    /// taken under a different configuration, `cfg` enables telemetry, or the
+    /// payload is corrupt.
+    pub fn restore(cfg: SimConfig, bytes: &[u8]) -> Result<Self, SnapError> {
+        let c = open(bytes)?;
+        if c.kind != KIND_SYSTEM {
+            return Err(SnapError::corrupt(format!(
+                "expected a system snapshot, found kind {}",
+                c.kind
+            )));
+        }
+        if cfg.telemetry.is_some() {
+            return Err(SnapError::corrupt(
+                "cannot restore into a telemetry-enabled configuration",
+            ));
+        }
+        let mut sys = Self::assemble(cfg)
+            .map_err(|e| SnapError::corrupt(format!("invalid configuration: {e}")))?;
+        let mut r = Reader::new(&c.payload);
+        let digest = r.take_u64()?;
+        if digest != config_digest(&sys.cfg) {
+            return Err(SnapError::corrupt(
+                "snapshot was taken under a different configuration",
+            ));
+        }
+        sys.now = Cycle::decode(&mut r)?;
+        let finish_at: Vec<Option<Cycle>> = Vec::decode(&mut r)?;
+        if finish_at.len() != sys.cores.len() {
+            return Err(SnapError::corrupt("finish-time count mismatch"));
+        }
+        sys.finish_at = finish_at;
+        let n = r.take_usize()?;
+        if n != sys.streams.len() {
+            return Err(SnapError::corrupt("workload stream count mismatch"));
+        }
+        for s in &mut sys.streams {
+            s.inner.load_state(&mut r)?;
+        }
+        let table = sys.uncore.restore_state(&mut r)?;
+        for core in &mut sys.cores {
+            core.restore_state(&mut r, &table)?;
+        }
+        sys.mc.restore_state(&mut r)?;
+        if !r.is_empty() {
+            return Err(SnapError::corrupt("trailing bytes after system state"));
+        }
+        Ok(sys)
+    }
+
+    /// Serializes only the warm state — the workload streams and the warmed
+    /// LLC — into a sealed [`KIND_WARM`] container. Taken right after
+    /// construction (before any [`System::run`] steps), this captures exactly
+    /// what warmup produced, so N scenario runs over the same workload can
+    /// fork from one shared warmup via [`System::new_from_warm`] instead of
+    /// each re-simulating it.
+    pub fn warm_state(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u64(warm_digest(&self.cfg));
+        w.put_usize(self.streams.len());
+        for s in &self.streams {
+            s.inner.save_state(&mut w);
+        }
+        let _ = self.uncore.snapshot_state(&mut w);
+        seal(KIND_WARM, w.bytes())
+    }
+
+    /// Builds the machine described by `cfg`, skipping warmup and adopting
+    /// the warm state captured by [`System::warm_state`] instead. The result
+    /// is bitwise identical to `System::new(cfg)` whenever the warm snapshot
+    /// came from a configuration with the same [`warm_digest`] — workloads,
+    /// core count, seed, warmup length, LLC shape, and geometry all agree —
+    /// even if mitigation, mapping, or timings differ.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError`] if the container is invalid, `cfg` is invalid, or
+    /// the warm digests disagree.
+    pub fn new_from_warm(cfg: SimConfig, warm: &[u8]) -> Result<Self, SnapError> {
+        let c = open(warm)?;
+        if c.kind != KIND_WARM {
+            return Err(SnapError::corrupt(format!(
+                "expected a warm snapshot, found kind {}",
+                c.kind
+            )));
+        }
+        let mut sys = Self::assemble(cfg)
+            .map_err(|e| SnapError::corrupt(format!("invalid configuration: {e}")))?;
+        let mut r = Reader::new(&c.payload);
+        let digest = r.take_u64()?;
+        if digest != warm_digest(&sys.cfg) {
+            return Err(SnapError::corrupt(
+                "warm snapshot was taken under an incompatible configuration",
+            ));
+        }
+        let n = r.take_usize()?;
+        if n != sys.streams.len() {
+            return Err(SnapError::corrupt("workload stream count mismatch"));
+        }
+        for s in &mut sys.streams {
+            s.inner.load_state(&mut r)?;
+        }
+        // Warmup allocates no MSHRs, so the completion table is empty.
+        let _ = sys.uncore.restore_state(&mut r)?;
+        if !r.is_empty() {
+            return Err(SnapError::corrupt("trailing bytes after warm state"));
+        }
+        Ok(sys)
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The configuration this machine was built from.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
     /// The memory controller (post-run inspection).
     pub fn mc(&self) -> &MemController<Box<dyn MemoryMap>> {
         &self.mc
@@ -283,6 +474,31 @@ impl System {
     pub fn uncore(&self) -> &Uncore {
         &self.uncore
     }
+}
+
+/// Digest of every configuration field, used to guard [`System::restore`]
+/// against snapshots taken under a different machine. Derived from the
+/// canonical `Debug` rendering of [`SimConfig`], which covers every knob.
+fn config_digest(cfg: &SimConfig) -> u64 {
+    digest64(format!("{cfg:?}").as_bytes())
+}
+
+/// Digest of the configuration fields that determine the post-warmup state
+/// (workload streams + warmed LLC): per-core workloads, core count, seed,
+/// warmup length, LLC/MSHR shape, and the geometry's line-address fold. Two
+/// configurations with equal warm digests share warm state byte-for-byte, so
+/// scenario sweeps can fork many runs from one warmup.
+pub fn warm_digest(cfg: &SimConfig) -> u64 {
+    let mut w = Writer::new();
+    w.put_u8(cfg.num_cores);
+    w.put_u64(cfg.seed);
+    w.put_u64(cfg.warmup_mem_ops_per_core);
+    w.put_u64(cfg.geometry.total_lines() - 1);
+    w.put_str(&format!("{:?}", cfg.uncore));
+    for i in 0..cfg.num_cores {
+        w.put_str(cfg.workload_of(i).name);
+    }
+    digest64(w.bytes())
 }
 
 #[cfg(test)]
@@ -405,6 +621,113 @@ mod tests {
             traced.perf(),
             "headline perf must round-trip into the registry"
         );
+    }
+
+    #[test]
+    fn warm_fork_is_bitwise_identical_to_cold_construction() {
+        let spec = WorkloadSpec::by_name("bwaves").unwrap();
+        let cfg = SimConfig::scenario(spec, Scenario::AutoRfm { th: 4 })
+            .with_cores(2)
+            .with_instructions(10_000);
+        let warm = System::new(cfg.clone()).unwrap().warm_state();
+        let mut cold = System::new(cfg.clone()).unwrap();
+        let mut forked = System::new_from_warm(cfg, &warm).unwrap();
+        assert_eq!(
+            cold.snapshot().unwrap(),
+            forked.snapshot().unwrap(),
+            "forked machine must start bitwise identical to a cold one"
+        );
+        let a = cold.run();
+        let b = forked.run();
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.per_core_ipc, b.per_core_ipc);
+        assert_eq!(a.dram.acts.get(), b.dram.acts.get());
+        assert_eq!(
+            cold.snapshot().unwrap(),
+            forked.snapshot().unwrap(),
+            "forked machine must finish bitwise identical to a cold one"
+        );
+    }
+
+    #[test]
+    fn warm_state_is_shared_across_scenarios() {
+        // Scenarios differ only in mitigation, so their warm digests agree and
+        // one warmup serves both.
+        let spec = WorkloadSpec::by_name("fotonik3d").unwrap();
+        let base_cfg = SimConfig::scenario(
+            spec,
+            Scenario::Baseline {
+                mapping: MappingKind::Zen,
+            },
+        )
+        .with_cores(2)
+        .with_instructions(8_000);
+        let rfm_cfg = SimConfig::scenario(spec, Scenario::Rfm { th: 4 })
+            .with_cores(2)
+            .with_instructions(8_000);
+        assert_eq!(warm_digest(&base_cfg), warm_digest(&rfm_cfg));
+        let warm = System::new(base_cfg).unwrap().warm_state();
+        let cold = System::new(rfm_cfg.clone()).unwrap().run();
+        let forked = System::new_from_warm(rfm_cfg, &warm).unwrap().run();
+        assert_eq!(cold.elapsed, forked.elapsed);
+        assert_eq!(cold.per_core_ipc, forked.per_core_ipc);
+    }
+
+    #[test]
+    fn midrun_checkpoint_restore_matches_uninterrupted_run() {
+        let spec = WorkloadSpec::by_name("mcf").unwrap();
+        let cfg = SimConfig::scenario(spec, Scenario::AutoRfm { th: 4 })
+            .with_cores(2)
+            .with_instructions(15_000)
+            .with_audit()
+            .with_trace(128);
+        let mut uninterrupted = System::new(cfg.clone()).unwrap();
+        let full = uninterrupted.run();
+
+        let mut victim = System::new(cfg.clone()).unwrap();
+        assert!(
+            victim.run_steps(2_000).is_none(),
+            "checkpoint must land mid-run"
+        );
+        let snap = victim.snapshot().unwrap();
+        drop(victim); // the "killed" run
+        let mut restored = System::restore(cfg, &snap).unwrap();
+        let resumed = restored.run();
+
+        assert_eq!(full.elapsed, resumed.elapsed);
+        assert_eq!(full.per_core_ipc, resumed.per_core_ipc);
+        assert_eq!(full.dram.acts.get(), resumed.dram.acts.get());
+        assert_eq!(full.max_damage, resumed.max_damage);
+        assert_eq!(
+            uninterrupted.snapshot().unwrap(),
+            restored.snapshot().unwrap(),
+            "final machine state must be bitwise identical"
+        );
+    }
+
+    #[test]
+    fn snapshot_guards_reject_mismatches() {
+        let spec = WorkloadSpec::by_name("bwaves").unwrap();
+        let cfg = SimConfig::scenario(spec, Scenario::AutoRfm { th: 4 })
+            .with_cores(2)
+            .with_instructions(5_000);
+        let mut sys = System::new(cfg.clone()).unwrap();
+        sys.run_steps(100);
+        let snap = sys.snapshot().unwrap();
+        // Different configuration (seed) is refused.
+        let other = cfg.clone().with_seed(7);
+        assert!(System::restore(other, &snap).is_err());
+        // A warm container is not a system snapshot and vice versa.
+        let warm = System::new(cfg.clone()).unwrap().warm_state();
+        assert!(System::restore(cfg.clone(), &warm).is_err());
+        assert!(System::new_from_warm(cfg.clone(), &snap).is_err());
+        // Telemetry-enabled machines refuse to checkpoint.
+        let traced = SimConfig::scenario(spec, Scenario::AutoRfm { th: 4 })
+            .with_cores(2)
+            .with_instructions(5_000)
+            .with_telemetry(crate::TelemetryConfig::default());
+        let sys = System::new(traced).unwrap();
+        assert!(sys.snapshot().is_err());
     }
 
     #[test]

@@ -15,8 +15,9 @@
 //! * stores retire immediately (the write drains through the LLC/writeback
 //!   path without blocking the core).
 
-use crate::uncore::{Completion, LoadOutcome, Uncore};
+use crate::uncore::{Completion, CompletionIndex, CompletionTable, LoadOutcome, Uncore};
 use autorfm_sim_core::{Cycle, LineAddr};
+use autorfm_snapshot::{Reader, SnapError, Snapshot, Writer};
 use std::collections::VecDeque;
 
 /// One instruction from the workload trace.
@@ -43,6 +44,44 @@ pub enum Op {
         /// The flushed cache line.
         line: LineAddr,
     },
+}
+
+impl Snapshot for Op {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Op::NonMem => w.put_u8(0),
+            Op::Load { line, dependent } => {
+                w.put_u8(1);
+                line.encode(w);
+                w.put_bool(*dependent);
+            }
+            Op::Store { line } => {
+                w.put_u8(2);
+                line.encode(w);
+            }
+            Op::Flush { line } => {
+                w.put_u8(3);
+                line.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.take_u8()? {
+            0 => Op::NonMem,
+            1 => Op::Load {
+                line: LineAddr::decode(r)?,
+                dependent: r.take_bool()?,
+            },
+            2 => Op::Store {
+                line: LineAddr::decode(r)?,
+            },
+            3 => Op::Flush {
+                line: LineAddr::decode(r)?,
+            },
+            t => return Err(SnapError::corrupt(format!("bad Op tag {t}"))),
+        })
+    }
 }
 
 /// An infinite instruction source driving one core.
@@ -232,6 +271,118 @@ impl Core {
                 },
             }
         }
+    }
+}
+
+/// Encodes one completion handle: resolved handles by value, pending ones as
+/// a reference into the uncore's MSHR table.
+fn encode_completion(c: &Completion, w: &mut Writer, index: &CompletionIndex) {
+    let v = c.get();
+    if v != Cycle::MAX {
+        w.put_u8(1);
+        v.encode(w);
+    } else {
+        let (line, idx) = index
+            .lookup(c)
+            .expect("pending completion must belong to an MSHR");
+        w.put_u8(2);
+        w.put_u64(line);
+        w.put_u32(idx);
+    }
+}
+
+fn decode_completion(r: &mut Reader<'_>, table: &CompletionTable) -> Result<Completion, SnapError> {
+    match r.take_u8()? {
+        1 => Ok(std::rc::Rc::new(std::cell::Cell::new(Cycle::decode(r)?))),
+        2 => {
+            let line = r.take_u64()?;
+            let idx = r.take_u32()?;
+            table
+                .get(line, idx)
+                .ok_or_else(|| SnapError::corrupt("dangling completion reference"))
+        }
+        t => Err(SnapError::corrupt(format!("bad completion tag {t}"))),
+    }
+}
+
+impl Core {
+    /// Serializes the core's mutable state (ROB, counters, stall state).
+    /// `index` must come from the same-step [`Uncore::snapshot_state`] call so
+    /// pending loads can be encoded as MSHR references.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pending ROB entry is unknown to `index` — an invariant
+    /// violation (every in-flight completion lives in an MSHR waiter list).
+    pub fn snapshot_state(&self, w: &mut Writer, index: &CompletionIndex) {
+        w.put_usize(self.rob.len());
+        for slot in &self.rob {
+            match slot {
+                Slot::ReadyAt(at) => {
+                    w.put_u8(0);
+                    at.encode(w);
+                }
+                Slot::WaitingMem(c) => encode_completion(c, w, index),
+            }
+        }
+        w.put_u64(self.retired);
+        w.put_u64(self.loads);
+        w.put_u64(self.stores);
+        self.stalled_op.encode(w);
+        match &self.dispatch_block {
+            None => w.put_u8(0),
+            Some(c) => {
+                w.put_u8(1);
+                encode_completion(c, w, index);
+            }
+        }
+    }
+
+    /// Restores the state saved by [`Core::snapshot_state`] into a core
+    /// constructed with the same parameters. `table` must come from the
+    /// same-restore [`Uncore::restore_state`] call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError`] if the ROB exceeds this core's capacity, a
+    /// pending entry references an unknown MSHR slot, or the input is
+    /// malformed.
+    pub fn restore_state(
+        &mut self,
+        r: &mut Reader<'_>,
+        table: &CompletionTable,
+    ) -> Result<(), SnapError> {
+        let n = r.take_usize()?;
+        if n > self.params.rob_size {
+            return Err(SnapError::corrupt("ROB size exceeds capacity"));
+        }
+        self.rob.clear();
+        for _ in 0..n {
+            let slot = match r.take_u8()? {
+                0 => Slot::ReadyAt(Cycle::decode(r)?),
+                1 => Slot::WaitingMem(std::rc::Rc::new(std::cell::Cell::new(Cycle::decode(r)?))),
+                2 => {
+                    let line = r.take_u64()?;
+                    let idx = r.take_u32()?;
+                    let c = table
+                        .get(line, idx)
+                        .ok_or_else(|| SnapError::corrupt("dangling ROB completion"))?;
+                    Slot::WaitingMem(c)
+                }
+                t => return Err(SnapError::corrupt(format!("bad ROB slot tag {t}"))),
+            };
+            self.rob.push_back(slot);
+        }
+        self.retired = r.take_u64()?;
+        self.loads = r.take_u64()?;
+        self.stores = r.take_u64()?;
+        self.stalled_op = Option::decode(r)?;
+        self.dispatch_block = match r.take_u8()? {
+            0 => None,
+            1 => Some(decode_completion(r, table)?),
+            t => return Err(SnapError::corrupt(format!("bad dispatch-block tag {t}"))),
+        };
+        Ok(())
     }
 }
 

@@ -35,4 +35,4 @@ pub mod uncore;
 
 pub use core_model::{Core, CoreParams, InstructionStream, Op};
 pub use llc::{AccessResult, Llc, LlcParams};
-pub use uncore::{Uncore, UncoreParams, UncoreStats};
+pub use uncore::{CompletionIndex, CompletionTable, Uncore, UncoreParams, UncoreStats};

@@ -1,6 +1,7 @@
 //! Shared last-level cache: set-associative, LRU, write-back/write-allocate.
 
 use autorfm_sim_core::{ConfigError, LineAddr};
+use autorfm_snapshot::{Reader, SnapError, Snapshot, Writer};
 
 /// LLC geometry parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -205,6 +206,66 @@ impl Llc {
         } else {
             self.misses as f64 / total as f64
         }
+    }
+}
+
+impl Snapshot for Way {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.tag);
+        w.put_bool(self.valid);
+        w.put_bool(self.dirty);
+        w.put_u8(self.age);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(Way {
+            tag: r.take_u64()?,
+            valid: r.take_bool()?,
+            dirty: r.take_bool()?,
+            age: r.take_u8()?,
+        })
+    }
+}
+
+impl Snapshot for Llc {
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.sets.len());
+        w.put_usize(self.sets.first().map_or(0, Vec::len));
+        for set in &self.sets {
+            for way in set {
+                way.encode(w);
+            }
+        }
+        w.put_u64(self.hits);
+        w.put_u64(self.misses);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let num_sets = r.take_usize()?;
+        let num_ways = r.take_usize()?;
+        if num_sets == 0 || !num_sets.is_power_of_two() || num_ways == 0 {
+            return Err(SnapError::corrupt("bad LLC geometry in snapshot"));
+        }
+        let total = num_sets
+            .checked_mul(num_ways)
+            .ok_or_else(|| SnapError::corrupt("LLC way count overflow"))?;
+        if total > r.remaining() {
+            return Err(SnapError::corrupt("LLC way count exceeds input"));
+        }
+        let mut sets = Vec::with_capacity(num_sets);
+        for _ in 0..num_sets {
+            let mut set = Vec::with_capacity(num_ways);
+            for _ in 0..num_ways {
+                set.push(Way::decode(r)?);
+            }
+            sets.push(set);
+        }
+        Ok(Llc {
+            sets,
+            set_mask: num_sets as u64 - 1,
+            hits: r.take_u64()?,
+            misses: r.take_u64()?,
+        })
     }
 }
 

@@ -4,6 +4,7 @@ use crate::llc::{AccessResult, Llc, LlcParams};
 use autorfm_mapping::MemoryMap;
 use autorfm_memctrl::{MemController, MemRequest, MemResponse};
 use autorfm_sim_core::{ConfigError, Counter, Cycle, LineAddr};
+use autorfm_snapshot::{Reader, SnapError, Snapshot, Writer};
 use autorfm_telemetry::{Labels, Registry};
 use std::cell::Cell;
 use std::collections::{HashMap, VecDeque};
@@ -72,6 +73,56 @@ impl UncoreStats {
             self.llc_load_hits.get() as f64 / accesses as f64
         };
         reg.gauge("llc_hit_rate", labels, hit_rate);
+    }
+}
+
+impl Snapshot for UncoreStats {
+    fn encode(&self, w: &mut Writer) {
+        self.llc_load_hits.encode(w);
+        self.llc_load_misses.encode(w);
+        self.mshr_merges.encode(w);
+        self.mshr_stalls.encode(w);
+        self.writebacks.encode(w);
+        self.prefetches.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(UncoreStats {
+            llc_load_hits: Counter::decode(r)?,
+            llc_load_misses: Counter::decode(r)?,
+            mshr_merges: Counter::decode(r)?,
+            mshr_stalls: Counter::decode(r)?,
+            writebacks: Counter::decode(r)?,
+            prefetches: Counter::decode(r)?,
+        })
+    }
+}
+
+/// Maps pending [`Completion`] handles (by `Rc` pointer identity) to their
+/// MSHR slot, produced by [`Uncore::snapshot_state`]. Cores use it to encode
+/// in-flight ROB entries as `(line, waiter index)` references.
+pub struct CompletionIndex {
+    map: HashMap<usize, (u64, u32)>,
+}
+
+impl CompletionIndex {
+    /// The MSHR slot of `c`, if `c` is a pending miss the uncore knows about.
+    pub fn lookup(&self, c: &Completion) -> Option<(u64, u32)> {
+        self.map.get(&(Rc::as_ptr(c) as usize)).copied()
+    }
+}
+
+/// Fresh pending [`Completion`] handles recreated by
+/// [`Uncore::restore_state`], keyed by MSHR slot. Cores use it to re-link
+/// restored ROB entries to the same handles the MSHRs will resolve.
+pub struct CompletionTable {
+    map: HashMap<(u64, u32), Completion>,
+}
+
+impl CompletionTable {
+    /// The handle for waiter `idx` of the miss on `line`, if present.
+    pub fn get(&self, line: u64, idx: u32) -> Option<Completion> {
+        self.map.get(&(line, idx)).map(Rc::clone)
     }
 }
 
@@ -325,6 +376,81 @@ impl Uncore {
                 });
             }
         }
+    }
+}
+
+impl Uncore {
+    /// Serializes the uncore's mutable state (LLC contents, MSHRs, outbox,
+    /// statistics). Returns a [`CompletionIndex`] mapping every pending
+    /// completion handle to its MSHR slot, which cores need to encode their
+    /// in-flight ROB entries.
+    pub fn snapshot_state(&self, w: &mut Writer) -> CompletionIndex {
+        self.llc.encode(w);
+        let mut lines: Vec<u64> = self.mshrs.keys().copied().collect();
+        lines.sort_unstable();
+        w.put_usize(lines.len());
+        let mut map = HashMap::new();
+        for line in lines {
+            let entry = &self.mshrs[&line];
+            w.put_u64(line);
+            w.put_bool(entry.dirty_on_fill);
+            w.put_u32(entry.waiters.len() as u32);
+            for (i, c) in entry.waiters.iter().enumerate() {
+                map.insert(Rc::as_ptr(c) as usize, (line, i as u32));
+            }
+        }
+        self.outbox.encode(w);
+        self.stats.encode(w);
+        CompletionIndex { map }
+    }
+
+    /// Restores the state saved by [`Uncore::snapshot_state`] into an uncore
+    /// constructed with the same parameters. Pending misses get fresh
+    /// completion handles; the returned [`CompletionTable`] lets cores re-link
+    /// their ROB entries to them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError`] if the snapshot is inconsistent with this
+    /// uncore's configuration or malformed.
+    pub fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<CompletionTable, SnapError> {
+        self.llc = Llc::decode(r)?;
+        let n = r.take_usize()?;
+        if n > self.params.mshr_entries {
+            return Err(SnapError::corrupt("MSHR count exceeds capacity"));
+        }
+        self.mshrs.clear();
+        let mut map = HashMap::new();
+        for _ in 0..n {
+            let line = r.take_u64()?;
+            let dirty_on_fill = r.take_bool()?;
+            let nw = r.take_u32()? as usize;
+            if nw > r.remaining() {
+                return Err(SnapError::corrupt("MSHR waiter count exceeds input"));
+            }
+            let mut waiters = Vec::with_capacity(nw);
+            for i in 0..nw {
+                let c: Completion = Rc::new(Cell::new(Cycle::MAX));
+                map.insert((line, i as u32), Rc::clone(&c));
+                waiters.push(c);
+            }
+            if self
+                .mshrs
+                .insert(
+                    line,
+                    MshrEntry {
+                        waiters,
+                        dirty_on_fill,
+                    },
+                )
+                .is_some()
+            {
+                return Err(SnapError::corrupt("duplicate MSHR line"));
+            }
+        }
+        self.outbox = VecDeque::decode(r)?;
+        self.stats = UncoreStats::decode(r)?;
+        Ok(CompletionTable { map })
     }
 }
 

@@ -13,6 +13,7 @@
 //! equivalent of Appendix A).
 
 use autorfm_sim_core::{BankId, RowAddr};
+use autorfm_snapshot::{Reader, SnapError, Snapshot, Writer};
 use std::collections::HashMap;
 
 /// Per-bank Rowhammer damage tracker (simulation oracle, not hardware).
@@ -100,6 +101,47 @@ impl RowhammerAudit {
     /// The row that suffered the maximum damage, if any.
     pub fn max_damage_row(&self) -> Option<(BankId, RowAddr)> {
         self.max_row
+    }
+
+    /// Serializes the damage maps (sorted by row for stable bytes).
+    pub fn save_state(&self, w: &mut Writer) {
+        w.put_usize(self.damage.len());
+        for map in &self.damage {
+            let mut keys: Vec<u32> = map.keys().copied().collect();
+            keys.sort_unstable();
+            w.put_usize(keys.len());
+            for k in keys {
+                w.put_u32(k);
+                w.put_u64(map[&k]);
+            }
+        }
+        w.put_u64(self.max_damage);
+        self.max_row.encode(w);
+    }
+
+    /// Restores the state saved by [`RowhammerAudit::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError`] if the bank count differs from this audit's
+    /// configuration or the input is malformed.
+    pub fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        let banks = r.take_usize()?;
+        if banks != self.damage.len() {
+            return Err(SnapError::corrupt("audit bank count mismatch"));
+        }
+        for map in &mut self.damage {
+            let n = r.take_usize()?;
+            map.clear();
+            for _ in 0..n {
+                let k = r.take_u32()?;
+                let v = r.take_u64()?;
+                map.insert(k, v);
+            }
+        }
+        self.max_damage = r.take_u64()?;
+        self.max_row = Option::decode(r)?;
+        Ok(())
     }
 }
 

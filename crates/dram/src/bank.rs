@@ -1,6 +1,7 @@
 //! Per-bank timing state machine and SAUM bookkeeping.
 
 use autorfm_sim_core::{Cycle, DramTimings, RowAddr, SubarrayId};
+use autorfm_snapshot::{Reader, SnapError, Snapshot, Writer};
 
 /// The timing and row-buffer state of one DRAM bank.
 ///
@@ -146,6 +147,32 @@ impl Bank {
     pub fn start_mitigation(&mut self, subarray: SubarrayId, now: Cycle, duration: Cycle) {
         self.saum = Some(subarray);
         self.saum_until = now + duration;
+    }
+}
+
+impl Snapshot for Bank {
+    fn encode(&self, w: &mut Writer) {
+        self.open_row.encode(w);
+        self.act_at.encode(w);
+        self.next_act.encode(w);
+        self.next_col.encode(w);
+        self.next_pre.encode(w);
+        self.blocked_until.encode(w);
+        self.saum.encode(w);
+        self.saum_until.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(Bank {
+            open_row: Option::decode(r)?,
+            act_at: Cycle::decode(r)?,
+            next_act: Cycle::decode(r)?,
+            next_col: Cycle::decode(r)?,
+            next_pre: Cycle::decode(r)?,
+            blocked_until: Cycle::decode(r)?,
+            saum: Option::decode(r)?,
+            saum_until: Cycle::decode(r)?,
+        })
     }
 }
 

@@ -9,6 +9,7 @@ use crate::stats::DramStats;
 use crate::trace::{CommandKind, CommandTrace};
 use autorfm_mitigation::MitigationKind;
 use autorfm_sim_core::{BankId, ConfigError, Cycle, DetRng, RowAddr, SubarrayId};
+use autorfm_snapshot::{Reader, SnapError, Snapshot, Writer};
 use autorfm_trackers::TrackerKind;
 
 /// Result of attempting an ACT.
@@ -64,6 +65,33 @@ impl RankTiming {
         self.last_act = now;
         self.faw[self.faw_idx] = now;
         self.faw_idx = (self.faw_idx + 1) % FAW_DEPTH;
+    }
+}
+
+impl Snapshot for RankTiming {
+    fn encode(&self, w: &mut Writer) {
+        self.last_act.encode(w);
+        for t in &self.faw {
+            t.encode(w);
+        }
+        w.put_usize(self.faw_idx);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let last_act = Cycle::decode(r)?;
+        let mut faw = [Cycle::ZERO; FAW_DEPTH];
+        for t in &mut faw {
+            *t = Cycle::decode(r)?;
+        }
+        let faw_idx = r.take_usize()?;
+        if faw_idx >= FAW_DEPTH {
+            return Err(SnapError::corrupt("tFAW cursor out of range"));
+        }
+        Ok(RankTiming {
+            last_act,
+            faw,
+            faw_idx,
+        })
     }
 }
 
@@ -484,6 +512,108 @@ impl DramDevice {
     /// The currently active SAUM of `bank`, if a mitigation is in flight.
     pub fn active_saum(&self, bank: BankId, now: Cycle) -> Option<SubarrayId> {
         self.banks[bank.0 as usize].active_saum(now)
+    }
+}
+
+impl DramDevice {
+    /// Serializes the device's entire mutable state: bank timing machines,
+    /// per-bank mitigation engines, PRAC counters, statistics, the damage
+    /// audit and command trace (when enabled), and the REF scheduler.
+    ///
+    /// The configuration (geometry, timings, mitigation mode) is *not*
+    /// serialized; [`DramDevice::restore_state`] must be called on a device
+    /// constructed with the same [`DramConfig`].
+    pub fn snapshot_state(&self, w: &mut Writer) {
+        w.put_usize(self.banks.len());
+        for b in &self.banks {
+            b.encode(w);
+        }
+        w.put_usize(self.engines.len());
+        for e in &self.engines {
+            e.save_state(w);
+        }
+        w.put_usize(self.prac.len());
+        for p in &self.prac {
+            p.save_state(w);
+        }
+        self.stats.encode(w);
+        match &self.audit {
+            None => w.put_u8(0),
+            Some(a) => {
+                w.put_u8(1);
+                a.save_state(w);
+            }
+        }
+        match &self.trace {
+            None => w.put_u8(0),
+            Some(t) => {
+                w.put_u8(1);
+                t.save_state(w);
+            }
+        }
+        self.next_ref_at.encode(w);
+        self.next_refw_at.encode(w);
+        w.put_u32(self.ref_rr);
+        w.put_u64(self.ref_epoch);
+        w.put_usize(self.ranks.len());
+        for rk in &self.ranks {
+            rk.encode(w);
+        }
+    }
+
+    /// Restores the state saved by [`DramDevice::snapshot_state`] into a
+    /// device constructed with the same configuration and seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError`] if the snapshot's structure does not match this
+    /// device's configuration (bank/engine counts, audit/trace presence) or
+    /// the input is malformed.
+    pub fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        let nb = r.take_usize()?;
+        if nb != self.banks.len() {
+            return Err(SnapError::corrupt("bank count mismatch"));
+        }
+        for b in &mut self.banks {
+            *b = Bank::decode(r)?;
+        }
+        let ne = r.take_usize()?;
+        if ne != self.engines.len() {
+            return Err(SnapError::corrupt("engine count mismatch"));
+        }
+        for e in &mut self.engines {
+            e.load_state(r)?;
+        }
+        let np = r.take_usize()?;
+        if np != self.prac.len() {
+            return Err(SnapError::corrupt("PRAC bank count mismatch"));
+        }
+        for p in &mut self.prac {
+            p.load_state(r)?;
+        }
+        self.stats = DramStats::decode(r)?;
+        match (r.take_u8()?, self.audit.as_mut()) {
+            (0, None) => {}
+            (1, Some(a)) => a.load_state(r)?,
+            _ => return Err(SnapError::corrupt("audit presence mismatch")),
+        }
+        match (r.take_u8()?, self.trace.as_mut()) {
+            (0, None) => {}
+            (1, Some(t)) => t.load_state(r)?,
+            _ => return Err(SnapError::corrupt("trace presence mismatch")),
+        }
+        self.next_ref_at = Cycle::decode(r)?;
+        self.next_refw_at = Cycle::decode(r)?;
+        self.ref_rr = r.take_u32()?;
+        self.ref_epoch = r.take_u64()?;
+        let nr = r.take_usize()?;
+        if nr != self.ranks.len() {
+            return Err(SnapError::corrupt("rank count mismatch"));
+        }
+        for rk in &mut self.ranks {
+            *rk = RankTiming::decode(r)?;
+        }
+        Ok(())
     }
 }
 

@@ -8,6 +8,7 @@
 
 use autorfm_mitigation::{build_policy, MitigationKind, MitigationPolicy, VictimRefresh};
 use autorfm_sim_core::{ConfigError, DetRng, RowAddr};
+use autorfm_snapshot::{Reader, SnapError, Snapshot, Writer};
 use autorfm_trackers::{build_tracker, MitigationTarget, Tracker, TrackerKind};
 
 /// A mitigation the engine decided on, waiting for its execution slot.
@@ -145,6 +146,46 @@ impl MitigationEngine {
         self.tracker.reset();
         self.acts_in_window = 0;
         self.pending = None;
+    }
+
+    /// Serializes the engine's mutable state: tracker contents, window
+    /// progress, pending mitigation, and the RNG stream. The tracker/policy
+    /// structure is configuration and is rebuilt at restore.
+    pub fn save_state(&self, w: &mut Writer) {
+        self.tracker.save_state(w);
+        w.put_u32(self.acts_in_window);
+        match &self.pending {
+            None => w.put_u8(0),
+            Some(p) => {
+                w.put_u8(1);
+                p.target.encode(w);
+            }
+        }
+        self.rng.encode(w);
+    }
+
+    /// Restores the state saved by [`MitigationEngine::save_state`] into an
+    /// engine constructed with the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError`] on malformed input.
+    pub fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        self.tracker.load_state(r)?;
+        self.acts_in_window = r.take_u32()?;
+        self.pending = match r.take_u8()? {
+            0 => None,
+            1 => Some(PendingMitigation {
+                target: Option::decode(r)?,
+            }),
+            t => {
+                return Err(SnapError::corrupt(format!(
+                    "bad pending-mitigation tag {t}"
+                )))
+            }
+        };
+        self.rng = DetRng::decode(r)?;
+        Ok(())
     }
 }
 

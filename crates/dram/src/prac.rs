@@ -9,6 +9,7 @@
 //! protocol as one bank-blocking tRFM-length mitigation per alert.
 
 use autorfm_sim_core::RowAddr;
+use autorfm_snapshot::{Reader, SnapError, Snapshot, Writer};
 use std::collections::HashMap;
 
 /// Per-bank PRAC state: per-row activation counters plus the ABO request flag.
@@ -69,6 +70,36 @@ impl PracState {
     /// Number of rows with non-zero counters (memory footprint introspection).
     pub fn tracked_rows(&self) -> usize {
         self.counters.len()
+    }
+
+    /// Serializes the mutable counter state (sorted by row for stable bytes).
+    pub fn save_state(&self, w: &mut Writer) {
+        let mut keys: Vec<u32> = self.counters.keys().copied().collect();
+        keys.sort_unstable();
+        w.put_usize(keys.len());
+        for k in keys {
+            w.put_u32(k);
+            w.put_u32(self.counters[&k]);
+        }
+        self.abo_row.encode(w);
+    }
+
+    /// Restores the counter state saved by [`PracState::save_state`]. The ABO
+    /// threshold is configuration and is kept from construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError`] on malformed input.
+    pub fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        let n = r.take_usize()?;
+        self.counters.clear();
+        for _ in 0..n {
+            let k = r.take_u32()?;
+            let v = r.take_u32()?;
+            self.counters.insert(k, v);
+        }
+        self.abo_row = Option::decode(r)?;
+        Ok(())
     }
 }
 

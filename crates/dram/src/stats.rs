@@ -1,6 +1,7 @@
 //! Device-level event statistics.
 
 use autorfm_sim_core::{Counter, Histogram};
+use autorfm_snapshot::{Reader, SnapError, Snapshot, Writer};
 use autorfm_telemetry::{Labels, Registry};
 
 /// Counts of every DRAM event class, used by performance reporting, the power
@@ -97,6 +98,46 @@ impl DramStats {
         } else {
             self.alerts.get() as f64 / self.acts.get() as f64
         }
+    }
+}
+
+impl Snapshot for DramStats {
+    fn encode(&self, w: &mut Writer) {
+        self.acts.encode(w);
+        self.alerts.encode(w);
+        self.reads.encode(w);
+        self.writes.encode(w);
+        self.precharges.encode(w);
+        self.refs.encode(w);
+        self.rfms.encode(w);
+        self.abo_events.encode(w);
+        self.mitigations.encode(w);
+        self.victim_refreshes.encode(w);
+        self.empty_mitigations.encode(w);
+        self.mitigation_levels.encode(w);
+        self.victim_distances.encode(w);
+        self.mitigations_by_subarray.encode(w);
+        self.conflicts_by_subarray.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(DramStats {
+            acts: Counter::decode(r)?,
+            alerts: Counter::decode(r)?,
+            reads: Counter::decode(r)?,
+            writes: Counter::decode(r)?,
+            precharges: Counter::decode(r)?,
+            refs: Counter::decode(r)?,
+            rfms: Counter::decode(r)?,
+            abo_events: Counter::decode(r)?,
+            mitigations: Counter::decode(r)?,
+            victim_refreshes: Counter::decode(r)?,
+            empty_mitigations: Counter::decode(r)?,
+            mitigation_levels: Histogram::decode(r)?,
+            victim_distances: Histogram::decode(r)?,
+            mitigations_by_subarray: Histogram::decode(r)?,
+            conflicts_by_subarray: Histogram::decode(r)?,
+        })
     }
 }
 

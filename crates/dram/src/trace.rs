@@ -18,6 +18,7 @@
 //! rules into executable assertions rather than comments.
 
 use autorfm_sim_core::{BankId, Cycle, DramTimings, Geometry, RowAddr, SubarrayId};
+use autorfm_snapshot::{Reader, SnapError, Snapshot, Writer};
 use core::fmt;
 
 /// One traced DRAM command.
@@ -68,6 +69,75 @@ pub struct CommandRecord {
     pub kind: CommandKind,
 }
 
+impl Snapshot for CommandKind {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            CommandKind::Act { row } => {
+                w.put_u8(0);
+                row.encode(w);
+            }
+            CommandKind::Pre => w.put_u8(1),
+            CommandKind::Rd => w.put_u8(2),
+            CommandKind::Wr => w.put_u8(3),
+            CommandKind::Ref { blocked } => {
+                w.put_u8(4);
+                blocked.encode(w);
+            }
+            CommandKind::Rfm => w.put_u8(5),
+            CommandKind::Abo => w.put_u8(6),
+            CommandKind::Mitigation { subarray, duration } => {
+                w.put_u8(7);
+                subarray.encode(w);
+                duration.encode(w);
+            }
+            CommandKind::Alert { row } => {
+                w.put_u8(8);
+                row.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.take_u8()? {
+            0 => CommandKind::Act {
+                row: RowAddr::decode(r)?,
+            },
+            1 => CommandKind::Pre,
+            2 => CommandKind::Rd,
+            3 => CommandKind::Wr,
+            4 => CommandKind::Ref {
+                blocked: Cycle::decode(r)?,
+            },
+            5 => CommandKind::Rfm,
+            6 => CommandKind::Abo,
+            7 => CommandKind::Mitigation {
+                subarray: SubarrayId::decode(r)?,
+                duration: Cycle::decode(r)?,
+            },
+            8 => CommandKind::Alert {
+                row: RowAddr::decode(r)?,
+            },
+            t => return Err(SnapError::corrupt(format!("bad CommandKind tag {t}"))),
+        })
+    }
+}
+
+impl Snapshot for CommandRecord {
+    fn encode(&self, w: &mut Writer) {
+        self.at.encode(w);
+        self.bank.encode(w);
+        self.kind.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(CommandRecord {
+            at: Cycle::decode(r)?,
+            bank: BankId::decode(r)?,
+            kind: CommandKind::decode(r)?,
+        })
+    }
+}
+
 /// A bounded in-memory command log (newest commands win once full).
 #[derive(Debug, Clone)]
 pub struct CommandTrace {
@@ -103,6 +173,35 @@ impl CommandTrace {
     /// Number of records that did not fit.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Serializes the trace contents (records and drop count).
+    pub fn save_state(&self, w: &mut Writer) {
+        w.put_usize(self.records.len());
+        for rec in &self.records {
+            rec.encode(w);
+        }
+        w.put_u64(self.dropped);
+    }
+
+    /// Restores the contents saved by [`CommandTrace::save_state`]. The
+    /// capacity is configuration and is kept from construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError`] if the record count exceeds this trace's
+    /// capacity or the input is malformed.
+    pub fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        let n = r.take_usize()?;
+        if n > self.capacity {
+            return Err(SnapError::corrupt("trace record count exceeds capacity"));
+        }
+        self.records.clear();
+        for _ in 0..n {
+            self.records.push(CommandRecord::decode(r)?);
+        }
+        self.dropped = r.take_u64()?;
+        Ok(())
     }
 
     /// Number of records of a given discriminant (e.g. count ACTs).

@@ -10,6 +10,7 @@
 //! mapping's performance behaviour (see DESIGN.md, substitutions table).
 
 use autorfm_sim_core::ConfigError;
+use autorfm_snapshot::{Reader, SnapError, Snapshot, Writer};
 
 /// Number of Feistel rounds. Six rounds of the SplitMix-style round function
 /// give full avalanche on all widths we use (tested up to 40 bits).
@@ -122,6 +123,32 @@ impl FeistelPrp {
             }
         }
         (b << self.lo_bits) | a
+    }
+}
+
+impl Snapshot for FeistelPrp {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.bits);
+        for rk in &self.round_keys {
+            w.put_u64(*rk);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let bits = r.take_u32()?;
+        if !(2..=63).contains(&bits) {
+            return Err(SnapError::corrupt("PRP width out of range"));
+        }
+        let mut round_keys = [0u64; ROUNDS];
+        for rk in &mut round_keys {
+            *rk = r.take_u64()?;
+        }
+        Ok(FeistelPrp {
+            bits,
+            lo_bits: bits / 2,
+            hi_bits: bits - bits / 2,
+            round_keys,
+        })
     }
 }
 

@@ -5,6 +5,7 @@ use crate::stats::McStats;
 use autorfm_dram::{ActOutcome, DeviceMitigation, DramDevice};
 use autorfm_mapping::MemoryMap;
 use autorfm_sim_core::{BankId, Cycle, DramTimings, RowAddr};
+use autorfm_snapshot::{Reader, SnapError, Snapshot, Writer};
 use std::collections::VecDeque;
 
 /// How the controller handles an ALERTed (failed) ACT.
@@ -101,6 +102,28 @@ struct QueuedReq {
     enqueued_at: Cycle,
     /// Per-request hold (RetryPolicy::PerRequest only).
     blocked_until: Cycle,
+}
+
+impl Snapshot for QueuedReq {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.id);
+        w.put_u8(self.core);
+        w.put_bool(self.is_write);
+        self.row.encode(w);
+        self.enqueued_at.encode(w);
+        self.blocked_until.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(QueuedReq {
+            id: r.take_u64()?,
+            core: r.take_u8()?,
+            is_write: r.take_bool()?,
+            row: RowAddr::decode(r)?,
+            enqueued_at: Cycle::decode(r)?,
+            blocked_until: Cycle::decode(r)?,
+        })
+    }
 }
 
 /// The memory controller. Generic over the address mapping policy.
@@ -474,6 +497,79 @@ impl<M: MemoryMap> MemController<M> {
             is_write: req.is_write,
             done_at,
         });
+    }
+}
+
+impl<M: MemoryMap> MemController<M> {
+    /// Serializes the controller's mutable state (queues, RAA counters,
+    /// retry holds, statistics, responses in flight) and the owned DRAM
+    /// device. The mapping, controller configuration, and timings are
+    /// configuration and are rebuilt at restore.
+    pub fn snapshot_state(&self, w: &mut Writer) {
+        w.put_usize(self.queues.len());
+        for q in &self.queues {
+            q.encode(w);
+        }
+        self.bank_hold_until.encode(w);
+        self.raa.encode(w);
+        self.bus_free.encode(w);
+        self.miss_serviced.encode(w);
+        w.put_usize(self.wqueues.len());
+        for q in &self.wqueues {
+            q.encode(w);
+        }
+        w.put_usize(self.write_count);
+        w.put_bool(self.draining);
+        self.responses.encode(w);
+        self.stats.encode(w);
+        w.put_usize(self.rr_start);
+        w.put_u64(self.prev_ref_epoch);
+        self.device.snapshot_state(w);
+    }
+
+    /// Restores the state saved by [`MemController::snapshot_state`] into a
+    /// controller constructed with the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError`] if the snapshot's structure does not match this
+    /// controller's configuration or the input is malformed.
+    pub fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        let nq = r.take_usize()?;
+        if nq != self.queues.len() {
+            return Err(SnapError::corrupt("queue count mismatch"));
+        }
+        for q in &mut self.queues {
+            *q = std::collections::VecDeque::decode(r)?;
+        }
+        self.bank_hold_until = Vec::decode(r)?;
+        self.raa = Vec::decode(r)?;
+        self.bus_free = Vec::decode(r)?;
+        self.miss_serviced = Vec::decode(r)?;
+        let nw = r.take_usize()?;
+        if nw != self.wqueues.len() {
+            return Err(SnapError::corrupt("write-queue count mismatch"));
+        }
+        for q in &mut self.wqueues {
+            *q = std::collections::VecDeque::decode(r)?;
+        }
+        self.write_count = r.take_usize()?;
+        if self.write_count
+            != self
+                .wqueues
+                .iter()
+                .map(std::collections::VecDeque::len)
+                .sum()
+        {
+            return Err(SnapError::corrupt("write count inconsistent with queues"));
+        }
+        self.draining = r.take_bool()?;
+        self.responses = Vec::decode(r)?;
+        self.stats = McStats::decode(r)?;
+        self.rr_start = r.take_usize()?;
+        self.prev_ref_epoch = r.take_u64()?;
+        self.device.restore_state(r)?;
+        Ok(())
     }
 }
 

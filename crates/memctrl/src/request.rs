@@ -1,6 +1,7 @@
 //! Memory request/response types exchanged with the cache hierarchy.
 
 use autorfm_sim_core::{Cycle, LineAddr};
+use autorfm_snapshot::{Reader, SnapError, Snapshot, Writer};
 
 /// A cache-line request from the LLC (miss fill or dirty writeback).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -26,6 +27,42 @@ pub struct MemResponse {
     pub is_write: bool,
     /// Cycle at which data transfer completed.
     pub done_at: Cycle,
+}
+
+impl Snapshot for MemRequest {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.id);
+        w.put_u8(self.core);
+        self.line.encode(w);
+        w.put_bool(self.is_write);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(MemRequest {
+            id: r.take_u64()?,
+            core: r.take_u8()?,
+            line: LineAddr::decode(r)?,
+            is_write: r.take_bool()?,
+        })
+    }
+}
+
+impl Snapshot for MemResponse {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.id);
+        w.put_u8(self.core);
+        w.put_bool(self.is_write);
+        self.done_at.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(MemResponse {
+            id: r.take_u64()?,
+            core: r.take_u8()?,
+            is_write: r.take_bool()?,
+            done_at: Cycle::decode(r)?,
+        })
+    }
 }
 
 #[cfg(test)]

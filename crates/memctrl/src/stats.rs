@@ -1,6 +1,7 @@
 //! Controller-level statistics.
 
 use autorfm_sim_core::{Average, Counter};
+use autorfm_snapshot::{Reader, SnapError, Snapshot, Writer};
 use autorfm_telemetry::{Labels, Registry};
 
 /// Event counts and latency statistics for the memory controller.
@@ -84,6 +85,38 @@ impl McStats {
         } else {
             self.row_hits.get() as f64 / total as f64
         }
+    }
+}
+
+impl Snapshot for McStats {
+    fn encode(&self, w: &mut Writer) {
+        self.enqueued.encode(w);
+        self.completed.encode(w);
+        self.row_hits.encode(w);
+        self.row_misses.encode(w);
+        self.alerts.encode(w);
+        self.retries.encode(w);
+        self.rfms_issued.encode(w);
+        self.abo_serviced.encode(w);
+        self.read_latency.encode(w);
+        self.max_read_latency.encode(w);
+        self.completed_per_core.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(McStats {
+            enqueued: Counter::decode(r)?,
+            completed: Counter::decode(r)?,
+            row_hits: Counter::decode(r)?,
+            row_misses: Counter::decode(r)?,
+            alerts: Counter::decode(r)?,
+            retries: Counter::decode(r)?,
+            rfms_issued: Counter::decode(r)?,
+            abo_serviced: Counter::decode(r)?,
+            read_latency: Average::decode(r)?,
+            max_read_latency: Counter::decode(r)?,
+            completed_per_core: Vec::decode(r)?,
+        })
     }
 }
 

@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 
 use autorfm_sim_core::ConfigError;
+use autorfm_snapshot::{Reader, SnapError, Snapshot, Writer};
 
 /// DRAM event counts over a simulation run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -45,6 +46,26 @@ pub struct EventCounts {
     pub refs: u64,
     /// Victim refreshes from Rowhammer mitigation.
     pub victim_refreshes: u64,
+}
+
+impl Snapshot for EventCounts {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.acts);
+        w.put_u64(self.reads);
+        w.put_u64(self.writes);
+        w.put_u64(self.refs);
+        w.put_u64(self.victim_refreshes);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(EventCounts {
+            acts: r.take_u64()?,
+            reads: r.take_u64()?,
+            writes: r.take_u64()?,
+            refs: r.take_u64()?,
+            victim_refreshes: r.take_u64()?,
+        })
+    }
 }
 
 /// Power breakdown in milliwatts, matching Fig 12's four components.

@@ -88,6 +88,29 @@ impl fmt::Display for SubarrayId {
     }
 }
 
+macro_rules! snapshot_newtype {
+    ($($t:ident => $put:ident / $take:ident),* $(,)?) => {$(
+        impl autorfm_snapshot::Snapshot for $t {
+            fn encode(&self, w: &mut autorfm_snapshot::Writer) {
+                w.$put(self.0);
+            }
+            fn decode(
+                r: &mut autorfm_snapshot::Reader<'_>,
+            ) -> Result<Self, autorfm_snapshot::SnapError> {
+                Ok($t(r.$take()?))
+            }
+        }
+    )*};
+}
+
+snapshot_newtype! {
+    PhysAddr => put_u64 / take_u64,
+    LineAddr => put_u64 / take_u64,
+    BankId => put_u16 / take_u16,
+    RowAddr => put_u32 / take_u32,
+    SubarrayId => put_u16 / take_u16,
+}
+
 /// A globally unique row identity: `(bank, row-within-bank)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct RowId {

@@ -147,6 +147,26 @@ impl DetRng {
     }
 }
 
+impl autorfm_snapshot::Snapshot for DetRng {
+    fn encode(&self, w: &mut autorfm_snapshot::Writer) {
+        for word in self.s {
+            w.put_u64(word);
+        }
+    }
+    fn decode(r: &mut autorfm_snapshot::Reader<'_>) -> Result<Self, autorfm_snapshot::SnapError> {
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = r.take_u64()?;
+        }
+        if s == [0; 4] {
+            return Err(autorfm_snapshot::SnapError::corrupt(
+                "all-zero xoshiro state",
+            ));
+        }
+        Ok(DetRng { s })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

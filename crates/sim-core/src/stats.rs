@@ -1,6 +1,7 @@
 //! Lightweight statistics primitives used across the simulator for reporting:
 //! event counters, running averages, ratios, and fixed-bin histograms.
 
+use autorfm_snapshot::{Reader, SnapError, Snapshot, Writer};
 use core::fmt;
 
 /// A monotonically increasing event counter.
@@ -278,6 +279,66 @@ impl Histogram {
             .enumerate()
             .filter(|(_, &c)| c > 0)
             .map(move |(i, &c)| (i as u64 * self.bin_width, c))
+    }
+}
+
+impl Snapshot for Counter {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.0);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(Counter(r.take_u64()?))
+    }
+}
+
+impl Snapshot for Average {
+    fn encode(&self, w: &mut Writer) {
+        w.put_f64(self.sum);
+        w.put_u64(self.count);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(Average {
+            sum: r.take_f64()?,
+            count: r.take_u64()?,
+        })
+    }
+}
+
+impl Snapshot for Ratio {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.num);
+        w.put_u64(self.denom);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(Ratio {
+            num: r.take_u64()?,
+            denom: r.take_u64()?,
+        })
+    }
+}
+
+impl Snapshot for Histogram {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.bin_width);
+        self.bins.encode(w);
+        w.put_u64(self.overflow);
+        w.put_u64(self.total);
+        w.put_u128(self.sum);
+        w.put_u64(self.max);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let h = Histogram {
+            bin_width: r.take_u64()?,
+            bins: Vec::decode(r)?,
+            overflow: r.take_u64()?,
+            total: r.take_u64()?,
+            sum: r.take_u128()?,
+            max: r.take_u64()?,
+        };
+        if h.bin_width == 0 || h.bins.is_empty() {
+            return Err(SnapError::corrupt("degenerate histogram shape"));
+        }
+        Ok(h)
     }
 }
 

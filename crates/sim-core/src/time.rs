@@ -226,6 +226,15 @@ impl From<NanoSec> for Cycle {
     }
 }
 
+impl autorfm_snapshot::Snapshot for Cycle {
+    fn encode(&self, w: &mut autorfm_snapshot::Writer) {
+        w.put_u64(self.0);
+    }
+    fn decode(r: &mut autorfm_snapshot::Reader<'_>) -> Result<Self, autorfm_snapshot::SnapError> {
+        Ok(Cycle(r.take_u64()?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -374,6 +374,27 @@ mod tests {
         assert!(RunManifest::from_json(&newer).is_err());
     }
 
+    /// Malformed and truncated files must come back as `Err`, never a panic —
+    /// `telemetry_report` turns these into a message and a nonzero exit.
+    #[test]
+    fn load_errors_cleanly_on_damaged_files() {
+        let dir = std::env::temp_dir().join("autorfm-manifest-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, body) in [
+            ("garbage.json", "not json at all"),
+            ("truncated.json", "{\"target\": \"x\", \"exit_code\":"),
+            ("empty.json", ""),
+            ("wrong_shape.json", "[1, 2, 3]"),
+        ] {
+            let path = dir.join(name);
+            std::fs::write(&path, body).unwrap();
+            let err = RunManifest::load(&path).expect_err(name);
+            assert!(err.contains(name), "error should name the file: {err}");
+            let _ = std::fs::remove_file(&path);
+        }
+        assert!(RunManifest::load(&dir.join("missing.json")).is_err());
+    }
+
     #[test]
     fn set_config_replaces() {
         let mut m = RunManifest::new("t");

@@ -13,6 +13,7 @@
 
 use crate::tracker::{MitigationTarget, Tracker};
 use autorfm_sim_core::{ConfigError, DetRng, RowAddr};
+use autorfm_snapshot::{Reader, SnapError, Snapshot, Writer};
 
 #[derive(Debug, Clone, Copy)]
 struct Entry {
@@ -127,6 +128,29 @@ impl Tracker for Dsac {
 
     fn reset(&mut self) {
         self.entries.clear();
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        w.put_usize(self.entries.len());
+        for e in &self.entries {
+            e.row.encode(w);
+            w.put_u32(e.count);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        let n = r.take_usize()?;
+        if n > self.capacity {
+            return Err(SnapError::corrupt("DSAC entry count exceeds capacity"));
+        }
+        self.entries.clear();
+        for _ in 0..n {
+            self.entries.push(Entry {
+                row: RowAddr::decode(r)?,
+                count: r.take_u32()?,
+            });
+        }
+        Ok(())
     }
 }
 

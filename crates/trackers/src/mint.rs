@@ -2,6 +2,7 @@
 
 use crate::tracker::{MitigationTarget, Tracker};
 use autorfm_sim_core::{ConfigError, DetRng, RowAddr};
+use autorfm_snapshot::{Reader, SnapError, Snapshot, Writer};
 
 /// The MINT tracker.
 ///
@@ -154,6 +155,23 @@ impl Tracker for Mint {
         self.captured = None;
         self.last_mitigated = None;
         self.transitive_this_window = false;
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        w.put_u32(self.pos);
+        w.put_u32(self.selected_slot);
+        self.captured.encode(w);
+        self.last_mitigated.encode(w);
+        w.put_bool(self.transitive_this_window);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        self.pos = r.take_u32()?;
+        self.selected_slot = r.take_u32()?;
+        self.captured = Option::decode(r)?;
+        self.last_mitigated = Option::decode(r)?;
+        self.transitive_this_window = r.take_bool()?;
+        Ok(())
     }
 }
 

@@ -8,6 +8,7 @@
 
 use crate::tracker::{MitigationTarget, Tracker};
 use autorfm_sim_core::{ConfigError, DetRng, RowAddr};
+use autorfm_snapshot::{Reader, SnapError, Snapshot, Writer};
 
 /// A Misra-Gries entry: a row and its estimated activation count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,6 +128,29 @@ impl Tracker for Mithril {
 
     fn reset(&mut self) {
         self.entries.clear();
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        w.put_usize(self.entries.len());
+        for e in &self.entries {
+            e.row.encode(w);
+            w.put_u32(e.count);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        let n = r.take_usize()?;
+        if n > self.capacity {
+            return Err(SnapError::corrupt("Mithril entry count exceeds capacity"));
+        }
+        self.entries.clear();
+        for _ in 0..n {
+            self.entries.push(Entry {
+                row: RowAddr::decode(r)?,
+                count: r.take_u32()?,
+            });
+        }
+        Ok(())
     }
 }
 

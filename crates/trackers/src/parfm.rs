@@ -2,6 +2,7 @@
 
 use crate::tracker::{MitigationTarget, Tracker};
 use autorfm_sim_core::{ConfigError, DetRng, RowAddr};
+use autorfm_snapshot::{Reader, SnapError, Snapshot, Writer};
 
 /// The PARFM tracker: buffers the row addresses activated during the current
 /// mitigation window; at mitigation, one buffered address is selected uniformly
@@ -88,6 +89,15 @@ impl Tracker for Parfm {
 
     fn reset(&mut self) {
         self.buffer.clear();
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        self.buffer.encode(w);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        self.buffer = Vec::decode(r)?;
+        Ok(())
     }
 }
 

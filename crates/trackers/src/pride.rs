@@ -2,6 +2,7 @@
 
 use crate::tracker::{MitigationTarget, Tracker};
 use autorfm_sim_core::{ConfigError, DetRng, RowAddr};
+use autorfm_snapshot::{Reader, SnapError, Snapshot, Writer};
 use std::collections::VecDeque;
 
 /// The PrIDE tracker.
@@ -106,6 +107,20 @@ impl Tracker for Pride {
     fn reset(&mut self) {
         self.fifo.clear();
         self.dropped = 0;
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        self.fifo.encode(w);
+        w.put_u64(self.dropped);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        self.fifo = VecDeque::decode(r)?;
+        if self.fifo.len() > self.fifo_capacity {
+            return Err(SnapError::corrupt("PrIDE FIFO exceeds capacity"));
+        }
+        self.dropped = r.take_u64()?;
+        Ok(())
     }
 }
 

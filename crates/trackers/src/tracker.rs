@@ -1,6 +1,7 @@
 //! The [`Tracker`] trait shared by all in-DRAM trackers.
 
 use autorfm_sim_core::{ConfigError, DetRng, RowAddr};
+use autorfm_snapshot::{Reader, SnapError, Snapshot, Writer};
 use core::fmt;
 
 /// The row a tracker nominated for mitigation.
@@ -65,6 +66,33 @@ pub trait Tracker: Send {
 
     /// Resets all transient state (used between simulation phases).
     fn reset(&mut self);
+
+    /// Serializes the tracker's **mutable** state into `w` (checkpointing).
+    /// Configuration (kind, window, capacities) is not written; restore
+    /// rebuilds the tracker from the config and then calls
+    /// [`Tracker::load_state`].
+    fn save_state(&self, w: &mut Writer);
+
+    /// Restores state previously written by [`Tracker::save_state`] into a
+    /// freshly built tracker of the same kind and configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError`] on truncated or corrupt input.
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError>;
+}
+
+impl Snapshot for MitigationTarget {
+    fn encode(&self, w: &mut Writer) {
+        self.row.encode(w);
+        w.put_u8(self.level);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(MitigationTarget {
+            row: RowAddr::decode(r)?,
+            level: r.take_u8()?,
+        })
+    }
 }
 
 /// Selects a tracker implementation by name; used by configuration surfaces.

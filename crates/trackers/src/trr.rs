@@ -9,6 +9,7 @@
 
 use crate::tracker::{MitigationTarget, Tracker};
 use autorfm_sim_core::{ConfigError, DetRng, RowAddr};
+use autorfm_snapshot::{Reader, SnapError, Snapshot, Writer};
 
 /// A single-entry deterministic tracker (majority-vote style).
 ///
@@ -88,6 +89,17 @@ impl Tracker for NaiveTrr {
     fn reset(&mut self) {
         self.candidate = None;
         self.confidence = 0;
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        self.candidate.encode(w);
+        w.put_u32(self.confidence);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        self.candidate = Option::decode(r)?;
+        self.confidence = r.take_u32()?;
+        Ok(())
     }
 }
 

@@ -3,6 +3,7 @@
 use crate::spec::{Pattern, WorkloadSpec};
 use autorfm_cpu::{InstructionStream, Op};
 use autorfm_sim_core::{DetRng, LineAddr};
+use autorfm_snapshot::{Reader, SnapError, Snapshot, Writer};
 
 /// Generates an infinite instruction stream matching a [`WorkloadSpec`].
 ///
@@ -91,6 +92,40 @@ impl WorkloadGen {
     /// The workload this generator follows.
     pub fn spec(&self) -> &'static WorkloadSpec {
         self.spec
+    }
+
+    /// Serializes the generator's mutable state (RNG, cursors, gap, queued
+    /// sibling). The spec and per-core region are configuration and are
+    /// rebuilt at restore via [`WorkloadGen::new`].
+    pub fn save_state(&self, w: &mut Writer) {
+        self.rng.encode(w);
+        self.cursors.encode(w);
+        w.put_usize(self.next_stream);
+        w.put_u32(self.gap_left);
+        self.pending_sibling.encode(w);
+    }
+
+    /// Restores the state saved by [`WorkloadGen::save_state`] into a
+    /// generator constructed with the same spec, core, and seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError`] if the cursor count differs from this
+    /// generator's configuration or the input is malformed.
+    pub fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        self.rng = DetRng::decode(r)?;
+        let cursors: Vec<u64> = Vec::decode(r)?;
+        if cursors.len() != self.cursors.len() {
+            return Err(SnapError::corrupt("stream cursor count mismatch"));
+        }
+        self.cursors = cursors;
+        self.next_stream = r.take_usize()?;
+        if self.next_stream >= self.cursors.len() {
+            return Err(SnapError::corrupt("stream cursor index out of range"));
+        }
+        self.gap_left = r.take_u32()?;
+        self.pending_sibling = Option::decode(r)?;
+        Ok(())
     }
 
     fn sequential_line(&mut self) -> LineAddr {

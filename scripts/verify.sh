@@ -13,11 +13,18 @@ cargo fmt --all --check
 echo "== cargo clippy --workspace --all-targets -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo build --release =="
-cargo build --release
+echo "== cargo build --release --workspace =="
+# --workspace matters: without it the root package alone is built and the
+# experiment child binaries run_all launches can go stale.
+cargo build --release --workspace
 
 echo "== cargo test -q =="
 cargo test -q
+
+echo "== snapshot golden digest gate =="
+# The pinned 64-bit digest of a mid-run system snapshot: catches both
+# behavioural drift and silent changes to the snapshot encoding.
+cargo test --release -q --test golden golden_snapshot_digest
 
 echo "== run_all --quick --jobs ${JOBS} =="
 start=$(date +%s)
@@ -25,7 +32,16 @@ cargo run --release -p autorfm-bench --bin run_all -- --quick --jobs "${JOBS}"
 end=$(date +%s)
 echo "run_all --quick --jobs ${JOBS}: $((end - start))s"
 
-echo "== perf_smoke (serial vs parallel timings) =="
+echo "== run_all --resume smoke (perf_smoke should be skipped) =="
+resume_out="$(cargo run --release -p autorfm-bench --bin run_all -- \
+    --only perf_smoke --resume --quick --jobs "${JOBS}" 2>&1)"
+printf '%s\n' "${resume_out}"
+if ! grep -q "already complete, skipping" <<<"${resume_out}"; then
+    echo "verify: --resume did not skip a completed target" >&2
+    exit 1
+fi
+
+echo "== perf_smoke (serial/parallel + warm-fork timings) =="
 cargo run --release -p autorfm-bench --bin perf_smoke -- --jobs "${JOBS}"
 
 echo "verify: OK"

@@ -94,3 +94,28 @@ fn golden_baseline_vs_scenarios_ordering() {
     assert!(base.perf() > rfm.perf());
     assert!(auto.perf() > rfm.perf());
 }
+
+#[test]
+fn golden_snapshot_digest() {
+    // The sealed-container digest of a mid-run checkpoint under a pinned
+    // seed fingerprints the *entire* machine state — clocks, RNG streams,
+    // tracker tables, queues, caches. Any behavioural drift anywhere in the
+    // simulator shows up here. If a change is intentional, re-run with
+    // `snapshot_tool digest` and update the constant, saying why.
+    let spec = WorkloadSpec::by_name("mcf").unwrap();
+    let cfg = SimConfig::scenario(spec, Scenario::AutoRfm { th: 4 })
+        .with_cores(2)
+        .with_instructions(10_000)
+        .with_seed(42);
+    let mut sys = System::new(cfg).unwrap();
+    assert!(
+        sys.run_steps(1_000).is_none(),
+        "digest must be of a mid-run state"
+    );
+    let snap = sys.snapshot().unwrap();
+    let container = autorfm::snapshot::open(&snap).unwrap();
+    assert_eq!(
+        container.digest, 0xa092_a6d2_ea5d_3675,
+        "snapshot digest drifted"
+    );
+}

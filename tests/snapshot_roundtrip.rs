@@ -1,0 +1,155 @@
+//! Property tests for the snapshot subsystem: encode → decode → encode must
+//! be the identity for every state-bearing `Snapshot` impl, and a restored
+//! object must behave bitwise identically to the original from that point on.
+//! Covers the three state families the checkpoint format leans on hardest:
+//! RNG streams, tracker tables, and per-row disturbance counters.
+
+use autorfm::dram::prac::PracState;
+use autorfm::dram::RowhammerAudit;
+use autorfm::sim_core::{BankId, DetRng, RowAddr};
+use autorfm::snapshot::{Reader, Snapshot, Writer};
+use autorfm::trackers::{build_tracker, TrackerKind};
+use proptest::prelude::*;
+
+/// Every tracker kind the simulator can build.
+const KINDS: [TrackerKind; 7] = [
+    TrackerKind::Mint,
+    TrackerKind::MintRecursive,
+    TrackerKind::Pride,
+    TrackerKind::Mithril,
+    TrackerKind::Parfm,
+    TrackerKind::NaiveTrr,
+    TrackerKind::Dsac,
+];
+
+proptest! {
+    /// A mid-stream RNG round-trips: same bytes re-encoded, same draws after.
+    #[test]
+    fn rng_stream_round_trips(seed in any::<u64>(), burn in 0usize..64) {
+        let mut rng = DetRng::seeded(seed);
+        for _ in 0..burn {
+            rng.next_u64();
+        }
+        let mut w = Writer::new();
+        rng.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = DetRng::decode(&mut Reader::new(&bytes)).unwrap();
+        let mut w2 = Writer::new();
+        restored.encode(&mut w2);
+        prop_assert_eq!(w2.bytes(), &bytes[..]);
+        for _ in 0..8 {
+            prop_assert_eq!(restored.next_u64(), rng.next_u64());
+        }
+    }
+
+    /// Every tracker's mutable state round-trips into a fresh same-config
+    /// tracker, which then mitigates identically to the original.
+    #[test]
+    fn tracker_state_round_trips(
+        kind_idx in 0usize..KINDS.len(),
+        window in 1u32..64,
+        n_acts in 0usize..300,
+        seed in any::<u64>(),
+    ) {
+        let kind = KINDS[kind_idx];
+        let mut rng = DetRng::seeded(seed);
+        let mut tracker = build_tracker(kind, window).unwrap();
+        for _ in 0..n_acts {
+            tracker.on_activation(RowAddr(rng.gen_range(4096) as u32), &mut rng);
+        }
+        let mut w = Writer::new();
+        tracker.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut fresh = build_tracker(kind, window).unwrap();
+        fresh.load_state(&mut Reader::new(&bytes)).unwrap();
+        let mut w2 = Writer::new();
+        fresh.save_state(&mut w2);
+        prop_assert_eq!(w2.bytes(), &bytes[..], "re-encode must be identity");
+
+        let mut rng_a = DetRng::seeded(seed ^ 0xDEAD);
+        let mut rng_b = DetRng::seeded(seed ^ 0xDEAD);
+        for _ in 0..4 {
+            let a = tracker.select_for_mitigation(&mut rng_a).map(|m| m.row);
+            let b = fresh.select_for_mitigation(&mut rng_b).map(|m| m.row);
+            prop_assert_eq!(a, b, "restored tracker must mitigate identically");
+        }
+    }
+
+    /// PRAC per-row activation counters round-trip, including the pending
+    /// ABO alert.
+    #[test]
+    fn prac_counters_round_trip(seed in any::<u64>(), n_acts in 0usize..400, th in 2u32..64) {
+        let mut rng = DetRng::seeded(seed);
+        let mut prac = PracState::new(th);
+        for _ in 0..n_acts {
+            prac.on_act(RowAddr(rng.gen_range(64) as u32));
+        }
+        let mut w = Writer::new();
+        prac.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut fresh = PracState::new(th);
+        fresh.load_state(&mut Reader::new(&bytes)).unwrap();
+        let mut w2 = Writer::new();
+        fresh.save_state(&mut w2);
+        prop_assert_eq!(w2.bytes(), &bytes[..]);
+        prop_assert_eq!(prac.abo_pending(), fresh.abo_pending());
+        for row in 0..64u32 {
+            prop_assert_eq!(prac.count_of(RowAddr(row)), fresh.count_of(RowAddr(row)));
+        }
+    }
+
+    /// The Rowhammer damage oracle's per-row counters round-trip.
+    #[test]
+    fn audit_damage_round_trips(seed in any::<u64>(), n_acts in 0usize..400) {
+        let mut rng = DetRng::seeded(seed);
+        let mut audit = RowhammerAudit::new(4, 128);
+        for _ in 0..n_acts {
+            let bank = BankId(rng.gen_range(4) as u16);
+            let row = RowAddr(rng.gen_range(128) as u32);
+            if rng.gen_bool(0.1) {
+                audit.on_victim_refresh(bank, row);
+            } else {
+                audit.on_act(bank, row);
+            }
+        }
+        let mut w = Writer::new();
+        audit.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut fresh = RowhammerAudit::new(4, 128);
+        fresh.load_state(&mut Reader::new(&bytes)).unwrap();
+        let mut w2 = Writer::new();
+        fresh.save_state(&mut w2);
+        prop_assert_eq!(w2.bytes(), &bytes[..]);
+        prop_assert_eq!(audit.max_damage(), fresh.max_damage());
+        prop_assert_eq!(audit.max_damage_row(), fresh.max_damage_row());
+    }
+
+    /// Truncating an encoded tracker state never panics — it errors.
+    #[test]
+    fn truncated_state_errors_cleanly(
+        kind_idx in 0usize..KINDS.len(),
+        n_acts in 1usize..100,
+        seed in any::<u64>(),
+    ) {
+        let kind = KINDS[kind_idx];
+        let mut rng = DetRng::seeded(seed);
+        let mut tracker = build_tracker(kind, 8).unwrap();
+        for _ in 0..n_acts {
+            tracker.on_activation(RowAddr(rng.gen_range(4096) as u32), &mut rng);
+        }
+        let mut w = Writer::new();
+        tracker.save_state(&mut w);
+        let bytes = w.into_bytes();
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let cut = rng.gen_range(bytes.len() as u64) as usize;
+        let mut fresh = build_tracker(kind, 8).unwrap();
+        // Either a clean decode error, or (for prefix-valid cuts) success —
+        // never a panic.
+        let _ = fresh.load_state(&mut Reader::new(&bytes[..cut]));
+    }
+}
