@@ -138,11 +138,13 @@ fn bench_system(c: &mut Criterion) {
     c.bench_function("system/autorfm4_1kinstr_2core", |b| {
         let spec = WorkloadSpec::by_name("mcf").unwrap();
         b.iter(|| {
-            let cfg = SimConfig::scenario(spec, Scenario::AutoRfm { th: 4 })
-                .with_cores(2)
-                .with_instructions(1_000);
-            let mut cfg = cfg;
-            cfg.warmup_mem_ops_per_core = 100;
+            let cfg = SimConfig::builder(spec)
+                .scenario(Scenario::AutoRfm { th: 4 })
+                .cores(2)
+                .instructions(1_000)
+                .warmup_mem_ops(100)
+                .build()
+                .unwrap();
             black_box(System::new(cfg).unwrap().run().perf())
         })
     });

@@ -54,9 +54,12 @@ fn main() {
     ] {
         let s = avg(
             |spec| {
-                let mut cfg = SimConfig::scenario(spec, Scenario::AutoRfmZen { th: 4 })
-                    .with_cores(cores)
-                    .with_instructions(instr);
+                let mut cfg = SimConfig::builder(spec)
+                    .scenario(Scenario::AutoRfmZen { th: 4 })
+                    .cores(cores)
+                    .instructions(instr)
+                    .build()
+                    .expect("valid config");
                 cfg.mc.retry = retry;
                 cfg
             },
@@ -73,9 +76,12 @@ fn main() {
     ] {
         let s = avg(
             |spec| {
-                let mut cfg = SimConfig::scenario(spec, Scenario::Rfm { th: 8 })
-                    .with_cores(cores)
-                    .with_instructions(instr);
+                let mut cfg = SimConfig::builder(spec)
+                    .scenario(Scenario::Rfm { th: 8 })
+                    .cores(cores)
+                    .instructions(instr)
+                    .build()
+                    .expect("valid config");
                 cfg.timings = cfg.timings.with_override(TimingOverride {
                     t_rfm: Some(Cycle::from_ns(ns)),
                     ..TimingOverride::default()
@@ -95,9 +101,12 @@ fn main() {
     ] {
         let s = avg(
             |spec| {
-                let mut cfg = SimConfig::scenario(spec, Scenario::Rfm { th: 16 })
-                    .with_cores(cores)
-                    .with_instructions(instr);
+                let mut cfg = SimConfig::builder(spec)
+                    .scenario(Scenario::Rfm { th: 16 })
+                    .cores(cores)
+                    .instructions(instr)
+                    .build()
+                    .expect("valid config");
                 cfg.mc.raa_ref_credit = credit;
                 cfg
             },
@@ -111,9 +120,12 @@ fn main() {
     for th in [4u32, 2] {
         let s = avg(
             |spec| {
-                SimConfig::scenario(spec, Scenario::AutoRfmMinimal { th })
-                    .with_cores(cores)
-                    .with_instructions(instr)
+                SimConfig::builder(spec)
+                    .scenario(Scenario::AutoRfmMinimal { th })
+                    .cores(cores)
+                    .instructions(instr)
+                    .build()
+                    .expect("valid config")
             },
             &cache,
             &opts,
@@ -133,9 +145,12 @@ fn main() {
     ] {
         let s = avg(
             |spec| {
-                let mut cfg = SimConfig::scenario(spec, Scenario::AutoRfm { th: 4 })
-                    .with_cores(cores)
-                    .with_instructions(instr);
+                let mut cfg = SimConfig::builder(spec)
+                    .scenario(Scenario::AutoRfm { th: 4 })
+                    .cores(cores)
+                    .instructions(instr)
+                    .build()
+                    .expect("valid config");
                 cfg.refresh = policy;
                 cfg
             },
@@ -149,9 +164,12 @@ fn main() {
     for (name, pf) in [("no prefetch (paper)", false), ("next-line prefetch", true)] {
         let s = avg(
             |spec| {
-                let mut cfg = SimConfig::scenario(spec, Scenario::AutoRfm { th: 4 })
-                    .with_cores(cores)
-                    .with_instructions(instr);
+                let mut cfg = SimConfig::builder(spec)
+                    .scenario(Scenario::AutoRfm { th: 4 })
+                    .cores(cores)
+                    .instructions(instr)
+                    .build()
+                    .expect("valid config");
                 cfg.uncore.next_line_prefetch = pf;
                 cfg
             },
@@ -173,14 +191,14 @@ fn main() {
     ] {
         let s = avg(
             |spec| {
-                let mut cfg = SimConfig::scenario(
-                    spec,
-                    Scenario::Baseline {
+                let mut cfg = SimConfig::builder(spec)
+                    .scenario(Scenario::Baseline {
                         mapping: autorfm::MappingKind::Zen,
-                    },
-                )
-                .with_cores(cores)
-                .with_instructions(instr);
+                    })
+                    .cores(cores)
+                    .instructions(instr)
+                    .build()
+                    .expect("valid config");
                 cfg.mc.page_policy = policy;
                 cfg
             },
@@ -204,9 +222,12 @@ fn main() {
     ] {
         let s = avg(
             |spec| {
-                let mut cfg = SimConfig::scenario(spec, Scenario::AutoRfm { th: 4 })
-                    .with_cores(cores)
-                    .with_instructions(instr);
+                let mut cfg = SimConfig::builder(spec)
+                    .scenario(Scenario::AutoRfm { th: 4 })
+                    .cores(cores)
+                    .instructions(instr)
+                    .build()
+                    .expect("valid config");
                 cfg.mc.write_policy = policy;
                 cfg
             },

@@ -60,13 +60,16 @@ fn main() {
     // Each (threshold, tracker) Monte-Carlo sweep is independent: fan the six
     // combinations out and re-assemble rows in threshold order.
     let ths = [4u32, 8];
+    // `--tracker NAME` (any name from `autorfm::trackers::names()`) narrows
+    // the sweep to one tracker; default is the figure's PrIDE/MINT/Mithril
+    // trio.
+    let trackers: Vec<TrackerKind> = match opts.tracker {
+        Some(t) => vec![t],
+        None => vec![TrackerKind::Mithril, TrackerKind::Mint, TrackerKind::Pride],
+    };
     let combos: Vec<(u32, TrackerKind)> = ths
         .iter()
-        .flat_map(|&th| {
-            [TrackerKind::Mithril, TrackerKind::Mint, TrackerKind::Pride]
-                .into_iter()
-                .map(move |t| (th, t))
-        })
+        .flat_map(|&th| trackers.iter().map(move |&t| (th, t)))
         .collect();
     let damages = par_map(&combos, opts.jobs, |&(th, tracker)| {
         empirical_worst_damage(tracker, th)
@@ -77,14 +80,24 @@ fn main() {
     for (i, &th) in ths.iter().enumerate() {
         let mint = MintModel::auto_rfm(th, false).tolerated_trh_d();
         let pride = mint / 0.75; // MINT tolerates ~25% lower than PrIDE [37]
-        let (mithril_mc, mint_mc, pride_mc) =
-            (damages[i * 3], damages[i * 3 + 1], damages[i * 3 + 2]);
+        let base = i * trackers.len();
+        let per_tracker = &damages[base..base + trackers.len()];
+        let mithril_mc = trackers
+            .iter()
+            .position(|&t| t == TrackerKind::Mithril)
+            .map(|j| per_tracker[j]);
+        let mc = trackers
+            .iter()
+            .zip(per_tracker)
+            .map(|(t, d)| format!("{t}={d}"))
+            .collect::<Vec<_>>()
+            .join(" ");
         rows.push(vec![
             format!("AutoRFM-{th}"),
             format!("{pride:.0}"),
             format!("{mint:.0}"),
-            format!("~{}", mithril_mc / 2),
-            format!("{}/{}/{}", pride_mc, mint_mc, mithril_mc),
+            mithril_mc.map_or_else(|| "-".into(), |d| format!("~{}", d / 2)),
+            mc,
         ]);
     }
     print_table(
@@ -93,7 +106,7 @@ fn main() {
             "PrIDE TRH-D",
             "MINT TRH-D",
             "Mithril TRH-D (MC)",
-            "MC worst damage (P/M/Mi)",
+            "MC worst damage",
         ],
         &rows,
     );

@@ -9,7 +9,7 @@
 //!  "warm_fork_saved_s":1.15}
 //! ```
 //!
-//! Three measurements:
+//! Four measurements:
 //!
 //! * **serial vs parallel** — the same matrix through `run_matrix` with one
 //!   worker and with `--jobs` workers. Warm snapshots for every workload are
@@ -19,17 +19,42 @@
 //!   (`run_cold`) and again by forking from the shared warm snapshots
 //!   (`run`). `warm_fork_saved_s = cold_s - forked_s` is the measured
 //!   wall-clock win of warmup forking.
+//! * **stepped vs event kernel** — every workload once per kernel
+//!   (`stepped_s`/`event_s`/`kernel_skip_ratio`, plus a per-workload
+//!   breakdown under `"kernels"`). Results must be bitwise identical; any
+//!   mismatch or panic exits nonzero before any JSON is emitted.
 //!
-//! Both comparisons assert bitwise-identical results before reporting, so
+//! All comparisons assert bitwise-identical results before reporting, so
 //! this binary is also an end-to-end determinism check for the parallel
-//! harness and the snapshot subsystem. Used by `scripts/verify.sh`.
+//! harness, the snapshot subsystem, and the time-skip kernel. Used by
+//! `scripts/verify.sh`.
 
 use autorfm::experiments::Scenario;
-use autorfm::SimConfig;
+use autorfm::{KernelKind, SimConfig, SimResult};
 use autorfm_bench::{
     run, run_cold, run_matrix_cached, warm_cache, ResultCache, RunOpts, SimJob, BASELINE_ZEN,
 };
 use std::time::Instant;
+
+/// Runs `cfg` (forked from the shared warm cache) under `kernel`, timing the
+/// measured phase. Returns `(result, seconds, (steps_executed, steps_skipped))`.
+/// A panic inside the simulation aborts the whole benchmark with a nonzero
+/// exit instead of emitting partial JSON.
+fn timed_kernel_run(cfg: SimConfig, kernel: KernelKind) -> (SimResult, f64, (u64, u64)) {
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut sys = warm_cache().system(cfg);
+        let t = Instant::now();
+        let r = sys.run_with(kernel);
+        (r, t.elapsed().as_secs_f64(), sys.kernel_stats())
+    }));
+    match outcome {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("perf_smoke: {} kernel run panicked", kernel.name());
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
     let opts = RunOpts::from_args();
@@ -55,9 +80,12 @@ fn main() {
     // passes below pay the same (zero) warmup cost.
     let t_warm = Instant::now();
     for &spec in &quick.workloads {
-        let cfg = SimConfig::scenario(spec, BASELINE_ZEN)
-            .with_cores(quick.cores)
-            .with_instructions(quick.instructions);
+        let cfg = SimConfig::builder(spec)
+            .scenario(BASELINE_ZEN)
+            .cores(quick.cores)
+            .instructions(quick.instructions)
+            .build()
+            .expect("valid quick config");
         drop(warm_cache().system(cfg));
     }
     let warm_prefetch_s = t_warm.elapsed().as_secs_f64();
@@ -113,6 +141,58 @@ fn main() {
         );
     }
 
+    // Kernel A/B: every workload under AutoRFM-4, once per kernel. The event
+    // kernel must reproduce the stepped kernel's results bitwise; wall-clock
+    // and the skip ratio quantify the time-skip win. Single-core runs give
+    // the cleanest skip windows (every memory stall idles the whole machine),
+    // and a larger instruction budget keeps each timing above clock noise.
+    let mut kernel_rows = Vec::new();
+    let (mut stepped_s, mut event_s) = (0.0f64, 0.0f64);
+    let (mut total_executed, mut total_skipped) = (0u64, 0u64);
+    for &spec in &quick.workloads {
+        let cfg = SimConfig::builder(spec)
+            .scenario(Scenario::AutoRfm { th: 4 })
+            .cores(1)
+            .instructions(quick.instructions * 16)
+            .build()
+            .expect("valid quick config");
+        // Two timed runs per kernel, keeping the faster: single-run timings
+        // at this scale are dominated by scheduler jitter on small hosts.
+        let (r_stepped, t0, _) = timed_kernel_run(cfg.clone(), KernelKind::Stepped);
+        let (_, t1, _) = timed_kernel_run(cfg.clone(), KernelKind::Stepped);
+        let t_stepped = t0.min(t1);
+        let (r_event, t0, (executed, skipped)) = timed_kernel_run(cfg.clone(), KernelKind::Event);
+        let (_, t1, _) = timed_kernel_run(cfg, KernelKind::Event);
+        let t_event = t0.min(t1);
+        if r_stepped.elapsed != r_event.elapsed
+            || r_stepped.dram.acts.get() != r_event.dram.acts.get()
+            || r_stepped.dram.alerts.get() != r_event.dram.alerts.get()
+            || r_stepped.per_core_ipc != r_event.per_core_ipc
+        {
+            eprintln!(
+                "perf_smoke: event kernel diverged from stepped on {}",
+                spec.name
+            );
+            std::process::exit(1);
+        }
+        stepped_s += t_stepped;
+        event_s += t_event;
+        total_executed += executed;
+        total_skipped += skipped;
+        let skip_ratio = skipped as f64 / (executed + skipped).max(1) as f64;
+        kernel_rows.push(format!(
+            "{{\"workload\":\"{}\",\"stepped_s\":{t_stepped:.3},\"event_s\":{t_event:.3},\
+             \"speedup\":{:.2},\"skip_ratio\":{skip_ratio:.3}}}",
+            spec.name,
+            if t_event > 0.0 {
+                t_stepped / t_event
+            } else {
+                0.0
+            },
+        ));
+    }
+    let kernel_skip_ratio = total_skipped as f64 / (total_executed + total_skipped).max(1) as f64;
+
     let host = std::thread::available_parallelism().map_or(1, usize::from);
     let sim_cycles: u64 = parallel_results.iter().map(|r| r.elapsed.raw()).sum();
     let cycles_per_sec = if parallel_s > 0.0 {
@@ -125,8 +205,12 @@ fn main() {
          \"host_parallelism\":{host},\"sim_cycles\":{sim_cycles},\
          \"cycles_per_sec\":{cycles_per_sec:.0},\
          \"warm_prefetch_s\":{warm_prefetch_s:.3},\"cold_s\":{cold_s:.3},\
-         \"forked_s\":{forked_s:.3},\"warm_fork_saved_s\":{:.3}}}",
+         \"forked_s\":{forked_s:.3},\"warm_fork_saved_s\":{:.3},\
+         \"stepped_s\":{stepped_s:.3},\"event_s\":{event_s:.3},\
+         \"kernel_skip_ratio\":{kernel_skip_ratio:.3},\
+         \"kernels\":[{}]}}",
         quick.jobs,
-        cold_s - forked_s
+        cold_s - forked_s,
+        kernel_rows.join(","),
     );
 }

@@ -24,7 +24,7 @@
 //! stdout, the child's exit code, and a stderr tail.
 
 use autorfm::telemetry::{Json, RunManifest};
-use autorfm_bench::{default_jobs, par_map};
+use autorfm_bench::{default_jobs, par_map, RunOpts};
 use std::path::Path;
 use std::process::Command;
 use std::time::Instant;
@@ -90,14 +90,11 @@ fn child_jobs(flags: &[String]) -> usize {
         .map_or_else(default_jobs, |n| n.max(1))
 }
 
-/// Process-pool size: `AUTORFM_PROCS` if set, else available parallelism
-/// divided by the per-child thread count (min 1, capped at 8).
+/// Process-pool size: [`RunOpts::from_env`]'s `AUTORFM_PROCS` if set, else
+/// available parallelism divided by the per-child thread count (min 1,
+/// capped at 8).
 fn pool_size(flags: &[String]) -> usize {
-    if let Some(n) = std::env::var("AUTORFM_PROCS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-    {
+    if let Some(n) = RunOpts::from_env().procs {
         return n;
     }
     let host = std::thread::available_parallelism().map_or(1, usize::from);

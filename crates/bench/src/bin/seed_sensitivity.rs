@@ -16,10 +16,13 @@ const SCENARIOS: [Scenario; 2] = [Scenario::Rfm { th: 4 }, Scenario::AutoRfm { t
 /// of the mitigated run (in ns).
 fn cell(spec: &'static WorkloadSpec, scenario: Scenario, seed: u64, opts: &RunOpts) -> (f64, u64) {
     let mk = |s| {
-        SimConfig::scenario(spec, s)
-            .with_cores(opts.cores)
-            .with_instructions(opts.instructions)
-            .with_seed(seed)
+        SimConfig::builder(spec)
+            .scenario(s)
+            .cores(opts.cores)
+            .instructions(opts.instructions)
+            .seed(seed)
+            .build()
+            .expect("valid config")
     };
     let base = System::new(mk(Scenario::Baseline {
         mapping: MappingKind::Zen,

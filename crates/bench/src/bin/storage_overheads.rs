@@ -29,7 +29,10 @@ fn main() {
         ),
         ("RFM + MINT", Scenario::Rfm { th: 4 }),
     ] {
-        let cfg = SimConfig::scenario(spec, scenario);
+        let cfg = SimConfig::builder(spec)
+            .scenario(scenario)
+            .build()
+            .expect("valid scenario config");
         let r = storage_report(&cfg).expect("valid tracker");
         rows.push(vec![
             name.to_string(),

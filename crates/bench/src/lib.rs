@@ -52,7 +52,10 @@ use autorfm::snapshot::{
     digest64, open, write_file, Reader, SnapError, Snapshot, Writer, KIND_RESULTS,
 };
 use autorfm::telemetry::{Json, Labels, RunEntry, RunManifest};
-use autorfm::{warm_digest, MappingKind, SimConfig, SimResult, System, TelemetryConfig};
+use autorfm::trackers::TrackerKind;
+use autorfm::{
+    warm_digest, KernelKind, MappingKind, SimConfig, SimResult, System, TelemetryConfig,
+};
 use autorfm_sim_core::Cycle;
 use autorfm_workloads::{WorkloadSpec, ALL_WORKLOADS};
 use std::collections::{BTreeMap, HashMap};
@@ -61,7 +64,15 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-/// Common run options parsed from the command line.
+/// Common run options for every experiment binary.
+///
+/// Three layers, later layers overriding earlier ones (**CLI > env >
+/// default**):
+///
+/// 1. [`RunOpts::default`] — pure built-in defaults, no environment reads;
+/// 2. [`RunOpts::from_env`] — the defaults plus every `AUTORFM_*` environment
+///    knob, read in this one place;
+/// 3. [`RunOpts::from_args`] — the environment layer plus command-line flags.
 #[derive(Debug, Clone)]
 pub struct RunOpts {
     /// Cores per simulation.
@@ -83,49 +94,103 @@ pub struct RunOpts {
     /// Stream each run's epoch series as CSV into this directory
     /// (`--telemetry-csv DIR`, implies `--telemetry`).
     pub telemetry_csv: Option<PathBuf>,
+    /// Child-process pool size for `run_all` (env `AUTORFM_PROCS`;
+    /// `None` = derive from host parallelism and the per-child `--jobs`).
+    pub procs: Option<usize>,
+    /// Checkpoint file for [`ResultCache::new`] (env `AUTORFM_CHECKPOINT`;
+    /// `None` disables checkpointing).
+    pub checkpoint: Option<PathBuf>,
+    /// Whether [`run`] may fork from cached warm snapshots
+    /// (default yes; env `AUTORFM_NO_WARM_FORK=1` disables).
+    pub warm_fork: bool,
+    /// Simulation kernel (`--kernel stepped|event`, env
+    /// `AUTORFM_STEPPED_KERNEL=1`; default: the event kernel).
+    pub kernel: KernelKind,
+    /// Tracker override for tracker-sweep binaries (`--tracker NAME`; see
+    /// `autorfm::trackers::names()`; default: each binary's own set).
+    pub tracker: Option<TrackerKind>,
 }
 
 /// The default worker-thread count: `AUTORFM_JOBS` if set and valid,
 /// otherwise the machine's available parallelism (1 if unknown).
 pub fn default_jobs() -> usize {
-    if let Some(n) = std::env::var("AUTORFM_JOBS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        return n.max(1);
-    }
-    std::thread::available_parallelism().map_or(1, usize::from)
+    RunOpts::from_env().jobs
 }
 
-/// Whether `AUTORFM_TELEMETRY` asks for telemetry by default (`1`/`true`).
-fn default_telemetry() -> bool {
-    std::env::var("AUTORFM_TELEMETRY")
+/// `1`/`true` (case-insensitive) means on.
+fn env_flag(name: &str) -> bool {
+    std::env::var(name)
         .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
         .unwrap_or(false)
 }
 
 impl Default for RunOpts {
+    /// Pure built-in defaults; reads no environment. Use
+    /// [`RunOpts::from_env`] (or [`RunOpts::from_args`]) to honor the
+    /// `AUTORFM_*` knobs.
     fn default() -> Self {
         RunOpts {
             cores: 8,
             instructions: 100_000,
             workloads: ALL_WORKLOADS.iter().collect(),
-            jobs: default_jobs(),
-            telemetry: default_telemetry(),
+            jobs: std::thread::available_parallelism().map_or(1, usize::from),
+            telemetry: false,
             epoch_ns: None,
             telemetry_csv: None,
+            procs: None,
+            checkpoint: None,
+            warm_fork: true,
+            kernel: KernelKind::Event,
+            tracker: None,
         }
     }
 }
 
 impl RunOpts {
-    /// Parses `std::env::args()`.
+    /// The defaults overridden by the `AUTORFM_*` environment knobs. This is
+    /// the single place the harness reads them:
+    ///
+    /// | variable                 | effect                                   |
+    /// |--------------------------|------------------------------------------|
+    /// | `AUTORFM_JOBS=N`         | worker threads ([`RunOpts::jobs`])       |
+    /// | `AUTORFM_PROCS=N`        | `run_all` process pool ([`RunOpts::procs`]) |
+    /// | `AUTORFM_TELEMETRY=1`    | epoch telemetry on ([`RunOpts::telemetry`]) |
+    /// | `AUTORFM_CHECKPOINT=F`   | result checkpoint file ([`RunOpts::checkpoint`]) |
+    /// | `AUTORFM_NO_WARM_FORK=1` | disable warm forking ([`RunOpts::warm_fork`]) |
+    /// | `AUTORFM_STEPPED_KERNEL=1` | stepped oracle kernel ([`RunOpts::kernel`]) |
+    ///
+    /// (`AUTORFM_STEPPED_KERNEL` is decoded by [`KernelKind::from_env`] so
+    /// the library default path and the harness agree on one reader.)
+    pub fn from_env() -> Self {
+        let mut opts = RunOpts::default();
+        if let Some(n) = std::env::var("AUTORFM_JOBS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            opts.jobs = n.max(1);
+        }
+        opts.procs = std::env::var("AUTORFM_PROCS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1);
+        opts.telemetry = env_flag("AUTORFM_TELEMETRY");
+        opts.checkpoint = std::env::var("AUTORFM_CHECKPOINT")
+            .ok()
+            .filter(|p| !p.is_empty())
+            .map(PathBuf::from);
+        opts.warm_fork = !env_flag("AUTORFM_NO_WARM_FORK");
+        opts.kernel = KernelKind::from_env();
+        opts
+    }
+
+    /// Parses `std::env::args()` on top of [`RunOpts::from_env`]
+    /// (CLI > env > default).
     ///
     /// # Panics
     ///
     /// Panics with a usage message on malformed arguments.
     pub fn from_args() -> Self {
-        let mut opts = RunOpts::default();
+        let mut opts = RunOpts::from_env();
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
@@ -173,8 +238,20 @@ impl RunOpts {
                     opts.telemetry_csv =
                         Some(args.next().expect("--telemetry-csv needs a directory").into());
                 }
+                "--kernel" => {
+                    let v = args.next().expect("--kernel needs stepped|event");
+                    opts.kernel = KernelKind::parse(&v)
+                        .unwrap_or_else(|| panic!("--kernel: unknown kernel {v} (stepped|event)"));
+                }
+                "--tracker" => {
+                    let v = args.next().expect("--tracker needs a tracker name");
+                    opts.tracker = Some(
+                        v.parse::<TrackerKind>()
+                            .unwrap_or_else(|e| panic!("--tracker: {e}")),
+                    );
+                }
                 other => panic!(
-                    "unknown flag {other}; expected --quick|--full|--instructions N|--cores N|--jobs N|--workloads a,b|--telemetry|--epoch-ns N|--telemetry-csv DIR"
+                    "unknown flag {other}; expected --quick|--full|--instructions N|--cores N|--jobs N|--workloads a,b|--telemetry|--epoch-ns N|--telemetry-csv DIR|--kernel K|--tracker T"
                 ),
             }
         }
@@ -203,11 +280,14 @@ pub fn telemetry_config(opts: &RunOpts, tag: &str) -> Option<TelemetryConfig> {
 
 /// The [`SimConfig`] for one `(workload, scenario)` job under `opts`.
 fn job_config(spec: &'static WorkloadSpec, scenario: Scenario, opts: &RunOpts) -> SimConfig {
-    let mut cfg = SimConfig::scenario(spec, scenario)
-        .with_cores(opts.cores)
-        .with_instructions(opts.instructions);
-    cfg.telemetry = telemetry_config(opts, &format!("{}__{scenario}", spec.name));
-    cfg
+    let mut builder = SimConfig::builder(spec)
+        .scenario(scenario)
+        .cores(opts.cores)
+        .instructions(opts.instructions);
+    if let Some(t) = telemetry_config(opts, &format!("{}__{scenario}", spec.name)) {
+        builder = builder.telemetry(t);
+    }
+    builder.build().expect("valid scenario config")
 }
 
 /// Runs one workload under one scenario.
@@ -216,14 +296,17 @@ fn job_config(spec: &'static WorkloadSpec, scenario: Scenario, opts: &RunOpts) -
 /// seed, warmup length, LLC shape, geometry — see `autorfm::warm_digest`)
 /// simulates warmup once into the process-global [`WarmCache`]; every later
 /// job forks from that snapshot. Forked runs are bitwise identical to cold
-/// runs (pinned by the golden tests), so only wall-clock changes. Set
-/// `AUTORFM_NO_WARM_FORK=1` to force the cold path everywhere.
+/// runs (pinned by the golden tests), so only wall-clock changes. Clear
+/// [`RunOpts::warm_fork`] (env `AUTORFM_NO_WARM_FORK=1`) to force the cold
+/// path everywhere; [`RunOpts::kernel`] selects the simulation kernel.
 pub fn run(spec: &'static WorkloadSpec, scenario: Scenario, opts: &RunOpts) -> SimResult {
     let cfg = job_config(spec, scenario, opts);
-    if warm_fork_enabled() {
-        warm_cache().system(cfg).run()
+    if opts.warm_fork {
+        warm_cache().system(cfg).run_with(opts.kernel)
     } else {
-        System::new(cfg).expect("valid scenario config").run()
+        System::new(cfg)
+            .expect("valid scenario config")
+            .run_with(opts.kernel)
     }
 }
 
@@ -233,15 +316,7 @@ pub fn run(spec: &'static WorkloadSpec, scenario: Scenario, opts: &RunOpts) -> S
 pub fn run_cold(spec: &'static WorkloadSpec, scenario: Scenario, opts: &RunOpts) -> SimResult {
     System::new(job_config(spec, scenario, opts))
         .expect("valid scenario config")
-        .run()
-}
-
-/// Whether [`run`] may fork from cached warm snapshots (default yes; disabled
-/// by `AUTORFM_NO_WARM_FORK=1`).
-fn warm_fork_enabled() -> bool {
-    !std::env::var("AUTORFM_NO_WARM_FORK")
-        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
-        .unwrap_or(false)
+        .run_with(opts.kernel)
 }
 
 /// One cached warm snapshot: filled exactly once by the first requester;
@@ -398,18 +473,22 @@ pub struct ResultCache {
 }
 
 impl ResultCache {
-    /// Creates an empty cache. When the `AUTORFM_CHECKPOINT` environment
-    /// variable names a file (how `run_all` directs each child's checkpoint),
+    /// Creates an empty cache honoring the environment's checkpoint knob:
+    /// when [`RunOpts::from_env`] reports a checkpoint file
+    /// (`AUTORFM_CHECKPOINT`, how `run_all` directs each child's checkpoint),
     /// completed results are reloaded from it and every fresh simulation is
     /// appended to it — so a killed experiment resumes instead of starting
-    /// over. Use [`ResultCache::isolated`] to opt out.
+    /// over. Use [`ResultCache::isolated`] to opt out, or
+    /// [`ResultCache::with_checkpoint`] to pass an explicit path.
     pub fn new() -> Self {
-        let checkpoint = std::env::var("AUTORFM_CHECKPOINT")
-            .ok()
-            .filter(|p| !p.is_empty())
-            .map(|p| Arc::new(CheckpointFile::load(PathBuf::from(p))));
+        Self::with_checkpoint(RunOpts::from_env().checkpoint)
+    }
+
+    /// Creates an empty cache backed by the given checkpoint file (`None`
+    /// disables checkpointing).
+    pub fn with_checkpoint(path: Option<PathBuf>) -> Self {
         ResultCache {
-            checkpoint,
+            checkpoint: path.map(|p| Arc::new(CheckpointFile::load(p))),
             ..Self::default()
         }
     }
@@ -937,9 +1016,7 @@ mod tests {
             instructions: 2_000,
             workloads: vec![spec],
             jobs: 1,
-            telemetry: false,
-            epoch_ns: None,
-            telemetry_csv: None,
+            ..RunOpts::default()
         };
         let cache = ResultCache::new();
         let a = cache.get(spec, BASELINE_ZEN, &opts).perf();

@@ -15,9 +15,7 @@ fn tiny_opts() -> RunOpts {
         instructions: 2_000,
         workloads: vec![WorkloadSpec::by_name("wrf").unwrap()],
         jobs: 1,
-        telemetry: false,
-        epoch_ns: None,
-        telemetry_csv: None,
+        ..RunOpts::default()
     }
 }
 

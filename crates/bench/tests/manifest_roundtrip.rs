@@ -24,8 +24,7 @@ fn harness_writes_manifest_where_env_points() {
         workloads: vec![spec],
         jobs: 1,
         telemetry: true,
-        epoch_ns: None,
-        telemetry_csv: None,
+        ..RunOpts::default()
     };
     let mut harness = Harness::new(&opts);
     let result = run(spec, BASELINE_ZEN, &opts);

@@ -15,9 +15,7 @@ fn quick_opts(jobs: usize) -> RunOpts {
             .map(|n| WorkloadSpec::by_name(n).unwrap())
             .collect(),
         jobs,
-        telemetry: false,
-        epoch_ns: None,
-        telemetry_csv: None,
+        ..RunOpts::default()
     }
 }
 

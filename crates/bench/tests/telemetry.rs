@@ -16,8 +16,7 @@ fn quick_opts(telemetry: bool) -> RunOpts {
             .collect(),
         jobs: 2,
         telemetry,
-        epoch_ns: None,
-        telemetry_csv: None,
+        ..RunOpts::default()
     }
 }
 

@@ -178,13 +178,13 @@ pub fn run_command(cmd: CliCommand) -> Result<String, ConfigError> {
 fn run_report(spec: &RunSpec) -> Result<String, ConfigError> {
     let workload = WorkloadSpec::by_name(&spec.workload)
         .ok_or_else(|| ConfigError::new("workload vanished"))?;
-    let mut cfg = SimConfig::scenario(workload, spec.scenario)
-        .with_cores(spec.cores)
-        .with_instructions(spec.instructions)
-        .with_seed(spec.seed);
-    if spec.audit {
-        cfg = cfg.with_audit();
-    }
+    let cfg = SimConfig::builder(workload)
+        .scenario(spec.scenario)
+        .cores(spec.cores)
+        .instructions(spec.instructions)
+        .seed(spec.seed)
+        .audit(spec.audit)
+        .build()?;
     let result = System::new(cfg)?.run();
 
     let mut out = String::new();
@@ -196,15 +196,14 @@ fn run_report(spec: &RunSpec) -> Result<String, ConfigError> {
     );
     out.push_str(&result.report());
     if spec.with_baseline {
-        let base_cfg = SimConfig::scenario(
-            workload,
-            Scenario::Baseline {
+        let base_cfg = SimConfig::builder(workload)
+            .scenario(Scenario::Baseline {
                 mapping: MappingKind::Zen,
-            },
-        )
-        .with_cores(spec.cores)
-        .with_instructions(spec.instructions)
-        .with_seed(spec.seed);
+            })
+            .cores(spec.cores)
+            .instructions(spec.instructions)
+            .seed(spec.seed)
+            .build()?;
         let base = System::new(base_cfg)?.run();
         let _ = writeln!(out, "baseline perf     : {:.3} aggregate IPC", base.perf());
         let _ = writeln!(

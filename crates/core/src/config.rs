@@ -95,7 +95,153 @@ pub struct SimConfig {
     pub telemetry: Option<TelemetryConfig>,
 }
 
+/// Typed, validating builder for [`SimConfig`] — the one supported way to
+/// construct a configuration.
+///
+/// Obtained from [`SimConfig::builder`], which starts from the paper's
+/// Table-IV baseline; every setter overrides one knob, and [`build`] runs
+/// [`SimConfig::validate`] so an impossible configuration is rejected at
+/// construction time instead of deep inside [`crate::System::new`].
+///
+/// ```
+/// use autorfm::{experiments::Scenario, SimConfig};
+/// use autorfm_workloads::WorkloadSpec;
+///
+/// let spec = WorkloadSpec::by_name("mcf").unwrap();
+/// let cfg = SimConfig::builder(spec)
+///     .scenario(Scenario::AutoRfm { th: 4 })
+///     .cores(2)
+///     .instructions(10_000)
+///     .seed(7)
+///     .build()?;
+/// assert_eq!(cfg.num_cores, 2);
+/// # Ok::<(), autorfm_sim_core::ConfigError>(())
+/// ```
+///
+/// [`build`]: SimConfigBuilder::build
+#[must_use = "a SimConfigBuilder does nothing until .build() is called"]
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    cfg: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Applies one of the paper's named scenarios (mitigation + mapping +
+    /// timing overrides) on top of the current state. Later setters can
+    /// still override individual knobs the scenario chose.
+    pub fn scenario(mut self, scenario: Scenario) -> Self {
+        self.cfg = scenario.apply(self.cfg);
+        self
+    }
+
+    /// Sets the core count (8 in the paper).
+    pub fn cores(mut self, n: u8) -> Self {
+        self.cfg.num_cores = n;
+        self
+    }
+
+    /// Sets the per-core retired-instruction budget.
+    pub fn instructions(mut self, n: u64) -> Self {
+        self.cfg.instructions_per_core = n;
+        self
+    }
+
+    /// Sets the root RNG seed (trackers, workloads).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets the physical-address mapping policy.
+    pub fn mapping(mut self, mapping: MappingKind) -> Self {
+        self.cfg.mapping = mapping;
+        self
+    }
+
+    /// Sets the in-DRAM mitigation mode.
+    pub fn mitigation(mut self, mitigation: DeviceMitigation) -> Self {
+        self.cfg.mitigation = mitigation;
+        self
+    }
+
+    /// Sets the DRAM timing parameters.
+    pub fn timings(mut self, timings: DramTimings) -> Self {
+        self.cfg.timings = timings;
+        self
+    }
+
+    /// Sets the DRAM organization.
+    pub fn geometry(mut self, geometry: Geometry) -> Self {
+        self.cfg.geometry = geometry;
+        self
+    }
+
+    /// Sets the memory-controller knobs.
+    pub fn mc(mut self, mc: McConfig) -> Self {
+        self.cfg.mc = mc;
+        self
+    }
+
+    /// Sets the refresh scheduling policy.
+    pub fn refresh(mut self, refresh: RefreshPolicy) -> Self {
+        self.cfg.refresh = refresh;
+        self
+    }
+
+    /// Enables (or disables) the Rowhammer damage oracle.
+    pub fn audit(mut self, on: bool) -> Self {
+        self.cfg.audit = on;
+        self
+    }
+
+    /// Sets the warm-up memory operations fast-forwarded per core before the
+    /// timed phase.
+    pub fn warmup_mem_ops(mut self, n: u64) -> Self {
+        self.cfg.warmup_mem_ops_per_core = n;
+        self
+    }
+
+    /// Enables DRAM command tracing with the given capacity (0 disables).
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.cfg.trace_capacity = capacity;
+        self
+    }
+
+    /// Runs a heterogeneous mix instead of rate mode: core `i` runs
+    /// `mix[i % mix.len()]`.
+    pub fn mix(mut self, mix: Vec<&'static WorkloadSpec>) -> Self {
+        self.cfg.mix = mix;
+        self
+    }
+
+    /// Enables epoch telemetry sampling.
+    pub fn telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.cfg.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Validates and returns the finished configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the assembled configuration fails
+    /// [`SimConfig::validate`].
+    pub fn build(self) -> Result<SimConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
 impl SimConfig {
+    /// Starts a [`SimConfigBuilder`] from the paper's Table-IV baseline
+    /// running `workload` — the one supported way to construct a
+    /// [`SimConfig`].
+    pub fn builder(workload: &'static WorkloadSpec) -> SimConfigBuilder {
+        SimConfigBuilder {
+            cfg: Self::baseline(workload),
+        }
+    }
+
     /// The paper's baseline system (Table IV) running `workload` with no
     /// Rowhammer mitigation, Zen mapping.
     pub fn baseline(workload: &'static WorkloadSpec) -> Self {
@@ -125,44 +271,53 @@ impl SimConfig {
         scenario.apply(Self::baseline(workload))
     }
 
-    /// Sets the core count (builder style).
+    /// Deprecated shim: use [`SimConfig::builder`] + [`SimConfigBuilder::cores`].
+    #[doc(hidden)]
     pub fn with_cores(mut self, n: u8) -> Self {
         self.num_cores = n;
         self
     }
 
-    /// Sets the per-core instruction budget (builder style).
+    /// Deprecated shim: use [`SimConfig::builder`] +
+    /// [`SimConfigBuilder::instructions`].
+    #[doc(hidden)]
     pub fn with_instructions(mut self, n: u64) -> Self {
         self.instructions_per_core = n;
         self
     }
 
-    /// Sets the RNG seed (builder style).
+    /// Deprecated shim: use [`SimConfig::builder`] + [`SimConfigBuilder::seed`].
+    #[doc(hidden)]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
     }
 
-    /// Enables the Rowhammer damage audit (builder style).
+    /// Deprecated shim: use [`SimConfig::builder`] + [`SimConfigBuilder::audit`].
+    #[doc(hidden)]
     pub fn with_audit(mut self) -> Self {
         self.audit = true;
         self
     }
 
-    /// Enables DRAM command tracing with the given capacity (builder style).
+    /// Deprecated shim: use [`SimConfig::builder`] +
+    /// [`SimConfigBuilder::trace_capacity`].
+    #[doc(hidden)]
     pub fn with_trace(mut self, capacity: usize) -> Self {
         self.trace_capacity = capacity;
         self
     }
 
-    /// Runs a heterogeneous mix instead of rate mode: core `i` runs
-    /// `mix[i % mix.len()]` (builder style).
+    /// Deprecated shim: use [`SimConfig::builder`] + [`SimConfigBuilder::mix`].
+    #[doc(hidden)]
     pub fn with_mix(mut self, mix: Vec<&'static WorkloadSpec>) -> Self {
         self.mix = mix;
         self
     }
 
-    /// Enables epoch telemetry sampling (builder style).
+    /// Deprecated shim: use [`SimConfig::builder`] +
+    /// [`SimConfigBuilder::telemetry`].
+    #[doc(hidden)]
     pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
         self.telemetry = Some(telemetry);
         self
@@ -252,6 +407,40 @@ mod tests {
         assert_eq!(cfg.workload_of(2).name, "bwaves");
         let rate = SimConfig::baseline(b);
         assert_eq!(rate.workload_of(5).name, "mcf");
+    }
+
+    #[test]
+    fn builder_is_equivalent_to_shims() {
+        let spec = WorkloadSpec::by_name("mcf").unwrap();
+        let built = SimConfig::builder(spec)
+            .scenario(Scenario::AutoRfm { th: 4 })
+            .cores(2)
+            .instructions(10_000)
+            .seed(42)
+            .build()
+            .unwrap();
+        let legacy = SimConfig::scenario(spec, Scenario::AutoRfm { th: 4 })
+            .with_cores(2)
+            .with_instructions(10_000)
+            .with_seed(42);
+        // The config digest is derived from the Debug form; the builder must
+        // not perturb it (snapshot compatibility).
+        assert_eq!(format!("{built:?}"), format!("{legacy:?}"));
+    }
+
+    #[test]
+    fn builder_rejects_invalid() {
+        let spec = WorkloadSpec::by_name("mcf").unwrap();
+        assert!(SimConfig::builder(spec).cores(0).build().is_err());
+        assert!(SimConfig::builder(spec).instructions(0).build().is_err());
+        let bad_telemetry = TelemetryConfig {
+            epoch: Some(Cycle::ZERO),
+            ..TelemetryConfig::default()
+        };
+        assert!(SimConfig::builder(spec)
+            .telemetry(bad_telemetry)
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -26,9 +26,11 @@
 //!
 //! // Simulate `bwaves` under AutoRFM-4 (MINT + Fractal Mitigation + Rubix).
 //! let spec = WorkloadSpec::by_name("bwaves").unwrap();
-//! let cfg = SimConfig::scenario(spec, Scenario::AutoRfm { th: 4 })
-//!     .with_cores(2)
-//!     .with_instructions(20_000);
+//! let cfg = SimConfig::builder(spec)
+//!     .scenario(Scenario::AutoRfm { th: 4 })
+//!     .cores(2)
+//!     .instructions(20_000)
+//!     .build()?;
 //! let result = System::new(cfg)?.run();
 //! assert!(result.perf() > 0.0);
 //! # Ok::<(), autorfm_sim_core::ConfigError>(())
@@ -44,9 +46,9 @@ pub mod result;
 pub mod storage;
 pub mod system;
 
-pub use config::{MappingKind, SimConfig, TelemetryConfig};
+pub use config::{MappingKind, SimConfig, SimConfigBuilder, TelemetryConfig};
 pub use result::SimResult;
-pub use system::{warm_digest, System};
+pub use system::{warm_digest, KernelKind, System};
 
 pub use autorfm_snapshot as snapshot;
 
@@ -54,7 +56,9 @@ pub use autorfm_snapshot as snapshot;
 /// `use autorfm::prelude::*;` pulls in the types most programs need.
 pub mod prelude {
     pub use crate::experiments::Scenario;
-    pub use crate::{MappingKind, SimConfig, SimResult, System, TelemetryConfig};
+    pub use crate::{
+        KernelKind, MappingKind, SimConfig, SimConfigBuilder, SimResult, System, TelemetryConfig,
+    };
     pub use autorfm_dram::DeviceMitigation;
     pub use autorfm_mitigation::MitigationKind;
     pub use autorfm_sim_core::{Cycle, DramTimings, Geometry};

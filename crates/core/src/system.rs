@@ -18,6 +18,54 @@ use autorfm_workloads::WorkloadGen;
 const STEP: Cycle = Cycle::new(4);
 const CPU_CYCLES_PER_STEP: u32 = 4;
 
+/// Which simulation loop drives the machine.
+///
+/// Both kernels execute the *same* per-step transition ([`System::run_steps`]
+/// semantics, snapshots, and telemetry epochs are bitwise identical); the
+/// event kernel merely skips steps that every component proves are no-ops via
+/// the `next_event_at` clocking contract (see DESIGN.md, "The clocking
+/// contract").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelKind {
+    /// Event-driven time skip: after each executed step, leap to the minimum
+    /// next wake across cores, memory system, and telemetry (the default).
+    #[default]
+    Event,
+    /// Uniform 1 ns stepping: executes every step. Kept as the differential-
+    /// testing oracle; select with `AUTORFM_STEPPED_KERNEL=1`.
+    Stepped,
+}
+
+impl KernelKind {
+    /// The kernel selected by the environment: `AUTORFM_STEPPED_KERNEL=1`
+    /// (or `true`) picks [`KernelKind::Stepped`], anything else the default
+    /// event kernel. This is the single place that knob is read; harness
+    /// surfaces (`RunOpts`) go through here so CLI > env > default holds.
+    pub fn from_env() -> Self {
+        match std::env::var("AUTORFM_STEPPED_KERNEL") {
+            Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => KernelKind::Stepped,
+            _ => KernelKind::Event,
+        }
+    }
+
+    /// Parses a kernel name (`"event"` / `"stepped"`), for CLI flags.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "event" => Some(KernelKind::Event),
+            "stepped" => Some(KernelKind::Stepped),
+            _ => None,
+        }
+    }
+
+    /// Short display name (`"event"` / `"stepped"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Event => "event",
+            KernelKind::Stepped => "stepped",
+        }
+    }
+}
+
 /// Wraps a workload generator so every produced line address stays inside the
 /// configured geometry (the generators target the 32 GB baseline; smaller test
 /// geometries fold addresses down).
@@ -60,6 +108,11 @@ pub struct System {
     now: Cycle,
     finish_at: Vec<Option<Cycle>>,
     telemetry: Option<Telemetry>,
+    /// Kernel diagnostics (not part of the machine state, never snapshotted):
+    /// steps actually executed vs. steps the event kernel proved were no-ops
+    /// and leapt over.
+    steps_executed: u64,
+    steps_skipped: u64,
 }
 
 impl core::fmt::Debug for System {
@@ -144,6 +197,8 @@ impl System {
             now: Cycle::ZERO,
             cfg,
             telemetry,
+            steps_executed: 0,
+            steps_skipped: 0,
         })
     }
 
@@ -165,9 +220,28 @@ impl System {
     }
 
     /// Runs until every core retires the configured instruction budget and
-    /// returns the collected metrics.
+    /// returns the collected metrics, using the kernel selected by the
+    /// environment ([`KernelKind::from_env`]).
     pub fn run(&mut self) -> SimResult {
-        while !self.step_once() {}
+        self.run_with(KernelKind::from_env())
+    }
+
+    /// Runs to completion under an explicitly chosen kernel (in-process A/B
+    /// comparisons; both kernels produce bitwise-identical results).
+    pub fn run_with(&mut self, kernel: KernelKind) -> SimResult {
+        loop {
+            let done = self.step_once();
+            self.steps_executed += 1;
+            if done {
+                break;
+            }
+            if kernel == KernelKind::Event {
+                let skip = self.skippable_steps(u64::MAX);
+                if skip > 0 {
+                    self.leap(skip);
+                }
+            }
+        }
         self.finalize()
     }
 
@@ -175,14 +249,92 @@ impl System {
     /// collected metrics once every core has retired its instruction budget,
     /// or `None` if the budget of steps ran out first — at which point the
     /// machine sits at a clean step boundary, ready for [`System::snapshot`]
-    /// or further `run_steps` / [`System::run`] calls.
+    /// or further `run_steps` / [`System::run`] calls. Uses the kernel
+    /// selected by the environment ([`KernelKind::from_env`]).
     pub fn run_steps(&mut self, max_steps: u64) -> Option<SimResult> {
-        for _ in 0..max_steps {
-            if self.step_once() {
+        self.run_steps_with(max_steps, KernelKind::from_env())
+    }
+
+    /// [`System::run_steps`] under an explicitly chosen kernel. Skipped steps
+    /// count against `max_steps` and leaps are clamped to the remaining
+    /// budget, so both kernels stop at exactly the same step boundary with
+    /// bitwise-identical state (snapshot/golden-digest compatibility).
+    pub fn run_steps_with(&mut self, max_steps: u64, kernel: KernelKind) -> Option<SimResult> {
+        let mut remaining = max_steps;
+        while remaining > 0 {
+            let done = self.step_once();
+            self.steps_executed += 1;
+            if done {
                 return Some(self.finalize());
+            }
+            remaining -= 1;
+            if kernel == KernelKind::Event && remaining > 0 {
+                let skip = self.skippable_steps(remaining);
+                if skip > 0 {
+                    self.leap(skip);
+                    remaining -= skip;
+                }
             }
         }
         None
+    }
+
+    /// How many upcoming steps (at most `cap`) are provably no-ops for every
+    /// component, per the `next_event_at` clocking contract. Zero whenever any
+    /// unfinished core is hot (can retire or dispatch next step) — checked
+    /// first because it is the common case in compute-bound phases and costs
+    /// only a few loads per core, avoiding the per-bank scan entirely.
+    fn skippable_steps(&self, cap: u64) -> u64 {
+        let now = self.now;
+        let hot = now + STEP;
+        let mut wake = Cycle::MAX;
+        for (i, core) in self.cores.iter().enumerate() {
+            if self.finish_at[i].is_some() {
+                continue;
+            }
+            match core.next_event_at(now) {
+                Some(w) if w <= hot => return 0,
+                Some(w) => wake = wake.min(w),
+                // Blocked on unresolved memory: the MC wake covers it.
+                None => {}
+            }
+        }
+        // A non-empty uncore outbox (e.g. a victim writeback pushed by this
+        // step's response processing, after its drain loop ran) is admitted
+        // by the very next executed step.
+        if self.uncore.next_event_at(now).is_some() {
+            return 0;
+        }
+        if let Some(w) = self.mc.next_event_at(now, hot) {
+            wake = wake.min(w);
+        }
+        if let Some(t) = &self.telemetry {
+            // Epochs must observe at identical cycles under both kernels.
+            wake = wake.min(t.sampler.next_boundary());
+        }
+        if wake <= hot {
+            return 0;
+        }
+        // The first step that may act is the first step-grid point >= wake;
+        // every step strictly before it is skippable.
+        let aligned = wake.raw().div_ceil(STEP.raw()).saturating_mul(STEP.raw());
+        (((aligned - now.raw()) / STEP.raw()) - 1).min(cap)
+    }
+
+    /// Leaps over `steps` proven-idle steps: advances the clock and
+    /// compensates the controller's per-tick round-robin rotation so the
+    /// machine state stays bitwise identical to having executed them.
+    fn leap(&mut self, steps: u64) {
+        self.now += Cycle::new(STEP.raw() * steps);
+        self.mc.skip_ticks(steps);
+        self.steps_skipped += steps;
+    }
+
+    /// Kernel diagnostics: `(steps_executed, steps_skipped)` so far. The skip
+    /// ratio `skipped / (executed + skipped)` measures how much wall-clock
+    /// the event kernel saves; the stepped kernel always reports zero skips.
+    pub fn kernel_stats(&self) -> (u64, u64) {
+        (self.steps_executed, self.steps_skipped)
     }
 
     /// Advances the machine by one step; returns `true` when every core has

@@ -194,6 +194,44 @@ impl Core {
         self.dispatch(now, budget, stream, uncore);
     }
 
+    /// Clocking contract: the earliest cycle at which a [`Core::step`] could
+    /// change any state (its own, the stream's, or the uncore's), given the
+    /// state frozen at `now`. A return of `t <= now` means the core is *hot*
+    /// (the very next step acts); `None` means the core is fully blocked on
+    /// unresolved memory completions and will only become runnable after an
+    /// executed step resolves one — so the memory system's own wake covers it.
+    ///
+    /// Steps strictly before the returned cycle are provably no-ops: retire
+    /// stops at a head that is not ready, and dispatch returns without pulling
+    /// from the stream while the dispatch block is pending or the ROB is full.
+    pub fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        // Dispatch side: a pending-but-resolved block clears (and dispatch
+        // proceeds) once its completion time is reached; an unblocked core
+        // with ROB space always dispatches (pulling from the stream mutates
+        // it, and a stalled op retries against the uncore every step).
+        let dispatch = match &self.dispatch_block {
+            Some(c) => {
+                let done = c.get();
+                (done != Cycle::MAX).then(|| done.max(now))
+            }
+            None if self.rob.len() < self.params.rob_size => Some(now),
+            None => None, // ROB full: gated on retire, covered below.
+        };
+        // Retire side: the head's completion time, once known.
+        let retire = match self.rob.front() {
+            Some(Slot::ReadyAt(at)) => Some((*at).max(now)),
+            Some(Slot::WaitingMem(c)) => {
+                let done = c.get();
+                (done != Cycle::MAX).then(|| done.max(now))
+            }
+            None => None,
+        };
+        match (dispatch, retire) {
+            (Some(d), Some(r)) => Some(d.min(r)),
+            (d, r) => d.or(r),
+        }
+    }
+
     fn retire(&mut self, now: Cycle, budget: usize) {
         for _ in 0..budget {
             let ready = match self.rob.front() {

@@ -201,6 +201,23 @@ impl Uncore {
         self.mshrs.len()
     }
 
+    /// Clocking contract: the uncore schedules no timers of its own, so the
+    /// only self-driven work is draining the outbox. A non-empty outbox makes
+    /// the uncore *hot* (`Some(now)`): response processing pushes victim
+    /// writebacks *after* the same step's drain loop ran, so the very next
+    /// executed step admits them into the controller (and may trigger
+    /// commands). With an empty outbox this returns `None` — [`Uncore::tick`]
+    /// then only reacts to controller responses, which are produced and
+    /// drained within the same executed step and are therefore covered by the
+    /// memory controller's wake.
+    ///
+    /// This is deliberately conservative: when the outbox front is actually
+    /// blocked on a full controller queue, the kernel single-steps until it
+    /// drains. Such steps execute as no-ops, which is always safe.
+    pub fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        (!self.outbox.is_empty()).then_some(now)
+    }
+
     /// Warm-up access: touches the LLC without simulating memory timing.
     /// Misses are filled instantly (no MSHR, no DRAM traffic); dirty evictions
     /// are discarded. Used to fast-forward past the cold-cache region so the

@@ -243,6 +243,22 @@ impl DramDevice {
         self.ref_epoch
     }
 
+    /// The cycle of the next refresh-window rollover (audit bookkeeping).
+    pub fn next_refw_at(&self) -> Cycle {
+        self.next_refw_at
+    }
+
+    /// Clocking contract: the next cycle at which [`DramDevice::tick`] would
+    /// do work on its own (REF issue or refresh-window rollover), assuming no
+    /// commands arrive in between. The device always has a self-scheduled
+    /// event, so this never returns `None`. A caller that skips time must
+    /// still tick the device at (or before) this cycle so REF processing,
+    /// `ref_epoch`, and audit windows advance exactly as under per-step
+    /// ticking.
+    pub fn next_event_at(&self, _now: Cycle) -> Option<Cycle> {
+        Some(self.next_ref_at.min(self.next_refw_at))
+    }
+
     fn rank_of(&self, bank: BankId) -> usize {
         (bank.0 / self.banks_per_rank) as usize
     }

@@ -7,7 +7,7 @@
 //! AutoRFM path (first PRE after the window) or an explicit RFM command.
 
 use autorfm_mitigation::{build_policy, MitigationKind, MitigationPolicy, VictimRefresh};
-use autorfm_sim_core::{ConfigError, DetRng, RowAddr};
+use autorfm_sim_core::{ConfigError, Cycle, DetRng, RowAddr};
 use autorfm_snapshot::{Reader, SnapError, Snapshot, Writer};
 use autorfm_trackers::{build_tracker, MitigationTarget, Tracker, TrackerKind};
 
@@ -95,6 +95,13 @@ impl MitigationEngine {
     /// Whether a mitigation is waiting for its execution slot.
     pub fn has_pending(&self) -> bool {
         self.pending.is_some()
+    }
+
+    /// Clocking contract: the engine is purely reactive — it changes state
+    /// only through `on_act` / mitigation callbacks issued by the controller,
+    /// never from the passage of time — so it never schedules its own wake.
+    pub fn next_event_at(&self, _now: Cycle) -> Option<Cycle> {
+        None
     }
 
     /// Executes the pending mitigation (if any), producing the victim-refresh

@@ -8,7 +8,7 @@
 //! with MOAT \[36\] in the paper). We model the counters exactly and the ABO
 //! protocol as one bank-blocking tRFM-length mitigation per alert.
 
-use autorfm_sim_core::RowAddr;
+use autorfm_sim_core::{Cycle, RowAddr};
 use autorfm_snapshot::{Reader, SnapError, Snapshot, Writer};
 use std::collections::HashMap;
 
@@ -47,6 +47,13 @@ impl PracState {
     /// Whether an ABO mitigation is being requested.
     pub fn abo_pending(&self) -> bool {
         self.abo_row.is_some()
+    }
+
+    /// Clocking contract: PRAC counters change only on ACTs, never from the
+    /// passage of time, so the state never schedules its own wake. A pending
+    /// ABO is serviced by the controller, whose scheduler supplies the wake.
+    pub fn next_event_at(&self, _now: Cycle) -> Option<Cycle> {
+        None
     }
 
     /// Consumes the pending ABO request, returning the row to mitigate and

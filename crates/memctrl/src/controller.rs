@@ -303,6 +303,154 @@ impl<M: MemoryMap> MemController<M> {
         self.rr_start = (self.rr_start + 1) % n;
     }
 
+    /// Clocking contract: a conservative lower bound on the next cycle at
+    /// which [`MemController::tick`] could change any state (its own, the
+    /// device's, or by producing a response), assuming no new requests arrive
+    /// in between. Never `None`: the device's self-scheduled REF/refresh-window
+    /// events always bound the wait.
+    ///
+    /// "Conservative" means the bound may be early — ticking at a cycle where
+    /// nothing happens is harmless (it is exactly what the per-step kernel
+    /// does) — but never late: every cycle strictly before the returned one is
+    /// provably a no-op for every bank, so a time-skipping caller that jumps
+    /// here and compensates the round-robin rotation with
+    /// [`MemController::skip_ticks`] stays bitwise identical to per-step
+    /// ticking.
+    ///
+    /// `horizon` is a scan cutoff, not part of the contract: the caller
+    /// treats any wake at or before it as "tick the very next step", so once
+    /// the running minimum falls inside the horizon the remaining banks
+    /// cannot change the caller's decision and the scan stops. The returned
+    /// cycle is then merely *a* wake ≤ horizon, not the global minimum —
+    /// pass `Cycle::MAX` to get the exact minimum.
+    pub fn next_event_at(&self, now: Cycle, horizon: Cycle) -> Option<Cycle> {
+        // The device's REF / refresh-window boundaries are global wakes: they
+        // must be ticked on time so REF processing, RAA credits, and audit
+        // windows land on the same step as under per-step ticking.
+        let mut wake = match self.device.next_event_at(now) {
+            Some(w) => w,
+            None => Cycle::MAX,
+        };
+        for b in 0..self.queues.len() {
+            if wake <= horizon {
+                return Some(wake.max(now)); // Caller ticks next step anyway.
+            }
+            if let Some(w) = self.bank_next_event(BankId(b as u16), now) {
+                wake = wake.min(w);
+            }
+        }
+        Some(wake)
+    }
+
+    /// The earliest cycle at which [`MemController::service_bank`] could act
+    /// on `bank` (mirrors its decision order over state frozen at `now`), or
+    /// `None` if the bank has no work that time alone can unblock before the
+    /// next REF (the device wake covers the post-REF recomputation).
+    fn bank_next_event(&self, bank: BankId, _now: Cycle) -> Option<Cycle> {
+        let bi = bank.0 as usize;
+        // Nothing happens before both the whole-bank retry hold (Fig 7) and
+        // the device-level blocking window have passed.
+        let gate = self.bank_hold_until[bi].max(self.device.blocked_until(bank));
+        let open = self.device.open_row(bank);
+        // ABO / RFM service points: due as soon as the gate passes (closed
+        // row) or once the open row may be precharged.
+        let mitigation_due = (self.device.abo_pending(bank) && self.miss_serviced[bi])
+            || self
+                .rfm_th
+                .is_some_and(|th| self.raa[bi] >= th && self.miss_serviced[bi]);
+        if mitigation_due {
+            return Some(match open {
+                Some(_) => gate.max(self.device.earliest_pre(bank)),
+                None => gate,
+            });
+        }
+        let buffered = matches!(self.cfg.write_policy, WritePolicy::Buffered { .. });
+        match open {
+            Some(row) => {
+                let mut wake: Option<Cycle> = None;
+                let mut consider = |c: Cycle| {
+                    wake = Some(wake.map_or(c, |w| w.min(c)));
+                };
+                // Earliest serviceable row-buffer hit: any matching request,
+                // once unblocked, the column timing allows, and the bus is
+                // free — provided the hit lands inside the tRAS hit window
+                // and its data phase clears the bank's next REF. (The actual
+                // tick still picks by queue position; an early wake at worst
+                // executes a no-op step.)
+                let hit_base = gate
+                    .max(self.device.earliest_col(bank))
+                    .max(self.bus_free[self.subch_of(bank)]);
+                let window_end = match self.cfg.page_policy {
+                    PagePolicy::ClosedWithinTras => {
+                        Some(self.device.act_time(bank) + self.timings.t_ras)
+                    }
+                    PagePolicy::Open => None,
+                };
+                let data = self.timings.t_cl + self.timings.t_burst;
+                let next_ref = self.device.bank_next_ref(bank);
+                let mut scan_hits = |q: &VecDeque<QueuedReq>| {
+                    for r in q.iter().filter(|r| r.row == row) {
+                        let t = hit_base.max(r.blocked_until);
+                        if window_end.is_none_or(|end| t <= end) && t + data <= next_ref {
+                            consider(t);
+                        }
+                    }
+                };
+                scan_hits(&self.queues[bi]);
+                if buffered {
+                    scan_hits(&self.wqueues[bi]);
+                }
+                // Precharge: unconditional under closed-page once tRAS
+                // allows; open-page only once a conflicting request waits.
+                match self.cfg.page_policy {
+                    PagePolicy::ClosedWithinTras => {
+                        consider(gate.max(self.device.earliest_pre(bank)));
+                    }
+                    PagePolicy::Open => {
+                        let conflict = self.queues[bi]
+                            .iter()
+                            .chain(self.wqueues[bi].iter())
+                            .filter(|r| r.row != row)
+                            .map(|r| r.blocked_until)
+                            .min();
+                        if let Some(b) = conflict {
+                            consider(gate.max(self.device.earliest_pre(bank)).max(b));
+                        }
+                    }
+                }
+                wake
+            }
+            None => {
+                // The next ACT: earliest eligible request once ACT timing
+                // (tRC/tRP, tRRD, tFAW) allows. Write drain ignores
+                // per-request holds, matching service_closed.
+                let from_writes = buffered
+                    && !self.wqueues[bi].is_empty()
+                    && (self.draining || self.queues[bi].is_empty());
+                let earliest_req = if from_writes {
+                    Some(Cycle::ZERO)
+                } else {
+                    self.queues[bi].iter().map(|r| r.blocked_until).min()
+                };
+                let t = gate.max(self.device.earliest_act(bank)).max(earliest_req?);
+                // A service whose data phase would collide with REF is
+                // refused until after the REF; the device wake covers that.
+                let service_end = t + self.timings.t_rcd + self.timings.t_cl + self.timings.t_burst;
+                (service_end <= self.device.bank_next_ref(bank)).then_some(t)
+            }
+        }
+    }
+
+    /// Compensates for `steps` skipped [`MemController::tick`] calls during
+    /// which every bank was provably idle: each tick advances the round-robin
+    /// arbitration start by one regardless of work, and snapshots include it.
+    /// Skipped steps issue no commands, so the rotation's *order* cannot have
+    /// mattered — only its final position must match per-step ticking.
+    pub fn skip_ticks(&mut self, steps: u64) {
+        let n = self.queues.len();
+        self.rr_start = (self.rr_start + (steps % n as u64) as usize) % n;
+    }
+
     fn subch_of(&self, bank: BankId) -> usize {
         (bank.0 / self.banks_per_subch) as usize % self.bus_free.len()
     }

@@ -57,5 +57,5 @@ pub use mint::Mint;
 pub use mithril::Mithril;
 pub use parfm::Parfm;
 pub use pride::Pride;
-pub use tracker::{build_tracker, MitigationTarget, Tracker, TrackerKind};
+pub use tracker::{build_tracker, by_name, names, MitigationTarget, Tracker, TrackerKind};
 pub use trr::NaiveTrr;

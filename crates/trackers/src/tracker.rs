@@ -116,6 +116,41 @@ pub enum TrackerKind {
     Dsac,
 }
 
+impl TrackerKind {
+    /// Every tracker kind, in registry order (the order of [`names`]).
+    pub const ALL: [TrackerKind; 7] = [
+        TrackerKind::Mint,
+        TrackerKind::MintRecursive,
+        TrackerKind::Pride,
+        TrackerKind::Mithril,
+        TrackerKind::Parfm,
+        TrackerKind::NaiveTrr,
+        TrackerKind::Dsac,
+    ];
+}
+
+impl core::str::FromStr for TrackerKind {
+    type Err = ConfigError;
+
+    /// Parses a registry name (the [`fmt::Display`] form, e.g. `"mint"` or
+    /// `"naive-trr"`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "mint" => Ok(TrackerKind::Mint),
+            "mint-recursive" => Ok(TrackerKind::MintRecursive),
+            "pride" => Ok(TrackerKind::Pride),
+            "mithril" => Ok(TrackerKind::Mithril),
+            "parfm" => Ok(TrackerKind::Parfm),
+            "naive-trr" => Ok(TrackerKind::NaiveTrr),
+            "dsac" => Ok(TrackerKind::Dsac),
+            other => Err(ConfigError::new(format!(
+                "unknown tracker '{other}' (known: {})",
+                names().join(", ")
+            ))),
+        }
+    }
+}
+
 impl fmt::Display for TrackerKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -160,9 +195,65 @@ pub fn build_tracker(kind: TrackerKind, window: u32) -> Result<Box<dyn Tracker>,
     })
 }
 
+/// Builds a boxed tracker by registry name (the [`fmt::Display`] form of
+/// [`TrackerKind`]) with mitigation window `window`.
+///
+/// This is the string-keyed entry point used by CLI surfaces (`--tracker`)
+/// and sweep harnesses; [`names`] lists every accepted name.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] for an unknown name or an invalid `window`.
+///
+/// # Examples
+///
+/// ```
+/// use autorfm_trackers::by_name;
+///
+/// let t = by_name("mithril", 16)?;
+/// assert_eq!(t.name(), "mithril");
+/// assert!(by_name("no-such-tracker", 16).is_err());
+/// # Ok::<(), autorfm_sim_core::ConfigError>(())
+/// ```
+pub fn by_name(name: &str, window: u32) -> Result<Box<dyn Tracker>, ConfigError> {
+    build_tracker(name.parse()?, window)
+}
+
+/// Every tracker registry name, in [`TrackerKind::ALL`] order.
+///
+/// # Examples
+///
+/// ```
+/// assert!(autorfm_trackers::names().contains(&"pride"));
+/// ```
+pub fn names() -> [&'static str; TrackerKind::ALL.len()] {
+    [
+        "mint",
+        "mint-recursive",
+        "pride",
+        "mithril",
+        "parfm",
+        "naive-trr",
+        "dsac",
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn registry_round_trips() {
+        for (kind, name) in TrackerKind::ALL.iter().zip(names()) {
+            assert_eq!(kind.to_string(), name);
+            assert_eq!(name.parse::<TrackerKind>().unwrap(), *kind);
+            let t = by_name(name, 4).unwrap();
+            assert_eq!(t.window(), 4);
+        }
+        assert!("mint ".parse::<TrackerKind>().is_err());
+        assert!(by_name("", 4).is_err());
+        assert!(by_name("mint", 0).is_err());
+    }
 
     #[test]
     fn build_all_kinds() {

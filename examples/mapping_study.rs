@@ -21,13 +21,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Normalize each against the Zen no-mitigation baseline (as the paper does).
-    let base_cfg = SimConfig::scenario(
-        spec,
-        Scenario::Baseline {
+    let base_cfg = SimConfig::builder(spec)
+        .scenario(Scenario::Baseline {
             mapping: MappingKind::Zen,
-        },
-    )
-    .with_instructions(instr);
+        })
+        .instructions(instr)
+        .build()?;
     let base = System::new(base_cfg)?.run();
 
     for mapping in [
@@ -35,9 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         MappingKind::Rubix { key: 0xAB1E },
         MappingKind::Linear,
     ] {
-        let mut cfg = SimConfig::baseline(spec).with_instructions(instr);
-        cfg.mapping = mapping;
-        cfg.mitigation = DeviceMitigation::auto_rfm(4);
+        let cfg = SimConfig::builder(spec)
+            .instructions(instr)
+            .mapping(mapping)
+            .mitigation(DeviceMitigation::auto_rfm(4))
+            .build()?;
         let mut sys = System::new(cfg)?;
         let r = sys.run();
         println!(

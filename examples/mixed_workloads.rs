@@ -15,21 +15,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let instr = 40_000;
 
-    let base_cfg = SimConfig::scenario(
-        mix[0],
-        Scenario::Baseline {
+    let base_cfg = SimConfig::builder(mix[0])
+        .scenario(Scenario::Baseline {
             mapping: MappingKind::Zen,
-        },
-    )
-    .with_mix(mix.clone())
-    .with_cores(8)
-    .with_instructions(instr);
+        })
+        .mix(mix.clone())
+        .cores(8)
+        .instructions(instr)
+        .build()?;
     let base = System::new(base_cfg)?.run();
 
-    let auto_cfg = SimConfig::scenario(mix[0], Scenario::AutoRfm { th: 4 })
-        .with_mix(mix.clone())
-        .with_cores(8)
-        .with_instructions(instr);
+    let auto_cfg = SimConfig::builder(mix[0])
+        .scenario(Scenario::AutoRfm { th: 4 })
+        .mix(mix.clone())
+        .cores(8)
+        .instructions(instr)
+        .build()?;
     let auto = System::new(auto_cfg)?.run();
 
     println!("8-core mix: 2x bwaves, 2x mcf, 2x PageRank, 2x copy\n");

@@ -11,19 +11,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = WorkloadSpec::by_name("bwaves").expect("bwaves is a Table-V workload");
 
     // Baseline: the paper's 8-core DDR5 system, AMD-Zen mapping, no mitigation.
-    let baseline_cfg = SimConfig::scenario(
-        spec,
-        Scenario::Baseline {
+    let baseline_cfg = SimConfig::builder(spec)
+        .scenario(Scenario::Baseline {
             mapping: MappingKind::Zen,
-        },
-    )
-    .with_instructions(50_000);
+        })
+        .instructions(50_000)
+        .build()?;
     let baseline = System::new(baseline_cfg)?.run();
 
     // AutoRFM-4: MINT tracker + Fractal Mitigation + Rubix randomized mapping.
     // Tolerates a Rowhammer threshold of 74 (Table VI).
-    let autorfm_cfg =
-        SimConfig::scenario(spec, Scenario::AutoRfm { th: 4 }).with_instructions(50_000);
+    let autorfm_cfg = SimConfig::builder(spec)
+        .scenario(Scenario::AutoRfm { th: 4 })
+        .instructions(50_000)
+        .build()?;
     let autorfm = System::new(autorfm_cfg)?.run();
 
     println!("workload: {}", spec.name);

@@ -14,13 +14,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = WorkloadSpec::by_name("PageRank").expect("Table-V workload");
     let instr = 50_000;
 
-    let base_cfg = SimConfig::scenario(
-        spec,
-        Scenario::Baseline {
+    let base_cfg = SimConfig::builder(spec)
+        .scenario(Scenario::Baseline {
             mapping: MappingKind::Zen,
-        },
-    )
-    .with_instructions(instr);
+        })
+        .instructions(instr)
+        .build()?;
     let base = System::new(base_cfg)?.run();
 
     println!(
@@ -34,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     for th in [4u32, 8, 16, 32] {
-        let cfg = SimConfig::scenario(spec, Scenario::Rfm { th }).with_instructions(instr);
+        let cfg = SimConfig::builder(spec)
+            .scenario(Scenario::Rfm { th })
+            .instructions(instr)
+            .build()?;
         let r = System::new(cfg)?.run();
         let trhd = MintModel::rfm(th, true).tolerated_trh_d();
         println!(
@@ -46,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     for th in [4u32, 8, 16] {
-        let cfg = SimConfig::scenario(spec, Scenario::AutoRfm { th }).with_instructions(instr);
+        let cfg = SimConfig::builder(spec)
+            .scenario(Scenario::AutoRfm { th })
+            .instructions(instr)
+            .build()?;
         let r = System::new(cfg)?.run();
         let trhd = MintModel::auto_rfm(th, false).tolerated_trh_d();
         println!(

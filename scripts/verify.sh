@@ -26,6 +26,14 @@ echo "== snapshot golden digest gate =="
 # behavioural drift and silent changes to the snapshot encoding.
 cargo test --release -q --test golden golden_snapshot_digest
 
+echo "== stepped-vs-event kernel differential gate =="
+# The event-driven time-skip kernel must be bitwise identical to the stepped
+# oracle: the differential matrix compares SimResults and snapshot digests
+# across (workload x tracker) on both kernels, and the golden digest must
+# also hold under the stepped kernel (it runs on the event kernel above).
+cargo test --release -q --test kernel_differential
+AUTORFM_STEPPED_KERNEL=1 cargo test --release -q --test golden golden_snapshot_digest
+
 echo "== run_all --quick --jobs ${JOBS} =="
 start=$(date +%s)
 cargo run --release -p autorfm-bench --bin run_all -- --quick --jobs "${JOBS}"
@@ -41,7 +49,13 @@ if ! grep -q "already complete, skipping" <<<"${resume_out}"; then
     exit 1
 fi
 
-echo "== perf_smoke (serial/parallel + warm-fork timings) =="
-cargo run --release -p autorfm-bench --bin perf_smoke -- --jobs "${JOBS}"
+echo "== perf_smoke (serial/parallel + warm-fork + kernel timings) =="
+# perf_smoke exits nonzero if either kernel run fails or diverges; keep its
+# one-line JSON (stepped_s / event_s / kernel_skip_ratio and the per-workload
+# kernel breakdown) as a timing record next to the other reports.
+perf_json="$(cargo run --release -p autorfm-bench --bin perf_smoke -- --jobs "${JOBS}")"
+printf '%s\n' "${perf_json}"
+printf '%s\n' "${perf_json}" | tail -n 1 > results/perf_smoke_kernels.json
+echo "kernel timings -> results/perf_smoke_kernels.json"
 
 echo "verify: OK"

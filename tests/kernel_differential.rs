@@ -1,0 +1,115 @@
+//! Differential tests: the event-driven time-skip kernel must be
+//! observationally identical to the stepped oracle kernel.
+//!
+//! The event kernel (the default) leaps over steps it can prove are no-ops;
+//! the stepped kernel executes every step and serves as the correctness
+//! oracle (see `DESIGN.md`, "The clocking contract"). These tests run a
+//! (workload × tracker) smoke matrix through both kernels and require
+//! bitwise-identical [`SimResult`]s and identical sealed-snapshot digests —
+//! the digest fingerprints the *entire* machine state, so any step the event
+//! kernel wrongly skipped (or wrongly executed) shows up here.
+
+use autorfm::experiments::Scenario;
+use autorfm::trackers::{self, TrackerKind};
+use autorfm::{KernelKind, SimConfig, SimResult, System};
+use autorfm_workloads::WorkloadSpec;
+
+/// A small but full-stack configuration: enough instructions for the caches,
+/// controller queues, and mitigation trackers to all see traffic, small
+/// enough that the matrix stays a smoke test.
+fn smoke_config(workload: &str, tracker: TrackerKind) -> SimConfig {
+    let spec = WorkloadSpec::by_name(workload).expect("known workload");
+    SimConfig::builder(spec)
+        .scenario(Scenario::AutoRfmWith { th: 4, tracker })
+        .cores(2)
+        .instructions(2_000)
+        .seed(42)
+        .warmup_mem_ops(2_000)
+        .build()
+        .expect("valid smoke config")
+}
+
+/// `SimResult` holds floats and nested stat blocks; its `Debug` rendering is
+/// a lossless textual fingerprint of every field, so equal strings means
+/// bitwise-equal results.
+fn fingerprint(r: &SimResult) -> String {
+    format!("{r:?}")
+}
+
+fn snapshot_digest(sys: &System) -> u64 {
+    let snap = sys.snapshot().expect("snapshot serializes");
+    autorfm::snapshot::open(&snap)
+        .expect("snapshot reopens")
+        .digest
+}
+
+/// Completed runs must be bitwise identical across the smoke matrix, and the
+/// final machine states must hash to the same sealed-snapshot digest.
+#[test]
+fn kernels_agree_on_workload_tracker_matrix() {
+    for workload in ["mcf", "wrf"] {
+        for name in trackers::names() {
+            let tracker: TrackerKind = name.parse().expect("registry name parses");
+            let mut stepped = System::new(smoke_config(workload, tracker)).unwrap();
+            let mut event = System::new(smoke_config(workload, tracker)).unwrap();
+            let r_stepped = stepped.run_with(KernelKind::Stepped);
+            let r_event = event.run_with(KernelKind::Event);
+            assert_eq!(
+                fingerprint(&r_stepped),
+                fingerprint(&r_event),
+                "SimResult diverged on {workload} × {name}"
+            );
+            assert_eq!(
+                snapshot_digest(&stepped),
+                snapshot_digest(&event),
+                "final snapshot digest diverged on {workload} × {name}"
+            );
+            let (executed, skipped) = event.kernel_stats();
+            assert!(
+                skipped > 0,
+                "event kernel never skipped on {workload} × {name} \
+                 ({executed} steps executed)"
+            );
+        }
+    }
+}
+
+/// `run_steps(max_steps)` must stop at exactly the same step boundary on both
+/// kernels: a leap that would overshoot the budget has to be truncated so
+/// mid-run checkpoints (and their golden digests) stay kernel-independent.
+#[test]
+fn run_steps_stops_on_identical_boundary() {
+    let budget = 500;
+    let mut stepped = System::new(smoke_config("mcf", TrackerKind::Mint)).unwrap();
+    let mut event = System::new(smoke_config("mcf", TrackerKind::Mint)).unwrap();
+    assert!(stepped
+        .run_steps_with(budget, KernelKind::Stepped)
+        .is_none());
+    assert!(event.run_steps_with(budget, KernelKind::Event).is_none());
+    assert_eq!(
+        stepped.now(),
+        event.now(),
+        "kernels paused at different cycles"
+    );
+    assert_eq!(
+        snapshot_digest(&stepped),
+        snapshot_digest(&event),
+        "mid-run snapshot digest diverged at the step boundary"
+    );
+
+    // Resuming each paused system to completion must also converge.
+    let r_stepped = stepped.run_with(KernelKind::Stepped);
+    let r_event = event.run_with(KernelKind::Event);
+    assert_eq!(fingerprint(&r_stepped), fingerprint(&r_event));
+}
+
+/// The stepped kernel is reachable through the environment knob the harness
+/// uses (`AUTORFM_STEPPED_KERNEL=1`); the parser behind it must accept both
+/// spellings and reject everything else.
+#[test]
+fn kernel_names_round_trip() {
+    for kernel in [KernelKind::Event, KernelKind::Stepped] {
+        assert_eq!(KernelKind::parse(kernel.name()), Some(kernel));
+    }
+    assert_eq!(KernelKind::parse("warp-speed"), None);
+}
