@@ -6,7 +6,7 @@
 use autorfm::cpu::{Core, CoreParams, Op, Uncore, UncoreParams};
 use autorfm::dram::{DeviceMitigation, DramConfig, DramDevice};
 use autorfm::mapping::{FeistelPrp, MemoryMap, RubixMap, ZenMap};
-use autorfm::memctrl::MemController;
+use autorfm::memctrl::{MemController, MemRequest};
 use autorfm::mitigation::{FractalPolicy, MitigationPolicy};
 use autorfm::sim_core::{BankId, Cycle, DetRng, Geometry, LineAddr, RowAddr};
 use autorfm::trackers::{build_tracker, MitigationTarget, TrackerKind};
@@ -134,6 +134,98 @@ fn bench_controller(c: &mut Criterion) {
     });
 }
 
+/// `MemController::next_event_at` under the queue mixes that bracket the
+/// event kernel's query cost: idle-bank-heavy (every bank clean and empty —
+/// the floor the dirty-tracked cache must hit so low-traffic leaps stay
+/// cheap) and hot-bank-heavy (every bank holding queued work, cached vs.
+/// re-derived from a full queue scan).
+fn bench_wake(c: &mut Criterion) {
+    let g = Geometry::paper_baseline();
+    let new_mc = || {
+        let dev = DramDevice::new(
+            DramConfig {
+                geometry: g,
+                mitigation: DeviceMitigation::auto_rfm(4),
+                ..DramConfig::default()
+            },
+            7,
+        )
+        .unwrap();
+        MemController::new(ZenMap::new(g).unwrap(), dev, Default::default())
+    };
+    let fill = |mc: &mut MemController<ZenMap>, now: Cycle, base: u64, count: u64| {
+        for i in 0..count {
+            mc.enqueue(
+                MemRequest {
+                    id: base + i,
+                    core: 0,
+                    line: LineAddr((base + i) & (g.total_lines() - 1)),
+                    is_write: false,
+                },
+                now,
+            );
+        }
+    };
+
+    // All 64 banks idle, cache clean: the query is the device wake plus a
+    // scan of empty bitmask words.
+    c.bench_function("wake/next_event_idle", |b| {
+        let mut mc = new_mc();
+        let mut now = Cycle::from_ns(100);
+        mc.tick(now);
+        mc.next_event_at(now);
+        b.iter(|| {
+            now += Cycle::new(4);
+            black_box(mc.next_event_at(now))
+        })
+    });
+
+    // Every bank active with queued reads, cache clean: the pure
+    // combine-over-active-banks arithmetic, no refreshes.
+    c.bench_function("wake/next_event_hot_cached", |b| {
+        let mut mc = new_mc();
+        let mut now = Cycle::from_ns(100);
+        fill(&mut mc, now, 0, 256);
+        mc.tick(now);
+        mc.next_event_at(now);
+        b.iter(|| {
+            now += Cycle::new(4);
+            black_box(mc.next_event_at(now))
+        })
+    });
+
+    // Steady-state churn: every tick services (dirtying banks), every query
+    // refreshes them — the event kernel's hot-workload mix.
+    c.bench_function("wake/next_event_hot_churn", |b| {
+        let mut mc = new_mc();
+        let mut now = Cycle::from_ns(100);
+        let mut id = 0u64;
+        b.iter(|| {
+            if mc.pending_requests() < 64 {
+                fill(&mut mc, now, id, 64);
+                id += 64;
+            }
+            now += Cycle::new(4);
+            mc.tick(now);
+            mc.take_responses();
+            black_box(mc.next_event_at(now))
+        })
+    });
+
+    // The same hot wake re-derived from a full scan of every bank queue:
+    // what every query cost before the dirty-tracked cache.
+    c.bench_function("wake/fresh_full_scan_hot", |b| {
+        let mut mc = new_mc();
+        let mut now = Cycle::from_ns(100);
+        fill(&mut mc, now, 0, 256);
+        mc.tick(now);
+        b.iter(|| {
+            now += Cycle::new(4);
+            black_box(mc.fresh_next_event_at(now))
+        })
+    });
+}
+
 fn bench_system(c: &mut Criterion) {
     c.bench_function("system/autorfm4_1kinstr_2core", |b| {
         let spec = WorkloadSpec::by_name("mcf").unwrap();
@@ -191,6 +283,7 @@ criterion_group!(
     bench_mitigation,
     bench_device,
     bench_controller,
+    bench_wake,
     bench_system,
     bench_checker,
     bench_tracefile

@@ -146,52 +146,60 @@ fn main() {
     // and the skip ratio quantify the time-skip win. Single-core runs give
     // the cleanest skip windows (every memory stall idles the whole machine),
     // and a larger instruction budget keeps each timing above clock noise.
+    // Timings are min-of-3 with the kernels interleaved (stepped, event,
+    // stepped, event, ...) so a frequency ramp or scheduler hiccup hits both
+    // sides alike instead of biasing whichever ran second.
+    const KERNEL_REPS: usize = 3;
     let mut kernel_rows = Vec::new();
     let (mut stepped_s, mut event_s) = (0.0f64, 0.0f64);
     let (mut total_executed, mut total_skipped) = (0u64, 0u64);
+    let mut geomean_log = 0.0f64;
     for &spec in &quick.workloads {
         let cfg = SimConfig::builder(spec)
             .scenario(Scenario::AutoRfm { th: 4 })
             .cores(1)
-            .instructions(quick.instructions * 16)
+            .instructions(quick.instructions * 48)
             .build()
             .expect("valid quick config");
-        // Two timed runs per kernel, keeping the faster: single-run timings
-        // at this scale are dominated by scheduler jitter on small hosts.
-        let (r_stepped, t0, _) = timed_kernel_run(cfg.clone(), KernelKind::Stepped);
-        let (_, t1, _) = timed_kernel_run(cfg.clone(), KernelKind::Stepped);
-        let t_stepped = t0.min(t1);
-        let (r_event, t0, (executed, skipped)) = timed_kernel_run(cfg.clone(), KernelKind::Event);
-        let (_, t1, _) = timed_kernel_run(cfg, KernelKind::Event);
-        let t_event = t0.min(t1);
-        if r_stepped.elapsed != r_event.elapsed
-            || r_stepped.dram.acts.get() != r_event.dram.acts.get()
-            || r_stepped.dram.alerts.get() != r_event.dram.alerts.get()
-            || r_stepped.per_core_ipc != r_event.per_core_ipc
-        {
-            eprintln!(
-                "perf_smoke: event kernel diverged from stepped on {}",
-                spec.name
-            );
-            std::process::exit(1);
+        let (mut t_stepped, mut t_event) = (f64::MAX, f64::MAX);
+        let (mut executed, mut skipped) = (0u64, 0u64);
+        for _ in 0..KERNEL_REPS {
+            let (r_stepped, ts, _) = timed_kernel_run(cfg.clone(), KernelKind::Stepped);
+            let (r_event, te, stats) = timed_kernel_run(cfg.clone(), KernelKind::Event);
+            t_stepped = t_stepped.min(ts);
+            t_event = t_event.min(te);
+            (executed, skipped) = stats;
+            if r_stepped.elapsed != r_event.elapsed
+                || r_stepped.dram.acts.get() != r_event.dram.acts.get()
+                || r_stepped.dram.alerts.get() != r_event.dram.alerts.get()
+                || r_stepped.per_core_ipc != r_event.per_core_ipc
+            {
+                eprintln!(
+                    "perf_smoke: event kernel diverged from stepped on {}",
+                    spec.name
+                );
+                std::process::exit(1);
+            }
         }
         stepped_s += t_stepped;
         event_s += t_event;
         total_executed += executed;
         total_skipped += skipped;
         let skip_ratio = skipped as f64 / (executed + skipped).max(1) as f64;
+        let speedup = if t_event > 0.0 {
+            t_stepped / t_event
+        } else {
+            0.0
+        };
+        geomean_log += speedup.max(f64::MIN_POSITIVE).ln();
         kernel_rows.push(format!(
             "{{\"workload\":\"{}\",\"stepped_s\":{t_stepped:.3},\"event_s\":{t_event:.3},\
-             \"speedup\":{:.2},\"skip_ratio\":{skip_ratio:.3}}}",
+             \"speedup\":{speedup:.2},\"skip_ratio\":{skip_ratio:.3}}}",
             spec.name,
-            if t_event > 0.0 {
-                t_stepped / t_event
-            } else {
-                0.0
-            },
         ));
     }
     let kernel_skip_ratio = total_skipped as f64 / (total_executed + total_skipped).max(1) as f64;
+    let geomean_speedup = (geomean_log / quick.workloads.len().max(1) as f64).exp();
 
     let host = std::thread::available_parallelism().map_or(1, usize::from);
     let sim_cycles: u64 = parallel_results.iter().map(|r| r.elapsed.raw()).sum();
@@ -208,9 +216,22 @@ fn main() {
          \"forked_s\":{forked_s:.3},\"warm_fork_saved_s\":{:.3},\
          \"stepped_s\":{stepped_s:.3},\"event_s\":{event_s:.3},\
          \"kernel_skip_ratio\":{kernel_skip_ratio:.3},\
+         \"geomean_speedup\":{geomean_speedup:.3},\
          \"kernels\":[{}]}}",
         quick.jobs,
         cold_s - forked_s,
         kernel_rows.join(","),
     );
+
+    // Regression gate (off by default, enabled by verify.sh): an event kernel
+    // slower than the stepped oracle is a perf bug, not a data point.
+    if let Some(min) = opts.gate_speedup {
+        if geomean_speedup < min {
+            eprintln!(
+                "perf_smoke: geomean event-kernel speedup {geomean_speedup:.3} \
+                 below the --gate-speedup floor {min:.3}"
+            );
+            std::process::exit(1);
+        }
+    }
 }

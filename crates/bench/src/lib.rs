@@ -109,6 +109,11 @@ pub struct RunOpts {
     /// Tracker override for tracker-sweep binaries (`--tracker NAME`; see
     /// `autorfm::trackers::names()`; default: each binary's own set).
     pub tracker: Option<TrackerKind>,
+    /// Minimum acceptable geomean event-vs-stepped kernel speedup for
+    /// `perf_smoke` (`--gate-speedup MIN`; default `None` = report only).
+    /// With a gate set, a slower event kernel exits nonzero instead of
+    /// hiding the regression in JSON.
+    pub gate_speedup: Option<f64>,
 }
 
 /// The default worker-thread count: `AUTORFM_JOBS` if set and valid,
@@ -142,6 +147,7 @@ impl Default for RunOpts {
             warm_fork: true,
             kernel: KernelKind::Event,
             tracker: None,
+            gate_speedup: None,
         }
     }
 }
@@ -250,8 +256,16 @@ impl RunOpts {
                             .unwrap_or_else(|e| panic!("--tracker: {e}")),
                     );
                 }
+                "--gate-speedup" => {
+                    opts.gate_speedup = Some(
+                        args.next()
+                            .and_then(|v| v.parse::<f64>().ok())
+                            .filter(|m| m.is_finite() && *m > 0.0)
+                            .expect("--gate-speedup needs a positive number"),
+                    );
+                }
                 other => panic!(
-                    "unknown flag {other}; expected --quick|--full|--instructions N|--cores N|--jobs N|--workloads a,b|--telemetry|--epoch-ns N|--telemetry-csv DIR|--kernel K|--tracker T"
+                    "unknown flag {other}; expected --quick|--full|--instructions N|--cores N|--jobs N|--workloads a,b|--telemetry|--epoch-ns N|--telemetry-csv DIR|--kernel K|--tracker T|--gate-speedup MIN"
                 ),
             }
         }

@@ -230,7 +230,7 @@ impl System {
     /// comparisons; both kernels produce bitwise-identical results).
     pub fn run_with(&mut self, kernel: KernelKind) -> SimResult {
         loop {
-            let done = self.step_once();
+            let done = self.step_once(kernel);
             self.steps_executed += 1;
             if done {
                 break;
@@ -262,7 +262,7 @@ impl System {
     pub fn run_steps_with(&mut self, max_steps: u64, kernel: KernelKind) -> Option<SimResult> {
         let mut remaining = max_steps;
         while remaining > 0 {
-            let done = self.step_once();
+            let done = self.step_once(kernel);
             self.steps_executed += 1;
             if done {
                 return Some(self.finalize());
@@ -283,8 +283,15 @@ impl System {
     /// component, per the `next_event_at` clocking contract. Zero whenever any
     /// unfinished core is hot (can retire or dispatch next step) — checked
     /// first because it is the common case in compute-bound phases and costs
-    /// only a few loads per core, avoiding the per-bank scan entirely.
-    fn skippable_steps(&self, cap: u64) -> u64 {
+    /// only a few loads per core.
+    ///
+    /// No component's wake is derived by scanning here: core, uncore, and
+    /// telemetry wakes are O(1) reads of their own state (a core's wake is
+    /// its ROB head / dispatch block, polled directly), and the controller
+    /// serves its wake from a dirty-tracked per-bank cache, recomputing only
+    /// banks whose state changed since the last query (`&mut` for exactly
+    /// that reason).
+    fn skippable_steps(&mut self, cap: u64) -> u64 {
         let now = self.now;
         let hot = now + STEP;
         let mut wake = Cycle::MAX;
@@ -305,9 +312,7 @@ impl System {
         if self.uncore.next_event_at(now).is_some() {
             return 0;
         }
-        if let Some(w) = self.mc.next_event_at(now, hot) {
-            wake = wake.min(w);
-        }
+        wake = wake.min(self.mc.next_event_at(now));
         if let Some(t) = &self.telemetry {
             // Epochs must observe at identical cycles under both kernels.
             wake = wake.min(t.sampler.next_boundary());
@@ -338,8 +343,9 @@ impl System {
     }
 
     /// Advances the machine by one step; returns `true` when every core has
-    /// finished.
-    fn step_once(&mut self) -> bool {
+    /// finished. Both kernels execute the identical transition; `kernel` only
+    /// selects whether provably no-op component ticks may be elided.
+    fn step_once(&mut self, kernel: KernelKind) -> bool {
         let target = self.cfg.instructions_per_core;
         self.now += STEP;
         let now = self.now;
@@ -348,20 +354,39 @@ impl System {
             if self.finish_at[i].is_some() {
                 continue;
             }
-            core.step(
-                now,
-                CPU_CYCLES_PER_STEP,
-                &mut self.streams[i],
-                &mut self.uncore,
-            );
-            if core.retired() >= target {
-                self.finish_at[i] = Some(now);
-            } else {
-                all_done = false;
+            // The clocking contract as a per-core gate: a core whose wake
+            // lies beyond this step provably cannot retire or dispatch, so
+            // the walk over its ROB is skipped outright. (A blocked core's
+            // completion is delivered by `uncore.tick` *after* this loop, so
+            // it is polled — and stepped — no earlier than the per-step
+            // kernel would.)
+            if core.next_event_at(now).is_some_and(|w| w <= now) {
+                core.step(
+                    now,
+                    CPU_CYCLES_PER_STEP,
+                    &mut self.streams[i],
+                    &mut self.uncore,
+                );
+                if core.retired() >= target {
+                    self.finish_at[i] = Some(now);
+                    continue;
+                }
             }
+            all_done = false;
         }
         self.uncore.tick(&mut self.mc, now);
-        self.mc.tick(now);
+        // The stepped oracle ticks unconditionally; the event kernel lets the
+        // controller prove this step is a no-op for it (cached wakes all
+        // empty, device wake beyond `now`) and compensate the round-robin
+        // rotation instead — the same contract leaps rely on, applied to the
+        // executed steps where a core is hot but the memory system is quiet.
+        // When the controller does have work, `tick_event` services only the
+        // banks that can possibly act.
+        if kernel == KernelKind::Stepped {
+            self.mc.tick(now);
+        } else if !self.mc.tick_or_skip(now) {
+            self.mc.tick_event(now);
+        }
         self.uncore.tick(&mut self.mc, now);
         // Disabled telemetry (the default) costs exactly this one branch
         // per step; an Observation is only built at epoch boundaries.

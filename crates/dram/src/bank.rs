@@ -44,31 +44,37 @@ impl Bank {
     }
 
     /// The currently open row.
+    #[inline]
     pub fn open_row(&self) -> Option<RowAddr> {
         self.open_row
     }
 
     /// When the open row was activated (meaningful only while a row is open).
+    #[inline]
     pub fn act_time(&self) -> Cycle {
         self.act_at
     }
 
     /// The bank-blocking window (REF/RFM) end, if in the future.
+    #[inline]
     pub fn blocked_until(&self) -> Cycle {
         self.blocked_until
     }
 
     /// Earliest cycle an ACT may be issued (requires the bank precharged).
+    #[inline]
     pub fn earliest_act(&self) -> Cycle {
         self.next_act.max(self.blocked_until)
     }
 
     /// Earliest cycle a column (RD/WR) command may be issued to the open row.
+    #[inline]
     pub fn earliest_col(&self) -> Cycle {
         self.next_col.max(self.blocked_until)
     }
 
     /// Earliest cycle a PRE may be issued.
+    #[inline]
     pub fn earliest_pre(&self) -> Cycle {
         self.next_pre.max(self.blocked_until)
     }
@@ -79,6 +85,7 @@ impl Bank {
     }
 
     /// The SAUM busy-until timestamp (equals `Cycle::ZERO` when idle).
+    #[inline]
     pub fn saum_until(&self) -> Cycle {
         self.saum_until
     }

@@ -46,6 +46,7 @@ impl RankTiming {
         }
     }
 
+    #[inline]
     fn earliest_act(&self, t_rrd: Cycle, t_faw: Cycle) -> Cycle {
         let rrd_ready = if self.last_act == Cycle::ZERO {
             Cycle::ZERO
@@ -219,6 +220,7 @@ impl DramDevice {
 
     /// The cycle of the next self-scheduled REF event (controllers must not
     /// start service on an affected bank that would cross this boundary).
+    #[inline]
     pub fn next_ref_at(&self) -> Cycle {
         self.next_ref_at
     }
@@ -226,6 +228,7 @@ impl DramDevice {
     /// The next cycle at which *this bank* will be blocked by REF. Equal to
     /// [`Self::next_ref_at`] under all-bank refresh; under per-bank refresh it
     /// accounts for the round-robin rotation.
+    #[inline]
     pub fn bank_next_ref(&self, bank: BankId) -> Cycle {
         match self.cfg.refresh {
             RefreshPolicy::AllBank => self.next_ref_at,
@@ -239,11 +242,23 @@ impl DramDevice {
     }
 
     /// Number of completed tREFI periods (each credits the RAA counters).
+    #[inline]
     pub fn ref_epoch(&self) -> u64 {
         self.ref_epoch
     }
 
+    /// The per-bank refresh rotation cursor: advances by one for every REFsb
+    /// processed (unchanged under all-bank refresh). The bank refreshed by
+    /// cursor value `c` is `c % num_banks`, so a caller that records the
+    /// cursor across [`DramDevice::tick`] knows exactly which banks had their
+    /// blocking window and open row disturbed.
+    #[inline]
+    pub fn ref_cursor(&self) -> u32 {
+        self.ref_rr
+    }
+
     /// The cycle of the next refresh-window rollover (audit bookkeeping).
+    #[inline]
     pub fn next_refw_at(&self) -> Cycle {
         self.next_refw_at
     }
@@ -255,6 +270,7 @@ impl DramDevice {
     /// still tick the device at (or before) this cycle so REF processing,
     /// `ref_epoch`, and audit windows advance exactly as under per-step
     /// ticking.
+    #[inline]
     pub fn next_event_at(&self, _now: Cycle) -> Option<Cycle> {
         Some(self.next_ref_at.min(self.next_refw_at))
     }
@@ -314,34 +330,55 @@ impl DramDevice {
     }
 
     /// Earliest cycle an ACT may be issued to `bank` (bank + rank timing).
+    #[inline]
     pub fn earliest_act(&self, bank: BankId) -> Cycle {
-        let rank = &self.ranks[self.rank_of(bank)];
-        self.banks[bank.0 as usize]
-            .earliest_act()
-            .max(rank.earliest_act(self.cfg.timings.t_rrd, self.cfg.timings.t_faw))
+        self.earliest_act_bank(bank)
+            .max(self.earliest_act_rank(bank))
+    }
+
+    /// The bank-local component of [`DramDevice::earliest_act`] (tRC/tRP
+    /// recovery from the bank's own previous ACT/PRE). Changes only on
+    /// commands issued to `bank` itself, which is what lets a controller
+    /// cache it per bank and fold in the rank component at query time.
+    #[inline]
+    pub fn earliest_act_bank(&self, bank: BankId) -> Cycle {
+        self.banks[bank.0 as usize].earliest_act()
+    }
+
+    /// The rank-shared component of [`DramDevice::earliest_act`] (tRRD/tFAW
+    /// ACT spacing). Changes whenever *any* bank of the rank activates, so it
+    /// must be read live rather than cached per bank.
+    #[inline]
+    pub fn earliest_act_rank(&self, bank: BankId) -> Cycle {
+        self.ranks[self.rank_of(bank)].earliest_act(self.cfg.timings.t_rrd, self.cfg.timings.t_faw)
     }
 
     /// Earliest cycle a column command may be issued to `bank`'s open row.
+    #[inline]
     pub fn earliest_col(&self, bank: BankId) -> Cycle {
         self.banks[bank.0 as usize].earliest_col()
     }
 
     /// Earliest cycle a PRE may be issued to `bank`.
+    #[inline]
     pub fn earliest_pre(&self, bank: BankId) -> Cycle {
         self.banks[bank.0 as usize].earliest_pre()
     }
 
     /// The row currently open in `bank`.
+    #[inline]
     pub fn open_row(&self, bank: BankId) -> Option<RowAddr> {
         self.banks[bank.0 as usize].open_row()
     }
 
     /// When the currently open row was activated.
+    #[inline]
     pub fn act_time(&self, bank: BankId) -> Cycle {
         self.banks[bank.0 as usize].act_time()
     }
 
     /// The bank's full-blocking window end (REF/RFM/ABO).
+    #[inline]
     pub fn blocked_until(&self, bank: BankId) -> Cycle {
         self.banks[bank.0 as usize].blocked_until()
     }
@@ -481,12 +518,14 @@ impl DramDevice {
 
     /// Whether an RFM-mode mitigation window has completed for `bank` and is
     /// waiting for the controller to grant time via [`DramDevice::issue_rfm`].
+    #[inline]
     pub fn rfm_pending(&self, bank: BankId) -> bool {
         matches!(self.cfg.mitigation, DeviceMitigation::Rfm { .. })
             && self.engines[bank.0 as usize].has_pending()
     }
 
     /// Whether the PRAC per-row counters are requesting an ABO mitigation.
+    #[inline]
     pub fn abo_pending(&self, bank: BankId) -> bool {
         matches!(self.cfg.mitigation, DeviceMitigation::Prac { .. })
             && self.prac[bank.0 as usize].abo_pending()

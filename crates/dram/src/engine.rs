@@ -93,6 +93,7 @@ impl MitigationEngine {
     }
 
     /// Whether a mitigation is waiting for its execution slot.
+    #[inline]
     pub fn has_pending(&self) -> bool {
         self.pending.is_some()
     }

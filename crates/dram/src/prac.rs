@@ -45,6 +45,7 @@ impl PracState {
     }
 
     /// Whether an ABO mitigation is being requested.
+    #[inline]
     pub fn abo_pending(&self) -> bool {
         self.abo_row.is_some()
     }

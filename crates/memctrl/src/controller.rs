@@ -126,6 +126,42 @@ impl Snapshot for QueuedReq {
     }
 }
 
+/// A bank's wake, decomposed into cached bank-local candidate bases plus
+/// eligibility bounds. The candidates depend only on the bank's own state
+/// (its queues, holds, open row, mitigation counters, and own-command
+/// timings), so they stay valid until an event touches *that bank*; the
+/// shared, cross-bank terms — data-bus availability, rank tRRD/tFAW spacing,
+/// and the (rotating) next-REF bound — are folded in with O(1) arithmetic at
+/// query time by [`MemController::combine_cand`]. Every field is a timestamp
+/// or `Cycle::MAX` ("no such candidate"), so the mere passage of time never
+/// invalidates a cached entry.
+#[derive(Debug, Clone, Copy)]
+struct WakeCand {
+    /// Min over candidates with no shared-state dependence at all:
+    /// mitigation service points (ABO / RFM due) and precharge.
+    fixed: Cycle,
+    /// Row-buffer-hit base `max(gate, earliest_col)`; the live wake is
+    /// `max(hit_local, bus_free)`, kept only if it lands inside the tRAS hit
+    /// window and its data phase clears the bank's next REF.
+    hit_local: Cycle,
+    /// End of the tRAS hit window (`Cycle::MAX` under open-page: no bound).
+    hit_window_end: Cycle,
+    /// ACT base `max(gate, earliest_act_bank)`; the live wake is
+    /// `max(act_local, rank ACT spacing)`, kept only if the service's data
+    /// phase clears the bank's next REF.
+    act_local: Cycle,
+}
+
+impl WakeCand {
+    /// No candidates: an idle bank with nothing queued and nothing due.
+    const NONE: WakeCand = WakeCand {
+        fixed: Cycle::MAX,
+        hit_local: Cycle::MAX,
+        hit_window_end: Cycle::MAX,
+        act_local: Cycle::MAX,
+    };
+}
+
 /// The memory controller. Generic over the address mapping policy.
 pub struct MemController<M: MemoryMap> {
     map: M,
@@ -154,6 +190,41 @@ pub struct MemController<M: MemoryMap> {
     banks_per_subch: u16,
     rfm_th: Option<u32>,
     t_m: Cycle,
+    /// Cached bank-local wake candidates (see [`WakeCand`]). Redundant
+    /// state: rebuilt on restore, never serialized — as are the three bank
+    /// bitmasks below (one bit per bank, 64 banks per word).
+    bank_wake: Vec<WakeCand>,
+    /// Banks whose cached candidates must be recomputed before being
+    /// trusted. Set only by events that change the *bank's own* state —
+    /// shared couplings (data bus, rank ACT spacing, the next-REF bound) are
+    /// read live when candidates are combined, so they never dirty anything.
+    dirty_mask: Vec<u64>,
+    /// Banks whose cached candidates contain at least one entry: a clear bit
+    /// (a clean idle bank) contributes nothing to the wake and is skipped
+    /// without so much as a load of its candidates.
+    active_mask: Vec<u64>,
+    /// Valid bit positions in the final mask word (banks beyond `num_banks`
+    /// must never be set).
+    tail_mask: u64,
+    /// Whether the device refreshes per bank (rotating REF cursor) — cached
+    /// from the immutable device config so the query avoids re-deriving it.
+    per_bank_ref: bool,
+    /// `t_refi / num_banks`: spacing between consecutive per-bank REFs,
+    /// hoisted out of the query (one division per construction, not per
+    /// call). `Cycle::ZERO` under all-bank refresh.
+    ref_slice: Cycle,
+    /// `t_cl + t_burst`: a row-hit's data phase, for REF-collision checks.
+    t_data: Cycle,
+    /// `t_rcd + t_cl + t_burst`: a full ACT-to-data service, likewise.
+    t_act_data: Cycle,
+    /// Per-bank count of queued reads with a per-request hold set
+    /// (`RetryPolicy::PerRequest` only); zero on the default path, which
+    /// makes every eligibility scan over `queues` O(1).
+    deferred: Vec<u32>,
+    /// Per-bank count of queued reads targeting the currently open row.
+    /// Meaningful only while a row is open: recounted on ACT, adjusted on
+    /// enqueue/dequeue, ignored once the row closes.
+    open_hits: Vec<u32>,
 }
 
 impl<M: MemoryMap> core::fmt::Debug for MemController<M> {
@@ -187,7 +258,18 @@ impl<M: MemoryMap> MemController<M> {
         let t_m = device.mitigation_duration();
         let banks_per_subch = (device.config().geometry.num_banks / 2).max(1);
         let prev_ref_epoch = device.ref_epoch();
-        MemController {
+        let per_bank_ref = matches!(
+            device.config().refresh,
+            autorfm_dram::RefreshPolicy::PerBank
+        );
+        let ref_slice = if per_bank_ref {
+            timings.t_refi / n as u64
+        } else {
+            Cycle::ZERO
+        };
+        let t_data = timings.t_cl + timings.t_burst;
+        let t_act_data = timings.t_rcd + t_data;
+        let mut mc = MemController {
             map,
             cfg,
             queues: vec![VecDeque::new(); n],
@@ -207,7 +289,47 @@ impl<M: MemoryMap> MemController<M> {
             t_m,
             timings,
             device,
+            bank_wake: vec![WakeCand::NONE; n],
+            dirty_mask: vec![0; n.div_ceil(64)],
+            active_mask: vec![0; n.div_ceil(64)],
+            tail_mask: if n.is_multiple_of(64) {
+                !0
+            } else {
+                (1u64 << (n % 64)) - 1
+            },
+            per_bank_ref,
+            ref_slice,
+            t_data,
+            t_act_data,
+            deferred: vec![0; n],
+            open_hits: vec![0; n],
+        };
+        mc.mark_all_dirty();
+        mc
+    }
+
+    #[inline]
+    fn mark_dirty(&mut self, bi: usize) {
+        self.dirty_mask[bi >> 6] |= 1 << (bi & 63);
+    }
+
+    fn mark_all_dirty(&mut self) {
+        for w in &mut self.dirty_mask {
+            *w = !0;
         }
+        if let Some(last) = self.dirty_mask.last_mut() {
+            *last &= self.tail_mask;
+        }
+    }
+
+    #[inline]
+    fn inc_deferred(&mut self, bi: usize) {
+        self.deferred[bi] += 1;
+    }
+
+    #[inline]
+    fn dec_deferred(&mut self, bi: usize) {
+        self.deferred[bi] -= 1;
     }
 
     /// The owned DRAM device (for statistics inspection).
@@ -247,27 +369,42 @@ impl<M: MemoryMap> MemController<M> {
             enqueued_at: now,
             blocked_until: Cycle::ZERO,
         };
+        let bi = loc.bank.0 as usize;
         if req.is_write {
             if let WritePolicy::Buffered { capacity, high, .. } = self.cfg.write_policy {
                 if self.write_count >= capacity {
                     return false;
                 }
-                self.wqueues[loc.bank.0 as usize].push_back(queued);
+                self.wqueues[bi].push_back(queued);
                 self.write_count += 1;
+                self.mark_dirty(bi);
                 if self.write_count >= high {
-                    self.draining = true;
+                    self.set_draining(true);
                 }
                 self.stats.enqueued.inc();
                 return true;
             }
         }
-        let q = &mut self.queues[loc.bank.0 as usize];
-        if q.len() >= self.cfg.queue_capacity {
+        if self.queues[bi].len() >= self.cfg.queue_capacity {
             return false;
         }
-        q.push_back(queued);
+        if self.device.open_row(loc.bank) == Some(queued.row) {
+            self.open_hits[bi] += 1;
+        }
+        self.queues[bi].push_back(queued);
+        self.mark_dirty(bi);
         self.stats.enqueued.inc();
         true
+    }
+
+    /// Flips the write-drain watermark state. Draining changes which queue
+    /// `service_closed`/`bank_next_event` read for *every* bank, so a toggle
+    /// invalidates all cached wakes.
+    fn set_draining(&mut self, draining: bool) {
+        if self.draining != draining {
+            self.draining = draining;
+            self.mark_all_dirty();
+        }
     }
 
     /// Takes all responses produced since the last call.
@@ -279,6 +416,53 @@ impl<M: MemoryMap> MemController<M> {
     /// one command per bank. Call once per simulation step with monotonically
     /// non-decreasing `now`.
     pub fn tick(&mut self, now: Cycle) {
+        self.tick_refresh(now);
+        let n = self.queues.len();
+        for i in 0..n {
+            let b = (self.rr_start + i) % n;
+            // Service is unconditional (the stepped oracle's per-step
+            // semantics and cost must not change); the cache is only
+            // *marked* when the bank's state actually mutated —
+            // recomputation is deferred to the next `next_event_at` query,
+            // which the stepped kernel never issues.
+            if self.service_bank(BankId(b as u16), now) {
+                self.mark_dirty(b);
+            }
+        }
+        self.rr_start = (self.rr_start + 1) % n;
+    }
+
+    /// [`MemController::tick`] for time-skipping callers: identical
+    /// refresh processing, but the service loop visits only banks whose
+    /// cached wake candidates are non-empty (`active_mask`) or possibly
+    /// stale (`dirty_mask`). A clean inactive bank has no candidate of any
+    /// kind, so `service_bank` on it provably returns `false` without
+    /// touching state — the same property that lets the event kernel leap
+    /// over whole steps, applied bank-by-bank inside an executed step.
+    /// Buffered-write configurations never clear their dirty bits (the
+    /// cache is bypassed — see [`MemController::next_event_at`]), so the
+    /// mask walk degenerates to the full loop and stays correct.
+    pub fn tick_event(&mut self, now: Cycle) {
+        self.tick_refresh(now);
+        let n = self.queues.len();
+        for i in 0..n {
+            let b = (self.rr_start + i) % n;
+            if (self.active_mask[b >> 6] | self.dirty_mask[b >> 6]) & (1u64 << (b & 63)) == 0 {
+                continue;
+            }
+            if self.service_bank(BankId(b as u16), now) {
+                self.mark_dirty(b);
+            }
+        }
+        self.rr_start = (self.rr_start + 1) % n;
+    }
+
+    /// Shared tick prologue: advances the device (REF / refresh-window
+    /// processing) and applies the per-tREFI RAA credit, invalidating the
+    /// cached wakes the refresh state touched.
+    fn tick_refresh(&mut self, now: Cycle) {
+        let ref_before = self.device.next_ref_at();
+        let cursor_before = self.device.ref_cursor();
         self.device.tick(now);
         // Each completed tREFI period reduces every RAA counter by the
         // configured fraction of RFMTH (Section II-E/F).
@@ -294,20 +478,178 @@ impl<M: MemoryMap> MemController<M> {
                 }
             }
             self.prev_ref_epoch = epoch;
+            // The RAA credit (and, under all-bank refresh, the blocking
+            // window) touched every bank's state: all candidates are stale.
+            self.mark_all_dirty();
+        } else if self.device.next_ref_at() != ref_before {
+            // Per-bank REF(s) mid-rotation: only the refreshed banks had
+            // their state disturbed (blocking window set, open row forced
+            // closed). The moving next-REF *bound* is read live at query
+            // time, so the other banks' candidates stay clean.
+            let n = self.queues.len() as u32;
+            let count = self.device.ref_cursor().wrapping_sub(cursor_before);
+            if count >= n {
+                self.mark_all_dirty();
+            } else {
+                for c in 0..count {
+                    let b = (cursor_before.wrapping_add(c) % n) as usize;
+                    self.mark_dirty(b);
+                }
+            }
         }
-        let n = self.queues.len();
-        for i in 0..n {
-            let b = (self.rr_start + i) % n;
-            self.service_bank(BankId(b as u16), now);
+    }
+
+    /// Single-step fast path for time-skipping callers: when the controller
+    /// is provably quiet at `now`, compensates the round-robin rotation
+    /// ([`MemController::skip_ticks`]) instead of ticking and returns `true`;
+    /// otherwise returns `false` and the caller must [`MemController::tick`].
+    ///
+    /// Quiet means every cached wake candidate is empty (`active_mask` zero),
+    /// no candidate is stale (`dirty_mask` zero — a dirty bank *might* have
+    /// work, so it forces a real tick rather than a recompute here), and the
+    /// device's next self-scheduled REF/refresh-window event lies beyond
+    /// `now`. Under those conditions a tick could issue no command, produce
+    /// no response, and move no device state — the same contract that lets
+    /// the event kernel leap over such steps wholesale — so skipping is
+    /// bitwise identical to ticking. Buffered-write configurations bypass
+    /// the cache entirely (see [`MemController::next_event_at`]) and always
+    /// tick.
+    #[inline]
+    pub fn tick_or_skip(&mut self, now: Cycle) -> bool {
+        if matches!(self.cfg.write_policy, WritePolicy::Buffered { .. }) {
+            return false;
         }
-        self.rr_start = (self.rr_start + 1) % n;
+        let busy = self
+            .dirty_mask
+            .iter()
+            .zip(&self.active_mask)
+            .any(|(d, a)| d | a != 0);
+        if busy || self.device.next_event_at(now).is_none_or(|w| w <= now) {
+            return false;
+        }
+        self.skip_ticks(1);
+        true
+    }
+
+    /// Recomputes and caches bank `bi`'s local wake candidates, clearing its
+    /// dirty bit and maintaining its active bit.
+    fn refresh_wake(&mut self, bi: usize) {
+        let cand = self.bank_wake_cand(BankId(bi as u16));
+        let active = cand.fixed != Cycle::MAX
+            || cand.hit_local != Cycle::MAX
+            || cand.act_local != Cycle::MAX;
+        self.bank_wake[bi] = cand;
+        let (w, bit) = (bi >> 6, 1u64 << (bi & 63));
+        self.dirty_mask[w] &= !bit;
+        if active {
+            self.active_mask[w] |= bit;
+        } else {
+            self.active_mask[w] &= !bit;
+        }
+    }
+
+    /// Derives bank `bank`'s [`WakeCand`] from current state. Mirrors the
+    /// candidate derivation of [`MemController::bank_next_event_impl`] with
+    /// the shared terms (bus, rank ACT spacing, next-REF bound) left out.
+    ///
+    /// Per-request holds fold into the bases exactly: a candidate of the form
+    /// `min over requests r of max(base, r.blocked_until)` equals
+    /// `max(base, min over r of r.blocked_until)` (max is monotonic), and the
+    /// eligibility bounds (tRAS window, REF collision) only disqualify
+    /// *later* times, so if the minimum fails them every hold does. Holds are
+    /// timestamps set while servicing the bank (a dirtying event), so the
+    /// aggregated minimum is as cacheable as any other base. The common
+    /// no-holds case (`deferred == 0`) needs no scan at all: every queued
+    /// request's `blocked_until` is `Cycle::ZERO`.
+    fn bank_wake_cand(&self, bank: BankId) -> WakeCand {
+        let bi = bank.0 as usize;
+        let gate = self.bank_hold_until[bi].max(self.device.blocked_until(bank));
+        let open = self.device.open_row(bank);
+        let mitigation_due = (self.device.abo_pending(bank) && self.miss_serviced[bi])
+            || self
+                .rfm_th
+                .is_some_and(|th| self.raa[bi] >= th && self.miss_serviced[bi]);
+        if mitigation_due {
+            return WakeCand {
+                fixed: match open {
+                    Some(_) => gate.max(self.device.earliest_pre(bank)),
+                    None => gate,
+                },
+                ..WakeCand::NONE
+            };
+        }
+        let held = self.deferred[bi] > 0;
+        match open {
+            Some(row) => {
+                self.check_index(bi, row);
+                // Earliest unblocked row hit (`None`: no hit queued).
+                let hit_ready = if held {
+                    self.queues[bi]
+                        .iter()
+                        .filter(|r| r.row == row)
+                        .map(|r| r.blocked_until)
+                        .min()
+                } else {
+                    (self.open_hits[bi] > 0).then_some(Cycle::ZERO)
+                };
+                let hit_local = match hit_ready {
+                    Some(b) => gate.max(self.device.earliest_col(bank)).max(b),
+                    None => Cycle::MAX,
+                };
+                let (hit_window_end, fixed) = match self.cfg.page_policy {
+                    PagePolicy::ClosedWithinTras => (
+                        self.device.act_time(bank) + self.timings.t_ras,
+                        gate.max(self.device.earliest_pre(bank)),
+                    ),
+                    PagePolicy::Open => {
+                        // Precharge is a candidate only once a conflicting
+                        // request waits — and no earlier than its hold.
+                        let conflict_ready = if held {
+                            self.queues[bi]
+                                .iter()
+                                .filter(|r| r.row != row)
+                                .map(|r| r.blocked_until)
+                                .min()
+                        } else {
+                            (self.queues[bi].len() as u32 > self.open_hits[bi])
+                                .then_some(Cycle::ZERO)
+                        };
+                        let fixed = match conflict_ready {
+                            Some(b) => gate.max(self.device.earliest_pre(bank)).max(b),
+                            None => Cycle::MAX,
+                        };
+                        (Cycle::MAX, fixed)
+                    }
+                };
+                WakeCand {
+                    fixed,
+                    hit_local,
+                    hit_window_end,
+                    act_local: Cycle::MAX,
+                }
+            }
+            None => {
+                let ready = if held {
+                    self.queues[bi].iter().map(|r| r.blocked_until).min()
+                } else {
+                    (!self.queues[bi].is_empty()).then_some(Cycle::ZERO)
+                };
+                WakeCand {
+                    act_local: match ready {
+                        Some(b) => gate.max(self.device.earliest_act_bank(bank)).max(b),
+                        None => Cycle::MAX,
+                    },
+                    ..WakeCand::NONE
+                }
+            }
+        }
     }
 
     /// Clocking contract: a conservative lower bound on the next cycle at
     /// which [`MemController::tick`] could change any state (its own, the
     /// device's, or by producing a response), assuming no new requests arrive
-    /// in between. Never `None`: the device's self-scheduled REF/refresh-window
-    /// events always bound the wait.
+    /// in between. Never `Cycle::MAX` in practice: the device's self-scheduled
+    /// REF/refresh-window events always bound the wait.
     ///
     /// "Conservative" means the bound may be early — ticking at a cycle where
     /// nothing happens is harmless (it is exactly what the per-step kernel
@@ -317,36 +659,152 @@ impl<M: MemoryMap> MemController<M> {
     /// [`MemController::skip_ticks`] stays bitwise identical to per-step
     /// ticking.
     ///
-    /// `horizon` is a scan cutoff, not part of the contract: the caller
-    /// treats any wake at or before it as "tick the very next step", so once
-    /// the running minimum falls inside the horizon the remaining banks
-    /// cannot change the caller's decision and the scan stops. The returned
-    /// cycle is then merely *a* wake ≤ horizon, not the global minimum —
-    /// pass `Cycle::MAX` to get the exact minimum.
-    pub fn next_event_at(&self, now: Cycle, horizon: Cycle) -> Option<Cycle> {
+    /// The wake is *cached*, not recomputed: every bank keeps its last
+    /// derived bank-local candidates in `bank_wake`, and only banks whose
+    /// own state changed since (tracked in `wake_dirty` — see DESIGN.md "The
+    /// clocking contract" for the invalidation rules) are recomputed here.
+    /// The shared couplings — data-bus availability, rank tRRD/tFAW spacing,
+    /// the rotating next-REF bound — never dirty anything: they are read
+    /// live and folded into each bank's candidates with O(1) arithmetic by
+    /// [`MemController::combine_cand`]. The query is therefore an
+    /// O(dirty-banks) refresh plus an O(banks) arithmetic min, instead of a
+    /// full rescan of every bank queue.
+    pub fn next_event_at(&mut self, now: Cycle) -> Cycle {
         // The device's REF / refresh-window boundaries are global wakes: they
         // must be ticked on time so REF processing, RAA credits, and audit
-        // windows land on the same step as under per-step ticking.
-        let mut wake = match self.device.next_event_at(now) {
-            Some(w) => w,
-            None => Cycle::MAX,
-        };
-        for b in 0..self.queues.len() {
-            if wake <= horizon {
-                return Some(wake.max(now)); // Caller ticks next step anyway.
+        // windows land on the same step as under per-step ticking. They are
+        // O(1) state reads on the device, so they are not cached here.
+        let mut wake = self.device.next_event_at(now).unwrap_or(Cycle::MAX);
+        let n = self.queues.len();
+        if matches!(self.cfg.write_policy, WritePolicy::Buffered { .. }) {
+            // Buffered writes (ablation) couple every bank to the global
+            // drain state: recompute from scratch, no caching.
+            for bi in 0..n {
+                if let Some(w) = self.bank_next_event(BankId(bi as u16), now) {
+                    wake = wake.min(w);
+                }
             }
-            if let Some(w) = self.bank_next_event(BankId(b as u16), now) {
+            return wake;
+        }
+        // Next-REF bound, precomputed to match `DramDevice::bank_next_ref`
+        // bank-by-bank without per-bank divisions.
+        let next_ref = self.device.next_ref_at();
+        let per_bank_ref = self.per_bank_ref;
+        let ref_slice = self.ref_slice;
+        let ref_cursor = if per_bank_ref {
+            self.device.ref_cursor() as usize % n
+        } else {
+            0
+        };
+        // Shared rank/bus terms, refetched at sub-channel boundaries (the
+        // rank and sub-channel partitions coincide: both split the banks in
+        // half).
+        let half = (self.banks_per_subch as usize).min(n);
+        let mut seg_end = 0usize;
+        let (mut rank_act, mut bus_free) = (Cycle::ZERO, Cycle::ZERO);
+        // Only banks that are active (have candidates) or dirty (might) can
+        // contribute: everything else is a clean idle bank, skipped a word
+        // (64 banks) at a time.
+        for w in 0..self.dirty_mask.len() {
+            let mut m = self.active_mask[w] | self.dirty_mask[w];
+            while m != 0 {
+                let bi = (w << 6) + m.trailing_zeros() as usize;
+                m &= m - 1;
+                if (self.dirty_mask[w] >> (bi & 63)) & 1 != 0 {
+                    self.refresh_wake(bi);
+                    if (self.active_mask[w] >> (bi & 63)) & 1 == 0 {
+                        continue;
+                    }
+                }
+                let cand = self.bank_wake[bi];
+                // Shared terms only push candidates later (or disqualify
+                // them), so `combine_cand` can never return less than the
+                // bare minimum of the local bases: banks that cannot improve
+                // the running minimum are skipped before any shared-term
+                // arithmetic.
+                if cand.fixed.min(cand.hit_local).min(cand.act_local) >= wake {
+                    continue;
+                }
+                if bi >= seg_end {
+                    let seg = bi / half;
+                    seg_end = (seg + 1) * half;
+                    rank_act = self.device.earliest_act_rank(BankId(bi as u16));
+                    bus_free = self.bus_free[self.subch_of(BankId(bi as u16))];
+                }
+                let bank_ref = if per_bank_ref {
+                    let mut ahead = bi + n - ref_cursor;
+                    if ahead >= n {
+                        ahead -= n;
+                    }
+                    next_ref + ref_slice * ahead as u64
+                } else {
+                    next_ref
+                };
+                wake =
+                    wake.min(self.combine_cand(&self.bank_wake[bi], rank_act, bus_free, bank_ref));
+            }
+        }
+        wake
+    }
+
+    /// Folds the live shared terms into a bank's cached local candidates:
+    /// the data-bus free time and rank ACT spacing push candidate bases
+    /// later; the bank's next-REF bound disqualifies candidates whose data
+    /// phase would collide with it. Exactly mirrors the eligibility checks
+    /// of [`MemController::bank_next_event_impl`].
+    #[inline]
+    fn combine_cand(
+        &self,
+        cand: &WakeCand,
+        rank_act: Cycle,
+        bus_free: Cycle,
+        bank_ref: Cycle,
+    ) -> Cycle {
+        let mut wake = cand.fixed;
+        if cand.hit_local != Cycle::MAX {
+            let t = cand.hit_local.max(bus_free);
+            if t <= cand.hit_window_end && t + self.t_data <= bank_ref {
+                wake = wake.min(t);
+            }
+        }
+        if cand.act_local != Cycle::MAX {
+            let t = cand.act_local.max(rank_act);
+            if t + self.t_act_data <= bank_ref {
+                wake = wake.min(t);
+            }
+        }
+        wake
+    }
+
+    /// Test oracle: the same wake computed from scratch, bypassing both the
+    /// per-bank wake cache and the indexed-queue fast paths. O(banks × queue
+    /// length); [`MemController::next_event_at`] must always agree with this.
+    #[doc(hidden)]
+    pub fn fresh_next_event_at(&self, now: Cycle) -> Cycle {
+        let mut wake = self.device.next_event_at(now).unwrap_or(Cycle::MAX);
+        for b in 0..self.queues.len() {
+            if let Some(w) = self.bank_next_event_impl(BankId(b as u16), now, false) {
                 wake = wake.min(w);
             }
         }
-        Some(wake)
+        wake
     }
 
     /// The earliest cycle at which [`MemController::service_bank`] could act
     /// on `bank` (mirrors its decision order over state frozen at `now`), or
     /// `None` if the bank has no work that time alone can unblock before the
     /// next REF (the device wake covers the post-REF recomputation).
-    fn bank_next_event(&self, bank: BankId, _now: Cycle) -> Option<Cycle> {
+    ///
+    /// The result depends only on controller and device state — never on
+    /// `now` — which is what makes caching it in `bank_wake` sound.
+    fn bank_next_event(&self, bank: BankId, now: Cycle) -> Option<Cycle> {
+        self.bank_next_event_impl(bank, now, true)
+    }
+
+    /// `use_index`: take the indexed-queue fast paths (`deferred` /
+    /// `open_hits`). `false` forces the full scans — the oracle the fast
+    /// paths and the wake-coherence proptest are checked against.
+    fn bank_next_event_impl(&self, bank: BankId, _now: Cycle, use_index: bool) -> Option<Cycle> {
         let bi = bank.0 as usize;
         // Nothing happens before both the whole-bank retry hold (Fig 7) and
         // the device-level blocking window have passed.
@@ -396,9 +854,22 @@ impl<M: MemoryMap> MemController<M> {
                         }
                     }
                 };
-                scan_hits(&self.queues[bi]);
-                if buffered {
-                    scan_hits(&self.wqueues[bi]);
+                if use_index && !buffered && self.deferred[bi] == 0 {
+                    // Fast path: no per-request holds, so every queued hit
+                    // becomes serviceable at the same `hit_base`; the row-hit
+                    // count tells us whether one exists without scanning.
+                    self.check_index(bi, row);
+                    if self.open_hits[bi] > 0
+                        && window_end.is_none_or(|end| hit_base <= end)
+                        && hit_base + data <= next_ref
+                    {
+                        consider(hit_base);
+                    }
+                } else {
+                    scan_hits(&self.queues[bi]);
+                    if buffered {
+                        scan_hits(&self.wqueues[bi]);
+                    }
                 }
                 // Precharge: unconditional under closed-page once tRAS
                 // allows; open-page only once a conflicting request waits.
@@ -407,12 +878,19 @@ impl<M: MemoryMap> MemController<M> {
                         consider(gate.max(self.device.earliest_pre(bank)));
                     }
                     PagePolicy::Open => {
-                        let conflict = self.queues[bi]
-                            .iter()
-                            .chain(self.wqueues[bi].iter())
-                            .filter(|r| r.row != row)
-                            .map(|r| r.blocked_until)
-                            .min();
+                        let conflict = if use_index && !buffered && self.deferred[bi] == 0 {
+                            // Conflicts = queued reads not hitting the open
+                            // row, all unblocked (no holds outstanding).
+                            (self.queues[bi].len() as u32 > self.open_hits[bi])
+                                .then_some(Cycle::ZERO)
+                        } else {
+                            self.queues[bi]
+                                .iter()
+                                .chain(self.wqueues[bi].iter())
+                                .filter(|r| r.row != row)
+                                .map(|r| r.blocked_until)
+                                .min()
+                        };
                         if let Some(b) = conflict {
                             consider(gate.max(self.device.earliest_pre(bank)).max(b));
                         }
@@ -429,6 +907,11 @@ impl<M: MemoryMap> MemController<M> {
                     && (self.draining || self.queues[bi].is_empty());
                 let earliest_req = if from_writes {
                     Some(Cycle::ZERO)
+                } else if use_index && self.deferred[bi] == 0 {
+                    // Fast path: no holds outstanding, so the minimum
+                    // `blocked_until` is ZERO exactly when the queue is
+                    // non-empty.
+                    (!self.queues[bi].is_empty()).then_some(Cycle::ZERO)
                 } else {
                     self.queues[bi].iter().map(|r| r.blocked_until).min()
                 };
@@ -455,15 +938,39 @@ impl<M: MemoryMap> MemController<M> {
         (bank.0 / self.banks_per_subch) as usize % self.bus_free.len()
     }
 
-    fn service_bank(&mut self, bank: BankId, now: Cycle) {
+    /// Debug guard: the indexed aggregates must agree with a recount whenever
+    /// a fast path is about to rely on them.
+    #[inline]
+    fn check_index(&self, bi: usize, row: RowAddr) {
+        debug_assert_eq!(
+            self.open_hits[bi] as usize,
+            self.queues[bi].iter().filter(|r| r.row == row).count(),
+            "open_hits out of sync on bank {bi}"
+        );
+        debug_assert_eq!(
+            self.deferred[bi] as usize,
+            self.queues[bi]
+                .iter()
+                .filter(|r| r.blocked_until != Cycle::ZERO)
+                .count(),
+            "deferred out of sync on bank {bi}"
+        );
+    }
+
+    /// Returns `true` when the bank's state mutated in any way (a command
+    /// was issued, a hold was set, a request moved) — the caller must then
+    /// mark the bank's cached wake candidates dirty. A `false` return
+    /// guarantees the bank's own state is untouched, so its cached
+    /// [`WakeCand`] is still exact.
+    fn service_bank(&mut self, bank: BankId, now: Cycle) -> bool {
         let bi = bank.0 as usize;
         // AutoRFM whole-bank hold (busy bit + timestamp, Fig 7).
         if now < self.bank_hold_until[bi] {
-            return;
+            return false;
         }
         // Device-level blocking (REF / RFM / ABO in progress).
         if now < self.device.blocked_until(bank) {
-            return;
+            return false;
         }
         // PRAC: service ABO mitigation requests first. If a row is open with
         // an unserviced request, let that service finish (via the open-row
@@ -472,12 +979,13 @@ impl<M: MemoryMap> MemController<M> {
             if self.device.open_row(bank).is_some() {
                 if now >= self.device.earliest_pre(bank) {
                     self.device.precharge(bank, now);
+                    return true;
                 }
-            } else {
-                self.device.service_abo(bank, now);
-                self.stats.abo_serviced.inc();
+                return false;
             }
-            return;
+            self.device.service_abo(bank, now);
+            self.stats.abo_serviced.inc();
+            return true;
         }
         // RFM insertion when the RAA counter reaches RFMTH — again only once
         // the in-flight service (if any) has used its activation.
@@ -486,13 +994,14 @@ impl<M: MemoryMap> MemController<M> {
                 if self.device.open_row(bank).is_some() {
                     if now >= self.device.earliest_pre(bank) {
                         self.device.precharge(bank, now);
+                        return true;
                     }
-                } else {
-                    self.device.issue_rfm(bank, now);
-                    self.raa[bi] -= th;
-                    self.stats.rfms_issued.inc();
+                    return false;
                 }
-                return;
+                self.device.issue_rfm(bank, now);
+                self.raa[bi] -= th;
+                self.stats.rfms_issued.inc();
+                return true;
             }
         }
         match self.device.open_row(bank) {
@@ -501,8 +1010,9 @@ impl<M: MemoryMap> MemController<M> {
         }
     }
 
-    fn service_open(&mut self, bank: BankId, row: RowAddr, now: Cycle) {
+    fn service_open(&mut self, bank: BankId, row: RowAddr, now: Cycle) -> bool {
         let bi = bank.0 as usize;
+        let buffered = matches!(self.cfg.write_policy, WritePolicy::Buffered { .. });
         // Row-buffer hits are permitted only while within tRAS of the ACT
         // under the paper's closed-page variant (Section III); the open-page
         // ablation keeps the hit window open indefinitely.
@@ -513,11 +1023,23 @@ impl<M: MemoryMap> MemController<M> {
         let sub = self.subch_of(bank);
         if hit_window_open {
             // Prefer reads; a buffered write to the open row may also hit.
+            // With no per-request holds outstanding the eligibility check is
+            // vacuous, and the row-hit count skips the scan entirely when no
+            // queued read targets the open row (the common case).
             let mut from_writes = false;
-            let mut pos = self.queues[bi]
-                .iter()
-                .position(|r| r.row == row && now >= r.blocked_until);
-            if pos.is_none() && matches!(self.cfg.write_policy, WritePolicy::Buffered { .. }) {
+            let mut pos = if !buffered && self.deferred[bi] == 0 {
+                self.check_index(bi, row);
+                if self.open_hits[bi] == 0 {
+                    None
+                } else {
+                    self.queues[bi].iter().position(|r| r.row == row)
+                }
+            } else {
+                self.queues[bi]
+                    .iter()
+                    .position(|r| r.row == row && now >= r.blocked_until)
+            };
+            if pos.is_none() && buffered {
                 pos = self.wqueues[bi]
                     .iter()
                     .position(|r| r.row == row && now >= r.blocked_until);
@@ -532,13 +1054,18 @@ impl<M: MemoryMap> MemController<M> {
                     let req = if from_writes {
                         self.wqueues[bi].remove(pos).expect("position valid")
                     } else {
-                        self.queues[bi].remove(pos).expect("position valid")
+                        let req = self.queues[bi].remove(pos).expect("position valid");
+                        self.open_hits[bi] -= 1;
+                        if req.blocked_until != Cycle::ZERO {
+                            self.dec_deferred(bi);
+                        }
+                        req
                     };
                     if from_writes {
                         self.write_count -= 1;
                         if let WritePolicy::Buffered { low, .. } = self.cfg.write_policy {
                             if self.write_count <= low {
-                                self.draining = false;
+                                self.set_draining(false);
                             }
                         }
                     }
@@ -551,8 +1078,9 @@ impl<M: MemoryMap> MemController<M> {
                         self.stats.row_misses.inc();
                     }
                     self.complete(req, transfer_done);
+                    return true;
                 }
-                return;
+                return false;
             }
         }
         // No serviceable hit right now.
@@ -561,22 +1089,30 @@ impl<M: MemoryMap> MemController<M> {
             PagePolicy::ClosedWithinTras => {
                 if now >= self.device.earliest_pre(bank) {
                     self.device.precharge(bank, now);
+                    return true;
                 }
             }
             // Open-page: precharge only when a conflicting request waits.
             PagePolicy::Open => {
-                let conflict_waiting = self.queues[bi]
-                    .iter()
-                    .chain(self.wqueues[bi].iter())
-                    .any(|r| r.row != row && now >= r.blocked_until);
+                let conflict_waiting = if !buffered && self.deferred[bi] == 0 {
+                    self.check_index(bi, row);
+                    self.queues[bi].len() as u32 > self.open_hits[bi]
+                } else {
+                    self.queues[bi]
+                        .iter()
+                        .chain(self.wqueues[bi].iter())
+                        .any(|r| r.row != row && now >= r.blocked_until)
+                };
                 if conflict_waiting && now >= self.device.earliest_pre(bank) {
                     self.device.precharge(bank, now);
+                    return true;
                 }
             }
         }
+        false
     }
 
-    fn service_closed(&mut self, bank: BankId, now: Cycle) {
+    fn service_closed(&mut self, bank: BankId, now: Cycle) -> bool {
         let bi = bank.0 as usize;
         // Under buffered writes, serve the write queue when draining or when
         // the bank has no reads to do; otherwise reads win.
@@ -585,19 +1121,23 @@ impl<M: MemoryMap> MemController<M> {
             && (self.draining || self.queues[bi].is_empty());
         let pos = if from_writes {
             Some(0)
+        } else if self.deferred[bi] == 0 {
+            // No per-request holds: the head of the queue (if any) is
+            // eligible, no scan needed.
+            (!self.queues[bi].is_empty()).then_some(0)
         } else {
             self.queues[bi].iter().position(|r| now >= r.blocked_until)
         };
         let Some(pos) = pos else {
-            return;
+            return false;
         };
         if now < self.device.earliest_act(bank) {
-            return;
+            return false;
         }
         // Do not start a service whose data phase would collide with REF.
         let service_end = now + self.timings.t_rcd + self.timings.t_cl + self.timings.t_burst;
         if service_end > self.device.bank_next_ref(bank) {
-            return;
+            return false;
         }
         let row = if from_writes {
             self.wqueues[bi][pos].row
@@ -610,6 +1150,9 @@ impl<M: MemoryMap> MemController<M> {
                 if self.rfm_th.is_some() {
                     self.raa[bi] += 1;
                 }
+                // A row just opened: (re)count the queued reads that hit it.
+                self.open_hits[bi] = self.queues[bi].iter().filter(|r| r.row == row).count() as u32;
+                true
             }
             ActOutcome::Alerted { retry_at } => {
                 self.stats.alerts.inc();
@@ -623,11 +1166,16 @@ impl<M: MemoryMap> MemController<M> {
                         if from_writes {
                             self.wqueues[bi][pos].blocked_until = retry_at;
                         } else {
+                            if self.queues[bi][pos].blocked_until == Cycle::ZERO {
+                                self.inc_deferred(bi);
+                            }
                             self.queues[bi][pos].blocked_until = retry_at;
                         }
                         self.stats.retries.inc();
                     }
                 }
+                // A hold was set either way: the bank's wake changed.
+                true
             }
         }
     }
@@ -717,7 +1265,29 @@ impl<M: MemoryMap> MemController<M> {
         self.rr_start = r.take_usize()?;
         self.prev_ref_epoch = r.take_u64()?;
         self.device.restore_state(r)?;
+        // The wake cache and queue indexes are redundant state: they are
+        // never serialized (the snapshot byte format predates them and must
+        // not change) and are rebuilt here from the restored queues/device.
+        self.rebuild_caches();
         Ok(())
+    }
+
+    /// Recomputes every cached/indexed aggregate from authoritative state.
+    /// Called after [`MemController::restore_state`]; wakes themselves are
+    /// marked dirty and recomputed lazily on the next query or tick.
+    fn rebuild_caches(&mut self) {
+        self.mark_all_dirty();
+        self.active_mask.fill(0);
+        for bi in 0..self.queues.len() {
+            self.deferred[bi] = self.queues[bi]
+                .iter()
+                .filter(|r| r.blocked_until != Cycle::ZERO)
+                .count() as u32;
+            self.open_hits[bi] = match self.device.open_row(BankId(bi as u16)) {
+                Some(row) => self.queues[bi].iter().filter(|r| r.row == row).count() as u32,
+                None => 0,
+            };
+        }
     }
 }
 

@@ -50,12 +50,37 @@ if ! grep -q "already complete, skipping" <<<"${resume_out}"; then
 fi
 
 echo "== perf_smoke (serial/parallel + warm-fork + kernel timings) =="
-# perf_smoke exits nonzero if either kernel run fails or diverges; keep its
-# one-line JSON (stepped_s / event_s / kernel_skip_ratio and the per-workload
-# kernel breakdown) as a timing record next to the other reports.
-perf_json="$(cargo run --release -p autorfm-bench --bin perf_smoke -- --jobs "${JOBS}")"
+# perf_smoke exits nonzero if either kernel run fails or diverges, or — via
+# --gate-speedup — if the event kernel's geomean speedup over the stepped
+# oracle drops below 1.0 (a regression must fail CI, not hide in JSON). The
+# kernel A/B runs serially (--jobs 1 affects only the fan-out sections;
+# kernel timings are always serial) so timings are not cross-polluted.
+perf_json="$(cargo run --release -p autorfm-bench --bin perf_smoke -- \
+    --jobs "${JOBS}" --gate-speedup 1.0)"
 printf '%s\n' "${perf_json}"
 printf '%s\n' "${perf_json}" | tail -n 1 > results/perf_smoke_kernels.json
 echo "kernel timings -> results/perf_smoke_kernels.json"
+
+echo "== BENCH_5.json (per-PR bench trajectory) =="
+# Distill the headline throughput numbers into a top-level per-PR record so
+# the bench trajectory across PRs stays greppable in one place.
+python3 - <<'EOF'
+import json
+
+with open("results/perf_smoke_kernels.json") as f:
+    d = json.load(f)
+bench = {
+    "pr": 5,
+    "cycles_per_sec": d["cycles_per_sec"],
+    "event_s": d["event_s"],
+    "stepped_s": d["stepped_s"],
+    "kernel_skip_ratio": d["kernel_skip_ratio"],
+    "geomean_speedup": d["geomean_speedup"],
+}
+with open("BENCH_5.json", "w") as f:
+    json.dump(bench, f, indent=2)
+    f.write("\n")
+print("BENCH_5.json:", json.dumps(bench))
+EOF
 
 echo "verify: OK"

@@ -103,6 +103,39 @@ fn run_steps_stops_on_identical_boundary() {
     assert_eq!(fingerprint(&r_stepped), fingerprint(&r_event));
 }
 
+/// Wake caches are redundant state: a snapshot never serializes them, and a
+/// restored machine rebuilds them from the restored queues/device before its
+/// first query. The restored event kernel therefore leaps off *rebuilt*
+/// caches immediately — and must still finish bitwise identical to an
+/// uninterrupted event run (and, transitively, to the stepped oracle).
+#[test]
+fn restored_caches_rebuild_and_leap_identically() {
+    let cfg = smoke_config("mcf", TrackerKind::Mint);
+    let mut uninterrupted = System::new(cfg.clone()).unwrap();
+    let r_full = uninterrupted.run_with(KernelKind::Event);
+
+    let mut victim = System::new(cfg.clone()).unwrap();
+    assert!(
+        victim.run_steps_with(500, KernelKind::Event).is_none(),
+        "checkpoint must land mid-run"
+    );
+    let snap = victim.snapshot().expect("snapshot serializes");
+    drop(victim); // the "killed" run: its live caches die with it
+    let mut restored = System::restore(cfg, &snap).expect("snapshot restores");
+    let r_resumed = restored.run_with(KernelKind::Event);
+
+    assert_eq!(
+        fingerprint(&r_full),
+        fingerprint(&r_resumed),
+        "restored run diverged from the uninterrupted one"
+    );
+    assert_eq!(
+        snapshot_digest(&uninterrupted),
+        snapshot_digest(&restored),
+        "final machine state diverged after restore-then-leap"
+    );
+}
+
 /// The stepped kernel is reachable through the environment knob the harness
 /// uses (`AUTORFM_STEPPED_KERNEL=1`); the parser behind it must accept both
 /// spellings and reject everything else.
