@@ -9,7 +9,7 @@
 //!  "warm_fork_saved_s":1.15}
 //! ```
 //!
-//! Four measurements:
+//! Five measurements:
 //!
 //! * **serial vs parallel** — the same matrix through `run_matrix` with one
 //!   worker and with `--jobs` workers. Warm snapshots for every workload are
@@ -23,16 +23,21 @@
 //!   (`stepped_s`/`event_s`/`kernel_skip_ratio`, plus a per-workload
 //!   breakdown under `"kernels"`). Results must be bitwise identical; any
 //!   mismatch or panic exits nonzero before any JSON is emitted.
+//! * **batched vs sequential** — eight same-shape scenario lanes per
+//!   workload as one `SimBatch` and as eight standalone runs, timed end to
+//!   end (`batch_s`/`batch_seq_s`/`batch_speedup`, per-workload rows under
+//!   `"batches"`). Every lane must match its standalone run bitwise.
 //!
 //! All comparisons assert bitwise-identical results before reporting, so
 //! this binary is also an end-to-end determinism check for the parallel
-//! harness, the snapshot subsystem, and the time-skip kernel. Used by
-//! `scripts/verify.sh`.
+//! harness, the snapshot subsystem, the time-skip kernel, and the batched
+//! lockstep engine. Used by `scripts/verify.sh`.
 
 use autorfm::experiments::Scenario;
-use autorfm::{KernelKind, SimConfig, SimResult};
+use autorfm::{KernelKind, SimBatch, SimConfig, SimResult, System};
 use autorfm_bench::{
-    run, run_cold, run_matrix_cached, warm_cache, ResultCache, RunOpts, SimJob, BASELINE_ZEN,
+    run, run_cold, run_matrix_cached, warm_cache, ResultCache, RunOpts, SimJob, BASELINE_RUBIX,
+    BASELINE_ZEN,
 };
 use std::time::Instant;
 
@@ -201,6 +206,93 @@ fn main() {
     let kernel_skip_ratio = total_skipped as f64 / (total_executed + total_skipped).max(1) as f64;
     let geomean_speedup = (geomean_log / quick.workloads.len().max(1) as f64).exp();
 
+    // Batched A/B: eight same-shape scenario lanes per workload, once as a
+    // SimBatch and once as eight standalone systems. Both sides are timed
+    // end to end — construction, warmup, and run — because amortizing warmup
+    // and trace generation across lanes is exactly what batching buys; the
+    // standalone side deliberately pays the cold path a sweep without the
+    // harness caches would pay. The per-lane budget keeps the total
+    // instruction count equal to one kernel-A/B cell, and the same
+    // interleaved min-of-N discipline applies. Lanes must reproduce their
+    // standalone results bitwise or the benchmark exits nonzero.
+    const BATCH_LANES: [Scenario; 8] = [
+        BASELINE_ZEN,
+        BASELINE_RUBIX,
+        Scenario::Rfm { th: 4 },
+        Scenario::Rfm { th: 8 },
+        Scenario::RfmOnRubix { th: 4 },
+        Scenario::AutoRfm { th: 2 },
+        Scenario::AutoRfm { th: 4 },
+        Scenario::AutoRfm { th: 8 },
+    ];
+    let lane_instr = quick.instructions * 48 / BATCH_LANES.len() as u64;
+    let mut batch_rows = Vec::new();
+    let (mut batch_seq_s, mut batch_s) = (0.0f64, 0.0f64);
+    for &spec in &quick.workloads {
+        let cfgs: Vec<SimConfig> = BATCH_LANES
+            .iter()
+            .map(|&sc| {
+                SimConfig::builder(spec)
+                    .scenario(sc)
+                    .cores(1)
+                    .instructions(lane_instr)
+                    .build()
+                    .expect("valid batch lane config")
+            })
+            .collect();
+        let (mut t_seq, mut t_batch) = (f64::MAX, f64::MAX);
+        for _ in 0..KERNEL_REPS {
+            let t = Instant::now();
+            let seq: Vec<SimResult> = cfgs
+                .iter()
+                .map(|cfg| {
+                    System::new(cfg.clone())
+                        .expect("valid batch lane config")
+                        .run_with(KernelKind::Event)
+                })
+                .collect();
+            t_seq = t_seq.min(t.elapsed().as_secs_f64());
+            let t = Instant::now();
+            let batched = SimBatch::new(cfgs.clone())
+                .expect("lanes share one warm shape")
+                .run_with(KernelKind::Event);
+            t_batch = t_batch.min(t.elapsed().as_secs_f64());
+            for (i, (s, b)) in seq.iter().zip(&batched).enumerate() {
+                if format!("{s:?}") != format!("{b:?}") {
+                    eprintln!(
+                        "perf_smoke: batch lane {i} diverged from standalone on {}",
+                        spec.name
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        batch_seq_s += t_seq;
+        batch_s += t_batch;
+        let speedup = if t_batch > 0.0 { t_seq / t_batch } else { 0.0 };
+        batch_rows.push(format!(
+            "{{\"workload\":\"{}\",\"seq_s\":{t_seq:.3},\"batch_s\":{t_batch:.3},\
+             \"speedup\":{speedup:.2}}}",
+            spec.name,
+        ));
+    }
+    let batch_speedup = if batch_s > 0.0 {
+        batch_seq_s / batch_s
+    } else {
+        0.0
+    };
+    let batch_instr = quick.workloads.len() as u64 * BATCH_LANES.len() as u64 * lane_instr;
+    let batch_instr_per_sec = if batch_s > 0.0 {
+        batch_instr as f64 / batch_s
+    } else {
+        0.0
+    };
+    let seq_instr_per_sec = if batch_seq_s > 0.0 {
+        batch_instr as f64 / batch_seq_s
+    } else {
+        0.0
+    };
+
     let host = std::thread::available_parallelism().map_or(1, usize::from);
     let sim_cycles: u64 = parallel_results.iter().map(|r| r.elapsed.raw()).sum();
     let cycles_per_sec = if parallel_s > 0.0 {
@@ -217,10 +309,16 @@ fn main() {
          \"stepped_s\":{stepped_s:.3},\"event_s\":{event_s:.3},\
          \"kernel_skip_ratio\":{kernel_skip_ratio:.3},\
          \"geomean_speedup\":{geomean_speedup:.3},\
-         \"kernels\":[{}]}}",
+         \"kernels\":[{}],\
+         \"batch_seq_s\":{batch_seq_s:.3},\"batch_s\":{batch_s:.3},\
+         \"batch_speedup\":{batch_speedup:.3},\
+         \"batch_instr_per_sec\":{batch_instr_per_sec:.0},\
+         \"seq_instr_per_sec\":{seq_instr_per_sec:.0},\
+         \"batches\":[{}]}}",
         quick.jobs,
         cold_s - forked_s,
         kernel_rows.join(","),
+        batch_rows.join(","),
     );
 
     // Regression gate (off by default, enabled by verify.sh): an event kernel
@@ -230,6 +328,17 @@ fn main() {
             eprintln!(
                 "perf_smoke: geomean event-kernel speedup {geomean_speedup:.3} \
                  below the --gate-speedup floor {min:.3}"
+            );
+            std::process::exit(1);
+        }
+    }
+    // A batch slower than running its lanes one by one means the lockstep
+    // engine regressed (or stopped amortizing warmup) — fail loudly.
+    if let Some(min) = opts.gate_batch_speedup {
+        if batch_speedup < min {
+            eprintln!(
+                "perf_smoke: batched speedup {batch_speedup:.3} below the \
+                 --gate-batch-speedup floor {min:.3}"
             );
             std::process::exit(1);
         }

@@ -9,6 +9,8 @@
 //! * `--full` — 400K instructions/core (report fidelity),
 //! * `--instructions N`, `--cores N`, `--workloads a,b,c` — manual control,
 //! * `--jobs N` — worker threads for the simulation fan-out (see below),
+//! * `--batch N` — batched lockstep lanes per `SimBatch` (env `AUTORFM_BATCH`;
+//!   default 1 = unbatched; see below),
 //! * `--telemetry` — record epoch time series and full final-metric
 //!   registries, and write a `results/<target>.json` manifest
 //!   (env `AUTORFM_TELEMETRY=1`; see [`Harness`]),
@@ -43,6 +45,19 @@
 //! for any `--jobs` value; only wall-clock changes. Expected speedup on an
 //! N-thread host is close to N× for the big matrices (21 workloads × several
 //! scenarios), bounded by the longest single simulation.
+//!
+//! ## Batched lockstep execution
+//!
+//! With `--batch N` (env `AUTORFM_BATCH=N`, default 1), [`run_matrix`] groups
+//! same-shape jobs — equal `autorfm::warm_digest`, i.e. same workloads, core
+//! count, seed, and warmup — into `autorfm::SimBatch`es of up to N lanes each
+//! and runs every group in one lockstep pass: warmup simulated once per
+//! batch, the instruction trace generated once per core and replayed by all
+//! lanes, and the lanes advanced in cache-friendly chunks. Batching is a pure
+//! scheduling transform: every lane is bitwise identical to its standalone
+//! run (pinned by `tests/batch_differential.rs`), so `--batch` — like
+//! `--jobs` — changes wall-clock only, never results. Telemetry-enabled runs
+//! are never batched (their sinks are per-run side channels).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -54,11 +69,11 @@ use autorfm::snapshot::{
 use autorfm::telemetry::{Json, Labels, RunEntry, RunManifest};
 use autorfm::trackers::TrackerKind;
 use autorfm::{
-    warm_digest, KernelKind, MappingKind, SimConfig, SimResult, System, TelemetryConfig,
+    warm_digest, KernelKind, MappingKind, SimBatch, SimConfig, SimResult, System, TelemetryConfig,
 };
 use autorfm_sim_core::Cycle;
 use autorfm_workloads::{WorkloadSpec, ALL_WORKLOADS};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -114,6 +129,14 @@ pub struct RunOpts {
     /// With a gate set, a slower event kernel exits nonzero instead of
     /// hiding the regression in JSON.
     pub gate_speedup: Option<f64>,
+    /// Lockstep lanes per [`autorfm::SimBatch`] when grouping same-shape
+    /// matrix jobs (`--batch N`, env `AUTORFM_BATCH`; default 1 = unbatched).
+    pub batch: usize,
+    /// Minimum acceptable batched-vs-sequential aggregate speedup for
+    /// `perf_smoke` (`--gate-batch-speedup MIN`; default `None` = report
+    /// only). With a gate set, a batch slower than running its lanes one by
+    /// one exits nonzero instead of hiding the regression in JSON.
+    pub gate_batch_speedup: Option<f64>,
 }
 
 /// The default worker-thread count: `AUTORFM_JOBS` if set and valid,
@@ -148,6 +171,8 @@ impl Default for RunOpts {
             kernel: KernelKind::Event,
             tracker: None,
             gate_speedup: None,
+            batch: 1,
+            gate_batch_speedup: None,
         }
     }
 }
@@ -164,6 +189,7 @@ impl RunOpts {
     /// | `AUTORFM_CHECKPOINT=F`   | result checkpoint file ([`RunOpts::checkpoint`]) |
     /// | `AUTORFM_NO_WARM_FORK=1` | disable warm forking ([`RunOpts::warm_fork`]) |
     /// | `AUTORFM_STEPPED_KERNEL=1` | stepped oracle kernel ([`RunOpts::kernel`]) |
+    /// | `AUTORFM_BATCH=N`        | lockstep lanes per batch ([`RunOpts::batch`]) |
     ///
     /// (`AUTORFM_STEPPED_KERNEL` is decoded by [`KernelKind::from_env`] so
     /// the library default path and the harness agree on one reader.)
@@ -186,6 +212,12 @@ impl RunOpts {
             .map(PathBuf::from);
         opts.warm_fork = !env_flag("AUTORFM_NO_WARM_FORK");
         opts.kernel = KernelKind::from_env();
+        if let Some(n) = std::env::var("AUTORFM_BATCH")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            opts.batch = n.max(1);
+        }
         opts
     }
 
@@ -264,8 +296,23 @@ impl RunOpts {
                             .expect("--gate-speedup needs a positive number"),
                     );
                 }
+                "--batch" => {
+                    opts.batch = args
+                        .next()
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .map(|n| n.max(1))
+                        .expect("--batch needs a positive number");
+                }
+                "--gate-batch-speedup" => {
+                    opts.gate_batch_speedup = Some(
+                        args.next()
+                            .and_then(|v| v.parse::<f64>().ok())
+                            .filter(|m| m.is_finite() && *m > 0.0)
+                            .expect("--gate-batch-speedup needs a positive number"),
+                    );
+                }
                 other => panic!(
-                    "unknown flag {other}; expected --quick|--full|--instructions N|--cores N|--jobs N|--workloads a,b|--telemetry|--epoch-ns N|--telemetry-csv DIR|--kernel K|--tracker T|--gate-speedup MIN"
+                    "unknown flag {other}; expected --quick|--full|--instructions N|--cores N|--jobs N|--workloads a,b|--telemetry|--epoch-ns N|--telemetry-csv DIR|--kernel K|--tracker T|--gate-speedup MIN|--batch N|--gate-batch-speedup MIN"
                 ),
             }
         }
@@ -459,7 +506,14 @@ pub fn run_matrix(jobs: &[SimJob], opts: &RunOpts) -> Vec<SimResult> {
 
 /// [`run_matrix`] against a caller-supplied cache (so the cache — and its
 /// checkpoint wiring, or deliberate lack of it — can outlive the call).
+///
+/// With [`RunOpts::batch`] > 1, same-shape jobs are first simulated in
+/// lockstep batches ([`ResultCache::prefetch_batched`]); the per-job `get`s
+/// below then hit the warmed cache. Results are bitwise identical either way.
 pub fn run_matrix_cached(jobs: &[SimJob], opts: &RunOpts, cache: &ResultCache) -> Vec<SimResult> {
+    if opts.batch > 1 && !opts.telemetry {
+        cache.prefetch_batched(jobs, opts);
+    }
     let results = par_map(jobs, opts.jobs, |&(spec, scenario)| {
         cache.get(spec, scenario, opts)
     });
@@ -529,12 +583,7 @@ impl ResultCache {
         scenario: Scenario,
         opts: &RunOpts,
     ) -> Arc<SimResult> {
-        let slot = {
-            let mut map = self.results.lock().expect("cache lock poisoned");
-            map.entry((scenario.to_string(), spec.name))
-                .or_default()
-                .clone()
-        };
+        let slot = self.slot((scenario.to_string(), spec.name));
         slot.get_or_init(|| {
             let checkpoint = self.checkpoint.as_ref().filter(|_| !opts.telemetry);
             let key = job_digest(spec, scenario, opts);
@@ -557,6 +606,90 @@ impl ResultCache {
     pub fn prefetch(&self, jobs: &[SimJob], opts: &RunOpts) {
         par_map(jobs, opts.jobs, |&(spec, scenario)| {
             self.get(spec, scenario, opts);
+        });
+    }
+
+    /// The rendezvous slot for `key`, creating it if absent.
+    fn slot(&self, key: CacheKey) -> CacheSlot {
+        let mut map = self.results.lock().expect("cache lock poisoned");
+        map.entry(key).or_default().clone()
+    }
+
+    /// Batched [`ResultCache::prefetch`]: groups the not-yet-cached jobs by
+    /// warm shape (`autorfm::warm_digest` of their configs), splits each
+    /// group into [`SimBatch`]es of up to [`RunOpts::batch`] lanes, and runs
+    /// the batches on `opts.jobs` threads. Each lane's result lands in the
+    /// job's cache slot (and the checkpoint file, when configured) exactly as
+    /// an unbatched run would have put it — lanes are bitwise identical to
+    /// standalone simulations, so later `get`s cannot tell the difference.
+    ///
+    /// Jobs already cached, or already on the checkpoint file, are skipped
+    /// here and served by `get` as usual. Telemetry runs are not batched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a job's configuration is invalid or a lock is poisoned.
+    pub fn prefetch_batched(&self, jobs: &[SimJob], opts: &RunOpts) {
+        if opts.batch <= 1 || opts.telemetry {
+            self.prefetch(jobs, opts);
+            return;
+        }
+        // Dedup to first-seen order and drop jobs something already answers.
+        let mut seen: HashSet<CacheKey> = HashSet::new();
+        let mut pending: Vec<SimJob> = Vec::new();
+        for &(spec, scenario) in jobs {
+            let key = (scenario.to_string(), spec.name);
+            if !seen.insert(key.clone()) || self.slot(key).get().is_some() {
+                continue;
+            }
+            let on_disk = self
+                .checkpoint
+                .as_ref()
+                .is_some_and(|c| c.get(job_digest(spec, scenario, opts)).is_some());
+            if !on_disk {
+                pending.push((spec, scenario));
+            }
+        }
+        // Group by warm shape (first-seen group order for determinism), then
+        // chunk each group to the requested lane count.
+        let mut order: Vec<u64> = Vec::new();
+        let mut groups: HashMap<u64, Vec<SimJob>> = HashMap::new();
+        for &(spec, scenario) in &pending {
+            let shape = warm_digest(&job_config(spec, scenario, opts));
+            if !groups.contains_key(&shape) {
+                order.push(shape);
+            }
+            groups.entry(shape).or_default().push((spec, scenario));
+        }
+        let chunks: Vec<Vec<SimJob>> = order
+            .iter()
+            .flat_map(|shape| {
+                groups[shape]
+                    .chunks(opts.batch)
+                    .map(<[SimJob]>::to_vec)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        par_map(&chunks, opts.jobs, |chunk| {
+            let cfgs: Vec<SimConfig> = chunk
+                .iter()
+                .map(|&(spec, scenario)| job_config(spec, scenario, opts))
+                .collect();
+            let results = SimBatch::new(cfgs)
+                .expect("batch lanes share a warm shape by construction")
+                .run_with(opts.kernel);
+            for (&(spec, scenario), result) in chunk.iter().zip(results) {
+                let slot = self.slot((scenario.to_string(), spec.name));
+                // A concurrent `get` may have raced us to the slot; its
+                // result is bitwise identical, so either filler is fine.
+                slot.get_or_init(|| {
+                    self.runs.fetch_add(1, Ordering::Relaxed);
+                    if let Some(c) = &self.checkpoint {
+                        c.put(job_digest(spec, scenario, opts), &result);
+                    }
+                    Arc::new(result.clone())
+                });
+            }
         });
     }
 
@@ -1038,6 +1171,30 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.simulations_run(), 1);
+    }
+
+    #[test]
+    fn batched_matrix_matches_unbatched() {
+        let spec = WorkloadSpec::by_name("mcf").unwrap();
+        let mut opts = RunOpts {
+            cores: 2,
+            instructions: 2_000,
+            workloads: vec![spec],
+            jobs: 1,
+            ..RunOpts::default()
+        };
+        let matrix: Vec<SimJob> = vec![
+            (spec, BASELINE_ZEN),
+            (spec, Scenario::Rfm { th: 4 }),
+            (spec, Scenario::AutoRfm { th: 4 }),
+            (spec, BASELINE_ZEN), // duplicate: must dedup, not double-run
+        ];
+        let plain = run_matrix_cached(&matrix, &opts, &ResultCache::isolated());
+        opts.batch = 8;
+        let cache = ResultCache::isolated();
+        let batched = run_matrix_cached(&matrix, &opts, &cache);
+        assert_eq!(format!("{plain:?}"), format!("{batched:?}"));
+        assert_eq!(cache.simulations_run(), 3);
     }
 
     #[test]

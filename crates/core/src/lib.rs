@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod cli;
 pub mod config;
 pub mod experiments;
@@ -46,6 +47,7 @@ pub mod result;
 pub mod storage;
 pub mod system;
 
+pub use batch::SimBatch;
 pub use config::{MappingKind, SimConfig, SimConfigBuilder, TelemetryConfig};
 pub use result::SimResult;
 pub use system::{warm_digest, KernelKind, System};

@@ -63,20 +63,34 @@ pub struct Llc {
     set_mask: u64,
     hits: u64,
     misses: u64,
+    /// Per-set MRU way index (`u32::MAX` = no hint): the hot-way fast path
+    /// for [`Llc::access`]. Redundant state — validated on probe, rebuilt
+    /// empty on snapshot restore, never serialized.
+    hot: Vec<u32>,
 }
+
+/// "No hint" sentinel for [`Llc::hot`].
+const NO_HINT: u32 = u32::MAX;
 
 impl Llc {
     /// Creates an empty cache.
     ///
     /// # Errors
     ///
-    /// Returns [`ConfigError`] if the parameters do not produce a power-of-two
-    /// number of sets or `ways == 0`.
+    /// Returns [`ConfigError`] if `ways == 0`, the way count does not divide
+    /// the line count evenly, or the parameters do not produce a power-of-two
+    /// number of sets.
     pub fn new(p: LlcParams) -> Result<Self, ConfigError> {
         if p.ways == 0 {
             return Err(ConfigError::new("LLC needs at least one way"));
         }
         let lines = p.capacity_bytes / p.line_bytes as u64;
+        if !lines.is_multiple_of(p.ways as u64) {
+            return Err(ConfigError::new(format!(
+                "LLC associativity {} must divide the line count {lines} evenly",
+                p.ways
+            )));
+        }
         let num_sets = lines / p.ways as u64;
         if num_sets == 0 || !num_sets.is_power_of_two() {
             return Err(ConfigError::new(format!(
@@ -88,6 +102,7 @@ impl Llc {
             set_mask: num_sets - 1,
             hits: 0,
             misses: 0,
+            hot: vec![NO_HINT; num_sets as usize],
         })
     }
 
@@ -103,6 +118,20 @@ impl Llc {
     pub fn access(&mut self, line: LineAddr, is_write: bool) -> AccessResult {
         let set_idx = self.set_of(line);
         let tag = self.tag_of(line);
+        // Hot-way fast path: re-accessing the set's MRU line (the common case
+        // on strided streams) needs no way scan and no re-aging — every other
+        // way is already older, so the LRU update below would be a no-op. The
+        // hint is validated on probe (valid, tag, and still age 0), so a
+        // stale hint falls through to the full scan instead of misbehaving.
+        let hint = self.hot[set_idx];
+        if hint != NO_HINT {
+            let w = &mut self.sets[set_idx][hint as usize];
+            if w.valid && w.tag == tag && w.age == 0 {
+                w.dirty |= is_write;
+                self.hits += 1;
+                return AccessResult::Hit;
+            }
+        }
         let set = &mut self.sets[set_idx];
         if let Some(pos) = set.iter().position(|w| w.valid && w.tag == tag) {
             let old_age = set[pos].age;
@@ -113,6 +142,7 @@ impl Llc {
             }
             set[pos].age = 0;
             set[pos].dirty |= is_write;
+            self.hot[set_idx] = pos as u32;
             self.hits += 1;
             AccessResult::Hit
         } else {
@@ -151,6 +181,7 @@ impl Llc {
             dirty: false,
             age: 0,
         };
+        self.hot[set_idx] = victim as u32;
         if evicted.valid && evicted.dirty {
             Some(LineAddr((evicted.tag << set_bits) | set_idx as u64))
         } else {
@@ -165,10 +196,13 @@ impl Llc {
         let set_idx = self.set_of(line);
         let tag = self.tag_of(line);
         let set = &mut self.sets[set_idx];
-        if let Some(w) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
-            let was_dirty = w.dirty;
-            w.valid = false;
-            w.dirty = false;
+        if let Some(pos) = set.iter().position(|w| w.valid && w.tag == tag) {
+            let was_dirty = set[pos].dirty;
+            set[pos].valid = false;
+            set[pos].dirty = false;
+            if self.hot[set_idx] == pos as u32 {
+                self.hot[set_idx] = NO_HINT;
+            }
             if was_dirty {
                 return Some(line);
             }
@@ -265,6 +299,9 @@ impl Snapshot for Llc {
             set_mask: num_sets as u64 - 1,
             hits: r.take_u64()?,
             misses: r.take_u64()?,
+            // The hot-way hint is redundant state: never serialized, rebuilt
+            // empty here, and repopulated by the first access per set.
+            hot: vec![NO_HINT; num_sets],
         })
     }
 }
@@ -381,6 +418,37 @@ mod tests {
             line_bytes: 64
         })
         .is_err());
+    }
+
+    #[test]
+    fn rejects_non_dividing_ways() {
+        // 8 lines across 3 ways: 8 % 3 != 0, previously silently truncated
+        // to 2 sets; now a configuration error.
+        assert!(Llc::new(LlcParams {
+            capacity_bytes: 512,
+            ways: 3,
+            line_bytes: 64
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn hot_way_hint_tracks_mru_and_invalidation() {
+        let mut c = tiny();
+        c.fill(LineAddr(0)); // hint -> way holding line 0
+        assert_eq!(c.access(LineAddr(0), false), AccessResult::Hit);
+        // Fast-path hit must still set the dirty bit.
+        assert_eq!(c.access(LineAddr(0), true), AccessResult::Hit);
+        c.fill(LineAddr(4)); // hint moves to line 4's way; line 0 ages
+        assert_eq!(c.access(LineAddr(0), false), AccessResult::Hit); // slow path
+        assert_eq!(c.invalidate(LineAddr(0)), Some(LineAddr(0))); // dirty via fast path
+        assert_eq!(c.access(LineAddr(0), false), AccessResult::Miss);
+        // Snapshot round-trip rebuilds an empty hint but must behave the same.
+        let mut w = Writer::new();
+        c.encode(&mut w);
+        let mut copy = Llc::decode(&mut Reader::new(w.bytes())).unwrap();
+        assert_eq!(copy.access(LineAddr(4), false), AccessResult::Hit);
+        assert_eq!(copy.hits(), c.hits() + 1);
     }
 
     #[test]

@@ -1,191 +1,236 @@
-//! Per-bank timing state machine and SAUM bookkeeping.
+//! Per-bank timing state machines and SAUM bookkeeping, stored
+//! structure-of-arrays.
+//!
+//! Each bank tracks the earliest cycle at which each command class may be
+//! issued, the currently open row, blocking windows from REF/RFM, and — under
+//! AutoRFM — the Subarray Under Mitigation (SAUM). The fields live in
+//! parallel arrays indexed by bank ([`BankArray`]) rather than a
+//! `Vec<Bank>` of structs: the controller's masked service loop and the
+//! event kernel's wake refresh touch one field class across many banks per
+//! query (for example every `blocked_until`, or every `next_act`), so the
+//! SoA layout keeps those sweeps on contiguous, vectorizable memory instead
+//! of striding through 64-byte structs.
 
 use autorfm_sim_core::{Cycle, DramTimings, RowAddr, SubarrayId};
-use autorfm_snapshot::{Reader, SnapError, Snapshot, Writer};
+use autorfm_snapshot::{Reader, SnapError, Writer};
 
-/// The timing and row-buffer state of one DRAM bank.
+/// The timing and row-buffer state of every bank of a device, as parallel
+/// per-field arrays indexed by bank.
 ///
-/// The bank tracks the earliest cycle at which each command class may be
-/// issued, the currently open row, blocking windows from REF/RFM, and — under
-/// AutoRFM — the Subarray Under Mitigation (SAUM).
+/// All accessors and command applications take the bank index; the methods
+/// and their semantics are exactly those of the former per-bank `Bank`
+/// struct, so the command protocol (and the snapshot byte format, see
+/// [`BankArray::encode_bank`]) is unchanged.
 #[derive(Debug, Clone)]
-pub struct Bank {
+pub struct BankArray {
     /// Currently open row (None when precharged).
-    open_row: Option<RowAddr>,
+    open_row: Vec<Option<RowAddr>>,
     /// Cycle at which the open row's ACT was issued.
-    act_at: Cycle,
+    act_at: Vec<Cycle>,
     /// Earliest cycle for the next ACT (tRC from previous ACT, tRP from PRE).
-    next_act: Cycle,
+    next_act: Vec<Cycle>,
     /// Earliest cycle for a column access (tRCD after ACT).
-    next_col: Cycle,
+    next_col: Vec<Cycle>,
     /// Earliest cycle for a precharge (tRAS after ACT, tWR after a write).
-    next_pre: Cycle,
+    next_pre: Vec<Cycle>,
     /// Bank fully blocked until this cycle (REF, RFM, ABO mitigation).
-    blocked_until: Cycle,
+    blocked_until: Vec<Cycle>,
     /// The subarray currently under mitigation, if any.
-    saum: Option<SubarrayId>,
+    saum: Vec<Option<SubarrayId>>,
     /// SAUM busy until this cycle (mitigation start + t_M).
-    saum_until: Cycle,
+    saum_until: Vec<Cycle>,
 }
 
-impl Bank {
-    /// Creates an idle, precharged bank.
-    pub fn new() -> Self {
-        Bank {
-            open_row: None,
-            act_at: Cycle::ZERO,
-            next_act: Cycle::ZERO,
-            next_col: Cycle::ZERO,
-            next_pre: Cycle::ZERO,
-            blocked_until: Cycle::ZERO,
-            saum: None,
-            saum_until: Cycle::ZERO,
+impl BankArray {
+    /// Creates `n` idle, precharged banks.
+    pub fn new(n: usize) -> Self {
+        BankArray {
+            open_row: vec![None; n],
+            act_at: vec![Cycle::ZERO; n],
+            next_act: vec![Cycle::ZERO; n],
+            next_col: vec![Cycle::ZERO; n],
+            next_pre: vec![Cycle::ZERO; n],
+            blocked_until: vec![Cycle::ZERO; n],
+            saum: vec![None; n],
+            saum_until: vec![Cycle::ZERO; n],
         }
     }
 
-    /// The currently open row.
+    /// Number of banks.
     #[inline]
-    pub fn open_row(&self) -> Option<RowAddr> {
-        self.open_row
+    pub fn len(&self) -> usize {
+        self.open_row.len()
     }
 
-    /// When the open row was activated (meaningful only while a row is open).
+    /// Whether the array holds no banks.
     #[inline]
-    pub fn act_time(&self) -> Cycle {
-        self.act_at
+    pub fn is_empty(&self) -> bool {
+        self.open_row.is_empty()
     }
 
-    /// The bank-blocking window (REF/RFM) end, if in the future.
+    /// The currently open row of bank `i`.
     #[inline]
-    pub fn blocked_until(&self) -> Cycle {
-        self.blocked_until
+    pub fn open_row(&self, i: usize) -> Option<RowAddr> {
+        self.open_row[i]
     }
 
-    /// Earliest cycle an ACT may be issued (requires the bank precharged).
+    /// When bank `i`'s open row was activated (meaningful only while open).
     #[inline]
-    pub fn earliest_act(&self) -> Cycle {
-        self.next_act.max(self.blocked_until)
+    pub fn act_time(&self, i: usize) -> Cycle {
+        self.act_at[i]
     }
 
-    /// Earliest cycle a column (RD/WR) command may be issued to the open row.
+    /// Bank `i`'s blocking window (REF/RFM) end, if in the future.
     #[inline]
-    pub fn earliest_col(&self) -> Cycle {
-        self.next_col.max(self.blocked_until)
+    pub fn blocked_until(&self, i: usize) -> Cycle {
+        self.blocked_until[i]
     }
 
-    /// Earliest cycle a PRE may be issued.
+    /// Earliest cycle an ACT may be issued to bank `i` (requires precharged).
     #[inline]
-    pub fn earliest_pre(&self) -> Cycle {
-        self.next_pre.max(self.blocked_until)
+    pub fn earliest_act(&self, i: usize) -> Cycle {
+        self.next_act[i].max(self.blocked_until[i])
     }
 
-    /// Whether the SAUM is busy at `now` and matches `subarray`.
-    pub fn saum_conflict(&self, subarray: SubarrayId, now: Cycle) -> bool {
-        self.saum == Some(subarray) && now < self.saum_until
-    }
-
-    /// The SAUM busy-until timestamp (equals `Cycle::ZERO` when idle).
+    /// Earliest cycle a column (RD/WR) command may be issued to bank `i`.
     #[inline]
-    pub fn saum_until(&self) -> Cycle {
-        self.saum_until
+    pub fn earliest_col(&self, i: usize) -> Cycle {
+        self.next_col[i].max(self.blocked_until[i])
     }
 
-    /// The subarray currently under mitigation, if its window is still open.
-    pub fn active_saum(&self, now: Cycle) -> Option<SubarrayId> {
-        if now < self.saum_until {
-            self.saum
+    /// Earliest cycle a PRE may be issued to bank `i`.
+    #[inline]
+    pub fn earliest_pre(&self, i: usize) -> Cycle {
+        self.next_pre[i].max(self.blocked_until[i])
+    }
+
+    /// Whether bank `i`'s SAUM is busy at `now` and matches `subarray`.
+    pub fn saum_conflict(&self, i: usize, subarray: SubarrayId, now: Cycle) -> bool {
+        self.saum[i] == Some(subarray) && now < self.saum_until[i]
+    }
+
+    /// Bank `i`'s SAUM busy-until timestamp (`Cycle::ZERO` when idle).
+    #[inline]
+    pub fn saum_until(&self, i: usize) -> Cycle {
+        self.saum_until[i]
+    }
+
+    /// The subarray of bank `i` under mitigation, if its window is open.
+    pub fn active_saum(&self, i: usize, now: Cycle) -> Option<SubarrayId> {
+        if now < self.saum_until[i] {
+            self.saum[i]
         } else {
             None
         }
     }
 
-    /// Applies an ACT at `now`, opening `row`.
+    /// Applies an ACT to bank `i` at `now`, opening `row`.
     ///
     /// # Panics
     ///
     /// Debug-asserts the bank is precharged and timing-ready.
-    pub fn apply_act(&mut self, row: RowAddr, now: Cycle, t: &DramTimings) {
-        debug_assert!(self.open_row.is_none(), "ACT with a row already open");
-        debug_assert!(now >= self.earliest_act(), "ACT violates timing");
-        self.open_row = Some(row);
-        self.act_at = now;
-        self.next_col = now + t.t_rcd;
-        self.next_pre = now + t.t_ras;
-        self.next_act = now + t.t_rc;
+    pub fn apply_act(&mut self, i: usize, row: RowAddr, now: Cycle, t: &DramTimings) {
+        debug_assert!(self.open_row[i].is_none(), "ACT with a row already open");
+        debug_assert!(now >= self.earliest_act(i), "ACT violates timing");
+        self.open_row[i] = Some(row);
+        self.act_at[i] = now;
+        self.next_col[i] = now + t.t_rcd;
+        self.next_pre[i] = now + t.t_ras;
+        self.next_act[i] = now + t.t_rc;
     }
 
-    /// Applies a column access (RD or WR) at `now`.
+    /// Applies a column access (RD or WR) to bank `i` at `now`.
     ///
     /// # Panics
     ///
     /// Debug-asserts a row is open and timing-ready.
-    pub fn apply_col(&mut self, is_write: bool, now: Cycle, t: &DramTimings) {
-        debug_assert!(self.open_row.is_some(), "column access with no open row");
-        debug_assert!(now >= self.earliest_col(), "column access violates tRCD");
+    pub fn apply_col(&mut self, i: usize, is_write: bool, now: Cycle, t: &DramTimings) {
+        debug_assert!(self.open_row[i].is_some(), "column access with no open row");
+        debug_assert!(now >= self.earliest_col(i), "column access violates tRCD");
         if is_write {
             // Write recovery pushes out the earliest precharge.
-            self.next_pre = self.next_pre.max(now + t.t_wr);
+            self.next_pre[i] = self.next_pre[i].max(now + t.t_wr);
         }
     }
 
-    /// Applies a PRE at `now`, closing the row.
+    /// Applies a PRE to bank `i` at `now`, closing the row.
     ///
     /// # Panics
     ///
     /// Debug-asserts timing readiness. Precharging an already-precharged bank
     /// is a no-op (matching real controllers' PREsb behavior).
-    pub fn apply_pre(&mut self, now: Cycle, t: &DramTimings) {
-        if self.open_row.is_none() {
+    pub fn apply_pre(&mut self, i: usize, now: Cycle, t: &DramTimings) {
+        if self.open_row[i].is_none() {
             return;
         }
-        debug_assert!(now >= self.earliest_pre(), "PRE violates tRAS/tWR");
-        self.open_row = None;
-        self.next_act = self.next_act.max(now + t.t_rp);
+        debug_assert!(now >= self.earliest_pre(i), "PRE violates tRAS/tWR");
+        self.open_row[i] = None;
+        self.next_act[i] = self.next_act[i].max(now + t.t_rp);
     }
 
-    /// Blocks the whole bank until `until` (REF, RFM, ABO). Forces a precharge.
-    pub fn block_until(&mut self, until: Cycle) {
-        self.open_row = None;
-        self.blocked_until = self.blocked_until.max(until);
-        self.next_act = self.next_act.max(until);
+    /// Blocks bank `i` until `until` (REF, RFM, ABO). Forces a precharge.
+    pub fn block_until(&mut self, i: usize, until: Cycle) {
+        self.open_row[i] = None;
+        self.blocked_until[i] = self.blocked_until[i].max(until);
+        self.next_act[i] = self.next_act[i].max(until);
     }
 
-    /// Starts a mitigation on `subarray` at `now`, busy for `duration`.
-    pub fn start_mitigation(&mut self, subarray: SubarrayId, now: Cycle, duration: Cycle) {
-        self.saum = Some(subarray);
-        self.saum_until = now + duration;
-    }
-}
-
-impl Snapshot for Bank {
-    fn encode(&self, w: &mut Writer) {
-        self.open_row.encode(w);
-        self.act_at.encode(w);
-        self.next_act.encode(w);
-        self.next_col.encode(w);
-        self.next_pre.encode(w);
-        self.blocked_until.encode(w);
-        self.saum.encode(w);
-        self.saum_until.encode(w);
+    /// Blocks every bank until `until` (all-bank REF): three contiguous
+    /// column sweeps instead of a strided walk over per-bank structs.
+    pub fn block_all_until(&mut self, until: Cycle) {
+        self.open_row.fill(None);
+        for b in &mut self.blocked_until {
+            *b = (*b).max(until);
+        }
+        for a in &mut self.next_act {
+            *a = (*a).max(until);
+        }
     }
 
-    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
-        Ok(Bank {
-            open_row: Option::decode(r)?,
-            act_at: Cycle::decode(r)?,
-            next_act: Cycle::decode(r)?,
-            next_col: Cycle::decode(r)?,
-            next_pre: Cycle::decode(r)?,
-            blocked_until: Cycle::decode(r)?,
-            saum: Option::decode(r)?,
-            saum_until: Cycle::decode(r)?,
-        })
+    /// Starts a mitigation on bank `i`'s `subarray` at `now`, busy for
+    /// `duration`.
+    pub fn start_mitigation(
+        &mut self,
+        i: usize,
+        subarray: SubarrayId,
+        now: Cycle,
+        duration: Cycle,
+    ) {
+        self.saum[i] = Some(subarray);
+        self.saum_until[i] = now + duration;
     }
-}
 
-impl Default for Bank {
-    fn default() -> Self {
-        Self::new()
+    /// Serializes bank `i` in the established per-bank field order — byte
+    /// identical to the former `Vec<Bank>` encoding, so the SoA layout is
+    /// invisible to existing snapshots and their digests.
+    pub fn encode_bank(&self, i: usize, w: &mut Writer) {
+        use autorfm_snapshot::Snapshot as _;
+        self.open_row[i].encode(w);
+        self.act_at[i].encode(w);
+        self.next_act[i].encode(w);
+        self.next_col[i].encode(w);
+        self.next_pre[i].encode(w);
+        self.blocked_until[i].encode(w);
+        self.saum[i].encode(w);
+        self.saum_until[i].encode(w);
+    }
+
+    /// Restores bank `i` from the encoding of [`BankArray::encode_bank`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError`] if the input is malformed.
+    pub fn decode_bank_into(&mut self, i: usize, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        use autorfm_snapshot::Snapshot as _;
+        self.open_row[i] = Option::decode(r)?;
+        self.act_at[i] = Cycle::decode(r)?;
+        self.next_act[i] = Cycle::decode(r)?;
+        self.next_col[i] = Cycle::decode(r)?;
+        self.next_pre[i] = Cycle::decode(r)?;
+        self.blocked_until[i] = Cycle::decode(r)?;
+        self.saum[i] = Option::decode(r)?;
+        self.saum_until[i] = Cycle::decode(r)?;
+        Ok(())
     }
 }
 
@@ -199,68 +244,107 @@ mod tests {
 
     #[test]
     fn act_updates_timing_registers() {
-        let mut b = Bank::new();
+        let mut b = BankArray::new(1);
         let now = Cycle::from_ns(100);
-        b.apply_act(RowAddr(5), now, &t());
-        assert_eq!(b.open_row(), Some(RowAddr(5)));
-        assert_eq!(b.act_time(), now);
-        assert_eq!(b.earliest_col(), now + t().t_rcd);
-        assert_eq!(b.earliest_pre(), now + t().t_ras);
-        assert_eq!(b.earliest_act(), now + t().t_rc);
+        b.apply_act(0, RowAddr(5), now, &t());
+        assert_eq!(b.open_row(0), Some(RowAddr(5)));
+        assert_eq!(b.act_time(0), now);
+        assert_eq!(b.earliest_col(0), now + t().t_rcd);
+        assert_eq!(b.earliest_pre(0), now + t().t_ras);
+        assert_eq!(b.earliest_act(0), now + t().t_rc);
     }
 
     #[test]
     fn pre_closes_and_enforces_trp() {
-        let mut b = Bank::new();
+        let mut b = BankArray::new(1);
         let now = Cycle::from_ns(100);
-        b.apply_act(RowAddr(5), now, &t());
+        b.apply_act(0, RowAddr(5), now, &t());
         let pre_at = now + t().t_ras;
-        b.apply_pre(pre_at, &t());
-        assert_eq!(b.open_row(), None);
+        b.apply_pre(0, pre_at, &t());
+        assert_eq!(b.open_row(0), None);
         // next ACT limited by both tRC from ACT and tRP from PRE.
-        assert_eq!(b.earliest_act(), (now + t().t_rc).max(pre_at + t().t_rp));
+        assert_eq!(b.earliest_act(0), (now + t().t_rc).max(pre_at + t().t_rp));
     }
 
     #[test]
     fn write_extends_precharge() {
-        let mut b = Bank::new();
+        let mut b = BankArray::new(1);
         let now = Cycle::from_ns(0);
-        b.apply_act(RowAddr(1), now, &t());
+        b.apply_act(0, RowAddr(1), now, &t());
         let col_at = now + t().t_rcd;
-        b.apply_col(true, col_at, &t());
-        assert_eq!(b.earliest_pre(), col_at + t().t_wr);
+        b.apply_col(0, true, col_at, &t());
+        assert_eq!(b.earliest_pre(0), col_at + t().t_wr);
     }
 
     #[test]
     fn pre_on_closed_bank_is_noop() {
-        let mut b = Bank::new();
-        b.apply_pre(Cycle::from_ns(10), &t());
-        assert_eq!(b.open_row(), None);
-        assert_eq!(b.earliest_act(), Cycle::ZERO);
+        let mut b = BankArray::new(1);
+        b.apply_pre(0, Cycle::from_ns(10), &t());
+        assert_eq!(b.open_row(0), None);
+        assert_eq!(b.earliest_act(0), Cycle::ZERO);
     }
 
     #[test]
     fn block_forces_precharge_and_delays_act() {
-        let mut b = Bank::new();
-        b.apply_act(RowAddr(1), Cycle::ZERO, &t());
+        let mut b = BankArray::new(1);
+        b.apply_act(0, RowAddr(1), Cycle::ZERO, &t());
         let until = Cycle::from_ns(500);
-        b.block_until(until);
-        assert_eq!(b.open_row(), None);
-        assert_eq!(b.earliest_act(), until);
-        assert_eq!(b.blocked_until(), until);
+        b.block_until(0, until);
+        assert_eq!(b.open_row(0), None);
+        assert_eq!(b.earliest_act(0), until);
+        assert_eq!(b.blocked_until(0), until);
+    }
+
+    #[test]
+    fn block_all_matches_per_bank_blocking() {
+        let mut all = BankArray::new(4);
+        let mut each = BankArray::new(4);
+        for i in 0..4 {
+            all.apply_act(i, RowAddr(i as u32), Cycle::ZERO, &t());
+            each.apply_act(i, RowAddr(i as u32), Cycle::ZERO, &t());
+        }
+        let until = Cycle::from_ns(700);
+        all.block_all_until(until);
+        for i in 0..4 {
+            each.block_until(i, until);
+        }
+        for i in 0..4 {
+            assert_eq!(all.open_row(i), each.open_row(i));
+            assert_eq!(all.blocked_until(i), each.blocked_until(i));
+            assert_eq!(all.earliest_act(i), each.earliest_act(i));
+        }
     }
 
     #[test]
     fn saum_conflict_window() {
-        let mut b = Bank::new();
+        let mut b = BankArray::new(1);
         let now = Cycle::from_ns(100);
         let dur = Cycle::from_ns(192);
-        b.start_mitigation(SubarrayId(3), now, dur);
-        assert!(b.saum_conflict(SubarrayId(3), now));
-        assert!(b.saum_conflict(SubarrayId(3), now + dur - Cycle::new(1)));
-        assert!(!b.saum_conflict(SubarrayId(3), now + dur));
-        assert!(!b.saum_conflict(SubarrayId(4), now));
-        assert_eq!(b.active_saum(now), Some(SubarrayId(3)));
-        assert_eq!(b.active_saum(now + dur), None);
+        b.start_mitigation(0, SubarrayId(3), now, dur);
+        assert!(b.saum_conflict(0, SubarrayId(3), now));
+        assert!(b.saum_conflict(0, SubarrayId(3), now + dur - Cycle::new(1)));
+        assert!(!b.saum_conflict(0, SubarrayId(3), now + dur));
+        assert!(!b.saum_conflict(0, SubarrayId(4), now));
+        assert_eq!(b.active_saum(0, now), Some(SubarrayId(3)));
+        assert_eq!(b.active_saum(0, now + dur), None);
+    }
+
+    #[test]
+    fn snapshot_round_trip_per_bank() {
+        let mut b = BankArray::new(2);
+        b.apply_act(1, RowAddr(9), Cycle::from_ns(50), &t());
+        b.start_mitigation(0, SubarrayId(2), Cycle::from_ns(10), Cycle::from_ns(192));
+        let mut w = Writer::new();
+        for i in 0..2 {
+            b.encode_bank(i, &mut w);
+        }
+        let mut copy = BankArray::new(2);
+        let mut r = Reader::new(w.bytes());
+        for i in 0..2 {
+            copy.decode_bank_into(i, &mut r).unwrap();
+        }
+        assert_eq!(copy.open_row(1), Some(RowAddr(9)));
+        assert_eq!(copy.earliest_act(1), b.earliest_act(1));
+        assert_eq!(copy.active_saum(0, Cycle::from_ns(20)), Some(SubarrayId(2)));
     }
 }

@@ -1,7 +1,7 @@
 //! The DRAM device: banks + rank timing + REF scheduling + mitigation modes.
 
 use crate::audit::RowhammerAudit;
-use crate::bank::Bank;
+use crate::bank::BankArray;
 use crate::config::{DeviceMitigation, DramConfig, RefreshPolicy};
 use crate::engine::MitigationEngine;
 use crate::prac::PracState;
@@ -103,7 +103,7 @@ impl Snapshot for RankTiming {
 /// for respecting the `earliest_*` timings — violations trip debug assertions.
 pub struct DramDevice {
     cfg: DramConfig,
-    banks: Vec<Bank>,
+    banks: BankArray,
     engines: Vec<MitigationEngine>,
     prac: Vec<PracState>,
     stats: DramStats,
@@ -179,7 +179,7 @@ impl DramDevice {
             ref_rr: 0,
             ref_epoch: 0,
             next_refw_at: cfg.timings.t_refw,
-            banks: vec![Bank::new(); n],
+            banks: BankArray::new(n),
             trace,
             engines,
             prac,
@@ -288,9 +288,7 @@ impl DramDevice {
                 RefreshPolicy::AllBank => {
                     let blocked = self.cfg.timings.t_rfc;
                     let until = ref_start + blocked;
-                    for bank in &mut self.banks {
-                        bank.block_until(until);
-                    }
+                    self.banks.block_all_until(until);
                     if let Some(t) = self.trace.as_mut() {
                         for b in 0..self.banks.len() {
                             t.record(ref_start, BankId(b as u16), CommandKind::Ref { blocked });
@@ -308,7 +306,7 @@ impl DramDevice {
                     self.ref_rr = self.ref_rr.wrapping_add(1);
                     let blocked = self.cfg.timings.t_rfc / 2;
                     let until = ref_start + blocked;
-                    self.banks[bank].block_until(until);
+                    self.banks.block_until(bank, until);
                     if let Some(t) = self.trace.as_mut() {
                         t.record(ref_start, BankId(bank as u16), CommandKind::Ref { blocked });
                     }
@@ -342,7 +340,7 @@ impl DramDevice {
     /// cache it per bank and fold in the rank component at query time.
     #[inline]
     pub fn earliest_act_bank(&self, bank: BankId) -> Cycle {
-        self.banks[bank.0 as usize].earliest_act()
+        self.banks.earliest_act(bank.0 as usize)
     }
 
     /// The rank-shared component of [`DramDevice::earliest_act`] (tRRD/tFAW
@@ -356,31 +354,31 @@ impl DramDevice {
     /// Earliest cycle a column command may be issued to `bank`'s open row.
     #[inline]
     pub fn earliest_col(&self, bank: BankId) -> Cycle {
-        self.banks[bank.0 as usize].earliest_col()
+        self.banks.earliest_col(bank.0 as usize)
     }
 
     /// Earliest cycle a PRE may be issued to `bank`.
     #[inline]
     pub fn earliest_pre(&self, bank: BankId) -> Cycle {
-        self.banks[bank.0 as usize].earliest_pre()
+        self.banks.earliest_pre(bank.0 as usize)
     }
 
     /// The row currently open in `bank`.
     #[inline]
     pub fn open_row(&self, bank: BankId) -> Option<RowAddr> {
-        self.banks[bank.0 as usize].open_row()
+        self.banks.open_row(bank.0 as usize)
     }
 
     /// When the currently open row was activated.
     #[inline]
     pub fn act_time(&self, bank: BankId) -> Cycle {
-        self.banks[bank.0 as usize].act_time()
+        self.banks.act_time(bank.0 as usize)
     }
 
     /// The bank's full-blocking window end (REF/RFM/ABO).
     #[inline]
     pub fn blocked_until(&self, bank: BankId) -> Cycle {
-        self.banks[bank.0 as usize].blocked_until()
+        self.banks.blocked_until(bank.0 as usize)
     }
 
     /// The subarray of `row` under this device's geometry.
@@ -400,15 +398,15 @@ impl DramDevice {
     /// Debug-asserts that the bank is precharged and timing-ready.
     pub fn try_act(&mut self, bank: BankId, row: RowAddr, now: Cycle) -> ActOutcome {
         let subarray = self.cfg.geometry.subarray_of(row);
-        let b = &mut self.banks[bank.0 as usize];
-        if b.saum_conflict(subarray, now) {
+        let i = bank.0 as usize;
+        if self.banks.saum_conflict(i, subarray, now) {
             self.stats.alerts.inc();
             self.stats.conflicts_by_subarray.record(subarray.0 as u64);
-            let retry_at = b.saum_until();
+            let retry_at = self.banks.saum_until(i);
             self.trace_cmd(now, bank, CommandKind::Alert { row });
             return ActOutcome::Alerted { retry_at };
         }
-        b.apply_act(row, now, &self.cfg.timings);
+        self.banks.apply_act(i, row, now, &self.cfg.timings);
         let rank = self.rank_of(bank);
         self.ranks[rank].record_act(now);
         self.stats.acts.inc();
@@ -435,7 +433,8 @@ impl DramDevice {
     ///
     /// Debug-asserts that a row is open and tRCD has elapsed.
     pub fn column_access(&mut self, bank: BankId, is_write: bool, now: Cycle) {
-        self.banks[bank.0 as usize].apply_col(is_write, now, &self.cfg.timings);
+        self.banks
+            .apply_col(bank.0 as usize, is_write, now, &self.cfg.timings);
         if is_write {
             self.stats.writes.inc();
             self.trace_cmd(now, bank, CommandKind::Wr);
@@ -449,7 +448,8 @@ impl DramDevice {
     /// mitigation starts *on this precharge* (Section IV-B: "mitigation is
     /// started only on a precharge operation to the bank").
     pub fn precharge(&mut self, bank: BankId, now: Cycle) {
-        self.banks[bank.0 as usize].apply_pre(now, &self.cfg.timings);
+        self.banks
+            .apply_pre(bank.0 as usize, now, &self.cfg.timings);
         self.stats.precharges.inc();
         self.trace_cmd(now, bank, CommandKind::Pre);
         if matches!(self.cfg.mitigation, DeviceMitigation::AutoRfm { .. }) {
@@ -467,7 +467,7 @@ impl DramDevice {
             Some(m) => {
                 let subarray = self.cfg.geometry.subarray_of(m.target.row);
                 let duration = self.mitigation_duration();
-                self.banks[idx].start_mitigation(subarray, now, duration);
+                self.banks.start_mitigation(idx, subarray, now, duration);
                 self.stats.mitigations_by_subarray.record(subarray.0 as u64);
                 self.trace_cmd(now, bank, CommandKind::Mitigation { subarray, duration });
                 self.record_mitigation(bank, &m);
@@ -504,7 +504,7 @@ impl DramDevice {
             "issue_rfm requires RFM mode"
         );
         let idx = bank.0 as usize;
-        self.banks[idx].block_until(now + self.cfg.timings.t_rfm);
+        self.banks.block_until(idx, now + self.cfg.timings.t_rfm);
         self.stats.rfms.inc();
         self.trace_cmd(now, bank, CommandKind::Rfm);
         if self.engines[idx].has_pending() {
@@ -542,7 +542,7 @@ impl DramDevice {
         let Some(row) = self.prac[idx].take_abo() else {
             return;
         };
-        self.banks[idx].block_until(now + self.cfg.timings.t_rfm);
+        self.banks.block_until(idx, now + self.cfg.timings.t_rfm);
         self.stats.abo_events.inc();
         self.trace_cmd(now, bank, CommandKind::Abo);
         let rows = self.cfg.geometry.rows_per_bank;
@@ -566,7 +566,7 @@ impl DramDevice {
 
     /// The currently active SAUM of `bank`, if a mitigation is in flight.
     pub fn active_saum(&self, bank: BankId, now: Cycle) -> Option<SubarrayId> {
-        self.banks[bank.0 as usize].active_saum(now)
+        self.banks.active_saum(bank.0 as usize, now)
     }
 }
 
@@ -580,8 +580,8 @@ impl DramDevice {
     /// constructed with the same [`DramConfig`].
     pub fn snapshot_state(&self, w: &mut Writer) {
         w.put_usize(self.banks.len());
-        for b in &self.banks {
-            b.encode(w);
+        for i in 0..self.banks.len() {
+            self.banks.encode_bank(i, w);
         }
         w.put_usize(self.engines.len());
         for e in &self.engines {
@@ -629,8 +629,8 @@ impl DramDevice {
         if nb != self.banks.len() {
             return Err(SnapError::corrupt("bank count mismatch"));
         }
-        for b in &mut self.banks {
-            *b = Bank::decode(r)?;
+        for i in 0..nb {
+            self.banks.decode_bank_into(i, r)?;
         }
         let ne = r.take_usize()?;
         if ne != self.engines.len() {

@@ -5,7 +5,7 @@
 //!
 //! The device is command-driven: the memory controller (see `autorfm-memctrl`)
 //! issues ACT / column access / PRE / RFM commands against [`DramDevice`], which
-//! enforces JEDEC timing constraints per bank ([`bank::Bank`]) and per rank
+//! enforces JEDEC timing constraints per bank ([`bank::BankArray`]) and per rank
 //! (tRRD / tFAW), self-schedules REF every tREFI, and hosts the in-DRAM
 //! Rowhammer machinery:
 //!

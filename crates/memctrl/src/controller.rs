@@ -190,10 +190,20 @@ pub struct MemController<M: MemoryMap> {
     banks_per_subch: u16,
     rfm_th: Option<u32>,
     t_m: Cycle,
-    /// Cached bank-local wake candidates (see [`WakeCand`]). Redundant
-    /// state: rebuilt on restore, never serialized — as are the three bank
-    /// bitmasks below (one bit per bank, 64 banks per word).
-    bank_wake: Vec<WakeCand>,
+    /// Cached bank-local wake candidates (see [`WakeCand`]), stored as four
+    /// parallel per-field arrays indexed by bank rather than an array of
+    /// structs: the wake query sweeps one field class across many banks (the
+    /// early-skip below touches only the three candidate bases), so the SoA
+    /// split keeps the hot sweep on contiguous memory. Redundant state:
+    /// rebuilt on restore, never serialized — as are the bank bitmasks below
+    /// (one bit per bank, 64 banks per word).
+    wake_fixed: Vec<Cycle>,
+    /// SoA column of [`WakeCand::hit_local`].
+    wake_hit_local: Vec<Cycle>,
+    /// SoA column of [`WakeCand::hit_window_end`].
+    wake_hit_window_end: Vec<Cycle>,
+    /// SoA column of [`WakeCand::act_local`].
+    wake_act_local: Vec<Cycle>,
     /// Banks whose cached candidates must be recomputed before being
     /// trusted. Set only by events that change the *bank's own* state —
     /// shared couplings (data bus, rank ACT spacing, the next-REF bound) are
@@ -289,7 +299,10 @@ impl<M: MemoryMap> MemController<M> {
             t_m,
             timings,
             device,
-            bank_wake: vec![WakeCand::NONE; n],
+            wake_fixed: vec![Cycle::MAX; n],
+            wake_hit_local: vec![Cycle::MAX; n],
+            wake_hit_window_end: vec![Cycle::MAX; n],
+            wake_act_local: vec![Cycle::MAX; n],
             dirty_mask: vec![0; n.div_ceil(64)],
             active_mask: vec![0; n.div_ceil(64)],
             tail_mask: if n.is_multiple_of(64) {
@@ -410,6 +423,12 @@ impl<M: MemoryMap> MemController<M> {
     /// Takes all responses produced since the last call.
     pub fn take_responses(&mut self) -> Vec<MemResponse> {
         core::mem::take(&mut self.responses)
+    }
+
+    /// Whether any responses await [`MemController::take_responses`] — the
+    /// cheap probe behind the uncore's in-step wake bypass.
+    pub fn has_responses(&self) -> bool {
+        !self.responses.is_empty()
     }
 
     /// Advances the controller (and device) to cycle `now`, issuing at most
@@ -538,7 +557,10 @@ impl<M: MemoryMap> MemController<M> {
         let active = cand.fixed != Cycle::MAX
             || cand.hit_local != Cycle::MAX
             || cand.act_local != Cycle::MAX;
-        self.bank_wake[bi] = cand;
+        self.wake_fixed[bi] = cand.fixed;
+        self.wake_hit_local[bi] = cand.hit_local;
+        self.wake_hit_window_end[bi] = cand.hit_window_end;
+        self.wake_act_local[bi] = cand.act_local;
         let (w, bit) = (bi >> 6, 1u64 << (bi & 63));
         self.dirty_mask[w] &= !bit;
         if active {
@@ -660,7 +682,7 @@ impl<M: MemoryMap> MemController<M> {
     /// ticking.
     ///
     /// The wake is *cached*, not recomputed: every bank keeps its last
-    /// derived bank-local candidates in `bank_wake`, and only banks whose
+    /// derived bank-local candidates in the `wake_*` SoA columns, and only banks whose
     /// own state changed since (tracked in `wake_dirty` — see DESIGN.md "The
     /// clocking contract" for the invalidation rules) are recomputed here.
     /// The shared couplings — data-bus availability, rank tRRD/tFAW spacing,
@@ -716,13 +738,15 @@ impl<M: MemoryMap> MemController<M> {
                         continue;
                     }
                 }
-                let cand = self.bank_wake[bi];
                 // Shared terms only push candidates later (or disqualify
                 // them), so `combine_cand` can never return less than the
                 // bare minimum of the local bases: banks that cannot improve
                 // the running minimum are skipped before any shared-term
-                // arithmetic.
-                if cand.fixed.min(cand.hit_local).min(cand.act_local) >= wake {
+                // arithmetic, touching only the three SoA base columns.
+                let local_min = self.wake_fixed[bi]
+                    .min(self.wake_hit_local[bi])
+                    .min(self.wake_act_local[bi]);
+                if local_min >= wake {
                     continue;
                 }
                 if bi >= seg_end {
@@ -740,8 +764,7 @@ impl<M: MemoryMap> MemController<M> {
                 } else {
                     next_ref
                 };
-                wake =
-                    wake.min(self.combine_cand(&self.bank_wake[bi], rank_act, bus_free, bank_ref));
+                wake = wake.min(self.combine_cand(bi, rank_act, bus_free, bank_ref));
             }
         }
         wake
@@ -753,22 +776,18 @@ impl<M: MemoryMap> MemController<M> {
     /// phase would collide with it. Exactly mirrors the eligibility checks
     /// of [`MemController::bank_next_event_impl`].
     #[inline]
-    fn combine_cand(
-        &self,
-        cand: &WakeCand,
-        rank_act: Cycle,
-        bus_free: Cycle,
-        bank_ref: Cycle,
-    ) -> Cycle {
-        let mut wake = cand.fixed;
-        if cand.hit_local != Cycle::MAX {
-            let t = cand.hit_local.max(bus_free);
-            if t <= cand.hit_window_end && t + self.t_data <= bank_ref {
+    fn combine_cand(&self, bi: usize, rank_act: Cycle, bus_free: Cycle, bank_ref: Cycle) -> Cycle {
+        let mut wake = self.wake_fixed[bi];
+        let hit_local = self.wake_hit_local[bi];
+        if hit_local != Cycle::MAX {
+            let t = hit_local.max(bus_free);
+            if t <= self.wake_hit_window_end[bi] && t + self.t_data <= bank_ref {
                 wake = wake.min(t);
             }
         }
-        if cand.act_local != Cycle::MAX {
-            let t = cand.act_local.max(rank_act);
+        let act_local = self.wake_act_local[bi];
+        if act_local != Cycle::MAX {
+            let t = act_local.max(rank_act);
             if t + self.t_act_data <= bank_ref {
                 wake = wake.min(t);
             }
@@ -796,7 +815,7 @@ impl<M: MemoryMap> MemController<M> {
     /// next REF (the device wake covers the post-REF recomputation).
     ///
     /// The result depends only on controller and device state — never on
-    /// `now` — which is what makes caching it in `bank_wake` sound.
+    /// `now` — which is what makes caching it in the `wake_*` columns sound.
     fn bank_next_event(&self, bank: BankId, now: Cycle) -> Option<Cycle> {
         self.bank_next_event_impl(bank, now, true)
     }

@@ -244,6 +244,13 @@ impl EpochSeries {
 /// Default cap on stored samples per run (long `--full` runs stay bounded).
 pub const DEFAULT_MAX_SAMPLES: usize = 4096;
 
+/// Samples buffered between sink deliveries. The per-tREFI epoch boundary is
+/// the most frequent non-memctrl wake on telemetry-enabled runs, so the
+/// sampler batches its sink hand-offs: samples accumulate in the series and
+/// are forwarded in chunks of this size (plus one final partial chunk at
+/// `finish`), in time order, rather than one virtual call per epoch.
+pub const SINK_FLUSH_CHUNK: usize = 64;
+
 /// Converts cumulative [`Observation`]s into an [`EpochSeries`].
 ///
 /// Window `k` covers `[k·len, (k+1)·len)`. The producer calls
@@ -265,6 +272,9 @@ pub struct EpochSampler {
     index: u64,
     prev: Observation,
     series: EpochSeries,
+    /// Stored samples not yet forwarded to the sink (the chunk tail of
+    /// `series.samples`); always `< SINK_FLUSH_CHUNK` between calls.
+    pending: usize,
 }
 
 impl EpochSampler {
@@ -297,6 +307,7 @@ impl EpochSampler {
                 samples: Vec::new(),
                 truncated: false,
             },
+            pending: 0,
         }
     }
 
@@ -336,7 +347,19 @@ impl EpochSampler {
         if now > self.window_start {
             self.emit(now, true, &obs, sink);
         }
+        self.flush(sink);
         self.series
+    }
+
+    /// Forwards the buffered chunk tail of `series.samples` to the sink, in
+    /// time order. The sink thus sees exactly the stored series — chunking
+    /// changes delivery granularity, never content or order.
+    fn flush(&mut self, sink: &mut dyn Sink) {
+        let start = self.series.samples.len() - self.pending;
+        for sample in &self.series.samples[start..] {
+            sink.on_sample(sample);
+        }
+        self.pending = 0;
     }
 
     fn emit(&mut self, end: Cycle, partial: bool, obs: &Observation, sink: &mut dyn Sink) {
@@ -376,8 +399,11 @@ impl EpochSampler {
         self.index += 1;
         self.prev = obs.clone();
         if self.series.samples.len() < self.max_samples {
-            sink.on_sample(&sample);
             self.series.samples.push(sample);
+            self.pending += 1;
+            if self.pending >= SINK_FLUSH_CHUNK {
+                self.flush(sink);
+            }
         } else {
             self.series.truncated = true;
         }
@@ -542,6 +568,41 @@ mod tests {
         assert_eq!(sample.column("ipc_core2"), None);
         assert_eq!(sample.column("nope"), None);
         assert!(series.columns().contains(&"ipc_core0".to_string()));
+    }
+
+    #[test]
+    fn chunked_sink_delivery_is_bitwise_identical_to_series() {
+        use crate::sink::MemorySink;
+        // Enough windows to force several full chunks plus a partial tail.
+        let windows = SINK_FLUSH_CHUNK as u64 * 3 + 17;
+        let mut s = EpochSampler::new(Cycle::from_ns(10));
+        let mut sink = MemorySink::new();
+        for k in 1..=windows {
+            s.observe(Cycle::from_ns(10 * k), obs(k * 3, &[k * 7]), &mut sink);
+        }
+        let series = s.finish(
+            Cycle::from_ns(10 * windows + 4),
+            obs(windows * 3 + 1, &[windows * 7 + 2]),
+            &mut sink,
+        );
+        assert_eq!(series.samples.len() as u64, windows + 1);
+        assert_eq!(
+            sink.samples, series.samples,
+            "sink must see exactly the stored series, in order"
+        );
+    }
+
+    #[test]
+    fn truncated_samples_never_reach_the_sink() {
+        use crate::sink::MemorySink;
+        let mut s = EpochSampler::with_max_samples(Cycle::from_ns(10), 3);
+        let mut sink = MemorySink::new();
+        for k in 1..=9u64 {
+            s.observe(Cycle::from_ns(10 * k), obs(k, &[]), &mut sink);
+        }
+        let series = s.finish(Cycle::from_ns(95), obs(9, &[]), &mut sink);
+        assert!(series.truncated);
+        assert_eq!(sink.samples, series.samples);
     }
 
     #[test]

@@ -33,10 +33,12 @@
 
 pub mod attacks;
 pub mod generator;
+pub mod memo;
 pub mod spec;
 pub mod tracefile;
 
 pub use attacks::{AttackPattern, AttackStream};
 pub use generator::WorkloadGen;
+pub use memo::{MemoCursor, TraceMemo};
 pub use spec::{Pattern, Suite, WorkloadSpec, ALL_WORKLOADS};
 pub use tracefile::{TraceFile, TraceOp, TraceReplay};

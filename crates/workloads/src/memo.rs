@@ -1,0 +1,238 @@
+//! Trace memoization: compute a workload's op stream once, replay it many
+//! times.
+//!
+//! A generated instruction stream is a pure function of `(spec, core, seed,
+//! number of ops drawn)` — it never observes simulated time or machine state —
+//! so every simulation lane of a batched sweep that shares those parameters
+//! replays the *same* op sequence. A [`TraceMemo`] runs one master
+//! [`WorkloadGen`] and records its output as run-length-encoded chunks
+//! (`Op::NonMem` runs collapse to a count); any number of [`MemoCursor`]s then
+//! stream the recorded ops read-only, touching the shared state only at chunk
+//! boundaries. Replay through a cursor is op-for-op identical to driving a
+//! private generator, including snapshot state: [`MemoCursor::materialize`]
+//! reconstructs the exact generator a direct run would hold at the cursor's
+//! position.
+
+use crate::generator::WorkloadGen;
+use crate::spec::WorkloadSpec;
+use autorfm_cpu::{InstructionStream, Op};
+use std::sync::{Arc, Mutex};
+
+/// Memory operations recorded per chunk. Large enough that cursors rarely
+/// take the memo lock (one lock per ~chunk of ops), small enough that the
+/// master stays barely ahead of the fastest lane.
+const CHUNK_ENTRIES: usize = 1024;
+
+/// One run-length-encoded slab of the op stream: `entries[k] = (gap, op)`
+/// means "`gap` `Op::NonMem` instructions, then `op`". `start_state` is the
+/// master generator exactly at the chunk's first op, kept so a cursor can
+/// materialize a bit-exact generator mid-chunk for snapshots.
+#[derive(Debug)]
+struct MemoChunk {
+    start_state: WorkloadGen,
+    entries: Vec<(u32, Op)>,
+}
+
+#[derive(Debug)]
+struct MemoInner {
+    /// The master generator, positioned at the end of the last chunk.
+    master: WorkloadGen,
+    chunks: Vec<Arc<MemoChunk>>,
+}
+
+/// A shared, lazily-extended recording of one `(spec, core, seed)` op stream.
+///
+/// Shared across threads behind an [`Arc`]; the interior mutex is taken only
+/// when a cursor crosses a chunk boundary (and the producing cursor extends
+/// the recording for everyone behind it).
+#[derive(Debug)]
+pub struct TraceMemo {
+    inner: Mutex<MemoInner>,
+}
+
+impl TraceMemo {
+    /// Records the stream of `WorkloadGen::new(spec, core, seed)` after
+    /// `warmup_mem_ops` warm-up memory operations have been drawn (matching
+    /// the simulator's cache warm-up fast-forward, which consumes the
+    /// generator via `next_mem`).
+    pub fn new(spec: &'static WorkloadSpec, core: u8, seed: u64, warmup_mem_ops: u64) -> Self {
+        let mut master = WorkloadGen::new(spec, core, seed);
+        for _ in 0..warmup_mem_ops {
+            master.next_mem();
+        }
+        TraceMemo {
+            inner: Mutex::new(MemoInner {
+                master,
+                chunks: Vec::new(),
+            }),
+        }
+    }
+
+    /// The chunk at `idx`, recording it (and any predecessors) on demand.
+    fn chunk(&self, idx: usize) -> Arc<MemoChunk> {
+        let mut inner = self.inner.lock().expect("memo poisoned");
+        while inner.chunks.len() <= idx {
+            let start_state = inner.master.clone();
+            let mut entries = Vec::with_capacity(CHUNK_ENTRIES);
+            for _ in 0..CHUNK_ENTRIES {
+                let mut gap = 0u32;
+                let op = loop {
+                    match inner.master.next_op() {
+                        Op::NonMem => gap += 1,
+                        op => break op,
+                    }
+                };
+                entries.push((gap, op));
+            }
+            inner.chunks.push(Arc::new(MemoChunk {
+                start_state,
+                entries,
+            }));
+        }
+        Arc::clone(&inner.chunks[idx])
+    }
+}
+
+/// A read-only replay position within a [`TraceMemo`].
+///
+/// Implements the same op-at-a-time pull as a private [`WorkloadGen`]; all
+/// cursors over one memo see the identical sequence.
+#[derive(Debug, Clone)]
+pub struct MemoCursor {
+    memo: Arc<TraceMemo>,
+    /// The chunk currently being replayed (`None` before the first pull and
+    /// after exhausting a chunk).
+    chunk: Option<Arc<MemoChunk>>,
+    chunk_idx: usize,
+    /// Entries of the current chunk fully replayed.
+    entries_done: usize,
+    /// `Op::NonMem`s already emitted from the current entry's gap.
+    nonmems_emitted: u32,
+}
+
+impl MemoCursor {
+    /// A cursor at the start of the recording.
+    pub fn new(memo: Arc<TraceMemo>) -> Self {
+        MemoCursor {
+            memo,
+            chunk: None,
+            chunk_idx: 0,
+            entries_done: 0,
+            nonmems_emitted: 0,
+        }
+    }
+
+    /// The next op of the recorded stream.
+    pub fn next_op(&mut self) -> Op {
+        let chunk = match &self.chunk {
+            Some(c) => c,
+            None => {
+                self.chunk = Some(self.memo.chunk(self.chunk_idx));
+                self.chunk.as_ref().expect("just set")
+            }
+        };
+        let (gap, op) = chunk.entries[self.entries_done];
+        if self.nonmems_emitted < gap {
+            self.nonmems_emitted += 1;
+            return Op::NonMem;
+        }
+        self.nonmems_emitted = 0;
+        self.entries_done += 1;
+        if self.entries_done == chunk.entries.len() {
+            self.chunk = None;
+            self.chunk_idx += 1;
+            self.entries_done = 0;
+        }
+        op
+    }
+
+    /// Reconstructs the [`WorkloadGen`] a direct (un-memoized) run would hold
+    /// at this cursor's position: the current chunk's start state advanced by
+    /// exactly the ops already replayed. Used when snapshotting a lane, so
+    /// memoized and direct runs serialize identical stream state.
+    pub fn materialize(&self) -> WorkloadGen {
+        let chunk = match &self.chunk {
+            Some(c) => Arc::clone(c),
+            None => self.memo.chunk(self.chunk_idx),
+        };
+        let mut g = chunk.start_state.clone();
+        let replayed: u64 = chunk.entries[..self.entries_done]
+            .iter()
+            .map(|&(gap, _)| gap as u64 + 1)
+            .sum::<u64>()
+            + self.nonmems_emitted as u64;
+        for _ in 0..replayed {
+            g.next_op();
+        }
+        g
+    }
+}
+
+impl InstructionStream for MemoCursor {
+    fn next_op(&mut self) -> Op {
+        MemoCursor::next_op(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autorfm_snapshot::Writer;
+
+    fn direct(spec: &'static WorkloadSpec, seed: u64, warmup: u64) -> WorkloadGen {
+        let mut g = WorkloadGen::new(spec, 0, seed);
+        for _ in 0..warmup {
+            g.next_mem();
+        }
+        g
+    }
+
+    #[test]
+    fn cursor_replays_the_direct_stream_exactly() {
+        let spec = WorkloadSpec::by_name("mcf").unwrap();
+        let memo = Arc::new(TraceMemo::new(spec, 0, 42, 100));
+        let mut cursor = MemoCursor::new(Arc::clone(&memo));
+        let mut gen = direct(spec, 42, 100);
+        // Several chunk crossings (mcf ~23 mem-PKI -> ~44k ops per chunk).
+        for i in 0..200_000u32 {
+            assert_eq!(cursor.next_op(), gen.next_op(), "op {i} diverged");
+        }
+    }
+
+    #[test]
+    fn concurrent_cursors_see_one_sequence() {
+        let spec = WorkloadSpec::by_name("copy").unwrap();
+        let memo = Arc::new(TraceMemo::new(spec, 0, 7, 10));
+        let mut a = MemoCursor::new(Arc::clone(&memo));
+        let mut b = MemoCursor::new(Arc::clone(&memo));
+        // b lags a by a half-chunk; both must still agree with a direct run.
+        let mut gen = direct(spec, 7, 10);
+        for _ in 0..50_000 {
+            let expect = gen.next_op();
+            assert_eq!(a.next_op(), expect);
+        }
+        let mut gen = direct(spec, 7, 10);
+        for _ in 0..50_000 {
+            assert_eq!(b.next_op(), gen.next_op());
+        }
+    }
+
+    #[test]
+    fn materialize_matches_direct_generator_state() {
+        let spec = WorkloadSpec::by_name("wrf").unwrap();
+        let memo = Arc::new(TraceMemo::new(spec, 0, 11, 50));
+        let mut cursor = MemoCursor::new(Arc::clone(&memo));
+        let mut gen = direct(spec, 11, 50);
+        for drawn in [0usize, 1, 777, 100_000] {
+            for _ in 0..drawn {
+                cursor.next_op();
+                gen.next_op();
+            }
+            let mat = cursor.materialize();
+            let (mut a, mut b) = (Writer::new(), Writer::new());
+            mat.save_state(&mut a);
+            gen.save_state(&mut b);
+            assert_eq!(a.bytes(), b.bytes(), "state diverged after {drawn} ops");
+        }
+    }
+}

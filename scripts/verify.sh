@@ -49,19 +49,20 @@ if ! grep -q "already complete, skipping" <<<"${resume_out}"; then
     exit 1
 fi
 
-echo "== perf_smoke (serial/parallel + warm-fork + kernel timings) =="
-# perf_smoke exits nonzero if either kernel run fails or diverges, or — via
-# --gate-speedup — if the event kernel's geomean speedup over the stepped
-# oracle drops below 1.0 (a regression must fail CI, not hide in JSON). The
-# kernel A/B runs serially (--jobs 1 affects only the fan-out sections;
-# kernel timings are always serial) so timings are not cross-polluted.
+echo "== perf_smoke (serial/parallel + warm-fork + kernel + batch timings) =="
+# perf_smoke exits nonzero if any run fails or diverges, or — via the gates —
+# if the event kernel's geomean speedup over the stepped oracle drops below
+# 1.0, or the batched lockstep engine runs slower than its lanes sequentially
+# (a regression must fail CI, not hide in JSON). The kernel and batch A/Bs
+# run serially (--jobs 1 affects only the fan-out sections) so timings are
+# not cross-polluted.
 perf_json="$(cargo run --release -p autorfm-bench --bin perf_smoke -- \
-    --jobs "${JOBS}" --gate-speedup 1.0)"
+    --jobs "${JOBS}" --gate-speedup 1.0 --gate-batch-speedup 1.0)"
 printf '%s\n' "${perf_json}"
 printf '%s\n' "${perf_json}" | tail -n 1 > results/perf_smoke_kernels.json
 echo "kernel timings -> results/perf_smoke_kernels.json"
 
-echo "== BENCH_5.json (per-PR bench trajectory) =="
+echo "== BENCH_6.json (per-PR bench trajectory) =="
 # Distill the headline throughput numbers into a top-level per-PR record so
 # the bench trajectory across PRs stays greppable in one place.
 python3 - <<'EOF'
@@ -70,17 +71,16 @@ import json
 with open("results/perf_smoke_kernels.json") as f:
     d = json.load(f)
 bench = {
-    "pr": 5,
+    "pr": 6,
     "cycles_per_sec": d["cycles_per_sec"],
-    "event_s": d["event_s"],
-    "stepped_s": d["stepped_s"],
-    "kernel_skip_ratio": d["kernel_skip_ratio"],
     "geomean_speedup": d["geomean_speedup"],
+    "batch_speedup": d["batch_speedup"],
+    "kernel_skip_ratio": d["kernel_skip_ratio"],
 }
-with open("BENCH_5.json", "w") as f:
+with open("BENCH_6.json", "w") as f:
     json.dump(bench, f, indent=2)
     f.write("\n")
-print("BENCH_5.json:", json.dumps(bench))
+print("BENCH_6.json:", json.dumps(bench))
 EOF
 
 echo "verify: OK"
