@@ -15,6 +15,13 @@
 //! re-running finished targets or finished simulations inside interrupted
 //! targets. Checkpoints of targets that complete cleanly are deleted.
 //!
+//! With `AUTORFM_STORE=DIR` set, the per-target checkpoint files are skipped
+//! entirely: every child inherits the variable and routes its completed
+//! simulations through the campaign service's content-addressed cell store
+//! at `DIR` instead (see `autorfm_campaign`) — one shared, restart-safe
+//! result per `(workload, scenario, cores, instructions, seed)` cell across
+//! all targets and any concurrently running `campaignd`.
+//!
 //! Experiments run as child processes with bounded concurrency: up to
 //! `AUTORFM_PROCS` targets at a time. The default pool size is the host's
 //! available parallelism divided by the per-child `--jobs` thread count
@@ -169,6 +176,12 @@ fn main() {
         .expect("locate target dir");
     let procs = pool_size(&flags);
     let jobs = child_jobs(&flags);
+    // With a shared cell store configured, children inherit AUTORFM_STORE
+    // and the ad-hoc per-target checkpoint files are bypassed.
+    let store = RunOpts::from_env().store;
+    if let Some(dir) = &store {
+        eprintln!("cell store: {} (per-target checkpoints off)", dir.display());
+    }
     eprintln!("process pool: {procs} (child --jobs {jobs})");
 
     let failures: Vec<Option<String>> = par_map(&selected, procs, |&target| {
@@ -183,7 +196,7 @@ fn main() {
         // behind wearing this run's exit code. The checkpoint, by contrast,
         // deliberately survives: it's how an interrupted target resumes.
         let _ = std::fs::remove_file(&manifest_path);
-        if !resume {
+        if !resume && store.is_none() {
             let _ = std::fs::remove_file(&checkpoint_path);
         }
         let mut cmd = Command::new(exe_dir.join(target));
@@ -191,14 +204,18 @@ fn main() {
             cmd.args(&flags);
         }
         cmd.env("AUTORFM_MANIFEST", &manifest_path);
-        cmd.env("AUTORFM_CHECKPOINT", &checkpoint_path);
+        if store.is_none() {
+            cmd.env("AUTORFM_CHECKPOINT", &checkpoint_path);
+        }
         let path = format!("results/{target}.txt");
         let started = Instant::now();
         match cmd.output() {
             Ok(out) if out.status.success() => {
                 std::fs::write(&path, &out.stdout).expect("write result");
                 finalize_manifest(target, Some(0), started.elapsed().as_secs_f64(), jobs);
-                let _ = std::fs::remove_file(&checkpoint_path);
+                if store.is_none() {
+                    let _ = std::fs::remove_file(&checkpoint_path);
+                }
                 eprintln!("    -> {path}");
                 None
             }

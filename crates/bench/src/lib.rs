@@ -63,14 +63,14 @@
 #![forbid(unsafe_code)]
 
 use autorfm::experiments::Scenario;
-use autorfm::snapshot::{
-    digest64, open, write_file, Reader, SnapError, Snapshot, Writer, KIND_RESULTS,
-};
+use autorfm::snapshot::store::{cell_key, CellRecord, CellStore};
+use autorfm::snapshot::{open, write_file, Reader, SnapError, Snapshot, Writer, KIND_RESULTS};
 use autorfm::telemetry::{Json, Labels, RunEntry, RunManifest};
 use autorfm::trackers::TrackerKind;
 use autorfm::{
-    warm_digest, KernelKind, MappingKind, SimBatch, SimConfig, SimResult, System, TelemetryConfig,
+    warm_digest, KernelKind, MappingKind, SimConfig, SimResult, System, TelemetryConfig,
 };
+use autorfm_campaign::run_batch_fallible;
 use autorfm_sim_core::Cycle;
 use autorfm_workloads::{WorkloadSpec, ALL_WORKLOADS};
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -115,6 +115,11 @@ pub struct RunOpts {
     /// Checkpoint file for [`ResultCache::new`] (env `AUTORFM_CHECKPOINT`;
     /// `None` disables checkpointing).
     pub checkpoint: Option<PathBuf>,
+    /// Root of the campaign service's content-addressed cell store (env
+    /// `AUTORFM_STORE`). When set, [`ResultCache::new`] reads and writes
+    /// per-cell records there — shared with `campaignd` — and the per-target
+    /// checkpoint file is bypassed.
+    pub store: Option<PathBuf>,
     /// Whether [`run`] may fork from cached warm snapshots
     /// (default yes; env `AUTORFM_NO_WARM_FORK=1` disables).
     pub warm_fork: bool,
@@ -167,6 +172,7 @@ impl Default for RunOpts {
             telemetry_csv: None,
             procs: None,
             checkpoint: None,
+            store: None,
             warm_fork: true,
             kernel: KernelKind::Event,
             tracker: None,
@@ -187,6 +193,7 @@ impl RunOpts {
     /// | `AUTORFM_PROCS=N`        | `run_all` process pool ([`RunOpts::procs`]) |
     /// | `AUTORFM_TELEMETRY=1`    | epoch telemetry on ([`RunOpts::telemetry`]) |
     /// | `AUTORFM_CHECKPOINT=F`   | result checkpoint file ([`RunOpts::checkpoint`]) |
+    /// | `AUTORFM_STORE=DIR`      | content-addressed cell store ([`RunOpts::store`]) |
     /// | `AUTORFM_NO_WARM_FORK=1` | disable warm forking ([`RunOpts::warm_fork`]) |
     /// | `AUTORFM_STEPPED_KERNEL=1` | stepped oracle kernel ([`RunOpts::kernel`]) |
     /// | `AUTORFM_BATCH=N`        | lockstep lanes per batch ([`RunOpts::batch`]) |
@@ -207,6 +214,10 @@ impl RunOpts {
             .filter(|&n| n >= 1);
         opts.telemetry = env_flag("AUTORFM_TELEMETRY");
         opts.checkpoint = std::env::var("AUTORFM_CHECKPOINT")
+            .ok()
+            .filter(|p| !p.is_empty())
+            .map(PathBuf::from);
+        opts.store = std::env::var("AUTORFM_STORE")
             .ok()
             .filter(|p| !p.is_empty())
             .map(PathBuf::from);
@@ -341,6 +352,16 @@ pub fn telemetry_config(opts: &RunOpts, tag: &str) -> Option<TelemetryConfig> {
 
 /// The [`SimConfig`] for one `(workload, scenario)` job under `opts`.
 fn job_config(spec: &'static WorkloadSpec, scenario: Scenario, opts: &RunOpts) -> SimConfig {
+    try_job_config(spec, scenario, opts).expect("valid scenario config")
+}
+
+/// [`job_config`] without the panic — the batched prefetch path turns an
+/// invalid cell into a [`CellFailure`] record instead of dying.
+fn try_job_config(
+    spec: &'static WorkloadSpec,
+    scenario: Scenario,
+    opts: &RunOpts,
+) -> Result<SimConfig, autorfm_sim_core::ConfigError> {
     let mut builder = SimConfig::builder(spec)
         .scenario(scenario)
         .cores(opts.cores)
@@ -348,7 +369,7 @@ fn job_config(spec: &'static WorkloadSpec, scenario: Scenario, opts: &RunOpts) -
     if let Some(t) = telemetry_config(opts, &format!("{}__{scenario}", spec.name)) {
         builder = builder.telemetry(t);
     }
-    builder.build().expect("valid scenario config")
+    builder.build()
 }
 
 /// Runs one workload under one scenario.
@@ -538,18 +559,41 @@ pub struct ResultCache {
     results: Mutex<HashMap<CacheKey, CacheSlot>>,
     runs: AtomicUsize,
     checkpoint: Option<Arc<CheckpointFile>>,
+    store: Option<Arc<CellStore>>,
+    failures: Mutex<Vec<CellFailure>>,
+}
+
+/// One cell that failed during a batched prefetch: the job's identity plus
+/// the panic or configuration-error text. Recorded by
+/// [`ResultCache::prefetch_batched`] instead of letting a single bad lane
+/// poison its whole batch; read back via [`ResultCache::failures`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailure {
+    /// Workload name of the failed job.
+    pub workload: &'static str,
+    /// Scenario display name of the failed job.
+    pub scenario: String,
+    /// The job's [`job_digest`] / store cell key.
+    pub key: u64,
+    /// Why it failed (panic message or configuration error).
+    pub error: String,
 }
 
 impl ResultCache {
-    /// Creates an empty cache honoring the environment's checkpoint knob:
-    /// when [`RunOpts::from_env`] reports a checkpoint file
-    /// (`AUTORFM_CHECKPOINT`, how `run_all` directs each child's checkpoint),
-    /// completed results are reloaded from it and every fresh simulation is
-    /// appended to it — so a killed experiment resumes instead of starting
-    /// over. Use [`ResultCache::isolated`] to opt out, or
-    /// [`ResultCache::with_checkpoint`] to pass an explicit path.
+    /// Creates an empty cache honoring the environment's persistence knobs:
+    /// `AUTORFM_STORE` (the campaign service's content-addressed cell store,
+    /// preferred) or `AUTORFM_CHECKPOINT` (the per-target checkpoint file
+    /// `run_all` sets up). Either way completed results are reloaded and
+    /// every fresh simulation is persisted — so a killed experiment resumes
+    /// instead of starting over. Use [`ResultCache::isolated`] to opt out,
+    /// or [`ResultCache::with_checkpoint`] / [`ResultCache::with_store`] to
+    /// pass an explicit path.
     pub fn new() -> Self {
-        Self::with_checkpoint(RunOpts::from_env().checkpoint)
+        let env = RunOpts::from_env();
+        match env.store {
+            Some(root) => Self::with_store(root),
+            None => Self::with_checkpoint(env.checkpoint),
+        }
     }
 
     /// Creates an empty cache backed by the given checkpoint file (`None`
@@ -557,6 +601,24 @@ impl ResultCache {
     pub fn with_checkpoint(path: Option<PathBuf>) -> Self {
         ResultCache {
             checkpoint: path.map(|p| Arc::new(CheckpointFile::load(p))),
+            ..Self::default()
+        }
+    }
+
+    /// Creates an empty cache backed by the content-addressed cell store at
+    /// `root` — the same store `campaignd` serves, so harness runs and
+    /// campaign cells share one result per sweep point. An unopenable store
+    /// degrades (with a warning) to a plain in-memory cache.
+    pub fn with_store(root: PathBuf) -> Self {
+        let store = match CellStore::open(&root) {
+            Ok(store) => Some(Arc::new(store)),
+            Err(e) => {
+                eprintln!("warning: could not open store {}: {e}", root.display());
+                None
+            }
+        };
+        ResultCache {
+            store,
             ..Self::default()
         }
     }
@@ -585,19 +647,83 @@ impl ResultCache {
     ) -> Arc<SimResult> {
         let slot = self.slot((scenario.to_string(), spec.name));
         slot.get_or_init(|| {
-            let checkpoint = self.checkpoint.as_ref().filter(|_| !opts.telemetry);
             let key = job_digest(spec, scenario, opts);
-            if let Some(prior) = checkpoint.and_then(|c| c.get(key)) {
-                return Arc::new(prior);
+            if !opts.telemetry {
+                if let Some(prior) = self.persisted(key) {
+                    return Arc::new(prior);
+                }
             }
             self.runs.fetch_add(1, Ordering::Relaxed);
             let result = run(spec, scenario, opts);
-            if let Some(c) = checkpoint {
-                c.put(key, &result);
+            if !opts.telemetry {
+                self.persist(key, &result);
             }
             Arc::new(result)
         })
         .clone()
+    }
+
+    /// The completed result persisted under `key` — from the cell store when
+    /// one is configured, else the checkpoint file. A store record of a
+    /// *failed* cell is not a result: the job re-runs (and re-fails, loudly)
+    /// rather than silently vanishing from the matrix.
+    fn persisted(&self, key: u64) -> Option<SimResult> {
+        if let Some(store) = &self.store {
+            let bytes = store.get(key)?.outcome.ok()?;
+            return SimResult::decode(&mut Reader::new(&bytes)).ok();
+        }
+        self.checkpoint.as_ref()?.get(key)
+    }
+
+    /// Persists a completed result under `key` (store preferred, else
+    /// checkpoint, else nothing).
+    fn persist(&self, key: u64, result: &SimResult) {
+        if let Some(store) = &self.store {
+            let mut w = Writer::new();
+            result.encode(&mut w);
+            if let Err(e) = store.put(key, &CellRecord::ok(key, w.into_bytes())) {
+                eprintln!("warning: could not write store cell {key:016x}: {e}");
+            }
+        } else if let Some(c) = &self.checkpoint {
+            c.put(key, result);
+        }
+    }
+
+    /// Every [`CellFailure`] recorded by [`ResultCache::prefetch_batched`]
+    /// so far, in recording order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned.
+    pub fn failures(&self) -> Vec<CellFailure> {
+        self.failures
+            .lock()
+            .expect("failures lock poisoned")
+            .clone()
+    }
+
+    /// Records one failed cell: a structured [`CellFailure`] in memory and,
+    /// with a store configured, a persisted failed-cell record.
+    fn record_failure(
+        &self,
+        spec: &'static WorkloadSpec,
+        scenario: Scenario,
+        opts: &RunOpts,
+        error: String,
+    ) {
+        let key = job_digest(spec, scenario, opts);
+        if let Some(store) = &self.store {
+            let _ = store.put(key, &CellRecord::failed(key, error.clone()));
+        }
+        self.failures
+            .lock()
+            .expect("failures lock poisoned")
+            .push(CellFailure {
+                workload: spec.name,
+                scenario: scenario.to_string(),
+                key,
+                error,
+            });
     }
 
     /// Simulates every job in the matrix on `opts.jobs` threads, warming the
@@ -617,18 +743,26 @@ impl ResultCache {
 
     /// Batched [`ResultCache::prefetch`]: groups the not-yet-cached jobs by
     /// warm shape (`autorfm::warm_digest` of their configs), splits each
-    /// group into [`SimBatch`]es of up to [`RunOpts::batch`] lanes, and runs
-    /// the batches on `opts.jobs` threads. Each lane's result lands in the
-    /// job's cache slot (and the checkpoint file, when configured) exactly as
-    /// an unbatched run would have put it — lanes are bitwise identical to
-    /// standalone simulations, so later `get`s cannot tell the difference.
+    /// group into `autorfm::SimBatch`es of up to [`RunOpts::batch`] lanes,
+    /// and runs the batches on `opts.jobs` threads. Each lane's result lands
+    /// in the job's cache slot (and the store or checkpoint, when configured)
+    /// exactly as an unbatched run would have put it — lanes are bitwise
+    /// identical to standalone simulations, so later `get`s cannot tell the
+    /// difference.
     ///
-    /// Jobs already cached, or already on the checkpoint file, are skipped
-    /// here and served by `get` as usual. Telemetry runs are not batched.
+    /// Jobs already cached, or already persisted on disk, are skipped here
+    /// and served by `get` as usual. Telemetry runs are not batched.
+    ///
+    /// Batches execute through `autorfm_campaign::run_batch_fallible`, so a
+    /// lane that panics (or a cell whose configuration is invalid) does not
+    /// poison its batchmates: the healthy lanes still fill their slots, and
+    /// the bad cell becomes a structured [`CellFailure`] record — cell key
+    /// plus error text — readable via [`ResultCache::failures`] (and, with a
+    /// store configured, a persisted failed-cell record).
     ///
     /// # Panics
     ///
-    /// Panics if a job's configuration is invalid or a lock is poisoned.
+    /// Panics if a lock is poisoned.
     pub fn prefetch_batched(&self, jobs: &[SimJob], opts: &RunOpts) {
         if opts.batch <= 1 || opts.telemetry {
             self.prefetch(jobs, opts);
@@ -642,20 +776,24 @@ impl ResultCache {
             if !seen.insert(key.clone()) || self.slot(key).get().is_some() {
                 continue;
             }
-            let on_disk = self
-                .checkpoint
-                .as_ref()
-                .is_some_and(|c| c.get(job_digest(spec, scenario, opts)).is_some());
-            if !on_disk {
+            if self.persisted(job_digest(spec, scenario, opts)).is_none() {
                 pending.push((spec, scenario));
             }
         }
         // Group by warm shape (first-seen group order for determinism), then
-        // chunk each group to the requested lane count.
+        // chunk each group to the requested lane count. A cell whose
+        // configuration won't even build becomes a failure record here,
+        // before any lane runs.
         let mut order: Vec<u64> = Vec::new();
         let mut groups: HashMap<u64, Vec<SimJob>> = HashMap::new();
         for &(spec, scenario) in &pending {
-            let shape = warm_digest(&job_config(spec, scenario, opts));
+            let shape = match try_job_config(spec, scenario, opts) {
+                Ok(cfg) => warm_digest(&cfg),
+                Err(e) => {
+                    self.record_failure(spec, scenario, opts, e.to_string());
+                    continue;
+                }
+            };
             if !groups.contains_key(&shape) {
                 order.push(shape);
             }
@@ -675,20 +813,22 @@ impl ResultCache {
                 .iter()
                 .map(|&(spec, scenario)| job_config(spec, scenario, opts))
                 .collect();
-            let results = SimBatch::new(cfgs)
-                .expect("batch lanes share a warm shape by construction")
-                .run_with(opts.kernel);
-            for (&(spec, scenario), result) in chunk.iter().zip(results) {
-                let slot = self.slot((scenario.to_string(), spec.name));
-                // A concurrent `get` may have raced us to the slot; its
-                // result is bitwise identical, so either filler is fine.
-                slot.get_or_init(|| {
-                    self.runs.fetch_add(1, Ordering::Relaxed);
-                    if let Some(c) = &self.checkpoint {
-                        c.put(job_digest(spec, scenario, opts), &result);
+            let outcome = run_batch_fallible(&cfgs, None, opts.kernel, false);
+            for (&(spec, scenario), result) in chunk.iter().zip(outcome.results) {
+                match result {
+                    Ok(result) => {
+                        let slot = self.slot((scenario.to_string(), spec.name));
+                        // A concurrent `get` may have raced us to the slot;
+                        // its result is bitwise identical, so either filler
+                        // is fine.
+                        slot.get_or_init(|| {
+                            self.runs.fetch_add(1, Ordering::Relaxed);
+                            self.persist(job_digest(spec, scenario, opts), &result);
+                            Arc::new(result.clone())
+                        });
                     }
-                    Arc::new(result.clone())
-                });
+                    Err(error) => self.record_failure(spec, scenario, opts, error),
+                }
             }
         });
     }
@@ -736,16 +876,20 @@ impl ResultCache {
 }
 
 /// Stable identity of one simulation job: scenario, workload, and the run
-/// shape (cores, instructions). Everything else that could change the result
-/// (seed, geometry, timings) is fixed by the scenario constructors, and the
-/// checkpoint file is keyed per target anyway.
+/// shape (cores, instructions, the harness's fixed seed 42). Everything else
+/// that could change the result (geometry, timings) is fixed by the scenario
+/// constructors. Delegates to [`cell_key`], so a harness job and the campaign
+/// daemon's cell for the same sweep point share one key — which is what lets
+/// [`ResultCache`] and the service route through the same content-addressed
+/// store.
 pub fn job_digest(spec: &WorkloadSpec, scenario: Scenario, opts: &RunOpts) -> u64 {
-    let mut w = Writer::new();
-    w.put_str(&scenario.to_string());
-    w.put_str(spec.name);
-    w.put_u8(opts.cores);
-    w.put_u64(opts.instructions);
-    digest64(w.bytes())
+    cell_key(
+        spec.name,
+        &scenario.to_string(),
+        opts.cores,
+        opts.instructions,
+        42,
+    )
 }
 
 /// Encodes a job-digest → result-bytes map as a [`KIND_RESULTS`] payload

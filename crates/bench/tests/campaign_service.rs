@@ -1,0 +1,224 @@
+//! Kill-and-restart resumability of the campaign service.
+//!
+//! A `campaignd` process is SIGKILLed mid-campaign. Because completed cells
+//! hit the content-addressed store *before* they are marked done in memory,
+//! and the campaign spec itself is persisted on submit, a daemon restarted
+//! on the same store must (a) auto-resume the campaign, (b) keep every cell
+//! the first life completed, and (c) produce a final manifest identical to
+//! an uninterrupted run in a fresh store.
+
+use autorfm::snapshot::store::CellStore;
+use autorfm::telemetry::Json;
+use autorfm_campaign::{http, Daemon, DaemonConfig, SweepRequest};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("autorfm-svc-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The ~20-cell fixture sweep: 2 workloads × 10 scenarios.
+fn sweep() -> SweepRequest {
+    SweepRequest {
+        name: "resume".into(),
+        workloads: vec!["mcf".into(), "wrf".into()],
+        scenarios: [
+            "baseline-zen",
+            "baseline-rubix",
+            "RFM-4",
+            "RFM-8",
+            "RFM-16",
+            "RFM-32",
+            "AutoRFM-4",
+            "AutoRFM-8",
+            "AutoRFM-16",
+            "AutoRFM-32",
+        ]
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect(),
+        cores: 2,
+        instructions: 4_000,
+        ..SweepRequest::default()
+    }
+}
+
+/// Spawns `campaignd --store <store>` and waits until it answers `/health`.
+/// The caller kills or shuts down (and reaps) the returned child.
+#[allow(clippy::zombie_processes)]
+fn spawn_daemon(store: &Path, workers: usize, batch: usize) -> (Child, String) {
+    // A previous life's address file must not be mistaken for this one's.
+    let _ = std::fs::remove_file(store.join("daemon.addr"));
+    let child = Command::new(env!("CARGO_BIN_EXE_campaignd"))
+        .args([
+            "--store",
+            store.to_str().unwrap(),
+            "--workers",
+            &workers.to_string(),
+            "--batch",
+            &batch.to_string(),
+            "--port",
+            "0",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn campaignd");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        assert!(Instant::now() < deadline, "campaignd never became healthy");
+        if let Ok(text) = std::fs::read_to_string(store.join("daemon.addr")) {
+            let addr = text.trim().to_string();
+            if !addr.is_empty() {
+                if let Ok((200, _)) = http::request(&addr, "GET", "/health", None) {
+                    return (child, addr);
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Polls `/campaigns/{id}` until `pred(done, complete)` holds; returns the
+/// final status body.
+fn poll_status(addr: &str, id: &str, pred: impl Fn(u64, bool) -> bool) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(600);
+    loop {
+        assert!(Instant::now() < deadline, "campaign {id} timed out");
+        if let Ok((200, status)) = http::request(addr, "GET", &format!("/campaigns/{id}"), None) {
+            let done = status.get("done").and_then(Json::as_u64).unwrap_or(0);
+            let complete = status.get("complete") == Some(&Json::Bool(true));
+            if pred(done, complete) {
+                return status;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// `key → result_digest` for every cell of a campaign manifest, asserting
+/// every cell is `done`.
+fn digest_map(manifest: &Json) -> BTreeMap<String, String> {
+    manifest
+        .get("cells")
+        .and_then(Json::as_arr)
+        .expect("manifest has cells")
+        .iter()
+        .map(|cell| {
+            assert_eq!(
+                cell.get("status").and_then(Json::as_str),
+                Some("done"),
+                "unfinished cell in {cell:?}"
+            );
+            (
+                cell.get("key").and_then(Json::as_str).unwrap().to_string(),
+                cell.get("result_digest")
+                    .and_then(Json::as_str)
+                    .unwrap()
+                    .to_string(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn killed_daemon_resumes_without_recomputing_finished_cells() {
+    let dir = scratch("resume");
+    let req = sweep();
+    let total = req.expand().unwrap().len() as u64;
+    assert_eq!(total, 20);
+
+    // First life: slow on purpose (1 worker, 1 lane) so the kill lands
+    // mid-campaign rather than after it.
+    let (mut child, addr) = spawn_daemon(&dir, 1, 1);
+    let (status, submit) =
+        http::request(&addr, "POST", "/campaigns", Some(&req.to_json())).unwrap();
+    assert_eq!(status, 200, "{submit:?}");
+    let id = submit.get("id").and_then(Json::as_str).unwrap().to_string();
+    assert_eq!(submit.get("total").and_then(Json::as_u64), Some(total));
+
+    poll_status(&addr, &id, |done, _| done >= 2);
+    child.kill().expect("SIGKILL campaignd");
+    child.wait().expect("reap campaignd");
+
+    // Whatever reached the store is the first life's completed set — the
+    // status counter may lag it by the cell that was mid-write, never lead.
+    let survivors: BTreeMap<u64, u64> = {
+        let store = CellStore::open(&dir).unwrap();
+        store
+            .keys()
+            .into_iter()
+            .map(|k| {
+                let record = store.get(k).expect("stored cell readable");
+                (k, record.result_digest().expect("completed cell"))
+            })
+            .collect()
+    };
+    assert!(
+        survivors.len() >= 2,
+        "kill landed before any progress persisted"
+    );
+
+    // Second life: same store, more workers. The campaign spec persisted on
+    // submit is re-expanded at startup, so no resubmission is needed.
+    let (mut child2, addr2) = spawn_daemon(&dir, 4, 4);
+    poll_status(&addr2, &id, |_, complete| complete);
+
+    // The restart recomputed exactly the cells the store did not already
+    // hold — the first life's completed set was preserved.
+    let (_, stats) = http::request(&addr2, "GET", "/stats", None).unwrap();
+    let computed = stats.get("cells_computed").and_then(Json::as_u64).unwrap();
+    assert_eq!(computed, total - survivors.len() as u64);
+
+    let (_, manifest) =
+        http::request(&addr2, "GET", &format!("/campaigns/{id}/manifest"), None).unwrap();
+    let resumed = digest_map(&manifest);
+    assert_eq!(resumed.len(), total as usize);
+    for (key, digest) in &survivors {
+        assert_eq!(
+            resumed.get(&format!("{key:016x}")).map(String::as_str),
+            Some(format!("{digest:#018x}").as_str()),
+            "survivor cell {key:016x} changed across the restart"
+        );
+    }
+
+    // The CLI client sees the same state through the daemon.addr discovery
+    // path (a smoke test for the `campaign` binary).
+    let out = Command::new(env!("CARGO_BIN_EXE_campaign"))
+        .args(["--store", dir.to_str().unwrap(), "status", &id])
+        .output()
+        .expect("run campaign status");
+    assert!(out.status.success(), "campaign status failed: {out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"complete\": true"), "{text}");
+
+    // Reference: the same sweep, uninterrupted, in a fresh store — the final
+    // manifests must agree cell for cell.
+    let fresh = scratch("reference");
+    let reference = Daemon::start(DaemonConfig::new(&fresh)).unwrap();
+    let outcome = reference.submit(&req).unwrap();
+    assert_eq!(outcome.id, id, "campaign ids are content-addressed");
+    let deadline = Instant::now() + Duration::from_secs(600);
+    while !reference.is_complete(&id).unwrap_or(false) {
+        assert!(Instant::now() < deadline, "reference campaign timed out");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let uninterrupted = digest_map(&reference.campaign_manifest(&id).unwrap());
+    assert_eq!(resumed, uninterrupted);
+    reference.stop();
+
+    // Clean shutdown through the CLI.
+    let out = Command::new(env!("CARGO_BIN_EXE_campaign"))
+        .args(["--store", dir.to_str().unwrap(), "shutdown"])
+        .output()
+        .expect("run campaign shutdown");
+    assert!(out.status.success(), "campaign shutdown failed: {out:?}");
+    child2.wait().expect("campaignd exits after shutdown");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&fresh);
+}

@@ -1,10 +1,14 @@
 //! Checkpoint-file behaviour: results survive a reload, corrupt files are
 //! ignored rather than trusted, and the encode/decode helpers reject damage.
+//! Plus the content-addressed store route ([`ResultCache::with_store`]),
+//! which replaces the checkpoint file when `AUTORFM_STORE` is set.
 
 use autorfm::experiments::Scenario;
+use autorfm::snapshot::store::{CellRecord, CellStore};
 use autorfm::snapshot::{open, seal, SnapError, KIND_RESULTS, KIND_WARM};
 use autorfm_bench::{
-    decode_results, encode_results, job_digest, run, CheckpointFile, RunOpts, BASELINE_ZEN,
+    decode_results, encode_results, job_digest, run, CheckpointFile, ResultCache, RunOpts,
+    BASELINE_ZEN,
 };
 use autorfm_workloads::WorkloadSpec;
 use std::collections::BTreeMap;
@@ -72,6 +76,47 @@ fn corrupt_and_foreign_files_start_empty() {
 
     let _ = std::fs::remove_file(&garbage);
     let _ = std::fs::remove_file(&wrong_kind);
+}
+
+#[test]
+fn store_backed_cache_survives_a_reload_without_resimulating() {
+    let dir = std::env::temp_dir().join(format!("autorfm-store-route-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let opts = tiny_opts();
+    let spec = opts.workloads[0];
+    let key = job_digest(spec, BASELINE_ZEN, &opts);
+
+    // First life simulates and persists a cell record under the job digest.
+    let cache = ResultCache::with_store(dir.clone());
+    let first = cache.get(spec, BASELINE_ZEN, &opts);
+    assert_eq!(cache.simulations_run(), 1);
+    let store = CellStore::open(&dir).unwrap();
+    assert!(
+        store.contains(key),
+        "cell record persisted under job_digest"
+    );
+
+    // Second life (a fresh cache on the same store) reloads instead of
+    // re-running, and the reloaded result matches the original.
+    let cache2 = ResultCache::with_store(dir.clone());
+    let back = cache2.get(spec, BASELINE_ZEN, &opts);
+    assert_eq!(cache2.simulations_run(), 0);
+    assert_eq!(back.elapsed, first.elapsed);
+    assert_eq!(back.per_core_ipc, first.per_core_ipc);
+    assert_eq!(back.dram.acts.get(), first.dram.acts.get());
+
+    // A persisted *failure* record is not a result: the job re-runs.
+    let other = Scenario::Rfm { th: 4 };
+    let failed_key = job_digest(spec, other, &opts);
+    store
+        .put(failed_key, &CellRecord::failed(failed_key, "lane panicked"))
+        .unwrap();
+    let cache3 = ResultCache::with_store(dir.clone());
+    let _ = cache3.get(spec, other, &opts);
+    assert_eq!(cache3.simulations_run(), 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

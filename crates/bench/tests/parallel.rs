@@ -101,3 +101,42 @@ fn shared_cache_simulates_each_key_exactly_once() {
     }
     assert_eq!(cache.simulations_run(), unique.len());
 }
+
+/// A bad cell in a batched prefetch becomes a structured failure record —
+/// cell key plus error text — while its batchmates still produce results.
+#[test]
+fn batched_prefetch_surfaces_bad_cells_as_failure_records() {
+    let mut opts = quick_opts(2);
+    opts.batch = 4;
+    let spec = opts.workloads[0];
+    // AutoRFM with window 0 is rejected by every tracker; its lane must not
+    // poison the two valid cells batched alongside it.
+    let jobs: Vec<SimJob> = vec![
+        (spec, BASELINE_ZEN),
+        (spec, Scenario::AutoRfm { th: 0 }),
+        (spec, Scenario::AutoRfm { th: 4 }),
+    ];
+
+    let cache = ResultCache::isolated();
+    cache.prefetch_batched(&jobs, &opts);
+
+    let failures = cache.failures();
+    assert_eq!(
+        failures.len(),
+        1,
+        "exactly the bad cell failed: {failures:?}"
+    );
+    assert_eq!(failures[0].workload, spec.name);
+    assert_eq!(
+        failures[0].scenario,
+        Scenario::AutoRfm { th: 0 }.to_string()
+    );
+    assert!(!failures[0].error.is_empty());
+
+    // Both healthy cells are cached and never re-simulated by later gets.
+    let a = cache.get(spec, BASELINE_ZEN, &opts);
+    let b = cache.get(spec, Scenario::AutoRfm { th: 4 }, &opts);
+    assert_eq!(a.workload, spec.name);
+    assert_eq!(b.workload, spec.name);
+    assert_eq!(cache.simulations_run(), 2);
+}

@@ -1,0 +1,44 @@
+//! # autorfm-campaign
+//!
+//! The harness as a service: a persistent campaign daemon that accepts sweep
+//! requests, expands them into (workload × scenario × tracker × threshold)
+//! **cells**, schedules the cells across a worker pool, and streams every
+//! completed cell into a **content-addressed store**
+//! ([`autorfm::snapshot::store`]) so identical cells — within a campaign,
+//! across concurrent campaigns, or across daemon restarts — are computed
+//! exactly once.
+//!
+//! The moving parts:
+//!
+//! * [`cell`] — [`CellSpec`] (one simulation point, keyed by
+//!   [`autorfm::snapshot::store::cell_key`]) and [`SweepRequest`] (the
+//!   JSON-shaped request a client submits; expansion and canonical identity
+//!   live here).
+//! * [`runner`] — [`run_batch_fallible`], the worker entry point: runs a
+//!   same-shape group of cells as [`autorfm::SimBatch`] lockstep lanes
+//!   (optionally seeded from a captured warm state), degrading per-lane
+//!   panics into per-cell error records instead of poisoning the batch.
+//! * [`daemon`] — [`Daemon`]: the scheduler, the in-memory cell index, the
+//!   warm-state pool, dedup accounting, and resumption of persisted
+//!   campaigns on restart.
+//! * [`http`] / [`server`] — a hand-rolled HTTP/1.1 + JSON layer over
+//!   `std::net::TcpListener` (no external dependencies, like the JSON codec
+//!   in `autorfm-telemetry`) exposing submit / status / manifest / cell /
+//!   stats endpoints.
+//!
+//! The `campaignd` (daemon) and `campaign` (client) binaries in
+//! `crates/bench` are thin wrappers over this crate.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cell;
+pub mod daemon;
+pub mod http;
+pub mod runner;
+pub mod server;
+
+pub use cell::{CellSpec, SweepRequest};
+pub use daemon::{Daemon, DaemonConfig, SubmitOutcome};
+pub use runner::{run_batch_fallible, BatchOutcome};
+pub use server::serve;

@@ -61,6 +61,24 @@ impl SimBatch {
     /// Returns [`ConfigError`] if no configurations are given, any lane's
     /// configuration is invalid, or the warm digests disagree.
     pub fn new(cfgs: Vec<SimConfig>) -> Result<Self, ConfigError> {
+        Self::build(cfgs, None)
+    }
+
+    /// Like [`SimBatch::new`], but lane 0 adopts a previously captured
+    /// [`System::warm_state`] container instead of simulating warmup from
+    /// cold. The campaign daemon uses this to serve every batch of a given
+    /// shape after the first from its in-memory warm pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] under the same conditions as
+    /// [`SimBatch::new`], or if the warm container is invalid or its digest
+    /// does not match the lanes' shape.
+    pub fn new_from_warm(cfgs: Vec<SimConfig>, warm: &[u8]) -> Result<Self, ConfigError> {
+        Self::build(cfgs, Some(warm))
+    }
+
+    fn build(cfgs: Vec<SimConfig>, warm: Option<&[u8]>) -> Result<Self, ConfigError> {
         let Some(first_cfg) = cfgs.first().cloned() else {
             return Err(ConfigError::new("a batch needs at least one lane"));
         };
@@ -73,7 +91,11 @@ impl SimBatch {
                 )));
             }
         }
-        let first = System::new(first_cfg.clone())?;
+        let first = match warm {
+            None => System::new(first_cfg.clone())?,
+            Some(bytes) => System::new_from_warm(first_cfg.clone(), bytes)
+                .map_err(|e| ConfigError::new(format!("bad warm state for lane 0: {e}")))?,
+        };
         let mut lanes = vec![first];
         for cfg in cfgs.into_iter().skip(1) {
             let forked = lanes[0].fork_warm(cfg)?;
@@ -179,6 +201,28 @@ mod tests {
                 "lane diverged from standalone"
             );
         }
+    }
+
+    #[test]
+    fn warm_seeded_batch_matches_cold_batch() {
+        let cfgs = vec![
+            lane_cfg(Scenario::AutoRfm { th: 4 }),
+            lane_cfg(Scenario::Rfm { th: 8 }),
+        ];
+        let warm = System::new(cfgs[0].clone()).unwrap().warm_state();
+        let warm_results = SimBatch::new_from_warm(cfgs.clone(), &warm)
+            .unwrap()
+            .run_with(KernelKind::Event);
+        let cold_results = SimBatch::new(cfgs).unwrap().run_with(KernelKind::Event);
+        for (w, c) in warm_results.iter().zip(&cold_results) {
+            assert_eq!(format!("{w:?}"), format!("{c:?}"));
+        }
+    }
+
+    #[test]
+    fn garbage_warm_state_is_rejected() {
+        let cfgs = vec![lane_cfg(Scenario::AutoRfm { th: 4 })];
+        assert!(SimBatch::new_from_warm(cfgs, b"not a container").is_err());
     }
 
     #[test]

@@ -3,9 +3,10 @@
 use crate::config::{MappingKind, SimConfig};
 use autorfm_dram::DeviceMitigation;
 use autorfm_mitigation::MitigationKind;
-use autorfm_sim_core::DramTimings;
+use autorfm_sim_core::{ConfigError, DramTimings};
 use autorfm_trackers::TrackerKind;
 use core::fmt;
+use core::str::FromStr;
 
 /// A named system scenario from the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +126,78 @@ impl Scenario {
     }
 }
 
+impl FromStr for Scenario {
+    type Err = ConfigError;
+
+    /// Parses the exact strings [`Scenario`]'s `Display` produces, so every
+    /// scenario name ever printed by the harness (tables, manifests, cell
+    /// keys) round-trips back into a runnable scenario. This is what lets
+    /// the campaign service accept scenario names over the wire.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        fn parse_th(s: &str, what: &str) -> Result<u32, ConfigError> {
+            s.parse()
+                .map_err(|_| ConfigError::new(format!("bad {what} threshold '{s}'")))
+        }
+        if let Some(mapping) = s.strip_prefix("baseline-") {
+            let mapping = match mapping {
+                "zen" => MappingKind::Zen,
+                "rubix" => MappingKind::Rubix { key: 0xAB1E },
+                "linear" => MappingKind::Linear,
+                other => {
+                    return Err(ConfigError::new(format!(
+                        "unknown baseline mapping '{other}' (known: zen, rubix, linear)"
+                    )))
+                }
+            };
+            return Ok(Scenario::Baseline { mapping });
+        }
+        if let Some(rest) = s.strip_prefix("RFM-") {
+            return match rest.split_once('-') {
+                None => Ok(Scenario::Rfm {
+                    th: parse_th(rest, "RFM")?,
+                }),
+                Some((th, "rubix")) => Ok(Scenario::RfmOnRubix {
+                    th: parse_th(th, "RFM")?,
+                }),
+                Some((_, suffix)) => Err(ConfigError::new(format!(
+                    "unknown RFM variant '{suffix}' (known: rubix)"
+                ))),
+            };
+        }
+        if let Some(rest) = s.strip_prefix("AutoRFM-") {
+            return match rest.split_once('-') {
+                None => Ok(Scenario::AutoRfm {
+                    th: parse_th(rest, "AutoRFM")?,
+                }),
+                Some((th, suffix)) => {
+                    let th = parse_th(th, "AutoRFM")?;
+                    // Exact variant names first; anything else must be a
+                    // tracker name (which may itself contain '-', e.g.
+                    // "mint-recursive").
+                    match suffix {
+                        "zen" => Ok(Scenario::AutoRfmZen { th }),
+                        "recursive" => Ok(Scenario::AutoRfmRecursive { th }),
+                        "minimal" => Ok(Scenario::AutoRfmMinimal { th }),
+                        tracker => Ok(Scenario::AutoRfmWith {
+                            th,
+                            tracker: tracker.parse()?,
+                        }),
+                    }
+                }
+            };
+        }
+        if let Some(th) = s.strip_prefix("PRAC-ABO") {
+            return Ok(Scenario::Prac {
+                abo_th: parse_th(th, "ABO")?,
+            });
+        }
+        Err(ConfigError::new(format!(
+            "unknown scenario '{s}' (expected a name like 'baseline-zen', \
+             'RFM-32', 'AutoRFM-4', 'AutoRFM-4-pride', or 'PRAC-ABO64')"
+        )))
+    }
+}
+
 impl fmt::Display for Scenario {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -189,6 +262,57 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn scenario_names_round_trip() {
+        let scenarios = [
+            Scenario::Baseline {
+                mapping: MappingKind::Zen,
+            },
+            Scenario::Baseline {
+                mapping: MappingKind::Rubix { key: 0xAB1E },
+            },
+            Scenario::Baseline {
+                mapping: MappingKind::Linear,
+            },
+            Scenario::Rfm { th: 32 },
+            Scenario::RfmOnRubix { th: 16 },
+            Scenario::AutoRfm { th: 4 },
+            Scenario::AutoRfmZen { th: 8 },
+            Scenario::AutoRfmRecursive { th: 4 },
+            Scenario::AutoRfmMinimal { th: 2 },
+            Scenario::AutoRfmWith {
+                th: 4,
+                tracker: TrackerKind::MintRecursive,
+            },
+            Scenario::AutoRfmWith {
+                th: 4,
+                tracker: TrackerKind::Pride,
+            },
+            Scenario::Prac { abo_th: 64 },
+        ];
+        for s in scenarios {
+            assert_eq!(s.to_string().parse::<Scenario>().unwrap(), s, "{s}");
+        }
+    }
+
+    #[test]
+    fn bad_scenario_names_are_rejected() {
+        for bad in [
+            "",
+            "AutoRFM",
+            "AutoRFM-",
+            "AutoRFM-x",
+            "AutoRFM-4-",
+            "AutoRFM-4-nope",
+            "RFM-4-zen",
+            "baseline-qux",
+            "PRAC-ABOx",
+            "turbo-9000",
+        ] {
+            assert!(bad.parse::<Scenario>().is_err(), "{bad:?} parsed");
+        }
     }
 
     #[test]

@@ -66,6 +66,8 @@ pub const KIND_SYSTEM: u8 = 0;
 pub const KIND_WARM: u8 = 1;
 /// Payload kind: a harness result-cache checkpoint (completed simulations).
 pub const KIND_RESULTS: u8 = 2;
+/// Payload kind: one content-addressed sweep-cell result (see [`store`]).
+pub const KIND_CELL: u8 = 3;
 
 /// Human-readable name of a container payload kind.
 pub fn kind_name(kind: u8) -> &'static str {
@@ -73,9 +75,12 @@ pub fn kind_name(kind: u8) -> &'static str {
         KIND_SYSTEM => "system checkpoint",
         KIND_WARM => "warm state",
         KIND_RESULTS => "result cache",
+        KIND_CELL => "cell result",
         _ => "unknown",
     }
 }
+
+pub mod store;
 
 /// Errors arising while decoding a snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]

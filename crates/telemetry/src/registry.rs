@@ -186,6 +186,19 @@ impl Registry {
         self.push(name, labels, MetricValue::Gauge(value));
     }
 
+    /// Adds `delta` to a counter metric, creating it at `delta` if absent.
+    /// Unlike [`Registry::counter`] (which replaces the value), this is the
+    /// accumulation primitive long-running services want: each event site
+    /// bumps the metric without owning its total. A same-identity metric
+    /// that is not a counter is replaced by `Counter(delta)`.
+    pub fn incr_counter(&mut self, name: &str, labels: Labels<'_>, delta: u64) {
+        let current = match self.get(name, labels) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        };
+        self.push(name, labels, MetricValue::Counter(current + delta));
+    }
+
     /// Records (or replaces) a histogram metric from a snapshot.
     pub fn histogram(&mut self, name: &str, labels: Labels<'_>, snap: HistogramSnapshot) {
         self.push(name, labels, MetricValue::Histogram(snap));
@@ -446,6 +459,23 @@ mod tests {
         );
         assert_eq!(reg.get("ipc", &[]), Some(&MetricValue::Gauge(1.5)));
         assert_eq!(reg.get("acts", &[]), None, "labels are part of identity");
+    }
+
+    #[test]
+    fn incr_counter_accumulates() {
+        let mut reg = Registry::new();
+        reg.incr_counter("cells_done", &[], 1);
+        reg.incr_counter("cells_done", &[], 2);
+        reg.incr_counter("cells_done", &[("campaign", "a")], 5);
+        assert_eq!(reg.get("cells_done", &[]), Some(&MetricValue::Counter(3)));
+        assert_eq!(
+            reg.get("cells_done", &[("campaign", "a")]),
+            Some(&MetricValue::Counter(5))
+        );
+        // A non-counter under the same identity is replaced, not summed.
+        reg.gauge("load", &[], 9.0);
+        reg.incr_counter("load", &[], 4);
+        assert_eq!(reg.get("load", &[]), Some(&MetricValue::Counter(4)));
     }
 
     #[test]
