@@ -62,10 +62,19 @@ fn main() {
     let ths = [4u32, 8];
     // `--tracker NAME` (any name from `autorfm::trackers::names()`) narrows
     // the sweep to one tracker; default is the figure's PrIDE/MINT/Mithril
-    // trio.
+    // trio plus the tracker-zoo comparison columns (Graphene, ABACuS, Hydra,
+    // OracleRH).
     let trackers: Vec<TrackerKind> = match opts.tracker {
         Some(t) => vec![t],
-        None => vec![TrackerKind::Mithril, TrackerKind::Mint, TrackerKind::Pride],
+        None => vec![
+            TrackerKind::Mithril,
+            TrackerKind::Mint,
+            TrackerKind::Pride,
+            TrackerKind::Graphene,
+            TrackerKind::Abacus,
+            TrackerKind::Hydra,
+            TrackerKind::Oracle,
+        ],
     };
     let combos: Vec<(u32, TrackerKind)> = ths
         .iter()

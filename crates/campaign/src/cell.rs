@@ -324,6 +324,28 @@ mod tests {
     }
 
     #[test]
+    fn zoo_trackers_expand_via_the_registry() {
+        // Sweep requests resolve tracker names through the plugin registry,
+        // so the zoo trackers (and any future registration) are sweepable
+        // with no campaign-side edit — case-insensitively, like the CLI.
+        let mut req = request();
+        req.workloads = vec!["mcf".into()];
+        req.scenarios.clear();
+        req.trackers = vec!["graphene".into(), "ABACUS".into(), "oracle".into()];
+        req.thresholds = vec![4];
+        let names: Vec<String> = req
+            .expand()
+            .unwrap()
+            .iter()
+            .map(|c| c.scenario.to_string())
+            .collect();
+        assert_eq!(
+            names,
+            ["AutoRFM-4-graphene", "AutoRFM-4-abacus", "AutoRFM-4-oracle"]
+        );
+    }
+
+    #[test]
     fn thresholds_without_trackers_mean_plain_autorfm() {
         let mut req = request();
         req.trackers.clear();

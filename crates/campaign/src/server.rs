@@ -78,15 +78,27 @@ fn route(
             )
         }
         ("GET", ["trackers"]) => {
-            let names = autorfm::trackers::names();
+            // Registry metadata, not bare names: storage bits are quoted at
+            // the paper's default AutoRFM window of 4.
+            let entries: Vec<Json> = autorfm::trackers::REGISTRY
+                .iter()
+                .map(|info| {
+                    Json::obj(vec![
+                        ("name", Json::Str(info.name.to_string())),
+                        ("display", Json::Str(info.display.to_string())),
+                        ("description", Json::Str(info.description.to_string())),
+                        ("storage_bits", Json::Num(f64::from((info.storage_bits)(4)))),
+                        ("recursive", Json::Bool(info.flags.recursive)),
+                        ("all_bank", Json::Bool(info.flags.all_bank)),
+                        ("oracle", Json::Bool(info.flags.oracle)),
+                    ])
+                })
+                .collect();
             respond_json(
                 stream,
                 200,
                 "OK",
-                &Json::obj(vec![(
-                    "trackers",
-                    Json::Arr(names.iter().map(|n| Json::Str((*n).to_string())).collect()),
-                )]),
+                &Json::obj(vec![("trackers", Json::Arr(entries))]),
             )
         }
         ("GET", ["workloads"]) => {
@@ -203,6 +215,20 @@ mod tests {
         let (_, body) = http::request(&addr, "GET", "/trackers", None).unwrap();
         let trackers = body.get("trackers").and_then(Json::as_arr).unwrap();
         assert_eq!(trackers.len(), autorfm::trackers::names().len());
+        for (entry, info) in trackers.iter().zip(autorfm::trackers::REGISTRY.iter()) {
+            assert_eq!(entry.get("name").and_then(Json::as_str), Some(info.name));
+            assert!(entry.get("description").is_some());
+            assert!(entry.get("storage_bits").is_some());
+            assert_eq!(
+                entry.get("all_bank"),
+                Some(&Json::Bool(info.flags.all_bank))
+            );
+        }
+        let oracle = trackers
+            .iter()
+            .find(|t| t.get("name").and_then(Json::as_str) == Some("oracle"))
+            .expect("oracle registered");
+        assert_eq!(oracle.get("oracle"), Some(&Json::Bool(true)));
 
         let req = SweepRequest {
             name: "api".into(),

@@ -298,6 +298,20 @@ mod tests {
     }
 
     #[test]
+    fn every_registered_tracker_round_trips_as_a_scenario() {
+        // The registry is the source of truth: every tracker name — zoo
+        // trackers included — must survive `AutoRFM-{th}-{tracker}` display
+        // and re-parse, so campaign sweeps can name any registered tracker.
+        for kind in TrackerKind::ALL {
+            let s = Scenario::AutoRfmWith {
+                th: 4,
+                tracker: kind,
+            };
+            assert_eq!(s.to_string().parse::<Scenario>().unwrap(), s, "{s}");
+        }
+    }
+
+    #[test]
     fn bad_scenario_names_are_rejected() {
         for bad in [
             "",

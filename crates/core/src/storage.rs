@@ -25,8 +25,12 @@ pub struct StorageReport {
 
 impl StorageReport {
     /// Per-bank DRAM bytes (rounded up), the paper's "5 bytes per bank".
+    ///
+    /// Widens before adding: the idealized OracleRH reports
+    /// `u32::MAX` tracker bits, which must saturate the report rather than
+    /// overflow it.
     pub fn dram_bytes_per_bank(&self) -> u64 {
-        ((self.saum_bits_per_bank + self.tracker_bits_per_bank) as u64).div_ceil(8)
+        (u64::from(self.saum_bits_per_bank) + u64::from(self.tracker_bits_per_bank)).div_ceil(8)
     }
 }
 
@@ -65,7 +69,8 @@ pub fn storage_report(cfg: &SimConfig) -> Result<StorageReport, ConfigError> {
         // PRAC stores a counter per row, not SRAM; None needs nothing.
         DeviceMitigation::Prac { .. } | DeviceMitigation::None => 0,
     };
-    let per_bank_bits = (saum_bits_per_bank + tracker_bits_per_bank) as u64;
+    // u64 arithmetic: OracleRH's sentinel u32::MAX storage must not overflow.
+    let per_bank_bits = u64::from(saum_bits_per_bank) + u64::from(tracker_bits_per_bank);
     Ok(StorageReport {
         mc_bytes,
         saum_bits_per_bank,
@@ -108,6 +113,27 @@ mod tests {
             mithril.tracker_bits_per_bank,
             mint.tracker_bits_per_bank
         );
+    }
+
+    #[test]
+    fn zoo_trackers_report_registry_storage() {
+        use autorfm_trackers::TrackerKind;
+        // Graphene and Hydra report their registry formulas through the
+        // Section VI-C accounting; the idealized oracle's u32::MAX sentinel
+        // flows through without overflowing the per-bank byte math.
+        for (kind, bits) in [
+            (TrackerKind::Graphene, 64 * 33 + 16),
+            (TrackerKind::Hydra, 128 * 16 + 32 * 33),
+            (TrackerKind::Oracle, u32::MAX),
+        ] {
+            let r = storage_report(&cfg(Scenario::AutoRfmWith {
+                th: 4,
+                tracker: kind,
+            }))
+            .unwrap();
+            assert_eq!(r.tracker_bits_per_bank, bits, "{kind}");
+            assert!(r.dram_bytes_per_bank() >= u64::from(bits) / 8, "{kind}");
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::trace::{CommandKind, CommandTrace};
 use autorfm_mitigation::MitigationKind;
 use autorfm_sim_core::{BankId, ConfigError, Cycle, DetRng, RowAddr, SubarrayId};
 use autorfm_snapshot::{Reader, SnapError, Snapshot, Writer};
-use autorfm_trackers::TrackerKind;
+use autorfm_trackers::{build_bank_trackers, TrackerKind};
 
 /// Result of attempting an ACT.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,25 +140,29 @@ impl DramDevice {
         cfg.validate()?;
         let n = cfg.geometry.num_banks as usize;
         let root = DetRng::seeded(seed);
+        let (tracker, policy, window) = match cfg.mitigation {
+            DeviceMitigation::AutoRfm {
+                tracker,
+                policy,
+                window,
+            }
+            | DeviceMitigation::Rfm {
+                tracker,
+                policy,
+                window,
+            } => (tracker, policy, window),
+            DeviceMitigation::Prac { policy, .. } => (TrackerKind::Mint, policy, u32::MAX),
+            DeviceMitigation::None => (TrackerKind::Mint, MitigationKind::Fractal, u32::MAX),
+        };
+        // Built once for the whole device so all-bank trackers (ABACuS) can
+        // hand every engine a view of one shared state. Construction consumes
+        // no RNG; each bank's engine stream keeps its `root.fork(b)` seed.
+        let bank_trackers = build_bank_trackers(tracker, window, n)?;
         let mut engines = Vec::with_capacity(n);
         let mut prac = Vec::with_capacity(n);
-        for b in 0..n {
+        for (b, t) in bank_trackers.into_iter().enumerate() {
             let rng = root.fork(b as u64);
-            let (tracker, policy, window) = match cfg.mitigation {
-                DeviceMitigation::AutoRfm {
-                    tracker,
-                    policy,
-                    window,
-                }
-                | DeviceMitigation::Rfm {
-                    tracker,
-                    policy,
-                    window,
-                } => (tracker, policy, window),
-                DeviceMitigation::Prac { policy, .. } => (TrackerKind::Mint, policy, u32::MAX),
-                DeviceMitigation::None => (TrackerKind::Mint, MitigationKind::Fractal, u32::MAX),
-            };
-            engines.push(MitigationEngine::new(tracker, policy, window, rng)?);
+            engines.push(MitigationEngine::with_tracker(t, policy, window, rng)?);
             if let DeviceMitigation::Prac { abo_threshold, .. } = cfg.mitigation {
                 prac.push(PracState::new(abo_threshold));
             }
@@ -743,6 +747,36 @@ mod tests {
         // The 5th ACT in the rank must wait for the FAW window from the 1st.
         let first_act = Cycle::from_ns(10);
         assert!(dev.earliest_act(BankId(0)).max(first_act + t().t_faw) >= first_act + t().t_faw);
+    }
+
+    #[test]
+    fn abacus_shares_counters_across_banks() {
+        let cfg = small_cfg(DeviceMitigation::AutoRfm {
+            tracker: TrackerKind::Abacus,
+            policy: MitigationKind::Fractal,
+            window: 4,
+        });
+        let mut dev = DramDevice::new(cfg, 1).unwrap();
+        let mut at = Cycle::from_ns(10);
+        // Bank 0 hammers row 7 three times — not enough to finish its window.
+        for _ in 0..3 {
+            at = at.max(dev.earliest_act(BankId(0)));
+            assert_eq!(dev.try_act(BankId(0), RowAddr(7), at), ActOutcome::Accepted);
+            let pre = dev.earliest_pre(BankId(0));
+            dev.precharge(BankId(0), pre);
+            at = pre;
+        }
+        assert_eq!(dev.stats().mitigations.get(), 0);
+        // Bank 1 finishes a window on cold rows; its engine selects from the
+        // shared ABACuS table, which names bank 0's row 7 the hottest.
+        for r in 100..104u32 {
+            at = at.max(dev.earliest_act(BankId(1)));
+            assert_eq!(dev.try_act(BankId(1), RowAddr(r), at), ActOutcome::Accepted);
+            let pre = dev.earliest_pre(BankId(1));
+            dev.precharge(BankId(1), pre);
+            at = pre;
+        }
+        assert_eq!(dev.stats().mitigations.get(), 1);
     }
 
     #[test]

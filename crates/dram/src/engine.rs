@@ -63,7 +63,34 @@ impl MitigationEngine {
         window: u32,
         rng: DetRng,
     ) -> Result<Self, ConfigError> {
-        let tracker = build_tracker(tracker, window)?;
+        Self::with_tracker(build_tracker(tracker, window)?, policy, window, rng)
+    }
+
+    /// Creates an engine around an already-built tracker instance. This is
+    /// the device-level entry point: all-bank trackers (registry flag
+    /// `all_bank`, e.g. ABACuS) are built once per device via
+    /// [`autorfm_trackers::build_bank_trackers`] so every bank's engine holds
+    /// a handle onto the same shared state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the window is zero, disagrees with the
+    /// tracker's, or the policy is invalid.
+    pub fn with_tracker(
+        tracker: Box<dyn Tracker>,
+        policy: MitigationKind,
+        window: u32,
+        rng: DetRng,
+    ) -> Result<Self, ConfigError> {
+        if window == 0 {
+            return Err(ConfigError::new("mitigation window must be at least 1"));
+        }
+        if tracker.window() != window {
+            return Err(ConfigError::new(format!(
+                "tracker window {} disagrees with engine window {window}",
+                tracker.window()
+            )));
+        }
         let policy = build_policy(policy)?;
         Ok(MitigationEngine {
             tracker,
@@ -279,6 +306,46 @@ mod tests {
         assert!(!e.on_act(RowAddr(4)));
         assert!(!e.on_act(RowAddr(5)));
         assert!(e.on_act(RowAddr(6)));
+    }
+
+    #[test]
+    fn with_tracker_rejects_window_mismatch() {
+        let t = build_tracker(TrackerKind::Mint, 8).unwrap();
+        assert!(
+            MitigationEngine::with_tracker(t, MitigationKind::Fractal, 4, DetRng::seeded(1))
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn all_bank_tracker_shares_state_between_engines() {
+        let trackers = autorfm_trackers::build_bank_trackers(TrackerKind::Abacus, 4, 2).unwrap();
+        let mut engines: Vec<MitigationEngine> = trackers
+            .into_iter()
+            .enumerate()
+            .map(|(b, t)| {
+                MitigationEngine::with_tracker(
+                    t,
+                    MitigationKind::Fractal,
+                    4,
+                    DetRng::seeded(b as u64),
+                )
+                .unwrap()
+            })
+            .collect();
+        // Bank 0 hammers row 7 without completing its window.
+        for _ in 0..3 {
+            engines[0].on_act(RowAddr(7));
+        }
+        assert!(!engines[0].has_pending());
+        // Bank 1 completes its own window on cold rows; the shared ABACuS
+        // table still names row 7 — which bank 1 never touched — the hottest.
+        for r in 100..103u32 {
+            assert!(!engines[1].on_act(RowAddr(r)));
+        }
+        assert!(engines[1].on_act(RowAddr(103)));
+        let m = engines[1].execute_pending(1024).expect("shared candidate");
+        assert_eq!(m.target.row, RowAddr(7));
     }
 
     #[test]

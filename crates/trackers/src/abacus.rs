@@ -1,0 +1,399 @@
+//! ABACuS-style all-bank activation counters (PAPERS.md).
+//!
+//! ABACuS exploits the observation that workloads touch the *same row index*
+//! across many banks (sibling rows): instead of one counter table per bank it
+//! keeps a single shared table of Row Activation Counters, each paired with a
+//! Sibling Activation Vector (SAV) bitmask of banks. An activation of row `r`
+//! in bank `b` increments the shared counter only when `b`'s SAV bit is
+//! already set (the row completed a round of sibling activations); otherwise
+//! it just sets the bit. The counter therefore tracks the *maximum* per-bank
+//! activation count at a fraction of the per-bank storage.
+//!
+//! This is the registry's one **all-bank** tracker: [`Abacus::new_shared`]
+//! builds one handle per bank, all viewing the same [`Arc`]-shared table.
+//! Adaptation to this repo's per-bank mitigation engine: each bank's engine
+//! selects from the shared table at its own window end, and a selection
+//! retires the shared entry (the paper instead sweeps the row in all banks
+//! during one RFM; the counter reset is the same either way).
+
+use crate::tracker::{MitigationTarget, Tracker};
+use autorfm_sim_core::{ConfigError, DetRng, RowAddr};
+use autorfm_snapshot::{Reader, SnapError, Snapshot, Writer};
+use std::sync::{Arc, Mutex};
+
+/// Default shared-table size used by the registry entry (`"abacus"`).
+pub const DEFAULT_ENTRIES: usize = 128;
+
+/// Bank count used when quoting per-bank storage (the paper's baseline
+/// device geometry).
+pub const BASELINE_BANKS: usize = 64;
+
+/// A shared entry: row index, activation counter, and sibling bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    row: RowAddr,
+    count: u32,
+    sav: u64,
+}
+
+/// The table shared by every bank handle of one device.
+#[derive(Debug)]
+struct Shared {
+    entries: Vec<Entry>,
+    capacity: usize,
+    spillover: u32,
+    num_banks: usize,
+}
+
+/// One bank's handle onto the shared ABACuS state.
+///
+/// Built via [`Abacus::new_shared`]; the registry's `build_tracker` path
+/// produces the single handle of a one-bank device.
+///
+/// # Examples
+///
+/// ```
+/// use autorfm_trackers::Abacus;
+/// use autorfm_sim_core::{DetRng, RowAddr};
+///
+/// let mut rng = DetRng::seeded(1);
+/// let mut banks = Abacus::new_shared(4, 2, 8)?;
+/// // Both banks hammer sibling row 7: the shared counter sees it once per
+/// // sibling round, and either bank can mitigate it.
+/// for _ in 0..16 {
+///     for b in banks.iter_mut() {
+///         b.on_activation(RowAddr(7), &mut rng);
+///     }
+/// }
+/// let t = banks[1].select_for_mitigation(&mut rng).unwrap();
+/// assert_eq!(t.row, RowAddr(7));
+/// # Ok::<(), autorfm_sim_core::ConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct Abacus {
+    window: u32,
+    bank: u16,
+    shared: Arc<Mutex<Shared>>,
+}
+
+impl Abacus {
+    /// Builds one handle per bank, all sharing a `capacity`-entry table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `window == 0`, `capacity == 0`,
+    /// `num_banks == 0`, or `num_banks > 64` (the SAV is one `u64`).
+    pub fn new_shared(
+        window: u32,
+        num_banks: usize,
+        capacity: usize,
+    ) -> Result<Vec<Box<dyn Tracker>>, ConfigError> {
+        if window == 0 {
+            return Err(ConfigError::new("ABACuS window must be at least 1"));
+        }
+        if capacity == 0 {
+            return Err(ConfigError::new("ABACuS needs at least 1 shared entry"));
+        }
+        if num_banks == 0 {
+            return Err(ConfigError::new("ABACuS needs at least 1 bank"));
+        }
+        if num_banks > 64 {
+            return Err(ConfigError::new(
+                "ABACuS sibling vector is 64 bits; at most 64 banks",
+            ));
+        }
+        let shared = Arc::new(Mutex::new(Shared {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            spillover: 0,
+            num_banks,
+        }));
+        Ok((0..num_banks)
+            .map(|bank| {
+                Box::new(Abacus {
+                    window,
+                    bank: bank as u16,
+                    shared: Arc::clone(&shared),
+                }) as Box<dyn Tracker>
+            })
+            .collect())
+    }
+
+    /// Per-bank share of the SRAM bits for a `capacity`-entry table on a
+    /// `num_banks`-bank device: row address (17b) + counter (16b) +
+    /// `num_banks` SAV bits per entry, plus the 16b spillover counter, all
+    /// amortized over the banks.
+    pub const fn storage_bits_for(capacity: usize, num_banks: usize) -> u32 {
+        ((capacity * (33 + num_banks) + 16) / num_banks) as u32
+    }
+
+    /// Current number of tracked rows in the shared table.
+    pub fn tracked_rows(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// The shared counter for `row`, if tracked.
+    pub fn count_of(&self, row: RowAddr) -> Option<u32> {
+        self.lock()
+            .entries
+            .iter()
+            .find(|e| e.row == row)
+            .map(|e| e.count)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Shared> {
+        self.shared.lock().expect("ABACuS shared state poisoned")
+    }
+}
+
+impl Shared {
+    fn observe(&mut self, row: RowAddr, bank: u16) {
+        let bit = 1u64 << bank;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.row == row) {
+            if e.sav & bit != 0 {
+                // This bank completed a sibling round: the shared counter
+                // advances and the vector restarts from this bank.
+                e.count += 1;
+                e.sav = bit;
+            } else {
+                e.sav |= bit;
+            }
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push(Entry {
+                row,
+                count: self.spillover + 1,
+                sav: bit,
+            });
+            return;
+        }
+        // Graphene-style spillover eviction keeps the table's minimum honest.
+        self.spillover += 1;
+        let idx = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.count)
+            .map(|(i, _)| i)
+            .expect("capacity > 0, table is full");
+        if self.spillover > self.entries[idx].count {
+            let evicted = self.entries[idx].count;
+            self.entries[idx] = Entry {
+                row,
+                count: self.spillover,
+                sav: bit,
+            };
+            self.spillover = evicted;
+        }
+    }
+}
+
+impl Tracker for Abacus {
+    fn on_activation(&mut self, row: RowAddr, _rng: &mut DetRng) {
+        let bank = self.bank;
+        self.lock().observe(row, bank);
+    }
+
+    fn select_for_mitigation(&mut self, _rng: &mut DetRng) -> Option<MitigationTarget> {
+        let mut shared = self.lock();
+        let idx = shared
+            .entries
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, e)| e.count)
+            .map(|(i, _)| i)?;
+        let row = shared.entries[idx].row;
+        // Retiring the shared entry models the all-bank sweep's counter reset.
+        shared.entries.swap_remove(idx);
+        Some(MitigationTarget::direct(row))
+    }
+
+    fn on_victim_refresh(&mut self, row: RowAddr, _level: u8, rng: &mut DetRng) {
+        // Victim refreshes count as disturbance for transitive defense.
+        self.on_activation(row, rng);
+    }
+
+    fn window(&self) -> u32 {
+        self.window
+    }
+
+    fn storage_bits(&self) -> u32 {
+        let shared = self.lock();
+        Self::storage_bits_for(shared.capacity, shared.num_banks)
+    }
+
+    fn name(&self) -> &'static str {
+        "abacus"
+    }
+
+    fn reset(&mut self) {
+        // Called once per bank handle between phases; clearing shared state
+        // is idempotent.
+        let mut shared = self.lock();
+        shared.entries.clear();
+        shared.spillover = 0;
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        // The state is device-global: bank 0's handle owns the codec and the
+        // other handles serialize nothing. The device restores engines in
+        // bank order, so bank 0 repopulates the shared table first.
+        if self.bank != 0 {
+            return;
+        }
+        let shared = self.lock();
+        w.put_usize(shared.entries.len());
+        for e in &shared.entries {
+            e.row.encode(w);
+            w.put_u32(e.count);
+            w.put_u64(e.sav);
+        }
+        w.put_u32(shared.spillover);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        if self.bank != 0 {
+            return Ok(());
+        }
+        let mut shared = self.lock();
+        let n = r.take_usize()?;
+        if n > shared.capacity {
+            return Err(SnapError::corrupt("ABACuS entry count exceeds capacity"));
+        }
+        shared.entries.clear();
+        for _ in 0..n {
+            shared.entries.push(Entry {
+                row: RowAddr::decode(r)?,
+                count: r.take_u32()?,
+                sav: r.take_u64()?,
+            });
+        }
+        shared.spillover = r.take_u32()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> Vec<Box<dyn Tracker>> {
+        Abacus::new_shared(4, 2, 4).unwrap()
+    }
+
+    #[test]
+    fn sibling_round_advances_shared_counter() {
+        let mut rng = DetRng::seeded(1);
+        let shared = Arc::new(Mutex::new(Shared {
+            entries: Vec::new(),
+            capacity: 4,
+            spillover: 0,
+            num_banks: 2,
+        }));
+        let mut b0 = Abacus {
+            window: 4,
+            bank: 0,
+            shared: Arc::clone(&shared),
+        };
+        let mut b1 = Abacus {
+            window: 4,
+            bank: 1,
+            shared,
+        };
+        b0.on_activation(RowAddr(7), &mut rng);
+        assert_eq!(b0.count_of(RowAddr(7)), Some(1));
+        b1.on_activation(RowAddr(7), &mut rng);
+        assert_eq!(b1.count_of(RowAddr(7)), Some(1), "joining a round");
+        b0.on_activation(RowAddr(7), &mut rng);
+        assert_eq!(b0.count_of(RowAddr(7)), Some(2), "round completed");
+        // The SAV restarted from bank 0, so bank 1 joins a new round.
+        b1.on_activation(RowAddr(7), &mut rng);
+        assert_eq!(b1.count_of(RowAddr(7)), Some(2));
+        b1.on_activation(RowAddr(7), &mut rng);
+        assert_eq!(b1.count_of(RowAddr(7)), Some(3));
+    }
+
+    #[test]
+    fn state_is_shared_across_handles() {
+        let mut rng = DetRng::seeded(2);
+        let mut banks = pair();
+        for _ in 0..8 {
+            banks[0].on_activation(RowAddr(3), &mut rng);
+        }
+        // Bank 1 never saw row 3, yet can select it from the shared table.
+        let t = banks[1].select_for_mitigation(&mut rng).unwrap();
+        assert_eq!(t.row, RowAddr(3));
+        // Selection retired the shared entry for every handle.
+        assert!(banks[0].select_for_mitigation(&mut rng).is_none());
+    }
+
+    #[test]
+    fn spillover_eviction_keeps_heavy_hitter() {
+        let mut rng = DetRng::seeded(3);
+        let mut banks = Abacus::new_shared(4, 1, 2).unwrap();
+        for i in 0..100u32 {
+            banks[0].on_activation(RowAddr(1), &mut rng);
+            banks[0].on_activation(RowAddr(1), &mut rng);
+            banks[0].on_activation(RowAddr(1000 + i), &mut rng);
+        }
+        let t = banks[0].select_for_mitigation(&mut rng).unwrap();
+        assert_eq!(t.row, RowAddr(1));
+    }
+
+    #[test]
+    fn only_bank_zero_carries_snapshot_state() {
+        let mut rng = DetRng::seeded(4);
+        let mut banks = pair();
+        banks[0].on_activation(RowAddr(9), &mut rng);
+        let mut w0 = Writer::new();
+        banks[0].save_state(&mut w0);
+        let mut w1 = Writer::new();
+        banks[1].save_state(&mut w1);
+        assert!(!w0.bytes().is_empty());
+        assert!(w1.bytes().is_empty(), "non-zero banks serialize nothing");
+
+        // Round-trip through a fresh device: bank 0 restores the table, and
+        // bank 1 sees it through the shared Arc.
+        let mut fresh = pair();
+        let bytes = w0.bytes().to_vec();
+        let mut r = Reader::new(&bytes);
+        fresh[0].load_state(&mut r).unwrap();
+        let mut empty = Reader::new(&[]);
+        fresh[1].load_state(&mut empty).unwrap();
+        let t = fresh[1].select_for_mitigation(&mut rng).unwrap();
+        assert_eq!(t.row, RowAddr(9));
+    }
+
+    #[test]
+    fn reset_is_idempotent_across_handles() {
+        let mut rng = DetRng::seeded(5);
+        let mut banks = pair();
+        banks[0].on_activation(RowAddr(2), &mut rng);
+        banks[0].reset();
+        banks[1].reset();
+        assert!(banks[0].select_for_mitigation(&mut rng).is_none());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(Abacus::new_shared(0, 2, 4).is_err());
+        assert!(Abacus::new_shared(4, 0, 4).is_err());
+        assert!(Abacus::new_shared(4, 2, 0).is_err());
+        assert!(Abacus::new_shared(4, 65, 4).is_err());
+        assert!(Abacus::new_shared(4, 64, 4).is_ok());
+    }
+
+    #[test]
+    fn storage_is_amortized_per_bank() {
+        let banks = Abacus::new_shared(4, 64, DEFAULT_ENTRIES).unwrap();
+        let per_bank = banks[0].storage_bits();
+        assert_eq!(
+            per_bank,
+            Abacus::storage_bits_for(DEFAULT_ENTRIES, BASELINE_BANKS)
+        );
+        // The whole point of ABACuS: cheaper per bank than a per-bank table
+        // of the same entry count (Mithril at 32 entries costs 1056 bits).
+        assert!(per_bank < 32 * 33);
+    }
+}

@@ -1,0 +1,290 @@
+//! Graphene counter tracker (Misra-Gries table + spillover counter), after
+//! the DRAMsim3 implementation referenced in SNIPPETS.md.
+//!
+//! Graphene differs from the plain Misra-Gries summary in [`crate::Mithril`]
+//! by keeping the decremented mass in an explicit *spillover* counter instead
+//! of discarding it: an untracked row only enters the table by overtaking the
+//! current minimum entry (`spillover > min.count`), swapping counts with it.
+//! This preserves the classic Misra-Gries guarantee (no row with more than
+//! `W / (entries + 1)` activations per window escapes the table) while making
+//! the eviction pressure explicit and cheap to reason about in hardware.
+
+use crate::tracker::{MitigationTarget, Tracker};
+use autorfm_sim_core::{ConfigError, DetRng, RowAddr};
+use autorfm_snapshot::{Reader, SnapError, Snapshot, Writer};
+
+/// Default table size used by the registry entry (`"graphene"`).
+pub const DEFAULT_ENTRIES: usize = 64;
+
+/// A tracked row and its estimated activation count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    row: RowAddr,
+    count: u32,
+}
+
+/// The Graphene table/spillover tracker.
+///
+/// # Examples
+///
+/// ```
+/// use autorfm_trackers::{Graphene, Tracker};
+/// use autorfm_sim_core::{DetRng, RowAddr};
+///
+/// let mut rng = DetRng::seeded(1);
+/// let mut g = Graphene::new(4, 2)?;
+/// for _ in 0..50 {
+///     g.on_activation(RowAddr(7), &mut rng);
+///     g.on_activation(RowAddr(7), &mut rng);
+///     g.on_activation(RowAddr(1), &mut rng);
+/// }
+/// let t = g.select_for_mitigation(&mut rng).unwrap();
+/// assert_eq!(t.row, RowAddr(7)); // the hottest row is mitigated first
+/// # Ok::<(), autorfm_sim_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Graphene {
+    window: u32,
+    entries: Vec<Entry>,
+    capacity: usize,
+    spillover: u32,
+}
+
+impl Graphene {
+    /// Creates a Graphene tracker with `capacity` table entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `window == 0` or `capacity == 0`.
+    pub fn new(window: u32, capacity: usize) -> Result<Self, ConfigError> {
+        if window == 0 {
+            return Err(ConfigError::new("Graphene window must be at least 1"));
+        }
+        if capacity == 0 {
+            return Err(ConfigError::new("Graphene needs at least 1 table entry"));
+        }
+        Ok(Graphene {
+            window,
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            spillover: 0,
+        })
+    }
+
+    /// Per-bank SRAM bits for a `capacity`-entry table: row address (17b) +
+    /// counter (16b) per entry, plus the 16b spillover counter.
+    pub const fn storage_bits_for(capacity: usize) -> u32 {
+        (capacity as u32) * 33 + 16
+    }
+
+    /// Current number of tracked rows.
+    pub fn tracked_rows(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The current spillover-counter value.
+    pub fn spillover(&self) -> u32 {
+        self.spillover
+    }
+
+    /// The estimated count for `row`, if tracked.
+    pub fn count_of(&self, row: RowAddr) -> Option<u32> {
+        self.entries.iter().find(|e| e.row == row).map(|e| e.count)
+    }
+
+    /// Index of the first minimum-count entry (deterministic tie-break on
+    /// table position, matching the DRAMsim3 scan).
+    fn min_index(&self) -> Option<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.count)
+            .map(|(i, _)| i)
+    }
+}
+
+impl Tracker for Graphene {
+    fn on_activation(&mut self, row: RowAddr, _rng: &mut DetRng) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.row == row) {
+            e.count += 1;
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            // An empty slot adopts the spillover mass, preserving the
+            // over-estimate invariant (count >= true activations).
+            self.entries.push(Entry {
+                row,
+                count: self.spillover + 1,
+            });
+            return;
+        }
+        // Full table: the spillover counter absorbs the activation, and the
+        // new row swaps in only once it overtakes the coldest entry.
+        self.spillover += 1;
+        let idx = self.min_index().expect("capacity > 0, table is full");
+        if self.spillover > self.entries[idx].count {
+            let evicted = self.entries[idx].count;
+            self.entries[idx] = Entry {
+                row,
+                count: self.spillover,
+            };
+            self.spillover = evicted;
+        }
+    }
+
+    fn select_for_mitigation(&mut self, _rng: &mut DetRng) -> Option<MitigationTarget> {
+        let idx = self
+            .entries
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, e)| e.count)
+            .map(|(i, _)| i)?;
+        let row = self.entries[idx].row;
+        // Mitigation resets the row's pressure; the entry stays resident so
+        // a sustained aggressor keeps paying the swap-in cost from zero.
+        self.entries[idx].count = 0;
+        Some(MitigationTarget::direct(row))
+    }
+
+    fn on_victim_refresh(&mut self, row: RowAddr, _level: u8, rng: &mut DetRng) {
+        // Victim refreshes count as disturbance for transitive defense.
+        self.on_activation(row, rng);
+    }
+
+    fn window(&self) -> u32 {
+        self.window
+    }
+
+    fn storage_bits(&self) -> u32 {
+        Self::storage_bits_for(self.capacity)
+    }
+
+    fn name(&self) -> &'static str {
+        "graphene"
+    }
+
+    fn reset(&mut self) {
+        self.entries.clear();
+        self.spillover = 0;
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        w.put_usize(self.entries.len());
+        for e in &self.entries {
+            e.row.encode(w);
+            w.put_u32(e.count);
+        }
+        w.put_u32(self.spillover);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        let n = r.take_usize()?;
+        if n > self.capacity {
+            return Err(SnapError::corrupt("Graphene entry count exceeds capacity"));
+        }
+        self.entries.clear();
+        for _ in 0..n {
+            self.entries.push(Entry {
+                row: RowAddr::decode(r)?,
+                count: r.take_u32()?,
+            });
+        }
+        self.spillover = r.take_u32()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hottest_row_selected_and_cleared() {
+        let mut rng = DetRng::seeded(1);
+        let mut g = Graphene::new(4, 4).unwrap();
+        for _ in 0..10 {
+            g.on_activation(RowAddr(5), &mut rng);
+        }
+        g.on_activation(RowAddr(9), &mut rng);
+        assert_eq!(g.select_for_mitigation(&mut rng).unwrap().row, RowAddr(5));
+        // 5's count was zeroed; next hottest is 9.
+        assert_eq!(g.select_for_mitigation(&mut rng).unwrap().row, RowAddr(9));
+    }
+
+    #[test]
+    fn spillover_swaps_in_hot_newcomer() {
+        let mut rng = DetRng::seeded(2);
+        let mut g = Graphene::new(4, 2).unwrap();
+        // Fill the table with two lukewarm rows.
+        g.on_activation(RowAddr(1), &mut rng);
+        g.on_activation(RowAddr(2), &mut rng);
+        assert_eq!(g.tracked_rows(), 2);
+        // A newcomer hammers; first miss only bumps spillover (1 == min count,
+        // not greater), the second overtakes and swaps in with count 2.
+        g.on_activation(RowAddr(3), &mut rng);
+        assert_eq!(g.count_of(RowAddr(3)), None);
+        assert_eq!(g.spillover(), 1);
+        g.on_activation(RowAddr(3), &mut rng);
+        assert_eq!(g.count_of(RowAddr(3)), Some(2));
+        // The evicted entry's count became the new spillover.
+        assert_eq!(g.spillover(), 1);
+        assert_eq!(g.tracked_rows(), 2);
+    }
+
+    #[test]
+    fn misra_gries_guarantee_keeps_heavy_hitter() {
+        let mut rng = DetRng::seeded(3);
+        let mut g = Graphene::new(4, 2).unwrap();
+        // Heavy hitter interleaved with a parade of one-shot rows.
+        for i in 0..100u32 {
+            g.on_activation(RowAddr(1), &mut rng);
+            g.on_activation(RowAddr(1), &mut rng);
+            g.on_activation(RowAddr(1000 + i), &mut rng);
+        }
+        assert_eq!(g.select_for_mitigation(&mut rng).unwrap().row, RowAddr(1));
+    }
+
+    #[test]
+    fn new_entries_adopt_spillover_mass() {
+        let mut rng = DetRng::seeded(4);
+        let mut g = Graphene::new(4, 1).unwrap();
+        for r in 0..4u32 {
+            g.on_activation(RowAddr(r), &mut rng);
+        }
+        // Mitigate the sole resident entry, freeing no slot but zeroing it;
+        // the table stays full so counts keep flowing through spillover.
+        assert!(g.select_for_mitigation(&mut rng).is_some());
+        let before = g.spillover();
+        g.on_activation(RowAddr(50), &mut rng);
+        // Either swapped in above the zeroed entry or absorbed by spillover —
+        // in both cases no mass is lost.
+        assert!(g.count_of(RowAddr(50)).is_some() || g.spillover() > before);
+    }
+
+    #[test]
+    fn empty_table_has_no_candidate() {
+        let mut rng = DetRng::seeded(5);
+        let mut g = Graphene::new(4, 4).unwrap();
+        assert!(g.select_for_mitigation(&mut rng).is_none());
+    }
+
+    #[test]
+    fn reset_clears_table_and_spillover() {
+        let mut rng = DetRng::seeded(6);
+        let mut g = Graphene::new(4, 1).unwrap();
+        for r in 0..10u32 {
+            g.on_activation(RowAddr(r), &mut rng);
+        }
+        assert!(g.spillover() > 0);
+        g.reset();
+        assert_eq!(g.tracked_rows(), 0);
+        assert_eq!(g.spillover(), 0);
+        assert!(g.select_for_mitigation(&mut rng).is_none());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(Graphene::new(0, 4).is_err());
+        assert!(Graphene::new(4, 0).is_err());
+    }
+}

@@ -1,0 +1,318 @@
+//! Hydra/START-style two-level tracker (PAPERS.md).
+//!
+//! Hydra and START scale counter tracking by splitting it into two levels:
+//! a small array of *group* counters covering disjoint row ranges, and a
+//! table of *per-row* counters that is populated only for rows whose group
+//! has proven hot. Cold groups — the overwhelming majority under benign
+//! workloads — cost one shared counter instead of a table entry each.
+//!
+//! This implementation keeps both levels in SRAM (the paper variants spill
+//! the row table to DRAM; the storage model below reflects the SRAM
+//! configuration used here): a row activation increments its group counter,
+//! and once the counter reaches the group threshold, further activations in
+//! that group are tracked individually in a Misra-Gries row table. Selection
+//! mitigates the hottest tracked row and restarts its group.
+
+use crate::tracker::{MitigationTarget, Tracker};
+use autorfm_sim_core::{ConfigError, DetRng, RowAddr};
+use autorfm_snapshot::{Reader, SnapError, Snapshot, Writer};
+
+/// Default group-counter count used by the registry entry (`"hydra"`).
+pub const DEFAULT_GROUPS: usize = 128;
+/// Default group-counter threshold used by the registry entry.
+pub const DEFAULT_GROUP_THRESHOLD: u32 = 4;
+/// Default row-table size used by the registry entry.
+pub const DEFAULT_ROW_ENTRIES: usize = 32;
+
+/// Rows per group: adjacent rows share a group (spatial locality, as in
+/// Hydra's range-based grouping).
+const ROWS_PER_GROUP: u32 = 8;
+
+/// A tracked row and its estimated activation count (level 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    row: RowAddr,
+    count: u32,
+}
+
+/// The two-level group/row tracker.
+///
+/// # Examples
+///
+/// ```
+/// use autorfm_trackers::{HydraStyle, Tracker};
+/// use autorfm_sim_core::{DetRng, RowAddr};
+///
+/// let mut rng = DetRng::seeded(1);
+/// let mut h = HydraStyle::new(4, 16, 2, 8)?;
+/// for _ in 0..50 {
+///     h.on_activation(RowAddr(7), &mut rng);
+/// }
+/// let t = h.select_for_mitigation(&mut rng).unwrap();
+/// assert_eq!(t.row, RowAddr(7));
+/// # Ok::<(), autorfm_sim_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct HydraStyle {
+    window: u32,
+    groups: Vec<u32>,
+    group_threshold: u32,
+    rows: Vec<Entry>,
+    row_capacity: usize,
+}
+
+impl HydraStyle {
+    /// Creates a two-level tracker with `num_groups` group counters that
+    /// spawn per-row tracking at `group_threshold`, into a
+    /// `row_capacity`-entry Misra-Gries table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `window`, `num_groups`, `group_threshold`,
+    /// or `row_capacity` is zero.
+    pub fn new(
+        window: u32,
+        num_groups: usize,
+        group_threshold: u32,
+        row_capacity: usize,
+    ) -> Result<Self, ConfigError> {
+        if window == 0 {
+            return Err(ConfigError::new("Hydra window must be at least 1"));
+        }
+        if num_groups == 0 {
+            return Err(ConfigError::new("Hydra needs at least 1 group counter"));
+        }
+        if group_threshold == 0 {
+            return Err(ConfigError::new("Hydra group threshold must be at least 1"));
+        }
+        if row_capacity == 0 {
+            return Err(ConfigError::new("Hydra needs at least 1 row entry"));
+        }
+        Ok(HydraStyle {
+            window,
+            groups: vec![0; num_groups],
+            group_threshold,
+            rows: Vec::with_capacity(row_capacity),
+            row_capacity,
+        })
+    }
+
+    /// Per-bank SRAM bits: a 16b counter per group plus row address (17b) +
+    /// counter (16b) per row-table entry.
+    pub const fn storage_bits_for(num_groups: usize, row_capacity: usize) -> u32 {
+        (num_groups as u32) * 16 + (row_capacity as u32) * 33
+    }
+
+    /// The group index covering `row`.
+    fn group_of(&self, row: RowAddr) -> usize {
+        ((row.0 / ROWS_PER_GROUP) as usize) % self.groups.len()
+    }
+
+    /// Current number of individually tracked rows (level 2).
+    pub fn tracked_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The group counter covering `row`.
+    pub fn group_count_of(&self, row: RowAddr) -> u32 {
+        self.groups[self.group_of(row)]
+    }
+
+    /// The per-row estimate for `row`, if individually tracked.
+    pub fn count_of(&self, row: RowAddr) -> Option<u32> {
+        self.rows.iter().find(|e| e.row == row).map(|e| e.count)
+    }
+
+    /// Misra-Gries insert into the row table (level 2).
+    fn track_row(&mut self, row: RowAddr) {
+        if let Some(e) = self.rows.iter_mut().find(|e| e.row == row) {
+            e.count += 1;
+            return;
+        }
+        if self.rows.len() < self.row_capacity {
+            self.rows.push(Entry { row, count: 1 });
+            return;
+        }
+        for e in &mut self.rows {
+            e.count -= 1;
+        }
+        self.rows.retain(|e| e.count > 0);
+        if self.rows.len() < self.row_capacity {
+            self.rows.push(Entry { row, count: 1 });
+        }
+    }
+}
+
+impl Tracker for HydraStyle {
+    fn on_activation(&mut self, row: RowAddr, _rng: &mut DetRng) {
+        let g = self.group_of(row);
+        if self.groups[g] < self.group_threshold {
+            // Cold group: one shared counter absorbs the activation.
+            self.groups[g] += 1;
+            return;
+        }
+        self.track_row(row);
+    }
+
+    fn select_for_mitigation(&mut self, _rng: &mut DetRng) -> Option<MitigationTarget> {
+        let idx = self
+            .rows
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, e)| e.count)
+            .map(|(i, _)| i)?;
+        let row = self.rows[idx].row;
+        self.rows.swap_remove(idx);
+        // Mitigation relieves the whole neighborhood: the group restarts
+        // cold, so it must re-earn per-row tracking.
+        let g = self.group_of(row);
+        self.groups[g] = 0;
+        Some(MitigationTarget::direct(row))
+    }
+
+    fn on_victim_refresh(&mut self, row: RowAddr, _level: u8, rng: &mut DetRng) {
+        // Victim refreshes count as disturbance for transitive defense.
+        self.on_activation(row, rng);
+    }
+
+    fn window(&self) -> u32 {
+        self.window
+    }
+
+    fn storage_bits(&self) -> u32 {
+        Self::storage_bits_for(self.groups.len(), self.row_capacity)
+    }
+
+    fn name(&self) -> &'static str {
+        "hydra"
+    }
+
+    fn reset(&mut self) {
+        self.groups.iter_mut().for_each(|g| *g = 0);
+        self.rows.clear();
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        // Group count is configuration; only the counter values are state.
+        for g in &self.groups {
+            w.put_u32(*g);
+        }
+        w.put_usize(self.rows.len());
+        for e in &self.rows {
+            e.row.encode(w);
+            w.put_u32(e.count);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        for g in &mut self.groups {
+            *g = r.take_u32()?;
+        }
+        let n = r.take_usize()?;
+        if n > self.row_capacity {
+            return Err(SnapError::corrupt("Hydra row count exceeds capacity"));
+        }
+        self.rows.clear();
+        for _ in 0..n {
+            self.rows.push(Entry {
+                row: RowAddr::decode(r)?,
+                count: r.take_u32()?,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_groups_do_not_allocate_row_entries() {
+        let mut rng = DetRng::seeded(1);
+        let mut h = HydraStyle::new(4, 16, 4, 8).unwrap();
+        // Three activations stay below the threshold of 4.
+        for _ in 0..3 {
+            h.on_activation(RowAddr(7), &mut rng);
+        }
+        assert_eq!(h.tracked_rows(), 0);
+        assert_eq!(h.group_count_of(RowAddr(7)), 3);
+        assert!(h.select_for_mitigation(&mut rng).is_none());
+    }
+
+    #[test]
+    fn hot_group_spawns_row_tracking() {
+        let mut rng = DetRng::seeded(2);
+        let mut h = HydraStyle::new(4, 16, 4, 8).unwrap();
+        for _ in 0..10 {
+            h.on_activation(RowAddr(7), &mut rng);
+        }
+        // 4 activations warmed the group; 6 landed in the row table.
+        assert_eq!(h.count_of(RowAddr(7)), Some(6));
+        let t = h.select_for_mitigation(&mut rng).unwrap();
+        assert_eq!(t.row, RowAddr(7));
+        // Selection restarted the group: cold again, no row entries.
+        assert_eq!(h.group_count_of(RowAddr(7)), 0);
+        assert!(h.select_for_mitigation(&mut rng).is_none());
+    }
+
+    #[test]
+    fn sibling_rows_share_a_group() {
+        let mut rng = DetRng::seeded(3);
+        let mut h = HydraStyle::new(4, 16, 4, 8).unwrap();
+        // Rows 0 and 1 share group 0 (8 rows per group): their combined
+        // pressure warms the group for both.
+        for _ in 0..2 {
+            h.on_activation(RowAddr(0), &mut rng);
+            h.on_activation(RowAddr(1), &mut rng);
+        }
+        assert_eq!(h.group_count_of(RowAddr(0)), 4);
+        h.on_activation(RowAddr(1), &mut rng);
+        assert_eq!(h.count_of(RowAddr(1)), Some(1));
+    }
+
+    #[test]
+    fn hottest_tracked_row_wins() {
+        let mut rng = DetRng::seeded(4);
+        let mut h = HydraStyle::new(4, 16, 1, 8).unwrap();
+        for _ in 0..20 {
+            h.on_activation(RowAddr(100), &mut rng);
+        }
+        for _ in 0..5 {
+            h.on_activation(RowAddr(200), &mut rng);
+        }
+        assert_eq!(h.select_for_mitigation(&mut rng).unwrap().row, RowAddr(100));
+        assert_eq!(h.select_for_mitigation(&mut rng).unwrap().row, RowAddr(200));
+    }
+
+    #[test]
+    fn row_table_capacity_respected() {
+        let mut rng = DetRng::seeded(5);
+        let mut h = HydraStyle::new(4, 1, 1, 3).unwrap();
+        for r in 0..100 {
+            h.on_activation(RowAddr(r), &mut rng);
+        }
+        assert!(h.tracked_rows() <= 3);
+    }
+
+    #[test]
+    fn reset_clears_both_levels() {
+        let mut rng = DetRng::seeded(6);
+        let mut h = HydraStyle::new(4, 16, 1, 8).unwrap();
+        for _ in 0..10 {
+            h.on_activation(RowAddr(7), &mut rng);
+        }
+        h.reset();
+        assert_eq!(h.tracked_rows(), 0);
+        assert_eq!(h.group_count_of(RowAddr(7)), 0);
+        assert!(h.select_for_mitigation(&mut rng).is_none());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(HydraStyle::new(0, 16, 4, 8).is_err());
+        assert!(HydraStyle::new(4, 0, 4, 8).is_err());
+        assert!(HydraStyle::new(4, 16, 0, 8).is_err());
+        assert!(HydraStyle::new(4, 16, 4, 0).is_err());
+    }
+}

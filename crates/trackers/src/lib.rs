@@ -8,6 +8,13 @@
 //! (RFM or AutoRFM) gives the tracker one opportunity to mitigate, and the
 //! tracker nominates the row to mitigate.
 //!
+//! Trackers are registered in the [plugin registry](registry): a single
+//! string-keyed table mapping name → factory + metadata (display name,
+//! description, storage-bits formula, capability flags). Every name surface —
+//! [`TrackerKind`], [`names`], `FromStr`/`Display`, [`build_tracker`],
+//! [`by_name`] — is a view over [`registry::REGISTRY`], so adding a tracker
+//! is one file plus one registry entry.
+//!
 //! Implemented trackers:
 //!
 //! * [`Mint`] — MINT \[37\]: the paper's representative tracker. A single-entry
@@ -24,6 +31,14 @@
 //!   picks one uniformly at random.
 //! * [`NaiveTrr`] — a deliberately weak TRR-like most-recent-row tracker, kept
 //!   as a contrast case to demonstrate why probabilistic trackers are needed.
+//! * [`Graphene`] — Graphene's Misra-Gries table with an explicit spillover
+//!   counter (the DRAMsim3 algorithm).
+//! * [`Abacus`] — ABACuS: one counter table shared by **all banks** of the
+//!   device (the registry's all-bank scope), with per-entry sibling bitmasks.
+//! * [`HydraStyle`] — Hydra/START-style two-level tracking: cheap group
+//!   counters that spawn per-row counters only for hot groups.
+//! * [`OracleRh`] — an idealized perfect-knowledge tracker that bounds every
+//!   real tracker's slowdown from below.
 //!
 //! # Examples
 //!
@@ -44,18 +59,31 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod abacus;
 pub mod dsac;
+pub mod graphene;
+pub mod hydra;
 pub mod mint;
 pub mod mithril;
+pub mod oracle;
 pub mod parfm;
 pub mod pride;
+pub mod registry;
 pub mod tracker;
 pub mod trr;
 
+pub use abacus::Abacus;
 pub use dsac::Dsac;
+pub use graphene::Graphene;
+pub use hydra::HydraStyle;
 pub use mint::Mint;
 pub use mithril::Mithril;
+pub use oracle::OracleRh;
 pub use parfm::Parfm;
 pub use pride::Pride;
-pub use tracker::{build_tracker, by_name, names, MitigationTarget, Tracker, TrackerKind};
+pub use registry::{
+    names, AllBankFactory, PerBankFactory, TrackerBuild, TrackerFlags, TrackerInfo, TrackerKind,
+    REGISTRY,
+};
+pub use tracker::{build_bank_trackers, build_tracker, by_name, MitigationTarget, Tracker};
 pub use trr::NaiveTrr;

@@ -1,0 +1,230 @@
+//! OracleRH: an idealized perfect-knowledge tracker (after the ramulator2
+//! `OracleRH` controller plugin in SNIPPETS.md).
+//!
+//! The oracle keeps an exact activation count for every row — storage no
+//! real tracker can afford ([`Tracker::storage_bits`] reports `u32::MAX`) —
+//! and mitigates only when some row's count actually approaches danger
+//! ([`OracleRh::new`]'s `mitigate_at`). Real trackers must spend their
+//! mitigation opportunity every window because they cannot *prove* a row is
+//! cold; the oracle can, so on benign workloads it issues almost no
+//! mitigations. Its slowdown therefore bounds every real tracker's from
+//! below, which `scripts/verify.sh` gates via the `tracker_zoo` sweep.
+
+use crate::tracker::{MitigationTarget, Tracker};
+use autorfm_sim_core::{ConfigError, DetRng, RowAddr};
+use autorfm_snapshot::{Reader, SnapError, Writer};
+use std::collections::BTreeMap;
+
+/// Default mitigation trigger used by the registry entry (`"oracle"`): a
+/// stand-in for "half the Rowhammer threshold", far above anything a benign
+/// workload row accumulates between phases, far below a sustained attack.
+pub const DEFAULT_MITIGATE_AT: u32 = 32;
+
+/// The perfect-knowledge tracker.
+///
+/// # Examples
+///
+/// ```
+/// use autorfm_trackers::{OracleRh, Tracker};
+/// use autorfm_sim_core::{DetRng, RowAddr};
+///
+/// let mut rng = DetRng::seeded(1);
+/// let mut o = OracleRh::new(4, 8)?;
+/// for _ in 0..7 {
+///     o.on_activation(RowAddr(7), &mut rng);
+/// }
+/// assert!(o.select_for_mitigation(&mut rng).is_none()); // 7 acts < 8: provably safe
+/// o.on_activation(RowAddr(7), &mut rng);
+/// assert_eq!(o.select_for_mitigation(&mut rng).unwrap().row, RowAddr(7));
+/// # Ok::<(), autorfm_sim_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct OracleRh {
+    window: u32,
+    mitigate_at: u32,
+    /// Exact per-row activation counts. A `BTreeMap` keyed on the raw row
+    /// index keeps iteration (and thus selection and snapshots)
+    /// deterministic.
+    counts: BTreeMap<u32, u32>,
+}
+
+impl OracleRh {
+    /// Creates an oracle that mitigates once a row reaches `mitigate_at`
+    /// activations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `window == 0` or `mitigate_at == 0`.
+    pub fn new(window: u32, mitigate_at: u32) -> Result<Self, ConfigError> {
+        if window == 0 {
+            return Err(ConfigError::new("OracleRH window must be at least 1"));
+        }
+        if mitigate_at == 0 {
+            return Err(ConfigError::new(
+                "OracleRH mitigation trigger must be at least 1",
+            ));
+        }
+        Ok(OracleRh {
+            window,
+            mitigate_at,
+            counts: BTreeMap::new(),
+        })
+    }
+
+    /// Number of rows with a nonzero activation count.
+    pub fn tracked_rows(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The exact activation count for `row`.
+    pub fn count_of(&self, row: RowAddr) -> u32 {
+        self.counts.get(&row.0).copied().unwrap_or(0)
+    }
+}
+
+impl Tracker for OracleRh {
+    fn on_activation(&mut self, row: RowAddr, _rng: &mut DetRng) {
+        *self.counts.entry(row.0).or_insert(0) += 1;
+    }
+
+    fn select_for_mitigation(&mut self, _rng: &mut DetRng) -> Option<MitigationTarget> {
+        // Lowest-indexed hottest row (ascending iteration + strict max keeps
+        // the tie-break deterministic).
+        let (&row, &count) = self
+            .counts
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))?;
+        if count < self.mitigate_at {
+            // Every row is provably safe: skip the mitigation entirely. This
+            // is the oracle's whole advantage over real trackers.
+            return None;
+        }
+        self.counts.remove(&row);
+        Some(MitigationTarget::direct(RowAddr(row)))
+    }
+
+    fn window(&self) -> u32 {
+        self.window
+    }
+
+    fn storage_bits(&self) -> u32 {
+        // Unbounded per-row state: not realizable in hardware.
+        u32::MAX
+    }
+
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+
+    fn reset(&mut self) {
+        self.counts.clear();
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        w.put_usize(self.counts.len());
+        for (&row, &count) in &self.counts {
+            w.put_u32(row);
+            w.put_u32(count);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        let n = r.take_usize()?;
+        self.counts.clear();
+        let mut prev: Option<u32> = None;
+        for _ in 0..n {
+            let row = r.take_u32()?;
+            if prev.is_some_and(|p| p >= row) {
+                // save_state writes ascending keys; anything else is corrupt.
+                return Err(SnapError::corrupt("OracleRH rows out of order"));
+            }
+            prev = Some(row);
+            self.counts.insert(row, r.take_u32()?);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silent_below_trigger() {
+        let mut rng = DetRng::seeded(1);
+        let mut o = OracleRh::new(4, 10).unwrap();
+        for r in 0..100u32 {
+            o.on_activation(RowAddr(r), &mut rng);
+        }
+        // 100 distinct rows, one act each: all provably safe.
+        assert!(o.select_for_mitigation(&mut rng).is_none());
+        assert_eq!(o.tracked_rows(), 100);
+    }
+
+    #[test]
+    fn mitigates_exactly_the_dangerous_row() {
+        let mut rng = DetRng::seeded(2);
+        let mut o = OracleRh::new(4, 5).unwrap();
+        for _ in 0..5 {
+            o.on_activation(RowAddr(42), &mut rng);
+        }
+        o.on_activation(RowAddr(1), &mut rng);
+        let t = o.select_for_mitigation(&mut rng).unwrap();
+        assert_eq!(t.row, RowAddr(42));
+        // The mitigated row's count restarted; the cold row never triggers.
+        assert_eq!(o.count_of(RowAddr(42)), 0);
+        assert!(o.select_for_mitigation(&mut rng).is_none());
+    }
+
+    #[test]
+    fn hottest_row_wins_with_low_index_tie_break() {
+        let mut rng = DetRng::seeded(3);
+        let mut o = OracleRh::new(4, 2).unwrap();
+        for _ in 0..3 {
+            o.on_activation(RowAddr(9), &mut rng);
+            o.on_activation(RowAddr(5), &mut rng);
+        }
+        // Equal counts: the lower row index is selected first.
+        assert_eq!(o.select_for_mitigation(&mut rng).unwrap().row, RowAddr(5));
+        assert_eq!(o.select_for_mitigation(&mut rng).unwrap().row, RowAddr(9));
+    }
+
+    #[test]
+    fn reset_forgets_all_counts() {
+        let mut rng = DetRng::seeded(4);
+        let mut o = OracleRh::new(4, 2).unwrap();
+        for _ in 0..10 {
+            o.on_activation(RowAddr(7), &mut rng);
+        }
+        o.reset();
+        assert_eq!(o.tracked_rows(), 0);
+        assert_eq!(o.count_of(RowAddr(7)), 0);
+        assert!(o.select_for_mitigation(&mut rng).is_none());
+    }
+
+    #[test]
+    fn corrupt_key_order_rejected() {
+        let mut rng = DetRng::seeded(5);
+        let mut o = OracleRh::new(4, 2).unwrap();
+        o.on_activation(RowAddr(3), &mut rng);
+        o.on_activation(RowAddr(8), &mut rng);
+        let mut w = Writer::new();
+        o.save_state(&mut w);
+        let mut bytes = w.bytes().to_vec();
+        // Swap the two row keys (usize length prefix is 8 bytes; entries are
+        // 8 bytes each as u32 row + u32 count).
+        let (a, b) = (8, 16);
+        for i in 0..4 {
+            bytes.swap(a + i, b + i);
+        }
+        let mut fresh = OracleRh::new(4, 2).unwrap();
+        let mut r = Reader::new(&bytes);
+        assert!(fresh.load_state(&mut r).is_err());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(OracleRh::new(0, 8).is_err());
+        assert!(OracleRh::new(4, 0).is_err());
+    }
+}

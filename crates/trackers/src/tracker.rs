@@ -1,8 +1,12 @@
-//! The [`Tracker`] trait shared by all in-DRAM trackers.
+//! The [`Tracker`] trait shared by all in-DRAM trackers, and the build
+//! entry points (thin views over the [plugin registry](crate::registry)).
 
 use autorfm_sim_core::{ConfigError, DetRng, RowAddr};
 use autorfm_snapshot::{Reader, SnapError, Snapshot, Writer};
 use core::fmt;
+
+use crate::registry::TrackerBuild;
+pub use crate::registry::TrackerKind;
 
 /// The row a tracker nominated for mitigation.
 ///
@@ -39,6 +43,10 @@ impl fmt::Display for MitigationTarget {
 /// `window()` activations). Trackers that support Recursive Mitigation also
 /// receive [`Tracker::on_victim_refresh`] callbacks so victim rows can become
 /// candidates for subsequent mitigation.
+///
+/// All-bank trackers (registry flag `all_bank`, e.g. ABACuS) share one state
+/// behind every bank's handle; the per-bank methods below still describe the
+/// handle's view of that shared state.
 pub trait Tracker: Send {
     /// Observes one demand activation of `row`.
     fn on_activation(&mut self, row: RowAddr, rng: &mut DetRng);
@@ -58,7 +66,8 @@ pub trait Tracker: Send {
     fn window(&self) -> u32;
 
     /// SRAM bits this tracker needs per bank (storage-overhead reporting,
-    /// Section VI-C).
+    /// Section VI-C). All-bank trackers report their per-bank share;
+    /// `u32::MAX` marks an idealized tracker with unbounded state.
     fn storage_bits(&self) -> u32;
 
     /// Short policy name (`"mint"`, `"pride"`, ...).
@@ -95,78 +104,11 @@ impl Snapshot for MitigationTarget {
     }
 }
 
-/// Selects a tracker implementation by name; used by configuration surfaces.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub enum TrackerKind {
-    /// MINT in fractal mode (selects from `N` slots).
-    #[default]
-    Mint,
-    /// MINT in recursive mode (selects from `N+1` slots, transitive defense).
-    MintRecursive,
-    /// PrIDE with a 4-entry FIFO.
-    Pride,
-    /// Mithril-style Misra-Gries counter tracker with 32 entries.
-    Mithril,
-    /// PARFM: uniform choice among the window's activations.
-    Parfm,
-    /// Deliberately weak most-recent-row tracker (contrast case).
-    NaiveTrr,
-    /// DSAC-style stochastic approximate counting (the broken industry
-    /// design \[10\]; contrast case).
-    Dsac,
-}
-
-impl TrackerKind {
-    /// Every tracker kind, in registry order (the order of [`names`]).
-    pub const ALL: [TrackerKind; 7] = [
-        TrackerKind::Mint,
-        TrackerKind::MintRecursive,
-        TrackerKind::Pride,
-        TrackerKind::Mithril,
-        TrackerKind::Parfm,
-        TrackerKind::NaiveTrr,
-        TrackerKind::Dsac,
-    ];
-}
-
-impl core::str::FromStr for TrackerKind {
-    type Err = ConfigError;
-
-    /// Parses a registry name (the [`fmt::Display`] form, e.g. `"mint"` or
-    /// `"naive-trr"`).
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s {
-            "mint" => Ok(TrackerKind::Mint),
-            "mint-recursive" => Ok(TrackerKind::MintRecursive),
-            "pride" => Ok(TrackerKind::Pride),
-            "mithril" => Ok(TrackerKind::Mithril),
-            "parfm" => Ok(TrackerKind::Parfm),
-            "naive-trr" => Ok(TrackerKind::NaiveTrr),
-            "dsac" => Ok(TrackerKind::Dsac),
-            other => Err(ConfigError::new(format!(
-                "unknown tracker '{other}' (known: {})",
-                names().join(", ")
-            ))),
-        }
-    }
-}
-
-impl fmt::Display for TrackerKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            TrackerKind::Mint => "mint",
-            TrackerKind::MintRecursive => "mint-recursive",
-            TrackerKind::Pride => "pride",
-            TrackerKind::Mithril => "mithril",
-            TrackerKind::Parfm => "parfm",
-            TrackerKind::NaiveTrr => "naive-trr",
-            TrackerKind::Dsac => "dsac",
-        };
-        f.write_str(s)
-    }
-}
-
 /// Builds a boxed tracker of the given kind with mitigation window `window`.
+///
+/// For all-bank kinds this returns the single handle of a one-bank device;
+/// multi-bank callers must use [`build_bank_trackers`] so every bank shares
+/// one state.
 ///
 /// # Errors
 ///
@@ -184,22 +126,64 @@ impl fmt::Display for TrackerKind {
 /// # Ok::<(), autorfm_sim_core::ConfigError>(())
 /// ```
 pub fn build_tracker(kind: TrackerKind, window: u32) -> Result<Box<dyn Tracker>, ConfigError> {
-    Ok(match kind {
-        TrackerKind::Mint => Box::new(crate::Mint::new(window, false)?),
-        TrackerKind::MintRecursive => Box::new(crate::Mint::new(window, true)?),
-        TrackerKind::Pride => Box::new(crate::Pride::new(window, 4)?),
-        TrackerKind::Mithril => Box::new(crate::Mithril::new(window, 32)?),
-        TrackerKind::Parfm => Box::new(crate::Parfm::new(window)?),
-        TrackerKind::NaiveTrr => Box::new(crate::NaiveTrr::new(window)?),
-        TrackerKind::Dsac => Box::new(crate::Dsac::new(window, 8)?),
-    })
+    match kind.info().build {
+        TrackerBuild::PerBank(f) => f(window),
+        TrackerBuild::AllBank(f) => {
+            let mut handles = f(window, 1)?;
+            debug_assert_eq!(handles.len(), 1);
+            handles
+                .pop()
+                .ok_or_else(|| ConfigError::new("all-bank factory built no handles"))
+        }
+    }
+}
+
+/// Builds one tracker handle per bank for a `num_banks`-bank device.
+///
+/// Per-bank kinds get `num_banks` independent instances; all-bank kinds
+/// (registry flag `all_bank`, e.g. ABACuS) get `num_banks` handles that all
+/// view one shared state. This is the device-level entry point; tracker
+/// construction consumes no RNG, so callers may seed each bank's engine RNG
+/// independently of build order.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] for an invalid `window`, `num_banks == 0`, or a
+/// tracker-specific constraint (e.g. ABACuS supports at most 64 banks).
+///
+/// # Examples
+///
+/// ```
+/// use autorfm_trackers::{build_bank_trackers, TrackerKind};
+///
+/// let banks = build_bank_trackers(TrackerKind::Abacus, 8, 4)?;
+/// assert_eq!(banks.len(), 4);
+/// # Ok::<(), autorfm_sim_core::ConfigError>(())
+/// ```
+pub fn build_bank_trackers(
+    kind: TrackerKind,
+    window: u32,
+    num_banks: usize,
+) -> Result<Vec<Box<dyn Tracker>>, ConfigError> {
+    if num_banks == 0 {
+        return Err(ConfigError::new("a device needs at least one bank"));
+    }
+    match kind.info().build {
+        TrackerBuild::PerBank(f) => (0..num_banks).map(|_| f(window)).collect(),
+        TrackerBuild::AllBank(f) => {
+            let handles = f(window, num_banks)?;
+            debug_assert_eq!(handles.len(), num_banks);
+            Ok(handles)
+        }
+    }
 }
 
 /// Builds a boxed tracker by registry name (the [`fmt::Display`] form of
 /// [`TrackerKind`]) with mitigation window `window`.
 ///
 /// This is the string-keyed entry point used by CLI surfaces (`--tracker`)
-/// and sweep harnesses; [`names`] lists every accepted name.
+/// and sweep harnesses; [`names`](crate::names) lists every accepted name.
+/// Lookup is case-insensitive (`"MINT"` works).
 ///
 /// # Errors
 ///
@@ -219,28 +203,10 @@ pub fn by_name(name: &str, window: u32) -> Result<Box<dyn Tracker>, ConfigError>
     build_tracker(name.parse()?, window)
 }
 
-/// Every tracker registry name, in [`TrackerKind::ALL`] order.
-///
-/// # Examples
-///
-/// ```
-/// assert!(autorfm_trackers::names().contains(&"pride"));
-/// ```
-pub fn names() -> [&'static str; TrackerKind::ALL.len()] {
-    [
-        "mint",
-        "mint-recursive",
-        "pride",
-        "mithril",
-        "parfm",
-        "naive-trr",
-        "dsac",
-    ]
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::names;
 
     #[test]
     fn registry_round_trips() {
@@ -257,15 +223,7 @@ mod tests {
 
     #[test]
     fn build_all_kinds() {
-        for kind in [
-            TrackerKind::Mint,
-            TrackerKind::MintRecursive,
-            TrackerKind::Pride,
-            TrackerKind::Mithril,
-            TrackerKind::Parfm,
-            TrackerKind::NaiveTrr,
-            TrackerKind::Dsac,
-        ] {
+        for kind in TrackerKind::ALL {
             let t = build_tracker(kind, 4).unwrap();
             assert_eq!(t.window(), 4);
             assert!(!t.name().is_empty());
@@ -274,9 +232,23 @@ mod tests {
     }
 
     #[test]
+    fn bank_trackers_match_scope() {
+        for kind in TrackerKind::ALL {
+            let banks = build_bank_trackers(kind, 4, 8).unwrap();
+            assert_eq!(banks.len(), 8);
+            for b in &banks {
+                assert_eq!(b.window(), 4);
+            }
+        }
+        assert!(build_bank_trackers(TrackerKind::Mint, 4, 0).is_err());
+        assert!(build_bank_trackers(TrackerKind::Abacus, 4, 65).is_err());
+    }
+
+    #[test]
     fn zero_window_rejected() {
-        assert!(build_tracker(TrackerKind::Mint, 0).is_err());
-        assert!(build_tracker(TrackerKind::Pride, 0).is_err());
+        for kind in TrackerKind::ALL {
+            assert!(build_tracker(kind, 0).is_err(), "{kind} accepted window 0");
+        }
     }
 
     #[test]

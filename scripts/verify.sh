@@ -83,6 +83,36 @@ with open("BENCH_6.json", "w") as f:
 print("BENCH_6.json:", json.dumps(bench))
 EOF
 
+echo "== tracker zoo (registry sweep + OracleRH lower-bound gate) =="
+# One quick-sweep column per *registered* tracker — the binary enumerates the
+# plugin registry, so adding a tracker without registering it everywhere is
+# caught here and by the kernel differential above (which also iterates
+# trackers::names()). The idealized OracleRH must show strictly lower
+# slowdown than every real tracker; tracker_zoo exits nonzero otherwise.
+# Memory-heavy workloads + 200k instructions: enough pressure that every
+# real tracker pays for at least one mitigation (shorter runs tie at 0%).
+zoo_out="$(cargo run --release -p autorfm-bench --bin tracker_zoo -- \
+    --workloads mcf,bwaves,triad --cores 4 --instructions 200000 --jobs "${JOBS}")"
+printf '%s\n' "${zoo_out}"
+printf '%s\n' "${zoo_out}" | tail -n 1 > results/tracker_zoo.json
+
+echo "== BENCH_8.json (tracker zoo / oracle gap) =="
+python3 - <<'EOF'
+import json
+
+with open("results/tracker_zoo.json") as f:
+    d = json.load(f)
+bench = {
+    "pr": 8,
+    "trackers": d["trackers"],
+    "oracle_gap_geomean": d["oracle_gap_geomean"],
+}
+with open("BENCH_8.json", "w") as f:
+    json.dump(bench, f, indent=2)
+    f.write("\n")
+print("BENCH_8.json:", json.dumps(bench))
+EOF
+
 echo "== campaign service smoke (campaignd + campaign CLI) =="
 # Boot the always-on sweep server on an ephemeral port over a scratch store,
 # push a 4-cell sweep through it, wait for completion, then re-run every cell
@@ -97,6 +127,20 @@ for _ in $(seq 1 100); do
     sleep 0.1
 done
 campaign() { ./target/release/campaign --store "${CAMPAIGN_STORE}" "$@"; }
+# `campaign trackers` must surface registry metadata (names + storage bits +
+# capability flags), including all four zoo trackers added in PR 8.
+campaign trackers | python3 -c '
+import json
+import sys
+
+entries = json.load(sys.stdin)["trackers"]
+names = {e["name"] for e in entries}
+missing = {"graphene", "abacus", "hydra", "oracle"} - names
+assert not missing, f"registry trackers missing from API: {missing}"
+for e in entries:
+    assert "storage_bits" in e and "recursive" in e and "all_bank" in e, e
+print(f"campaign trackers: {len(entries)} registry entries ok")
+'
 submit_out="$(campaign submit --name smoke \
     --workloads mcf,wrf --scenarios baseline-zen,AutoRFM-4 \
     --cores 2 --instructions 10000)"

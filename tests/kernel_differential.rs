@@ -45,6 +45,11 @@ fn snapshot_digest(sys: &System) -> u64 {
 
 /// Completed runs must be bitwise identical across the smoke matrix, and the
 /// final machine states must hash to the same sealed-snapshot digest.
+///
+/// The tracker axis iterates the plugin registry (`trackers::names()`), so
+/// registering a tracker automatically enrolls it in the kernel differential
+/// — including cross-bank-scope trackers like ABACuS, whose shared state
+/// must behave identically under stepped ticking and event-kernel leaps.
 #[test]
 fn kernels_agree_on_workload_tracker_matrix() {
     for workload in ["mcf", "wrf"] {
