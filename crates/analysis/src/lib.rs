@@ -12,6 +12,12 @@
 //! * [`montecarlo`] — drives the *real* tracker + mitigation implementations
 //!   with adversarial activation patterns and measures the worst-case
 //!   unmitigated disturbance, validating the closed forms.
+//! * [`pattern`] — the serializable [`AttackPattern`] genome and the
+//!   [`PatternGen`] trait: one API for replay, search, and storage of
+//!   adversarial activation sequences.
+//! * [`fuzzer`] — [`AttackFuzzer`], a mutation + simulated-annealing search
+//!   over the genome space with a digest-keyed survivor archive, producing
+//!   per-tracker minimum-activations-to-escape curves.
 //! * [`history`] — the Rowhammer-threshold-over-time data of Table II.
 //!
 //! # Examples
@@ -29,13 +35,17 @@
 #![forbid(unsafe_code)]
 
 pub mod fractal_model;
+pub mod fuzzer;
 pub mod history;
 pub mod mint_model;
 pub mod montecarlo;
+pub mod pattern;
 pub mod perf_model;
 
 pub use fractal_model::FractalModel;
+pub use fuzzer::{AttackFuzzer, CandidateResult, FuzzConfig, FuzzOutcome};
 pub use history::{TrhEntry, TRH_HISTORY};
 pub use mint_model::MintModel;
 pub use montecarlo::{AttackReport, AttackSim};
+pub use pattern::{AttackPattern, FnPattern, PatternCursor, PatternGen};
 pub use perf_model::{AutoRfmConflictModel, RfmPerfModel};

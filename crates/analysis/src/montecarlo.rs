@@ -7,7 +7,17 @@
 //! `autorfm_dram::RowhammerAudit`: every activation (demand or refresh-
 //! internal) adds one unit of damage to its immediate neighbors; refreshing or
 //! activating a row restores it.
+//!
+//! Attack inputs are [`PatternGen`] implementations (see [`crate::pattern`]):
+//! [`AttackSim::run_pattern`] is the primary entry point, driving legacy
+//! fixed shapes, serialized [`crate::AttackPattern`] genomes, and fuzzer
+//! candidates through one API. The closure-based [`AttackSim::run`] survives
+//! as a deprecated shim. [`AttackSim::watch_thresholds`] records the minimum
+//! activation count at which the worst damage first reached each watched
+//! threshold — the per-candidate sample behind the fuzzer's
+//! minimum-activations-to-escape curves.
 
+use crate::pattern::{FnPattern, PatternGen};
 use autorfm_mitigation::{build_policy, MitigationKind, MitigationPolicy};
 use autorfm_sim_core::{ConfigError, DetRng, RowAddr};
 use autorfm_trackers::{build_tracker, Tracker, TrackerKind};
@@ -38,6 +48,11 @@ pub struct AttackSim {
     damage: HashMap<u32, u64>,
     acts_in_window: u32,
     report: AttackReport,
+    /// Damage thresholds to watch (ascending) and, for each, the activation
+    /// count at which `max_damage` first reached it.
+    watch: Vec<u64>,
+    crossings: Vec<Option<u64>>,
+    next_watch: usize,
 }
 
 impl core::fmt::Debug for AttackSim {
@@ -63,9 +78,29 @@ impl AttackSim {
         rows_per_bank: u32,
         seed: u64,
     ) -> Result<Self, ConfigError> {
-        Ok(AttackSim {
-            tracker: build_tracker(tracker, window)?,
-            policy: build_policy(policy)?,
+        Ok(Self::with_parts(
+            build_tracker(tracker, window)?,
+            build_policy(policy)?,
+            rows_per_bank,
+            seed,
+        ))
+    }
+
+    /// Creates the stack from pre-built components (the mitigation window
+    /// comes from `tracker.window()`). This is the entry point for
+    /// non-registry builds — e.g. the attack fuzzer's eager OracleRH, whose
+    /// mitigation trigger is tightened below the registry default so the
+    /// idealized defender bounds every real tracker's escape curve.
+    pub fn with_parts(
+        tracker: Box<dyn Tracker>,
+        policy: Box<dyn MitigationPolicy>,
+        rows_per_bank: u32,
+        seed: u64,
+    ) -> Self {
+        let window = tracker.window();
+        AttackSim {
+            tracker,
+            policy,
             window,
             rows_per_bank,
             rng: DetRng::seeded(seed),
@@ -77,7 +112,43 @@ impl AttackSim {
                 mitigations: 0,
                 victim_refreshes: 0,
             },
-        })
+            watch: Vec::new(),
+            crossings: Vec::new(),
+            next_watch: 0,
+        }
+    }
+
+    /// Watches damage thresholds: after the run, [`AttackSim::crossings`]
+    /// reports, per threshold, the activation count at which the worst
+    /// damage first reached it (`None` = never). Thresholds are sorted
+    /// internally; calling this resets any previous watch state.
+    pub fn watch_thresholds(&mut self, thresholds: &[u64]) {
+        self.watch = thresholds.to_vec();
+        self.watch.sort_unstable();
+        self.watch.dedup();
+        self.crossings = vec![None; self.watch.len()];
+        self.next_watch = 0;
+        // Catch up in case damage already accumulated before the watch.
+        self.note_damage(self.report.max_damage);
+    }
+
+    /// The watched thresholds, ascending (parallel to
+    /// [`AttackSim::crossings`]).
+    pub fn watched(&self) -> &[u64] {
+        &self.watch
+    }
+
+    /// Per watched threshold: the activation count at which `max_damage`
+    /// first reached it (`None` = not yet).
+    pub fn crossings(&self) -> &[Option<u64>] {
+        &self.crossings
+    }
+
+    fn note_damage(&mut self, max: u64) {
+        while self.next_watch < self.watch.len() && max >= self.watch[self.next_watch] {
+            self.crossings[self.next_watch] = Some(self.report.activations);
+            self.next_watch += 1;
+        }
     }
 
     fn disturb_neighbors(&mut self, row: RowAddr) {
@@ -87,6 +158,8 @@ impl AttackSim {
                 *d += 1;
                 if *d > self.report.max_damage {
                     self.report.max_damage = *d;
+                    let max = *d;
+                    self.note_damage(max);
                 }
             }
         }
@@ -133,18 +206,30 @@ impl AttackSim {
         }
     }
 
-    /// Runs `n` activations drawn from `next_row` and returns the report.
-    pub fn run(
-        &mut self,
-        n: u64,
-        mut next_row: impl FnMut(&mut DetRng) -> RowAddr,
-    ) -> AttackReport {
+    /// Runs `n` activations drawn from `pattern` and returns the report.
+    ///
+    /// This is the primary entry point: any [`PatternGen`] — a legacy
+    /// [`autorfm_workloads::AttackStream`], a replayed
+    /// [`crate::AttackPattern`] genome via [`crate::PatternCursor`], or a
+    /// closure wrapped in [`FnPattern`] — drives the same loop. The pattern
+    /// RNG is forked from the sim seed exactly as the closure-era `run` did,
+    /// so ports are bitwise-identical.
+    pub fn run_pattern(&mut self, pattern: &mut impl PatternGen, n: u64) -> AttackReport {
         let mut rng = self.rng.fork(0xA77AC);
         for _ in 0..n {
-            let row = next_row(&mut rng);
+            let row = pattern.next_row(&mut rng);
             self.activate(row);
         }
         self.report
+    }
+
+    /// Runs `n` activations drawn from `next_row` and returns the report.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `run_pattern` with a `PatternGen` (closures wrap in `FnPattern`)"
+    )]
+    pub fn run(&mut self, n: u64, next_row: impl FnMut(&mut DetRng) -> RowAddr) -> AttackReport {
+        self.run_pattern(&mut FnPattern(next_row), n)
     }
 
     /// The report so far.
@@ -165,7 +250,7 @@ mod tests {
 
     const ROWS: u32 = 131_072;
 
-    fn run_pattern(
+    fn run_fixed(
         tracker: TrackerKind,
         policy: MitigationKind,
         window: u32,
@@ -174,8 +259,55 @@ mod tests {
         seed: u64,
     ) -> AttackReport {
         let mut sim = AttackSim::new(tracker, policy, window, ROWS, seed).unwrap();
-        let mut stream = AttackStream::new(pattern);
-        sim.run(n, move |rng| stream.next_row(rng))
+        sim.run_pattern(&mut AttackStream::new(pattern), n)
+    }
+
+    /// The deprecated closure shim must stay bitwise-identical to
+    /// `run_pattern` — existing montecarlo bins compile and behave unchanged.
+    #[test]
+    #[allow(deprecated)]
+    fn closure_shim_matches_run_pattern() {
+        let pattern = AttackPattern::Circular {
+            base: RowAddr(5000),
+            window: 4,
+        };
+        let via_shim = {
+            let mut sim =
+                AttackSim::new(TrackerKind::Mint, MitigationKind::Fractal, 4, ROWS, 1).unwrap();
+            let mut stream = AttackStream::new(pattern);
+            sim.run(50_000, move |rng| stream.next_row(rng))
+        };
+        let via_pattern = run_fixed(
+            TrackerKind::Mint,
+            MitigationKind::Fractal,
+            4,
+            pattern,
+            50_000,
+            1,
+        );
+        assert_eq!(via_shim, via_pattern);
+    }
+
+    /// Threshold watching records the first activation at which the worst
+    /// damage reached each watched level, independent of watch order.
+    #[test]
+    fn watch_thresholds_record_first_crossings() {
+        let mut sim =
+            AttackSim::new(TrackerKind::NaiveTrr, MitigationKind::Fractal, 4, ROWS, 5).unwrap();
+        sim.watch_thresholds(&[64, 1, 16]);
+        let mut stream = AttackStream::new(AttackPattern::Decoy {
+            aggressor: RowAddr(3000),
+            decoys: 3,
+        });
+        let report = sim.run_pattern(&mut stream, 30_000);
+        assert_eq!(sim.watched(), &[1, 16, 64]);
+        let crossings = sim.crossings().to_vec();
+        assert_eq!(crossings[0], Some(1), "first act damages a neighbor");
+        let c16 = crossings[1].expect("decoy attack must reach damage 16");
+        let c64 = crossings[2].expect("decoy attack must reach damage 64");
+        assert!(c16 < c64, "higher thresholds cross later: {c16} vs {c64}");
+        assert!(c64 <= report.activations);
+        assert!(report.max_damage >= 64);
     }
 
     #[test]
@@ -183,7 +315,7 @@ mod tests {
         // The MINT-optimal circular pattern at window 4; fractal MINT-4
         // tolerates TRH-D 74 (T = 148). Over 200K activations the worst damage
         // must stay far below T.
-        let r = run_pattern(
+        let r = run_fixed(
             TrackerKind::Mint,
             MitigationKind::Fractal,
             4,
@@ -205,7 +337,7 @@ mod tests {
 
     #[test]
     fn mint_recursive_bounds_circular_attack() {
-        let r = run_pattern(
+        let r = run_fixed(
             TrackerKind::MintRecursive,
             MitigationKind::Recursive,
             4,
@@ -231,7 +363,7 @@ mod tests {
             near_ratio: 2,
         };
         let n = 100_000;
-        let baseline = run_pattern(
+        let baseline = run_fixed(
             TrackerKind::Mint,
             MitigationKind::Baseline,
             4,
@@ -239,7 +371,7 @@ mod tests {
             n,
             3,
         );
-        let fractal = run_pattern(TrackerKind::Mint, MitigationKind::Fractal, 4, pattern, n, 3);
+        let fractal = run_fixed(TrackerKind::Mint, MitigationKind::Fractal, 4, pattern, n, 3);
         // Under the fixed blast-radius policy, rows just outside the blast
         // radius accumulate unbounded transitive damage; Fractal keeps them
         // bounded. (Section V-A vs V-C.)
@@ -284,7 +416,7 @@ mod tests {
             decoys: 3,
         };
         let n = 60_000;
-        let trr = run_pattern(
+        let trr = run_fixed(
             TrackerKind::NaiveTrr,
             MitigationKind::Fractal,
             4,
@@ -292,7 +424,7 @@ mod tests {
             n,
             5,
         );
-        let mint = run_pattern(TrackerKind::Mint, MitigationKind::Fractal, 4, pattern, n, 5);
+        let mint = run_fixed(TrackerKind::Mint, MitigationKind::Fractal, 4, pattern, n, 5);
         assert!(
             trr.max_damage > 3 * mint.max_damage,
             "naive TRR {} vs MINT {}",
@@ -304,7 +436,7 @@ mod tests {
 
     #[test]
     fn double_sided_bounded_by_mint_fractal() {
-        let r = run_pattern(
+        let r = run_fixed(
             TrackerKind::Mint,
             MitigationKind::Fractal,
             4,
@@ -325,7 +457,7 @@ mod tests {
     fn larger_windows_allow_more_damage() {
         // Sanity: the tolerated threshold grows with window, so the observed
         // worst-case damage under the optimal pattern should too.
-        let d4 = run_pattern(
+        let d4 = run_fixed(
             TrackerKind::Mint,
             MitigationKind::Fractal,
             4,
@@ -337,7 +469,7 @@ mod tests {
             13,
         )
         .max_damage;
-        let d16 = run_pattern(
+        let d16 = run_fixed(
             TrackerKind::Mint,
             MitigationKind::Fractal,
             16,
@@ -363,7 +495,7 @@ mod tests {
             victim: RowAddr(8000),
             near_ratio: 2,
         };
-        let minimal = run_pattern(
+        let minimal = run_fixed(
             TrackerKind::Mint,
             MitigationKind::MinimalPair,
             4,
@@ -371,7 +503,7 @@ mod tests {
             100_000,
             31,
         );
-        let fractal = run_pattern(
+        let fractal = run_fixed(
             TrackerKind::Mint,
             MitigationKind::Fractal,
             4,

@@ -1,0 +1,509 @@
+//! First-class attack patterns: the serializable [`AttackPattern`] genome and
+//! the [`PatternGen`] trait that unifies replay, search, and storage.
+//!
+//! The Monte-Carlo harness historically consumed an opaque
+//! `FnMut(&mut DetRng) -> RowAddr` closure, which could be replayed but not
+//! inspected, mutated, stored, or deduplicated. This module replaces that
+//! surface with:
+//!
+//! * [`PatternGen`] — the row-source trait [`crate::AttackSim::run_pattern`]
+//!   drives. The legacy fixed shapes ([`autorfm_workloads::AttackStream`]),
+//!   raw closures ([`FnPattern`]), and fuzzer candidates
+//!   ([`PatternCursor`]) all implement it — one API for replay, search, and
+//!   storage.
+//! * [`AttackPattern`] — a mutable, serializable genome: an aggressor-row
+//!   layout (`base` + signed `offsets`), an interleaving `schedule` over
+//!   that layout, a `phase` rotation against the mitigation-window boundary,
+//!   and a decoy mix (`decoy_every`/`decoys`). Encoded with the snapshot
+//!   crate's [`Writer`]/[`Reader`] codec; [`AttackPattern::digest`] (the
+//!   snapshot crate's `digest64` over the canonical encoding) keys the
+//!   fuzzer's survivor archive the same way `cell_key` keys campaign cells.
+//!
+//! Every legacy [`autorfm_workloads::AttackPattern`] shape converts exactly:
+//! [`AttackPattern::from_fixed`] produces a genome whose emitted row sequence
+//! is bitwise identical to the closure-era `AttackStream` (pinned by the
+//! fixed-shape equivalence tests).
+
+use autorfm_sim_core::{DetRng, RowAddr};
+use autorfm_snapshot::{digest64, Reader, SnapError, Snapshot, Writer};
+use autorfm_workloads::{AttackPattern as FixedShape, AttackStream};
+
+/// A source of adversarial row activations.
+///
+/// Implementations must be deterministic in `(self state, rng stream)`: the
+/// harness forks a dedicated [`DetRng`] per run, so the same generator state
+/// and seed always replay the same activation sequence regardless of thread
+/// placement.
+pub trait PatternGen {
+    /// Produces the next row to activate.
+    fn next_row(&mut self, rng: &mut DetRng) -> RowAddr;
+}
+
+/// The legacy fixed shapes are pattern generators too — `AttackStream`
+/// already exposes exactly this contract.
+impl PatternGen for AttackStream {
+    fn next_row(&mut self, rng: &mut DetRng) -> RowAddr {
+        AttackStream::next_row(self, rng)
+    }
+}
+
+/// Adapter for raw closures, used by the deprecated closure-based
+/// `AttackSim::run` shim and handy for one-off experiments.
+pub struct FnPattern<F>(pub F);
+
+impl<F: FnMut(&mut DetRng) -> RowAddr> PatternGen for FnPattern<F> {
+    fn next_row(&mut self, rng: &mut DetRng) -> RowAddr {
+        (self.0)(rng)
+    }
+}
+
+/// Decoy rows live this far above `base` — matching the legacy
+/// `AttackPattern::Decoy` convention of `aggressor + 1000 + k`, far enough
+/// that decoy activations never disturb the pattern's own victims.
+pub const DECOY_REGION_OFFSET: u32 = 1000;
+
+/// Hard cap on aggressor-set size (offsets). Keeps genomes small and the
+/// mutation space bounded; real worst-case patterns are narrow.
+pub const MAX_OFFSETS: usize = 16;
+
+/// Hard cap on interleaving-schedule length.
+pub const MAX_SCHEDULE: usize = 64;
+
+/// A serializable, mutable attack-pattern genome.
+///
+/// The emitted activation sequence is a pure function of the genome and the
+/// step index (see [`AttackPattern::row_at`]), so replay is exact, digests
+/// are stable, and two genomes with equal encodings are the same attack.
+///
+/// Field semantics:
+///
+/// * `base` — anchor row; the aggressor layout is relative to it.
+/// * `offsets` — the aggressor-row layout as signed row offsets from `base`
+///   (the *aggressor-set size* is `offsets.len()`).
+/// * `schedule` — the interleaving order: indices into `offsets` (reduced
+///   modulo `offsets.len()` at emission), repeated forever.
+/// * `phase` — rotation of the schedule start, aligning the pattern against
+///   the mitigation-window boundary (the attacker's only timing lever: the
+///   defender mitigates every `window` activations regardless).
+/// * `decoy_every` — if nonzero, every `decoy_every + 1`-th activation is a
+///   decoy instead of a schedule step (the TRR-bypass mix).
+/// * `decoys` — how many distinct decoy rows the decoy slots cycle through.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AttackPattern {
+    /// Anchor row.
+    pub base: RowAddr,
+    /// Aggressor layout: signed offsets from `base`.
+    pub offsets: Vec<i16>,
+    /// Interleaving schedule: indices into `offsets` (mod `offsets.len()`).
+    pub schedule: Vec<u16>,
+    /// Schedule rotation against the window boundary.
+    pub phase: u16,
+    /// Inject one decoy activation every `decoy_every + 1` steps (0 = never).
+    pub decoy_every: u16,
+    /// Distinct decoy rows cycled through by decoy slots.
+    pub decoys: u8,
+}
+
+impl AttackPattern {
+    /// A minimal valid genome: single-sided hammering of `base`.
+    pub fn single(base: RowAddr) -> Self {
+        AttackPattern {
+            base,
+            offsets: vec![0],
+            schedule: vec![0],
+            phase: 0,
+            decoy_every: 0,
+            decoys: 0,
+        }
+    }
+
+    /// Converts a legacy fixed shape into a genome whose emitted row
+    /// sequence is **bitwise identical** to
+    /// [`autorfm_workloads::AttackStream`] for that shape (pinned by the
+    /// fixed-shape equivalence tests).
+    pub fn from_fixed(shape: FixedShape) -> Self {
+        match shape {
+            FixedShape::SingleSided { aggressor } => AttackPattern::single(aggressor),
+            FixedShape::DoubleSided { victim } => AttackPattern {
+                base: victim,
+                offsets: vec![-1, 1],
+                schedule: vec![0, 1],
+                phase: 0,
+                decoy_every: 0,
+                decoys: 0,
+            },
+            FixedShape::Circular { base, window } => {
+                let n = window.clamp(1, MAX_OFFSETS as u32) as u16;
+                AttackPattern {
+                    base,
+                    offsets: (0..n as i16).collect(),
+                    schedule: (0..n).collect(),
+                    phase: 0,
+                    decoy_every: 0,
+                    decoys: 0,
+                }
+            }
+            FixedShape::HalfDouble { victim, near_ratio } => {
+                // Legacy burst of length max(near_ratio + 2, 3): step 0 far
+                // low, step 1 far high, then alternating near rows starting
+                // with the low side on even in-burst indices.
+                let burst = (near_ratio as usize + 2).clamp(3, MAX_SCHEDULE);
+                let mut schedule = Vec::with_capacity(burst);
+                schedule.push(0); // -2
+                schedule.push(1); // +2
+                for k in 2..burst {
+                    schedule.push(if k % 2 == 0 { 2 } else { 3 }); // -1 / +1
+                }
+                AttackPattern {
+                    base: victim,
+                    offsets: vec![-2, 2, -1, 1],
+                    schedule,
+                    phase: 0,
+                    decoy_every: 0,
+                    decoys: 0,
+                }
+            }
+            FixedShape::Decoy { aggressor, decoys } => {
+                // Legacy period decoys+1: aggressor, then decoy rows at
+                // aggressor + 1000 + 1..=decoys. Encoded as a pure schedule
+                // so the sequence matches exactly.
+                let d = decoys.clamp(1, (MAX_OFFSETS - 1) as u32) as u16;
+                let mut offsets = vec![0i16];
+                offsets
+                    .extend((1..=d).map(|k| (DECOY_REGION_OFFSET as i16).saturating_add(k as i16)));
+                AttackPattern {
+                    base: aggressor,
+                    offsets,
+                    schedule: (0..=d).collect(),
+                    phase: 0,
+                    decoy_every: 0,
+                    decoys: 0,
+                }
+            }
+        }
+    }
+
+    /// The row activated at step `step` (0-based). The sequence is a pure
+    /// function of the genome, so replay and digest-keyed dedup are exact.
+    pub fn row_at(&self, step: u64) -> RowAddr {
+        debug_assert!(!self.offsets.is_empty() && !self.schedule.is_empty());
+        let sched_step = if self.decoy_every > 0 {
+            let period = self.decoy_every as u64 + 1;
+            if step % period == self.decoy_every as u64 {
+                // Decoy slot: cycle through the decoy region above base.
+                let idx = (step / period) % self.decoys.max(1) as u64;
+                return RowAddr(
+                    self.base
+                        .0
+                        .wrapping_add(DECOY_REGION_OFFSET)
+                        .wrapping_add(idx as u32),
+                );
+            }
+            step - step / period
+        } else {
+            step
+        };
+        let slot = (self.phase as u64 + sched_step) % self.schedule.len() as u64;
+        let off = self.offsets[self.schedule[slot as usize] as usize % self.offsets.len()];
+        RowAddr(self.base.0.wrapping_add_signed(off as i32))
+    }
+
+    /// The distinct rows this genome can activate, in emission-index order
+    /// (aggressor layout first, then decoy rows). Reporting helper.
+    pub fn touched_rows(&self) -> Vec<RowAddr> {
+        let mut rows: Vec<RowAddr> = self
+            .offsets
+            .iter()
+            .map(|&o| RowAddr(self.base.0.wrapping_add_signed(o as i32)))
+            .collect();
+        if self.decoy_every > 0 {
+            rows.extend((0..self.decoys.max(1) as u32).map(|k| {
+                RowAddr(
+                    self.base
+                        .0
+                        .wrapping_add(DECOY_REGION_OFFSET)
+                        .wrapping_add(k),
+                )
+            }));
+        }
+        rows.sort_unstable();
+        rows.dedup();
+        rows
+    }
+
+    /// Clamps the genome onto its invariants (non-empty layout and schedule,
+    /// capped sizes, rows inside the bank). Mutation operators call this so
+    /// every candidate the fuzzer evaluates is well-formed.
+    pub fn sanitize(&mut self, rows_per_bank: u32) {
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        self.offsets.truncate(MAX_OFFSETS);
+        if self.schedule.is_empty() {
+            self.schedule.push(0);
+        }
+        self.schedule.truncate(MAX_SCHEDULE);
+        // Keep the whole layout (including the decoy region) inside the
+        // bank: clamp the anchor away from both edges.
+        let margin = DECOY_REGION_OFFSET + 256;
+        let hi = rows_per_bank.saturating_sub(margin).max(margin);
+        self.base = RowAddr(self.base.0.clamp(margin, hi));
+        if self.decoy_every > 0 {
+            self.decoys = self.decoys.max(1);
+        }
+    }
+
+    /// Canonical encoding of the genome (the digest input).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// Decodes a genome previously produced by [`AttackPattern::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError`] on truncated/corrupt input or a genome that
+    /// violates the invariants (empty layout or schedule, oversize fields).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapError> {
+        let mut r = Reader::new(bytes);
+        let p = Self::decode(&mut r)?;
+        if !r.is_empty() {
+            return Err(SnapError::corrupt("trailing bytes after AttackPattern"));
+        }
+        Ok(p)
+    }
+
+    /// Content digest of the canonical encoding (the snapshot crate's
+    /// FNV-1a `digest64`). Keys the fuzzer's survivor archive: two genomes
+    /// with equal digests are the same attack and are evaluated exactly
+    /// once, like campaign cells.
+    pub fn digest(&self) -> u64 {
+        digest64(&self.to_bytes())
+    }
+}
+
+impl Snapshot for AttackPattern {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.base.0);
+        w.put_usize(self.offsets.len());
+        for &o in &self.offsets {
+            w.put_u16(o as u16);
+        }
+        w.put_usize(self.schedule.len());
+        for &s in &self.schedule {
+            w.put_u16(s);
+        }
+        w.put_u16(self.phase);
+        w.put_u16(self.decoy_every);
+        w.put_u8(self.decoys);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let base = RowAddr(r.take_u32()?);
+        let n_off = r.take_usize()?;
+        if n_off == 0 || n_off > MAX_OFFSETS {
+            return Err(SnapError::corrupt(format!(
+                "AttackPattern offsets length {n_off} out of 1..={MAX_OFFSETS}"
+            )));
+        }
+        let mut offsets = Vec::with_capacity(n_off);
+        for _ in 0..n_off {
+            offsets.push(r.take_u16()? as i16);
+        }
+        let n_sched = r.take_usize()?;
+        if n_sched == 0 || n_sched > MAX_SCHEDULE {
+            return Err(SnapError::corrupt(format!(
+                "AttackPattern schedule length {n_sched} out of 1..={MAX_SCHEDULE}"
+            )));
+        }
+        let mut schedule = Vec::with_capacity(n_sched);
+        for _ in 0..n_sched {
+            schedule.push(r.take_u16()?);
+        }
+        Ok(AttackPattern {
+            base,
+            offsets,
+            schedule,
+            phase: r.take_u16()?,
+            decoy_every: r.take_u16()?,
+            decoys: r.take_u8()?,
+        })
+    }
+}
+
+/// Replays an [`AttackPattern`] genome as an infinite activation stream.
+#[derive(Debug, Clone)]
+pub struct PatternCursor {
+    pattern: AttackPattern,
+    step: u64,
+}
+
+impl PatternCursor {
+    /// Starts replay at step 0.
+    pub fn new(pattern: AttackPattern) -> Self {
+        PatternCursor { pattern, step: 0 }
+    }
+
+    /// The genome being replayed.
+    pub fn pattern(&self) -> &AttackPattern {
+        &self.pattern
+    }
+}
+
+impl PatternGen for PatternCursor {
+    fn next_row(&mut self, _rng: &mut DetRng) -> RowAddr {
+        let row = self.pattern.row_at(self.step);
+        self.step += 1;
+        row
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emitted(p: &AttackPattern, n: usize) -> Vec<u32> {
+        let mut cur = PatternCursor::new(p.clone());
+        let mut rng = DetRng::seeded(0);
+        (0..n).map(|_| cur.next_row(&mut rng).0).collect()
+    }
+
+    fn legacy(shape: FixedShape, n: usize) -> Vec<u32> {
+        let mut s = AttackStream::new(shape);
+        let mut rng = DetRng::seeded(0);
+        (0..n)
+            .map(|_| PatternGen::next_row(&mut s, &mut rng).0)
+            .collect()
+    }
+
+    #[test]
+    fn fixed_shapes_convert_exactly() {
+        let shapes = [
+            FixedShape::SingleSided {
+                aggressor: RowAddr(7000),
+            },
+            FixedShape::DoubleSided {
+                victim: RowAddr(7000),
+            },
+            FixedShape::Circular {
+                base: RowAddr(7000),
+                window: 4,
+            },
+            FixedShape::Circular {
+                base: RowAddr(7000),
+                window: 16,
+            },
+            FixedShape::HalfDouble {
+                victim: RowAddr(7000),
+                near_ratio: 2,
+            },
+            FixedShape::HalfDouble {
+                victim: RowAddr(7000),
+                near_ratio: 7,
+            },
+            FixedShape::Decoy {
+                aggressor: RowAddr(7000),
+                decoys: 3,
+            },
+        ];
+        for shape in shapes {
+            let genome = AttackPattern::from_fixed(shape);
+            assert_eq!(
+                emitted(&genome, 200),
+                legacy(shape, 200),
+                "sequence drifted for {shape:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        let p = AttackPattern {
+            base: RowAddr(40_000),
+            offsets: vec![-2, 2, -1, 1, 30],
+            schedule: vec![0, 1, 4, 2, 3, 0],
+            phase: 3,
+            decoy_every: 5,
+            decoys: 2,
+        };
+        let bytes = p.to_bytes();
+        let q = AttackPattern::from_bytes(&bytes).unwrap();
+        assert_eq!(p, q);
+        assert_eq!(p.digest(), q.digest());
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert!(AttackPattern::from_bytes(&[]).is_err());
+        let mut w = Writer::new();
+        w.put_u32(5);
+        w.put_usize(0); // empty offsets
+        assert!(AttackPattern::from_bytes(w.bytes()).is_err());
+        // Trailing garbage is rejected.
+        let mut bytes = AttackPattern::single(RowAddr(9)).to_bytes();
+        bytes.push(0);
+        assert!(AttackPattern::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn digests_distinguish_genomes() {
+        let a = AttackPattern::single(RowAddr(100));
+        let mut b = a.clone();
+        b.phase = 1;
+        assert_ne!(a.digest(), b.digest());
+        let mut c = a.clone();
+        c.offsets = vec![0, 1];
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn decoy_mix_injects_decoy_rows() {
+        let mut p = AttackPattern::single(RowAddr(5000));
+        p.decoy_every = 2;
+        p.decoys = 2;
+        let rows = emitted(&p, 9);
+        // Steps 2, 5, 8 are decoy slots, alternating between two decoy rows.
+        assert_eq!(rows[2], 5000 + DECOY_REGION_OFFSET);
+        assert_eq!(rows[5], 5000 + DECOY_REGION_OFFSET + 1);
+        assert_eq!(rows[8], 5000 + DECOY_REGION_OFFSET);
+        assert!(rows.iter().filter(|&&r| r == 5000).count() == 6);
+        assert_eq!(p.touched_rows().len(), 3);
+    }
+
+    #[test]
+    fn phase_rotates_schedule() {
+        let mut p = AttackPattern::from_fixed(FixedShape::Circular {
+            base: RowAddr(1000),
+            window: 4,
+        });
+        p.phase = 2;
+        assert_eq!(emitted(&p, 6), vec![1002, 1003, 1000, 1001, 1002, 1003]);
+    }
+
+    #[test]
+    fn sanitize_restores_invariants() {
+        let mut p = AttackPattern {
+            base: RowAddr(3),
+            offsets: vec![],
+            schedule: vec![],
+            phase: 9,
+            decoy_every: 4,
+            decoys: 0,
+        };
+        p.sanitize(131_072);
+        assert!(!p.offsets.is_empty() && !p.schedule.is_empty());
+        assert!(p.decoys >= 1);
+        assert!(p.base.0 >= DECOY_REGION_OFFSET);
+        // A sanitized genome always encodes and decodes.
+        assert_eq!(AttackPattern::from_bytes(&p.to_bytes()).unwrap(), p);
+    }
+
+    #[test]
+    fn closure_adapter_works() {
+        let mut gen = FnPattern(|_rng: &mut DetRng| RowAddr(42));
+        let mut rng = DetRng::seeded(1);
+        assert_eq!(gen.next_row(&mut rng), RowAddr(42));
+    }
+}

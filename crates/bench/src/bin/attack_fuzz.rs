@@ -1,0 +1,279 @@
+//! Attack-pattern fuzzer sweep: per-tracker minimum-activations-to-escape
+//! curves for **every** registered tracker, with the OracleRH
+//! strictly-hardest gate.
+//!
+//! For each `autorfm::trackers::names()` entry this runs one
+//! [`AttackFuzzer`] campaign (mutation + simulated annealing over the
+//! [`AttackPattern`] genome space), fanning candidate evaluation out with
+//! `par_map`. Because each candidate's simulation seed is derived from its
+//! genome digest, the sweep is bit-reproducible at any `--jobs`.
+//!
+//! Per tracker the campaign yields an escape curve: for each watched damage
+//! threshold, the fewest activations any archived candidate needed to push
+//! the worst unmitigated damage past it. Curves collapse to a hardness
+//! scalar `Σ_T min(crossing_T, budget+1)` — bigger means harder to escape.
+//! The idealized OracleRH runs with an *eager* mitigation trigger, so its
+//! hardness must be **strictly greater** than every real tracker's; the
+//! binary exits nonzero otherwise, and also when some real tracker never
+//! escapes even the lowest threshold (the curve would carry no signal).
+//!
+//! The last stdout line is a JSON record `{pr, patterns_per_sec, trackers,
+//! curves, hardness, oracle_escape_margin, fuzzer_beats_fixed}` that
+//! `scripts/verify.sh` distills into `BENCH_9.json`.
+//!
+//! Usage: `attack_fuzz [--tracker NAME] [--jobs N] [--seed N]
+//! [--activations N] [--generations N] [--population N] [--full]`
+//! (unknown flags are rejected; harness env knobs like `AUTORFM_JOBS`
+//! still apply underneath).
+
+use autorfm::analysis::{AttackFuzzer, AttackPattern, FuzzConfig};
+use autorfm::telemetry::Json;
+use autorfm::trackers::TrackerKind;
+use autorfm_bench::{par_map, print_table, Harness, RunOpts};
+
+struct FuzzArgs {
+    tracker: Option<TrackerKind>,
+    jobs: usize,
+    seed: u64,
+    activations: u64,
+    generations: u32,
+    population: u32,
+}
+
+fn parse_args() -> FuzzArgs {
+    let env = RunOpts::from_env();
+    let mut out = FuzzArgs {
+        tracker: None,
+        jobs: env.jobs,
+        seed: 9,
+        activations: 30_000,
+        generations: 6,
+        population: 24,
+    };
+    let usage = "usage: attack_fuzz [--tracker NAME] [--jobs N] [--seed N] \
+                 [--activations N] [--generations N] [--population N] [--full]";
+    let mut args = std::env::args().skip(1);
+    let next_val = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next()
+            .unwrap_or_else(|| panic!("{flag} needs a value\n{usage}"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tracker" => {
+                let name = next_val(&mut args, "--tracker");
+                out.tracker = Some(name.parse().unwrap_or_else(|e| panic!("{e}")));
+            }
+            "--jobs" => {
+                out.jobs = next_val(&mut args, "--jobs")
+                    .parse()
+                    .expect("--jobs needs an integer");
+            }
+            "--seed" => {
+                out.seed = next_val(&mut args, "--seed")
+                    .parse()
+                    .expect("--seed needs an integer");
+            }
+            "--activations" => {
+                out.activations = next_val(&mut args, "--activations")
+                    .parse()
+                    .expect("--activations needs an integer");
+            }
+            "--generations" => {
+                out.generations = next_val(&mut args, "--generations")
+                    .parse()
+                    .expect("--generations needs an integer");
+            }
+            "--population" => {
+                out.population = next_val(&mut args, "--population")
+                    .parse()
+                    .expect("--population needs an integer");
+            }
+            "--full" => {
+                out.activations = 120_000;
+                out.generations = 12;
+                out.population = 48;
+            }
+            other => panic!("unknown argument {other:?}\n{usage}"),
+        }
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let opts = RunOpts::from_env();
+    let mut harness = Harness::new(&opts);
+    println!("=== Attack fuzzer: min activations to escape, per registered tracker ===\n");
+
+    let kinds: Vec<TrackerKind> = match args.tracker {
+        Some(t) => vec![t],
+        None => TrackerKind::ALL.to_vec(),
+    };
+    let budget = args.activations;
+    let start = std::time::Instant::now();
+
+    let mut outcomes = Vec::new();
+    for &kind in &kinds {
+        let cfg = FuzzConfig {
+            activations: args.activations,
+            generations: args.generations,
+            population: args.population,
+            seed: args.seed,
+            ..FuzzConfig::smoke(kind)
+        };
+        let mut fuzzer = AttackFuzzer::new(cfg);
+        let cfg = fuzzer.cfg().clone();
+        let jobs = args.jobs;
+        let outcome = fuzzer.run(|batch: &[AttackPattern]| {
+            par_map(batch, jobs, |p| AttackFuzzer::evaluate(&cfg, p))
+        });
+        outcomes.push(outcome);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let evaluated: u64 = outcomes.iter().map(|o| o.evaluated).sum();
+    let patterns_per_sec = evaluated as f64 / elapsed.max(1e-9);
+
+    // Curves collapse to a hardness scalar: sum over thresholds of the
+    // crossing point, with "never escaped" charged as budget+1.
+    let hardness: Vec<u64> = outcomes
+        .iter()
+        .map(|o| o.curve.iter().map(|c| c.unwrap_or(budget + 1)).sum())
+        .collect();
+
+    let thresholds = outcomes[0].thresholds.clone();
+    let mut headers: Vec<String> = vec!["tracker".into()];
+    headers.extend(thresholds.iter().map(|t| format!("T={t}")));
+    headers.push("hardness".into());
+    headers.push("best/fixed".into());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut rows = Vec::new();
+    for (o, h) in outcomes.iter().zip(&hardness) {
+        let mut row = vec![o.tracker.to_string()];
+        row.extend(
+            o.curve
+                .iter()
+                .map(|c| c.map_or_else(|| "-".into(), |a| a.to_string())),
+        );
+        row.push(h.to_string());
+        row.push(format!("{}/{}", o.best.score(), o.best_fixed.score()));
+        rows.push(row);
+    }
+    print_table(&header_refs, &rows);
+    println!(
+        "\n{evaluated} patterns evaluated in {elapsed:.2}s ({patterns_per_sec:.1}/s); \
+         '-' = never escaped within the {budget}-activation budget"
+    );
+
+    // Gates: the eager oracle must be strictly hardest to escape, and every
+    // real tracker's curve must carry signal (escape at the lowest
+    // threshold). Both are skipped under `--tracker` (single-kind runs have
+    // no cross-tracker ordering to check).
+    let mut violations = Vec::new();
+    let mut oracle_escape_margin = f64::NAN;
+    if args.tracker.is_none() {
+        let oracle_idx = kinds
+            .iter()
+            .position(|k| k.info().flags.oracle)
+            .expect("registry has an oracle baseline");
+        let oracle_hardness = hardness[oracle_idx];
+        let mut max_real = 0u64;
+        for (i, &kind) in kinds.iter().enumerate() {
+            if i == oracle_idx {
+                continue;
+            }
+            max_real = max_real.max(hardness[i]);
+            if hardness[i] >= oracle_hardness {
+                violations.push(format!(
+                    "{kind} hardness {} >= oracle {}",
+                    hardness[i], oracle_hardness
+                ));
+            }
+            if outcomes[i].curve[0].is_none() {
+                violations.push(format!(
+                    "{kind} never escaped the lowest threshold T={} (no curve signal)",
+                    thresholds[0]
+                ));
+            }
+        }
+        oracle_escape_margin = oracle_hardness as f64 / max_real.max(1) as f64;
+        println!(
+            "oracle hardness {oracle_hardness}; hardest real tracker {max_real}; \
+             margin {oracle_escape_margin:.3}x"
+        );
+    }
+
+    let fuzzer_beats_fixed = outcomes
+        .iter()
+        .filter(|o| o.best.score() >= o.best_fixed.score())
+        .count();
+    let strictly_better = outcomes
+        .iter()
+        .filter(|o| o.best.score() > o.best_fixed.score())
+        .count();
+    println!(
+        "fuzzer matched-or-beat the best fixed shape on {fuzzer_beats_fixed}/{} trackers \
+         ({strictly_better} strictly better)",
+        outcomes.len()
+    );
+
+    for (o, h) in outcomes.iter().zip(&hardness) {
+        let tracker = o.tracker.to_string();
+        harness.gauge("fuzz_hardness", &[("tracker", &tracker)], *h as f64);
+        harness.gauge(
+            "fuzz_best_damage",
+            &[("tracker", &tracker)],
+            o.best.score() as f64,
+        );
+    }
+    harness.gauge("fuzz_patterns_per_sec", &[], patterns_per_sec);
+    harness.finish();
+
+    let curves = Json::Obj(
+        outcomes
+            .iter()
+            .map(|o| {
+                (
+                    o.tracker.to_string(),
+                    Json::Arr(
+                        o.curve
+                            .iter()
+                            .map(|c| c.map_or(Json::Null, |a| Json::Num(a as f64)))
+                            .collect(),
+                    ),
+                )
+            })
+            .collect(),
+    );
+    let hardness_obj = Json::Obj(
+        kinds
+            .iter()
+            .zip(&hardness)
+            .map(|(k, h)| (k.to_string(), Json::Num(*h as f64)))
+            .collect(),
+    );
+    let record = Json::obj(vec![
+        ("pr", Json::Num(9.0)),
+        ("patterns_per_sec", Json::Num(patterns_per_sec)),
+        (
+            "trackers",
+            Json::Arr(kinds.iter().map(|k| Json::Str(k.to_string())).collect()),
+        ),
+        (
+            "thresholds",
+            Json::Arr(thresholds.iter().map(|&t| Json::Num(t as f64)).collect()),
+        ),
+        ("curves", curves),
+        ("hardness", hardness_obj),
+        ("oracle_escape_margin", Json::Num(oracle_escape_margin)),
+        ("fuzzer_beats_fixed", Json::Num(fuzzer_beats_fixed as f64)),
+    ]);
+    println!("{}", record.to_compact());
+
+    if !violations.is_empty() {
+        eprintln!("attack_fuzz: escape-curve gate FAILED:");
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(2);
+    }
+}

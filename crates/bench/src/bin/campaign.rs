@@ -18,8 +18,8 @@
 //! * `check ID` — re-run every cell of the campaign standalone (a direct
 //!   `System` run, no daemon) and diff the result digests against the
 //!   manifest; exits 1 on any mismatch, failed, or unfinished cell,
-//! * `campaigns` / `stats` / `metrics` / `trackers` / `workloads` — the
-//!   matching GET endpoints,
+//! * `campaigns` / `stats` / `metrics` / `trackers` / `mitigations` /
+//!   `workloads` — the matching GET endpoints,
 //! * `shutdown` — stop the server.
 
 use autorfm::experiments::Scenario;
@@ -31,7 +31,7 @@ use autorfm_campaign::http;
 use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage: campaign (--addr HOST:PORT | --store DIR) \
-    <submit|status|wait|manifest|cell|check|campaigns|stats|metrics|trackers|workloads|shutdown> [args]";
+    <submit|status|wait|manifest|cell|check|campaigns|stats|metrics|trackers|mitigations|workloads|shutdown> [args]";
 
 /// GET `path`, failing the process on transport errors or non-2xx statuses.
 fn get(addr: &str, path: &str) -> Json {
@@ -249,6 +249,7 @@ fn main() {
         "stats" => println!("{}", get(&addr, "/stats").to_pretty()),
         "metrics" => println!("{}", get(&addr, "/metrics").to_pretty()),
         "trackers" => println!("{}", get(&addr, "/trackers").to_pretty()),
+        "mitigations" => println!("{}", get(&addr, "/mitigations").to_pretty()),
         "workloads" => println!("{}", get(&addr, "/workloads").to_pretty()),
         "shutdown" => post(&addr, "/shutdown", None),
         other => panic!("unknown command {other}; {USAGE}"),

@@ -46,8 +46,7 @@ fn empirical_worst_damage(tracker: TrackerKind, window: u32) -> u64 {
             77 + i as u64,
         )
         .expect("valid tracker");
-        let mut stream = AttackStream::new(pattern);
-        let report = sim.run(500_000, move |rng| stream.next_row(rng));
+        let report = sim.run_pattern(&mut AttackStream::new(pattern), 500_000);
         worst = worst.max(report.max_damage);
     }
     worst

@@ -57,8 +57,7 @@ fn worst_damage(
     for (i, (name, pattern)) in patterns.into_iter().enumerate() {
         let mut sim = AttackSim::new(tracker, policy, window, 131_072, 1234 + i as u64)
             .expect("valid config");
-        let mut stream = AttackStream::new(pattern);
-        let report = sim.run(acts, move |rng| stream.next_row(rng));
+        let report = sim.run_pattern(&mut AttackStream::new(pattern), acts);
         if report.max_damage > worst.0 {
             worst = (report.max_damage, name);
         }

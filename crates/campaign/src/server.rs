@@ -7,6 +7,7 @@
 //! |--------|-----------------------------|---------|
 //! | GET    | `/health`                   | liveness + uptime |
 //! | GET    | `/trackers`                 | known tracker names |
+//! | GET    | `/mitigations`              | known mitigation-policy names |
 //! | GET    | `/workloads`                | known workload names |
 //! | POST   | `/campaigns`                | submit a [`SweepRequest`]; returns id + dedup counts |
 //! | GET    | `/campaigns`                | all campaign statuses |
@@ -99,6 +100,30 @@ fn route(
                 200,
                 "OK",
                 &Json::obj(vec![("trackers", Json::Arr(entries))]),
+            )
+        }
+        ("GET", ["mitigations"]) => {
+            let entries: Vec<Json> = autorfm::mitigation::REGISTRY
+                .iter()
+                .map(|info| {
+                    Json::obj(vec![
+                        ("name", Json::Str(info.name.to_string())),
+                        ("display", Json::Str(info.display.to_string())),
+                        ("description", Json::Str(info.description.to_string())),
+                        ("recursive", Json::Bool(info.flags.recursive)),
+                        (
+                            "refreshes_per_round",
+                            Json::Num(f64::from(info.flags.refreshes_per_round)),
+                        ),
+                        ("transitive_safe", Json::Bool(info.flags.transitive_safe)),
+                    ])
+                })
+                .collect();
+            respond_json(
+                stream,
+                200,
+                "OK",
+                &Json::obj(vec![("mitigations", Json::Arr(entries))]),
             )
         }
         ("GET", ["workloads"]) => {
@@ -229,6 +254,23 @@ mod tests {
             .find(|t| t.get("name").and_then(Json::as_str) == Some("oracle"))
             .expect("oracle registered");
         assert_eq!(oracle.get("oracle"), Some(&Json::Bool(true)));
+
+        let (status, body) = http::request(&addr, "GET", "/mitigations", None).unwrap();
+        assert_eq!(status, 200);
+        let mitigations = body.get("mitigations").and_then(Json::as_arr).unwrap();
+        assert_eq!(mitigations.len(), autorfm::mitigation::names().len());
+        for (entry, info) in mitigations.iter().zip(autorfm::mitigation::REGISTRY.iter()) {
+            assert_eq!(entry.get("name").and_then(Json::as_str), Some(info.name));
+            assert_eq!(
+                entry.get("transitive_safe"),
+                Some(&Json::Bool(info.flags.transitive_safe))
+            );
+        }
+        let fractal = mitigations
+            .iter()
+            .find(|m| m.get("name").and_then(Json::as_str) == Some("fractal"))
+            .expect("fractal registered");
+        assert_eq!(fractal.get("transitive_safe"), Some(&Json::Bool(true)));
 
         let req = SweepRequest {
             name: "api".into(),

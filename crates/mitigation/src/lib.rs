@@ -22,6 +22,11 @@
 //!   neighbor refresh probability `2^(1-d)`. Exactly four victim refreshes per
 //!   mitigation, single round, deterministic 4·tRC latency.
 //!
+//! Policies are registered in the [`registry`] plugin table (mirroring the
+//! tracker registry in `autorfm_trackers`): [`MitigationKind`], [`names`],
+//! `FromStr`/`Display`, [`build_policy`], and the campaign service's
+//! `GET /mitigations` are all views over [`REGISTRY`].
+//!
 //! # Examples
 //!
 //! ```
@@ -43,7 +48,12 @@
 pub mod blast;
 pub mod fractal;
 pub mod policy;
+pub mod registry;
 
 pub use blast::{BlastRadiusPolicy, RecursivePolicy};
 pub use fractal::FractalPolicy;
-pub use policy::{build_policy, MitigationKind, MitigationPolicy, VictimRefresh};
+pub use policy::{MitigationPolicy, VictimRefresh};
+pub use registry::{
+    build_policy, names, MitigationFlags, MitigationInfo, MitigationKind, PolicyFactory, COUNT,
+    REGISTRY,
+};

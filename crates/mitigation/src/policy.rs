@@ -1,6 +1,11 @@
 //! The [`MitigationPolicy`] trait and victim-refresh descriptors.
+//!
+//! Policy *selection* (the [`crate::MitigationKind`] enum, `FromStr`/
+//! `Display`, and the [`crate::build_policy`] factory) lives in the
+//! [plugin registry](crate::registry); this module holds only the behavior
+//! contract every registered policy implements.
 
-use autorfm_sim_core::{ConfigError, DetRng, RowAddr};
+use autorfm_sim_core::{DetRng, RowAddr};
 use autorfm_trackers::MitigationTarget;
 use core::fmt;
 
@@ -54,64 +59,10 @@ pub trait MitigationPolicy: Send {
     fn name(&self) -> &'static str;
 }
 
-/// Selects a mitigation policy by name; used by configuration surfaces.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub enum MitigationKind {
-    /// Fixed blast-radius-2 victim refresh (baseline, no transitive defense).
-    Baseline,
-    /// Recursive Mitigation: level-scaled distances + tracker recursion.
-    Recursive,
-    /// Fractal Mitigation (the paper's proposal).
-    #[default]
-    Fractal,
-    /// Minimal pair: only the two d=1 neighbors (Section IV-B's "reduce the
-    /// number of rows that receive victim refresh from 4 to 2" option, which
-    /// shrinks the SAUM busy window to 2·tRC and permits AutoRFMTH = 2).
-    /// No transitive defense — ablation use only.
-    MinimalPair,
-}
-
-impl fmt::Display for MitigationKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            MitigationKind::Baseline => "baseline",
-            MitigationKind::Recursive => "recursive",
-            MitigationKind::Fractal => "fractal",
-            MitigationKind::MinimalPair => "minimal-pair",
-        };
-        f.write_str(s)
-    }
-}
-
-/// Builds a boxed policy of the given kind.
-///
-/// # Errors
-///
-/// Currently infallible for all kinds; returns `Result` for uniformity with
-/// the other factory functions and future parameterized policies.
-///
-/// # Examples
-///
-/// ```
-/// use autorfm_mitigation::{build_policy, MitigationKind};
-///
-/// let p = build_policy(MitigationKind::Fractal)?;
-/// assert_eq!(p.name(), "fractal");
-/// assert!(!p.wants_recursion());
-/// # Ok::<(), autorfm_sim_core::ConfigError>(())
-/// ```
-pub fn build_policy(kind: MitigationKind) -> Result<Box<dyn MitigationPolicy>, ConfigError> {
-    Ok(match kind {
-        MitigationKind::Baseline => Box::new(crate::BlastRadiusPolicy::new(2)?),
-        MitigationKind::Recursive => Box::new(crate::RecursivePolicy::new()),
-        MitigationKind::Fractal => Box::new(crate::FractalPolicy::new()),
-        MitigationKind::MinimalPair => Box::new(crate::BlastRadiusPolicy::new(1)?),
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{build_policy, MitigationKind};
 
     #[test]
     fn build_all_kinds() {

@@ -22,8 +22,7 @@ fn attack(
 ) -> Result<(), Box<dyn std::error::Error>> {
     let window = 4;
     let mut sim = AttackSim::new(tracker, policy, window, 131_072, 2024)?;
-    let mut stream = AttackStream::new(pattern);
-    let report = sim.run(500_000, move |rng| stream.next_row(rng));
+    let report = sim.run_pattern(&mut AttackStream::new(pattern), 500_000);
     let verdict = if (report.max_damage as f64) < bound {
         "HELD"
     } else {

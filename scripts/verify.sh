@@ -113,6 +113,36 @@ with open("BENCH_8.json", "w") as f:
 print("BENCH_8.json:", json.dumps(bench))
 EOF
 
+echo "== attack fuzzer smoke (escape curves + OracleRH strictly-hardest gate) =="
+# One bounded fuzz campaign per *registered* tracker: mutation + annealing
+# over the AttackPattern genome space against the tracker-only AttackSim.
+# The binary exits nonzero unless the eager-oracle hardness is strictly
+# greater than every real tracker's AND every real tracker escapes at least
+# the lowest watched threshold (nonzero curve coverage). Per-candidate seeds
+# derive from genome digests, so the sweep is bit-identical at any --jobs.
+fuzz_out="$(cargo run --release -p autorfm-bench --bin attack_fuzz -- \
+    --jobs "${JOBS}")"
+printf '%s\n' "${fuzz_out}"
+printf '%s\n' "${fuzz_out}" | tail -n 1 > results/attack_fuzz.json
+
+echo "== BENCH_9.json (attack fuzzer throughput / oracle escape margin) =="
+python3 - <<'EOF'
+import json
+
+with open("results/attack_fuzz.json") as f:
+    d = json.load(f)
+bench = {
+    "pr": 9,
+    "patterns_per_sec": d["patterns_per_sec"],
+    "trackers": d["trackers"],
+    "oracle_escape_margin": d["oracle_escape_margin"],
+}
+with open("BENCH_9.json", "w") as f:
+    json.dump(bench, f, indent=2)
+    f.write("\n")
+print("BENCH_9.json:", json.dumps(bench))
+EOF
+
 echo "== campaign service smoke (campaignd + campaign CLI) =="
 # Boot the always-on sweep server on an ephemeral port over a scratch store,
 # push a 4-cell sweep through it, wait for completion, then re-run every cell
@@ -140,6 +170,20 @@ assert not missing, f"registry trackers missing from API: {missing}"
 for e in entries:
     assert "storage_bits" in e and "recursive" in e and "all_bank" in e, e
 print(f"campaign trackers: {len(entries)} registry entries ok")
+'
+# `campaign mitigations` must surface the mitigation-policy registry with
+# capability flags (PR 9's mitigation_registry! mirror of the tracker one).
+campaign mitigations | python3 -c '
+import json
+import sys
+
+entries = json.load(sys.stdin)["mitigations"]
+names = {e["name"] for e in entries}
+missing = {"baseline", "recursive", "fractal", "minimal-pair"} - names
+assert not missing, f"registry mitigations missing from API: {missing}"
+for e in entries:
+    assert "refreshes_per_round" in e and "transitive_safe" in e, e
+print(f"campaign mitigations: {len(entries)} registry entries ok")
 '
 submit_out="$(campaign submit --name smoke \
     --workloads mcf,wrf --scenarios baseline-zen,AutoRFM-4 \
