@@ -12,6 +12,13 @@
 //! * [`montecarlo`] — drives the *real* tracker + mitigation implementations
 //!   with adversarial activation patterns and measures the worst-case
 //!   unmitigated disturbance, validating the closed forms.
+//! * [`damage`] — damage-map backends for the harness: the dense paged
+//!   epoch-cleared [`DamageArena`] fast path and the legacy hash-map
+//!   reference, pinned against each other by a differential oracle.
+//! * [`evalstore`] — persistence for fuzz campaigns: candidate results as
+//!   sealed `KIND_FUZZ` records in a [`CellStore`](autorfm_snapshot::store::CellStore),
+//!   keyed by `(config, genome)` digests so `attack_fuzz --resume` skips
+//!   every previously evaluated genome.
 //! * [`pattern`] — the serializable [`AttackPattern`] genome and the
 //!   [`PatternGen`] trait: one API for replay, search, and storage of
 //!   adversarial activation sequences.
@@ -34,6 +41,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod damage;
+pub mod evalstore;
 pub mod fractal_model;
 pub mod fuzzer;
 pub mod history;
@@ -42,10 +51,14 @@ pub mod montecarlo;
 pub mod pattern;
 pub mod perf_model;
 
+pub use damage::{DamageArena, DamageModel, MapDamage};
+pub use evalstore::{archive_digest, config_key, FuzzStore};
 pub use fractal_model::FractalModel;
-pub use fuzzer::{AttackFuzzer, CandidateResult, FuzzConfig, FuzzOutcome};
+pub use fuzzer::{
+    AttackFuzzer, CandidateResult, EvaluatorPool, FuzzConfig, FuzzOutcome, LaneEvaluator,
+};
 pub use history::{TrhEntry, TRH_HISTORY};
 pub use mint_model::MintModel;
-pub use montecarlo::{AttackReport, AttackSim};
+pub use montecarlo::{AttackReport, AttackSim, AttackSimCore, AttackSimRef};
 pub use pattern::{AttackPattern, FnPattern, PatternCursor, PatternGen};
 pub use perf_model::{AutoRfmConflictModel, RfmPerfModel};

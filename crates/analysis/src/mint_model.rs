@@ -78,6 +78,21 @@ impl MintModel {
         (1.0 - self.selection_probability()).powf(t)
     }
 
+    /// Expected activations until a row first accumulates `t` unmitigated
+    /// disturbances in a row (run-of-successes): with per-activation escape
+    /// probability `q = 1 - 1/slots`, `E = (1 - q^t) / ((1 - q) · q^t)`.
+    ///
+    /// This is the quantitative counterpart of [`Self::escape_probability`]:
+    /// the fuzzer's minimum-activations-to-escape curve for a memoryless
+    /// sampling tracker (MINT, PrIDE) should cross threshold `t` within a
+    /// small multiple of this value when `E` is far below the activation
+    /// budget, and not at all when `E` is far above it.
+    pub fn expected_first_escape_acts(&self, t: f64) -> f64 {
+        let q = 1.0 - self.selection_probability();
+        let qt = q.powf(t);
+        (1.0 - qt) / ((1.0 - q) * qt)
+    }
+
     /// Eq. 2: epoch time in seconds (`W² · tRC + t_M`).
     pub fn epoch_seconds(&self) -> f64 {
         let w = self.window as f64;
@@ -177,6 +192,29 @@ mod tests {
                 "W={w}: fractal {fm:.0} must be below recursive {rm:.0}"
             );
         }
+    }
+
+    #[test]
+    fn expected_first_escape_matches_run_length_theory() {
+        // W=4 fractal: q = 3/4. A run of 1 escape takes E = 1/(1-q)·(1/q - 1)
+        // ... the classical run-of-successes closed form. Spot-check t=1:
+        // E = (1 - 3/4) / (1/4 · 3/4) = 4/3.
+        let m = MintModel::rfm(4, false);
+        assert!((m.expected_first_escape_acts(1.0) - 4.0 / 3.0).abs() < 1e-9);
+        // Grows geometrically in t (each extra required escape multiplies the
+        // wait by ~1/q) and is always at least t itself.
+        let mut prev = 0.0;
+        for t in [4.0, 8.0, 16.0, 24.0] {
+            let e = m.expected_first_escape_acts(t);
+            assert!(e > prev && e >= t, "t={t}: E={e}");
+            prev = e;
+        }
+        // The smoke-config anchor the attack_fuzz band gate relies on:
+        // W=4, T=24 → E ≈ 4k activations, well under the 30k budget.
+        let e24 = m.expected_first_escape_acts(24.0);
+        assert!((3_000.0..6_000.0).contains(&e24), "E[T=24] = {e24}");
+        // ... while T=96 is unreachable within any realistic budget.
+        assert!(m.expected_first_escape_acts(96.0) > 1e11);
     }
 
     #[test]

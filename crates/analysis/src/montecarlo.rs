@@ -11,20 +11,27 @@
 //! Attack inputs are [`PatternGen`] implementations (see [`crate::pattern`]):
 //! [`AttackSim::run_pattern`] is the primary entry point, driving legacy
 //! fixed shapes, serialized [`crate::AttackPattern`] genomes, and fuzzer
-//! candidates through one API. The closure-based [`AttackSim::run`] survives
-//! as a deprecated shim. [`AttackSim::watch_thresholds`] records the minimum
-//! activation count at which the worst damage first reached each watched
-//! threshold — the per-candidate sample behind the fuzzer's
-//! minimum-activations-to-escape curves.
+//! candidates through one API (closures wrap in
+//! [`FnPattern`](crate::pattern::FnPattern)).
+//! [`AttackSim::watch_thresholds`] records the minimum activation count at
+//! which the worst damage first reached each watched threshold — the
+//! per-candidate sample behind the fuzzer's minimum-activations-to-escape
+//! curves.
+//!
+//! Damage bookkeeping is generic over [`DamageModel`]: [`AttackSim`] runs on
+//! the dense epoch-cleared [`DamageArena`] (the fast path), while
+//! [`AttackSimRef`] keeps the PR-9 `HashMap` backend as the differential
+//! reference. The two are pinned bitwise-identical by the oracle tests in
+//! [`crate::damage`] and the sim-level A/B below.
 
-use crate::pattern::{FnPattern, PatternGen};
+use crate::damage::{DamageArena, DamageModel, MapDamage};
+use crate::pattern::PatternGen;
 use autorfm_mitigation::{build_policy, MitigationKind, MitigationPolicy};
 use autorfm_sim_core::{ConfigError, DetRng, RowAddr};
 use autorfm_trackers::{build_tracker, Tracker, TrackerKind};
-use std::collections::HashMap;
 
 /// Result of an attack run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct AttackReport {
     /// Worst disturbance any row accumulated without an intervening restore.
     /// Compare against `T = 2 × TRH-D`: the attack succeeds iff this exceeds
@@ -38,14 +45,15 @@ pub struct AttackReport {
     pub victim_refreshes: u64,
 }
 
-/// A single-bank tracker + mitigation stack under attack.
-pub struct AttackSim {
+/// A single-bank tracker + mitigation stack under attack, generic over the
+/// damage bookkeeping backend.
+pub struct AttackSimCore<D: DamageModel> {
     tracker: Box<dyn Tracker>,
     policy: Box<dyn MitigationPolicy>,
     window: u32,
     rows_per_bank: u32,
     rng: DetRng,
-    damage: HashMap<u32, u64>,
+    damage: D,
     acts_in_window: u32,
     report: AttackReport,
     /// Damage thresholds to watch (ascending) and, for each, the activation
@@ -55,7 +63,15 @@ pub struct AttackSim {
     next_watch: usize,
 }
 
-impl core::fmt::Debug for AttackSim {
+/// The attack sim on the dense paged [`DamageArena`] — the default fast
+/// path every caller gets.
+pub type AttackSim = AttackSimCore<DamageArena>;
+
+/// The attack sim on the legacy `HashMap` backend ([`MapDamage`]): the
+/// pre-arena reference side of the perf A/B and the differential tests.
+pub type AttackSimRef = AttackSimCore<MapDamage>;
+
+impl<D: DamageModel> core::fmt::Debug for AttackSimCore<D> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("AttackSim")
             .field("tracker", &self.tracker.name())
@@ -65,7 +81,7 @@ impl core::fmt::Debug for AttackSim {
     }
 }
 
-impl AttackSim {
+impl<D: DamageModel> AttackSimCore<D> {
     /// Creates the stack.
     ///
     /// # Errors
@@ -98,24 +114,37 @@ impl AttackSim {
         seed: u64,
     ) -> Self {
         let window = tracker.window();
-        AttackSim {
+        AttackSimCore {
             tracker,
             policy,
             window,
             rows_per_bank,
             rng: DetRng::seeded(seed),
-            damage: HashMap::new(),
+            damage: D::with_capacity(rows_per_bank),
             acts_in_window: 0,
-            report: AttackReport {
-                max_damage: 0,
-                activations: 0,
-                mitigations: 0,
-                victim_refreshes: 0,
-            },
+            report: AttackReport::default(),
             watch: Vec::new(),
             crossings: Vec::new(),
             next_watch: 0,
         }
+    }
+
+    /// Resets every transient surface — damage, tracker state, report,
+    /// window phase, watch state — and reseeds the RNG, leaving the sim
+    /// indistinguishable from a freshly built one. This is what lets a
+    /// [`LaneEvaluator`](crate::fuzzer::LaneEvaluator) lane amortize
+    /// tracker/policy construction across thousands of fuzzer candidates;
+    /// the purity pin in `crates/analysis/tests` compares reset-reuse
+    /// against fresh builds for every registered tracker.
+    pub fn reset(&mut self, seed: u64) {
+        self.rng = DetRng::seeded(seed);
+        self.damage.clear();
+        self.tracker.reset();
+        self.acts_in_window = 0;
+        self.report = AttackReport::default();
+        self.watch.clear();
+        self.crossings.clear();
+        self.next_watch = 0;
     }
 
     /// Watches damage thresholds: after the run, [`AttackSim::crossings`]
@@ -154,12 +183,10 @@ impl AttackSim {
     fn disturb_neighbors(&mut self, row: RowAddr) {
         for delta in [-1i32, 1] {
             if let Some(n) = row.neighbor(delta, self.rows_per_bank) {
-                let d = self.damage.entry(n.0).or_insert(0);
-                *d += 1;
-                if *d > self.report.max_damage {
-                    self.report.max_damage = *d;
-                    let max = *d;
-                    self.note_damage(max);
+                let d = self.damage.disturb(n.0);
+                if d > self.report.max_damage {
+                    self.report.max_damage = d;
+                    self.note_damage(d);
                 }
             }
         }
@@ -169,7 +196,7 @@ impl AttackSim {
     /// window completes (the attacker gets no say in mitigation timing).
     pub fn activate(&mut self, row: RowAddr) {
         self.report.activations += 1;
-        self.damage.remove(&row.0);
+        self.damage.restore(row.0);
         self.disturb_neighbors(row);
         self.tracker.on_activation(row, &mut self.rng);
         self.acts_in_window += 1;
@@ -192,7 +219,7 @@ impl AttackSim {
             // The refresh restores the victim and, being an internal
             // activation, disturbs the victim's own neighbors (transitive
             // mechanism).
-            self.damage.remove(&v.row.0);
+            self.damage.restore(v.row.0);
             self.disturb_neighbors(v.row);
         }
         if self.policy.wants_recursion() {
@@ -211,25 +238,38 @@ impl AttackSim {
     /// This is the primary entry point: any [`PatternGen`] — a legacy
     /// [`autorfm_workloads::AttackStream`], a replayed
     /// [`crate::AttackPattern`] genome via [`crate::PatternCursor`], or a
-    /// closure wrapped in [`FnPattern`] — drives the same loop. The pattern
-    /// RNG is forked from the sim seed exactly as the closure-era `run` did,
-    /// so ports are bitwise-identical.
+    /// closure wrapped in [`crate::pattern::FnPattern`] — drives the same
+    /// loop. The pattern RNG is forked from the sim seed exactly as the
+    /// closure-era `run` did, so ports are bitwise-identical.
     pub fn run_pattern(&mut self, pattern: &mut impl PatternGen, n: u64) -> AttackReport {
-        let mut rng = self.rng.fork(0xA77AC);
+        let mut rng = self.pattern_rng();
+        self.run_pattern_steps(pattern, &mut rng, n)
+    }
+
+    /// The pattern-RNG fork [`run_pattern`](Self::run_pattern) would use.
+    /// Lockstep lane evaluation holds this fork across chunked
+    /// [`run_pattern_steps`](Self::run_pattern_steps) calls so a candidate
+    /// split into chunks replays the exact single-call activation sequence.
+    pub fn pattern_rng(&self) -> DetRng {
+        self.rng.fork(0xA77AC)
+    }
+
+    /// Advances the sim by `n` activations drawn from `pattern` using the
+    /// caller-held pattern RNG, returning the report so far. One
+    /// `run_pattern(p, a + b)` call and two `run_pattern_steps(p, rng, a)`
+    /// / `(p, rng, b)` calls over one [`pattern_rng`](Self::pattern_rng)
+    /// fork are bitwise-identical.
+    pub fn run_pattern_steps(
+        &mut self,
+        pattern: &mut impl PatternGen,
+        rng: &mut DetRng,
+        n: u64,
+    ) -> AttackReport {
         for _ in 0..n {
-            let row = pattern.next_row(&mut rng);
+            let row = pattern.next_row(rng);
             self.activate(row);
         }
         self.report
-    }
-
-    /// Runs `n` activations drawn from `next_row` and returns the report.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `run_pattern` with a `PatternGen` (closures wrap in `FnPattern`)"
-    )]
-    pub fn run(&mut self, n: u64, next_row: impl FnMut(&mut DetRng) -> RowAddr) -> AttackReport {
-        self.run_pattern(&mut FnPattern(next_row), n)
     }
 
     /// The report so far.
@@ -239,7 +279,7 @@ impl AttackSim {
 
     /// Current damage of a row.
     pub fn damage_of(&self, row: RowAddr) -> u64 {
-        self.damage.get(&row.0).copied().unwrap_or(0)
+        self.damage.get(row.0)
     }
 }
 
@@ -262,30 +302,158 @@ mod tests {
         sim.run_pattern(&mut AttackStream::new(pattern), n)
     }
 
-    /// The deprecated closure shim must stay bitwise-identical to
-    /// `run_pattern` — existing montecarlo bins compile and behave unchanged.
+    /// Sim-level differential pin: the dense arena and the legacy map
+    /// backends drive every shape to identical reports, crossings, and
+    /// per-row damage — across trackers with very different mitigation
+    /// behavior (randomized MINT, deterministic TRR).
     #[test]
-    #[allow(deprecated)]
-    fn closure_shim_matches_run_pattern() {
+    fn arena_and_map_sims_agree() {
+        let shapes = [
+            AttackPattern::Circular {
+                base: RowAddr(5000),
+                window: 4,
+            },
+            AttackPattern::HalfDouble {
+                victim: RowAddr(8000),
+                near_ratio: 2,
+            },
+            AttackPattern::Decoy {
+                aggressor: RowAddr(3000),
+                decoys: 3,
+            },
+        ];
+        for tracker in [TrackerKind::Mint, TrackerKind::NaiveTrr] {
+            for shape in shapes {
+                let mut arena =
+                    AttackSim::new(tracker, MitigationKind::Fractal, 4, ROWS, 21).unwrap();
+                let mut map =
+                    AttackSimRef::new(tracker, MitigationKind::Fractal, 4, ROWS, 21).unwrap();
+                arena.watch_thresholds(&[8, 32, 128]);
+                map.watch_thresholds(&[8, 32, 128]);
+                let ra = arena.run_pattern(&mut AttackStream::new(shape), 40_000);
+                let rm = map.run_pattern(&mut AttackStream::new(shape), 40_000);
+                assert_eq!(ra, rm, "{tracker:?} {shape:?} reports diverged");
+                assert_eq!(arena.crossings(), map.crossings());
+                for row in 0..ROWS.min(12_000) {
+                    assert_eq!(
+                        arena.damage_of(RowAddr(row)),
+                        map.damage_of(RowAddr(row)),
+                        "{tracker:?} {shape:?} damage diverged at row {row}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// `reset` leaves a used sim indistinguishable from a fresh build: same
+    /// report, crossings, and damage on a rerun, including after a
+    /// mid-stream abandon (partial window, pending watch state).
+    #[test]
+    fn reset_matches_fresh_build() {
         let pattern = AttackPattern::Circular {
             base: RowAddr(5000),
             window: 4,
         };
-        let via_shim = {
+        let fresh = |seed: u64| {
             let mut sim =
-                AttackSim::new(TrackerKind::Mint, MitigationKind::Fractal, 4, ROWS, 1).unwrap();
-            let mut stream = AttackStream::new(pattern);
-            sim.run(50_000, move |rng| stream.next_row(rng))
+                AttackSim::new(TrackerKind::Mint, MitigationKind::Fractal, 4, ROWS, seed).unwrap();
+            sim.watch_thresholds(&[8, 64]);
+            let report = sim.run_pattern(&mut AttackStream::new(pattern), 30_000);
+            (report, sim.crossings().to_vec())
         };
-        let via_pattern = run_fixed(
-            TrackerKind::Mint,
-            MitigationKind::Fractal,
-            4,
-            pattern,
-            50_000,
-            1,
-        );
-        assert_eq!(via_shim, via_pattern);
+        let mut sim =
+            AttackSim::new(TrackerKind::Mint, MitigationKind::Fractal, 4, ROWS, 1).unwrap();
+        sim.watch_thresholds(&[8, 64]);
+        // Abandon one run mid-window so reset has real state to scrub.
+        sim.run_pattern(&mut AttackStream::new(pattern), 12_345);
+        for seed in [1u64, 99] {
+            sim.reset(seed);
+            sim.watch_thresholds(&[8, 64]);
+            let report = sim.run_pattern(&mut AttackStream::new(pattern), 30_000);
+            assert_eq!(
+                (report, sim.crossings().to_vec()),
+                fresh(seed),
+                "reset-reuse diverged from fresh build at seed {seed}"
+            );
+        }
+    }
+
+    /// Duplicate and unsorted threshold inputs canonicalize to one ascending
+    /// deduped watch list, with crossings aligned to it.
+    #[test]
+    fn watch_thresholds_dedups_and_sorts() {
+        let mut sim =
+            AttackSim::new(TrackerKind::NaiveTrr, MitigationKind::Fractal, 4, ROWS, 5).unwrap();
+        sim.watch_thresholds(&[64, 1, 16, 16, 1, 64]);
+        assert_eq!(sim.watched(), &[1, 16, 64]);
+        assert_eq!(sim.crossings(), &[None, None, None]);
+        let mut stream = AttackStream::new(AttackPattern::Decoy {
+            aggressor: RowAddr(3000),
+            decoys: 3,
+        });
+        sim.run_pattern(&mut stream, 30_000);
+        let crossed: Vec<u64> = sim.crossings().iter().flatten().copied().collect();
+        assert_eq!(crossed.len(), 3, "decoy attack crosses all three");
+        assert!(crossed.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Re-watching after crossings drops the old state entirely: thresholds
+    /// already reached are caught up at the *current* activation count, and
+    /// yet-unreached ones start fresh.
+    #[test]
+    fn rewatch_after_crossings_resets_watch_state() {
+        let mut sim =
+            AttackSim::new(TrackerKind::NaiveTrr, MitigationKind::Fractal, 4, ROWS, 5).unwrap();
+        sim.watch_thresholds(&[1, 16]);
+        let mut stream = AttackStream::new(AttackPattern::Decoy {
+            aggressor: RowAddr(3000),
+            decoys: 3,
+        });
+        sim.run_pattern(&mut stream, 2_000);
+        let first = sim.crossings().to_vec();
+        assert!(first[0].is_some() && first[1].is_some());
+        let acts_now = sim.report().activations;
+        let max_now = sim.report().max_damage;
+
+        // Re-watch with a different ladder mid-run.
+        sim.watch_thresholds(&[16, 4, u64::MAX]);
+        assert_eq!(sim.watched(), &[4, 16, u64::MAX]);
+        let rewatched = sim.crossings().to_vec();
+        for (i, &t) in [4u64, 16].iter().enumerate() {
+            if max_now >= t {
+                assert_eq!(
+                    rewatched[i],
+                    Some(acts_now),
+                    "already-reached threshold {t} catches up at the current count"
+                );
+            }
+        }
+        assert_eq!(rewatched[2], None, "unreachable threshold stays open");
+
+        // Later crossings land at later activation counts than the catch-up.
+        sim.run_pattern(&mut stream, 28_000);
+        let final_crossings = sim.crossings().to_vec();
+        assert!(final_crossings[1].unwrap() >= acts_now);
+    }
+
+    /// A watch installed after damage already accumulated back-fills every
+    /// threshold at or below the current worst damage (the catch-up path).
+    #[test]
+    fn watch_catches_up_with_preexisting_damage() {
+        let mut sim =
+            AttackSim::new(TrackerKind::Mint, MitigationKind::Baseline, 4, ROWS, 7).unwrap();
+        for _ in 0..5_000 {
+            sim.activate(RowAddr(600));
+        }
+        let max = sim.report().max_damage;
+        let acts = sim.report().activations;
+        assert!(max >= 8, "hammering must have accumulated damage");
+        sim.watch_thresholds(&[1, 8, max, max + 1_000_000]);
+        let crossings = sim.crossings().to_vec();
+        assert_eq!(crossings[0], Some(acts));
+        assert_eq!(crossings[1], Some(acts));
+        assert_eq!(crossings[2], Some(acts));
+        assert_eq!(crossings[3], None, "beyond-current damage is not crossed");
     }
 
     /// Threshold watching records the first activation at which the worst

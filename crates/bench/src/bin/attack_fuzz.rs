@@ -1,12 +1,24 @@
 //! Attack-pattern fuzzer sweep: per-tracker minimum-activations-to-escape
 //! curves for **every** registered tracker, with the OracleRH
-//! strictly-hardest gate.
+//! strictly-hardest gate, lockstep lane evaluation, and an optional
+//! persistent evaluation store.
 //!
 //! For each `autorfm::trackers::names()` entry this runs one
 //! [`AttackFuzzer`] campaign (mutation + simulated annealing over the
-//! [`AttackPattern`] genome space), fanning candidate evaluation out with
-//! `par_map`. Because each candidate's simulation seed is derived from its
-//! genome digest, the sweep is bit-reproducible at any `--jobs`.
+//! [`AttackPattern`] genome space). Candidate evaluation fans out with
+//! `par_map` over lane-sized chunks, each chunk running through a pooled
+//! [`LaneEvaluator`]: persistent sims are reset per candidate instead of
+//! rebuilt, and `--lanes` genomes advance in lockstep through one batched
+//! dispatcher. Because each candidate's simulation seed is derived from its
+//! genome digest, the sweep is bit-reproducible at any `--jobs` and any
+//! `--lanes`.
+//!
+//! With `--store DIR`, every evaluation is also persisted as a sealed
+//! `KIND_FUZZ` record in the shared cell store, keyed by
+//! `(config, genome digest)`. A re-run over the same store (`--resume`
+//! makes the intent explicit and requires `--store`) answers every stored
+//! genome from disk — `sim_evaluated` drops to zero and the archive digest
+//! is reproduced exactly.
 //!
 //! Per tracker the campaign yields an escape curve: for each watched damage
 //! threshold, the fewest activations any archived candidate needed to push
@@ -14,22 +26,51 @@
 //! scalar `Σ_T min(crossing_T, budget+1)` — bigger means harder to escape.
 //! The idealized OracleRH runs with an *eager* mitigation trigger, so its
 //! hardness must be **strictly greater** than every real tracker's; the
-//! binary exits nonzero otherwise, and also when some real tracker never
-//! escapes even the lowest threshold (the curve would carry no signal).
+//! binary exits nonzero otherwise, when some real tracker never escapes
+//! even the lowest threshold, or when the MINT/PrIDE curves leave the
+//! closed-form expectation band (run-of-successes
+//! `E = (1-q^T)/((1-q)·q^T)`, `q = 1 - 1/W`): thresholds with `E` far
+//! below the budget must be crossed within a small multiple of `E`, and
+//! thresholds with `E` far above `budget × archive` must never be crossed.
 //!
-//! The last stdout line is a JSON record `{pr, patterns_per_sec, trackers,
-//! curves, hardness, oracle_escape_margin, fuzzer_beats_fixed}` that
-//! `scripts/verify.sh` distills into `BENCH_9.json`.
+//! Every run also times the legacy serial evaluator (hash-map damage,
+//! per-candidate sim construction) against the lane path on a fixed probe
+//! batch under the interleaved min-of-3 protocol, asserts the two produce
+//! bitwise-identical results, and reports `fuzz_speedup = min_ref/min_new`
+//! (gated by `--gate-fuzz-speedup MIN`).
+//!
+//! The last stdout line is a JSON record `{pr, patterns_per_sec,
+//! fuzz_speedup, lanes, sim_evaluated, store_hits, archive_digest,
+//! trackers, curves, hardness, oracle_escape_margin, fuzzer_beats_fixed}`
+//! that `scripts/verify.sh` distills into `BENCH_10.json`.
 //!
 //! Usage: `attack_fuzz [--tracker NAME] [--jobs N] [--seed N]
-//! [--activations N] [--generations N] [--population N] [--full]`
+//! [--activations N] [--generations N] [--population N] [--lanes N]
+//! [--store DIR] [--resume] [--gate-fuzz-speedup MIN] [--full]`
 //! (unknown flags are rejected; harness env knobs like `AUTORFM_JOBS`
 //! still apply underneath).
 
-use autorfm::analysis::{AttackFuzzer, AttackPattern, FuzzConfig};
+use autorfm::analysis::{
+    AttackFuzzer, AttackPattern, CandidateResult, EvaluatorPool, FuzzConfig, FuzzStore,
+    LaneEvaluator, MintModel,
+};
+use autorfm::snapshot::{digest64, Writer};
 use autorfm::telemetry::Json;
 use autorfm::trackers::TrackerKind;
 use autorfm_bench::{par_map, print_table, Harness, RunOpts};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Interleaved A/B repetitions for the fuzz-speedup probe.
+const KERNEL_REPS: usize = 3;
+/// Candidates in the speedup probe batch.
+const PROBE_BATCH: usize = 24;
+/// A threshold is "must cross" when `slack × E` fits the budget this many
+/// times over, and its crossing must lie within `slack × E`.
+const BAND_SLACK: f64 = 16.0;
+/// A threshold is "must never cross" when `E` exceeds the total simulated
+/// activations (`budget × archive`) by this factor.
+const UNREACHABLE_MARGIN: f64 = 64.0;
 
 struct FuzzArgs {
     tracker: Option<TrackerKind>,
@@ -38,6 +79,10 @@ struct FuzzArgs {
     activations: u64,
     generations: u32,
     population: u32,
+    lanes: usize,
+    store: Option<PathBuf>,
+    resume: bool,
+    gate_fuzz_speedup: Option<f64>,
 }
 
 fn parse_args() -> FuzzArgs {
@@ -49,9 +94,15 @@ fn parse_args() -> FuzzArgs {
         activations: 30_000,
         generations: 6,
         population: 24,
+        lanes: 8,
+        store: None,
+        resume: false,
+        gate_fuzz_speedup: None,
     };
     let usage = "usage: attack_fuzz [--tracker NAME] [--jobs N] [--seed N] \
-                 [--activations N] [--generations N] [--population N] [--full]";
+                 [--activations N] [--generations N] [--population N] \
+                 [--lanes N] [--store DIR] [--resume] \
+                 [--gate-fuzz-speedup MIN] [--full]";
     let mut args = std::env::args().skip(1);
     let next_val = |args: &mut dyn Iterator<Item = String>, flag: &str| {
         args.next()
@@ -88,6 +139,23 @@ fn parse_args() -> FuzzArgs {
                     .parse()
                     .expect("--population needs an integer");
             }
+            "--lanes" => {
+                out.lanes = next_val(&mut args, "--lanes")
+                    .parse()
+                    .expect("--lanes needs an integer");
+                assert!(out.lanes >= 1, "--lanes must be at least 1");
+            }
+            "--store" => {
+                out.store = Some(PathBuf::from(next_val(&mut args, "--store")));
+            }
+            "--resume" => out.resume = true,
+            "--gate-fuzz-speedup" => {
+                out.gate_fuzz_speedup = Some(
+                    next_val(&mut args, "--gate-fuzz-speedup")
+                        .parse()
+                        .expect("--gate-fuzz-speedup needs a number"),
+                );
+            }
             "--full" => {
                 out.activations = 120_000;
                 out.generations = 12;
@@ -96,7 +164,142 @@ fn parse_args() -> FuzzArgs {
             other => panic!("unknown argument {other:?}\n{usage}"),
         }
     }
+    assert!(
+        !out.resume || out.store.is_some(),
+        "--resume needs --store DIR (nothing to resume from)\n{usage}"
+    );
     out
+}
+
+/// Store-aware batched evaluator: answers stored genomes from `store`,
+/// simulates the misses through pooled lane evaluators (`jobs`-way over
+/// lane-sized chunks), persists fresh results, and returns everything in
+/// batch order.
+fn evaluate_batch(
+    pool: &EvaluatorPool,
+    store: Option<&FuzzStore>,
+    jobs: usize,
+    batch: &[AttackPattern],
+    sim_evaluated: &AtomicU64,
+    store_hits: &AtomicU64,
+) -> Vec<CandidateResult> {
+    let mut slots: Vec<Option<CandidateResult>> = vec![None; batch.len()];
+    let mut misses: Vec<(usize, AttackPattern)> = Vec::new();
+    for (i, p) in batch.iter().enumerate() {
+        match store.and_then(|s| s.get(p.digest())) {
+            Some(hit) => {
+                store_hits.fetch_add(1, Ordering::Relaxed);
+                slots[i] = Some(hit);
+            }
+            None => misses.push((i, p.clone())),
+        }
+    }
+    if !misses.is_empty() {
+        sim_evaluated.fetch_add(misses.len() as u64, Ordering::Relaxed);
+        let patterns: Vec<AttackPattern> = misses.iter().map(|(_, p)| p.clone()).collect();
+        let chunks: Vec<&[AttackPattern]> = patterns.chunks(pool.lanes()).collect();
+        let fresh: Vec<CandidateResult> = par_map(&chunks, jobs, |chunk| pool.evaluate(chunk))
+            .into_iter()
+            .flatten()
+            .collect();
+        debug_assert_eq!(fresh.len(), misses.len());
+        for ((i, _), r) in misses.iter().zip(fresh) {
+            if let Some(s) = store {
+                s.put(&r).expect("fuzz store write failed");
+            }
+            slots[*i] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every batch slot filled"))
+        .collect()
+}
+
+/// Interleaved min-of-3 A/B: legacy serial evaluator (hash-map damage, a
+/// fresh sim per candidate) vs the lane path (arena damage, pooled sims,
+/// lockstep dispatch — constructed inside the timed region, as `run` pays
+/// it). Asserts bitwise-identical results, returns `min_ref / min_new`.
+fn fuzz_speedup_probe(cfg: &FuzzConfig, lanes: usize) -> f64 {
+    let probe: Vec<AttackPattern> = AttackFuzzer::seed_patterns(cfg)
+        .into_iter()
+        .cycle()
+        .take(PROBE_BATCH)
+        .collect();
+    let want: Vec<CandidateResult> = probe
+        .iter()
+        .map(|p| AttackFuzzer::evaluate(cfg, p))
+        .collect();
+    let mut min_ref = f64::INFINITY;
+    let mut min_new = f64::INFINITY;
+    for rep in 0..KERNEL_REPS {
+        for side in 0..2 {
+            // Alternate which evaluator goes first so drift hits both.
+            if (rep + side) % 2 == 0 {
+                let t = std::time::Instant::now();
+                let got: Vec<CandidateResult> = probe
+                    .iter()
+                    .map(|p| AttackFuzzer::evaluate_ref(cfg, p))
+                    .collect();
+                min_ref = min_ref.min(t.elapsed().as_secs_f64());
+                assert_eq!(got, want, "reference evaluator diverged");
+            } else {
+                let t = std::time::Instant::now();
+                let mut ev = LaneEvaluator::new(cfg.clone(), lanes);
+                let got = ev.evaluate_batch(&probe);
+                min_new = min_new.min(t.elapsed().as_secs_f64());
+                assert_eq!(got, want, "lane evaluator diverged from serial reference");
+            }
+        }
+    }
+    min_ref / min_new.max(1e-12)
+}
+
+/// Satellite gate: MINT (fractal) and PrIDE sample each activation with
+/// probability `1/W`, so the expected activations to a first `T`-damage
+/// escape follow the run-of-successes closed form. Checks each watched
+/// threshold of `outcome` against the band and appends violations.
+fn escape_band_violations(
+    kind: TrackerKind,
+    window: u32,
+    budget: u64,
+    thresholds: &[u64],
+    curve: &[Option<u64>],
+    archive_len: usize,
+    violations: &mut Vec<String>,
+) {
+    let model = MintModel::rfm(window, false);
+    let total_sim_acts = budget as f64 * archive_len.max(1) as f64;
+    for (&t, &crossing) in thresholds.iter().zip(curve) {
+        let e = model.expected_first_escape_acts(t as f64);
+        if e * BAND_SLACK <= budget as f64 / 2.0 || e * 4.0 <= budget as f64 {
+            // Comfortably reachable within one candidate's budget.
+            match crossing {
+                None => violations.push(format!(
+                    "{kind} T={t}: expected escape within ~{e:.0} acts \
+                     (budget {budget}), but no candidate crossed"
+                )),
+                Some(a) => {
+                    let hi = (e * BAND_SLACK).min(budget as f64);
+                    if (a as f64) < t as f64 || a as f64 > hi {
+                        violations.push(format!(
+                            "{kind} T={t}: crossing {a} outside closed-form band \
+                             [{t}, {hi:.0}] (E={e:.0})"
+                        ));
+                    }
+                }
+            }
+        } else if e >= total_sim_acts * UNREACHABLE_MARGIN {
+            // Far beyond everything the whole archive simulated.
+            if let Some(a) = crossing {
+                violations.push(format!(
+                    "{kind} T={t}: crossed at {a} but closed form expects \
+                     ~{e:.0} acts ≫ {total_sim_acts:.0} total simulated"
+                ));
+            }
+        }
+        // In-between thresholds are borderline: no gate either way.
+    }
 }
 
 fn main() {
@@ -110,9 +313,12 @@ fn main() {
         None => TrackerKind::ALL.to_vec(),
     };
     let budget = args.activations;
+    let sim_evaluated = AtomicU64::new(0);
+    let store_hits = AtomicU64::new(0);
     let start = std::time::Instant::now();
 
     let mut outcomes = Vec::new();
+    let mut archive_digests = Vec::new();
     for &kind in &kinds {
         let cfg = FuzzConfig {
             activations: args.activations,
@@ -123,15 +329,37 @@ fn main() {
         };
         let mut fuzzer = AttackFuzzer::new(cfg);
         let cfg = fuzzer.cfg().clone();
+        let store = args
+            .store
+            .as_deref()
+            .map(|root| FuzzStore::open(root, &cfg).expect("cannot open fuzz store"));
+        let pool = EvaluatorPool::new(cfg.clone(), args.lanes);
         let jobs = args.jobs;
         let outcome = fuzzer.run(|batch: &[AttackPattern]| {
-            par_map(batch, jobs, |p| AttackFuzzer::evaluate(&cfg, p))
+            evaluate_batch(
+                &pool,
+                store.as_ref(),
+                jobs,
+                batch,
+                &sim_evaluated,
+                &store_hits,
+            )
         });
+        archive_digests.push(fuzzer.archive_digest());
         outcomes.push(outcome);
     }
     let elapsed = start.elapsed().as_secs_f64();
     let evaluated: u64 = outcomes.iter().map(|o| o.evaluated).sum();
     let patterns_per_sec = evaluated as f64 / elapsed.max(1e-9);
+    // One scalar over the whole sweep: digest of the per-tracker archive
+    // digests in registry order. Equal ⇒ every archive bitwise-identical.
+    let archive_digest = {
+        let mut w = Writer::new();
+        for d in &archive_digests {
+            w.put_u64(*d);
+        }
+        digest64(w.bytes())
+    };
 
     // Curves collapse to a hardness scalar: sum over thresholds of the
     // crossing point, with "never escaped" charged as budget+1.
@@ -159,8 +387,11 @@ fn main() {
         rows.push(row);
     }
     print_table(&header_refs, &rows);
+    let hits = store_hits.load(Ordering::Relaxed);
+    let simulated = sim_evaluated.load(Ordering::Relaxed);
     println!(
         "\n{evaluated} patterns evaluated in {elapsed:.2}s ({patterns_per_sec:.1}/s); \
+         {simulated} simulated, {hits} answered from the store; \
          '-' = never escaped within the {budget}-activation budget"
     );
 
@@ -202,6 +433,45 @@ fn main() {
         );
     }
 
+    // Quantitative escape-curve gate: the memoryless 1/W samplers must land
+    // inside the run-of-successes expectation band (runs whenever the kind
+    // is present, including under `--tracker mint`/`--tracker pride`).
+    for o in &outcomes {
+        if matches!(o.tracker, TrackerKind::Mint | TrackerKind::Pride) {
+            escape_band_violations(
+                o.tracker,
+                4, // FuzzConfig::smoke window — the sweep always runs W=4.
+                budget,
+                &o.thresholds,
+                &o.curve,
+                o.archive_len,
+                &mut violations,
+            );
+        }
+    }
+
+    // Interleaved min-of-3 fuzz-speedup probe: legacy serial path vs the
+    // lane path, on a short fixed batch of the first kind's config.
+    let probe_cfg = FuzzConfig {
+        activations: 10_000,
+        seed: args.seed,
+        ..FuzzConfig::smoke(kinds[0])
+    };
+    let fuzz_speedup = fuzz_speedup_probe(&probe_cfg, args.lanes);
+    println!(
+        "fuzz_speedup {fuzz_speedup:.2}x (lane path vs legacy serial, \
+         min-of-{KERNEL_REPS} interleaved, {PROBE_BATCH}-candidate probe, \
+         {} lanes)",
+        args.lanes
+    );
+    if let Some(min) = args.gate_fuzz_speedup {
+        if fuzz_speedup < min {
+            violations.push(format!(
+                "fuzz_speedup {fuzz_speedup:.2}x below gate {min:.2}x"
+            ));
+        }
+    }
+
     let fuzzer_beats_fixed = outcomes
         .iter()
         .filter(|o| o.best.score() >= o.best_fixed.score())
@@ -226,6 +496,8 @@ fn main() {
         );
     }
     harness.gauge("fuzz_patterns_per_sec", &[], patterns_per_sec);
+    harness.gauge("fuzz_speedup", &[], fuzz_speedup);
+    harness.gauge("fuzz_store_hits", &[], hits as f64);
     harness.finish();
 
     let curves = Json::Obj(
@@ -252,8 +524,16 @@ fn main() {
             .collect(),
     );
     let record = Json::obj(vec![
-        ("pr", Json::Num(9.0)),
+        ("pr", Json::Num(10.0)),
         ("patterns_per_sec", Json::Num(patterns_per_sec)),
+        ("fuzz_speedup", Json::Num(fuzz_speedup)),
+        ("lanes", Json::Num(args.lanes as f64)),
+        ("sim_evaluated", Json::Num(simulated as f64)),
+        ("store_hits", Json::Num(hits as f64)),
+        (
+            "archive_digest",
+            Json::Str(format!("{archive_digest:016x}")),
+        ),
         (
             "trackers",
             Json::Arr(kinds.iter().map(|k| Json::Str(k.to_string())).collect()),

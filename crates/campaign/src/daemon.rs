@@ -509,6 +509,13 @@ impl Daemon {
         };
         Json::obj(vec![
             ("campaigns", Json::Num(campaigns as f64)),
+            // Fuzz-evaluation records adopted alongside sweep cells: the
+            // store root is shared with `attack_fuzz --store`, so a daemon
+            // pointed at a fuzz store reports its persisted evaluations.
+            (
+                "fuzz_records",
+                Json::Num(self.inner.store.fuzz_len() as f64),
+            ),
             ("cells_done", Json::Num(done as f64)),
             ("cells_failed", Json::Num(failed as f64)),
             ("cells_computed", Json::Num(computed as f64)),

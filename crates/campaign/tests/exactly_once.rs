@@ -135,3 +135,85 @@ fn overlapping_campaigns_compute_shared_cells_once() {
     daemon.stop();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// A daemon pointed at a store that `attack_fuzz --store` populated adopts
+/// the fuzz records next to its sweep cells: `/stats` reports them, they
+/// survive the daemon's own sweep traffic, and sweep cells never collide
+/// with fuzz records even at equal keys.
+#[test]
+fn daemon_adopts_fuzz_store_records() {
+    use autorfm::analysis::{AttackFuzzer, FuzzConfig, FuzzStore};
+    use autorfm::trackers::TrackerKind;
+
+    let dir = scratch("fuzz-adopt");
+    // Populate the store the way a fuzz campaign would.
+    let cfg = FuzzConfig {
+        activations: 2_000,
+        generations: 1,
+        population: 4,
+        ..FuzzConfig::smoke(TrackerKind::NaiveTrr)
+    };
+    let fuzz = FuzzStore::open(&dir, &cfg).unwrap();
+    let results: Vec<_> = AttackFuzzer::seed_patterns(&cfg)
+        .iter()
+        .map(|p| AttackFuzzer::evaluate(&cfg, p))
+        .collect();
+    for r in &results {
+        fuzz.put(r).unwrap();
+    }
+    assert!(!results.is_empty());
+
+    let daemon = Daemon::start(DaemonConfig {
+        store: dir.clone(),
+        workers: 2,
+        batch: 2,
+        kernel: KernelKind::Event,
+    })
+    .unwrap();
+    let stats = daemon.stats();
+    assert_eq!(
+        stats.get("fuzz_records").and_then(Json::as_u64),
+        Some(results.len() as u64),
+        "stats must report adopted fuzz records"
+    );
+
+    // Sweep traffic shares the root without disturbing the fuzz family.
+    let req = SweepRequest {
+        name: "beside-fuzz".into(),
+        workloads: vec!["mcf".into()],
+        scenarios: vec!["AutoRFM-4".into()],
+        cores: 2,
+        instructions: 4_000,
+        ..SweepRequest::default()
+    };
+    let outcome = daemon.submit(&req).unwrap();
+    wait_complete(&daemon, &outcome.id);
+    let stats = daemon.stats();
+    assert_eq!(
+        stats.get("fuzz_records").and_then(Json::as_u64),
+        Some(results.len() as u64),
+        "sweep traffic must not disturb fuzz records"
+    );
+    assert!(stats.get("cells_done").and_then(Json::as_u64) >= Some(1));
+
+    // Reopening the store in a later daemon life still sees both families.
+    daemon.stop();
+    let daemon = Daemon::start(DaemonConfig {
+        store: dir.clone(),
+        workers: 1,
+        batch: 1,
+        kernel: KernelKind::Event,
+    })
+    .unwrap();
+    assert_eq!(
+        daemon.stats().get("fuzz_records").and_then(Json::as_u64),
+        Some(results.len() as u64)
+    );
+    // And the records themselves still decode through a fresh FuzzStore.
+    let reopened = FuzzStore::open(&dir, &cfg).unwrap();
+    for r in &results {
+        assert_eq!(reopened.get(r.digest).as_ref(), Some(r));
+    }
+    daemon.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -336,10 +336,10 @@ impl System {
             return 0;
         }
         wake = wake.min(self.mc.next_event_at(now));
-        if let Some(t) = &self.telemetry {
-            // Epochs must observe at identical cycles under both kernels.
-            wake = wake.min(t.sampler.next_boundary());
-        }
+        // Telemetry epoch boundaries deliberately do NOT clamp the wake:
+        // boundaries crossed by a leap are flushed in one batch by `leap`
+        // itself (see there for the bitwise-identity argument), so the most
+        // frequent non-mc wake on telemetry-enabled runs is gone.
         if wake <= hot {
             return 0;
         }
@@ -356,6 +356,19 @@ impl System {
         self.now += Cycle::new(STEP.raw() * steps);
         self.mc.skip_ticks(steps);
         self.steps_skipped += steps;
+        // Batch-flush every telemetry epoch boundary the leap crossed. The
+        // leapt stretch is provably a no-op for cores, uncore, and the
+        // controller, so the observation built here from the frozen counters
+        // is bitwise what each boundary's executed step would have observed
+        // under the stepped kernel; `observe` closes all crossed windows
+        // (delta to the first, zeros after) at their grid-aligned ends, so
+        // the retained series is identical too.
+        if let Some(t) = &mut self.telemetry {
+            if t.sampler.due(self.now) {
+                let obs = Self::observation(&self.mc, &self.cores);
+                t.sampler.observe(self.now, obs, t.sink.as_mut());
+            }
+        }
     }
 
     /// Kernel diagnostics: `(steps_executed, steps_skipped)` so far. The skip
@@ -874,6 +887,34 @@ mod tests {
             traced.perf(),
             "headline perf must round-trip into the registry"
         );
+    }
+
+    /// The PR-10 leap batching (epoch boundaries no longer clamp event-kernel
+    /// wakes; crossed boundaries flush inside `leap`) must keep the retained
+    /// telemetry series bitwise identical between kernels — every sample
+    /// boundary, delta, and queue-depth gauge.
+    #[test]
+    fn telemetry_series_identical_across_kernels() {
+        let spec = WorkloadSpec::by_name("bwaves").unwrap();
+        let cfg = SimConfig::scenario(spec, Scenario::AutoRfm { th: 4 })
+            .with_cores(2)
+            .with_instructions(15_000)
+            .with_telemetry(crate::TelemetryConfig::default());
+        let stepped = System::new(cfg.clone())
+            .unwrap()
+            .run_with(KernelKind::Stepped);
+        let event = System::new(cfg).unwrap().run_with(KernelKind::Event);
+        assert_eq!(stepped.elapsed, event.elapsed);
+        let s = stepped.series.as_ref().unwrap();
+        let e = event.series.as_ref().unwrap();
+        assert_eq!(
+            s.samples.len(),
+            e.samples.len(),
+            "kernels retained different sample counts"
+        );
+        for (i, (a, b)) in s.samples.iter().zip(&e.samples).enumerate() {
+            assert_eq!(a, b, "telemetry sample {i} diverged between kernels");
+        }
     }
 
     #[test]

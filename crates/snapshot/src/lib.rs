@@ -68,6 +68,9 @@ pub const KIND_WARM: u8 = 1;
 pub const KIND_RESULTS: u8 = 2;
 /// Payload kind: one content-addressed sweep-cell result (see [`store`]).
 pub const KIND_CELL: u8 = 3;
+/// Payload kind: one content-addressed fuzz-evaluation result (a
+/// `CandidateResult` keyed by `(fuzz config, genome)`; see [`store`]).
+pub const KIND_FUZZ: u8 = 4;
 
 /// Human-readable name of a container payload kind.
 pub fn kind_name(kind: u8) -> &'static str {
@@ -76,6 +79,7 @@ pub fn kind_name(kind: u8) -> &'static str {
         KIND_WARM => "warm state",
         KIND_RESULTS => "result cache",
         KIND_CELL => "cell result",
+        KIND_FUZZ => "fuzz evaluation",
         _ => "unknown",
     }
 }

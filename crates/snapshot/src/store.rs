@@ -28,7 +28,7 @@
 //! campaign daemon byte-compatible — both store the same `SimResult`
 //! encoding under the same [`cell_key`].
 
-use crate::{digest64, open, write_file, Reader, SnapError, Writer, KIND_CELL};
+use crate::{digest64, open, write_file, Reader, SnapError, Writer, KIND_CELL, KIND_FUZZ};
 use std::path::{Path, PathBuf};
 
 /// The stable identity of one sweep cell. Scenario and workload are keyed by
@@ -188,6 +188,10 @@ impl CellStore {
     /// Every key with a record on disk, sorted. (Scans the directory; meant
     /// for inspection and tests, not hot paths.)
     pub fn keys(&self) -> Vec<u64> {
+        self.scan_keys(".cell")
+    }
+
+    fn scan_keys(&self, suffix: &str) -> Vec<u64> {
         let mut out: Vec<u64> = std::fs::read_dir(self.root.join("cells"))
             .into_iter()
             .flatten()
@@ -195,11 +199,58 @@ impl CellStore {
             .filter_map(|entry| {
                 let name = entry.file_name();
                 let name = name.to_str()?;
-                u64::from_str_radix(name.strip_suffix(".cell")?, 16).ok()
+                u64::from_str_radix(name.strip_suffix(suffix)?, 16).ok()
             })
             .collect();
         out.sort_unstable();
         out
+    }
+
+    /// The file path answering fuzz-evaluation `key`. Fuzz records share the
+    /// `cells/` root with sweep cells but carry their own extension and
+    /// container kind, so the two record families can never shadow each
+    /// other even on colliding keys.
+    pub fn fuzz_path(&self, key: u64) -> PathBuf {
+        self.root.join("cells").join(format!("{key:016x}.fuzz"))
+    }
+
+    /// Reads the fuzz-evaluation record stored under `key`. Missing,
+    /// corrupt, wrong-kind, or wrong-key files all read as `None` — a
+    /// damaged record is simply re-evaluated, never trusted.
+    pub fn get_fuzz(&self, key: u64) -> Option<CellRecord> {
+        let bytes = std::fs::read(self.fuzz_path(key)).ok()?;
+        let c = open(&bytes).ok()?;
+        if c.kind != KIND_FUZZ {
+            return None;
+        }
+        let record = CellRecord::decode(&c.payload).ok()?;
+        (record.key == key).then_some(record)
+    }
+
+    /// Writes fuzz-evaluation `record` under `key` atomically.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error. A record whose `key` field disagrees
+    /// with `key` is rejected as [`std::io::ErrorKind::InvalidInput`].
+    pub fn put_fuzz(&self, key: u64, record: &CellRecord) -> std::io::Result<()> {
+        if record.key != key {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("fuzz record key {:#x} filed under {key:#x}", record.key),
+            ));
+        }
+        write_file(&self.fuzz_path(key), KIND_FUZZ, &record.encode())
+    }
+
+    /// Every fuzz-evaluation key with a record on disk, sorted.
+    pub fn fuzz_keys(&self) -> Vec<u64> {
+        self.scan_keys(".fuzz")
+    }
+
+    /// Number of fuzz-evaluation records on disk.
+    pub fn fuzz_len(&self) -> usize {
+        self.fuzz_keys().len()
     }
 
     /// Number of records on disk.
@@ -273,6 +324,42 @@ mod tests {
         std::fs::write(store.cell_path(key), b"garbage").unwrap();
         assert!(store.get(key).is_none());
         assert!(store.contains(key), "the damaged file is still there");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fuzz_records_live_beside_cells_without_shadowing() {
+        let dir = scratch("fuzz");
+        let store = CellStore::open(&dir).unwrap();
+        let key = 0x1234_5678_9ABC_DEF0u64;
+        // Same key in both families: each family sees only its own record.
+        store
+            .put(key, &CellRecord::ok(key, b"cell".to_vec()))
+            .unwrap();
+        store
+            .put_fuzz(key, &CellRecord::ok(key, b"fuzz".to_vec()))
+            .unwrap();
+        assert_eq!(store.get(key).unwrap().outcome.unwrap(), b"cell");
+        assert_eq!(store.get_fuzz(key).unwrap().outcome.unwrap(), b"fuzz");
+        assert_eq!(store.keys(), vec![key]);
+        assert_eq!(store.fuzz_keys(), vec![key]);
+        assert_eq!(store.fuzz_len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fuzz_record_kind_and_key_are_enforced() {
+        let dir = scratch("fuzz-kind");
+        let store = CellStore::open(&dir).unwrap();
+        // Mismatched key rejected on write.
+        assert!(store.put_fuzz(1, &CellRecord::ok(2, vec![])).is_err());
+        // A KIND_CELL container under a .fuzz name reads as absent.
+        let rec = CellRecord::ok(7, b"x".to_vec());
+        write_file(&store.fuzz_path(7), KIND_CELL, &rec.encode()).unwrap();
+        assert!(store.get_fuzz(7).is_none());
+        // Corrupt bytes read as absent.
+        std::fs::write(store.fuzz_path(8), b"garbage").unwrap();
+        assert!(store.get_fuzz(8).is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -118,12 +118,43 @@ echo "== attack fuzzer smoke (escape curves + OracleRH strictly-hardest gate) ==
 # over the AttackPattern genome space against the tracker-only AttackSim.
 # The binary exits nonzero unless the eager-oracle hardness is strictly
 # greater than every real tracker's AND every real tracker escapes at least
-# the lowest watched threshold (nonzero curve coverage). Per-candidate seeds
-# derive from genome digests, so the sweep is bit-identical at any --jobs.
+# the lowest watched threshold (nonzero curve coverage) AND the MINT/PrIDE
+# curves sit inside the closed-form run-of-successes expectation band AND
+# the lockstep lane evaluator beats the legacy serial path (interleaved
+# min-of-3 A/B, bitwise-equal results, --gate-fuzz-speedup). Per-candidate
+# seeds derive from genome digests, so the sweep is bit-identical at any
+# --jobs and any --lanes. Evaluations persist into a scratch store for the
+# resume smoke below.
+FUZZ_STORE="$(mktemp -d)"
+trap 'rm -rf "${FUZZ_STORE}"' EXIT
 fuzz_out="$(cargo run --release -p autorfm-bench --bin attack_fuzz -- \
-    --jobs "${JOBS}")"
+    --jobs "${JOBS}" --store "${FUZZ_STORE}" --gate-fuzz-speedup 1.0)"
 printf '%s\n' "${fuzz_out}"
 printf '%s\n' "${fuzz_out}" | tail -n 1 > results/attack_fuzz.json
+
+echo "== attack_fuzz --resume smoke (warm store answers every genome) =="
+# A second run over the populated store must simulate nothing: every genome
+# is answered from disk and the survivor archives come out bit-identical
+# (same archive digest). This is the persistence analogue of the campaign
+# dedup gate below.
+resume_fuzz_out="$(cargo run --release -p autorfm-bench --bin attack_fuzz -- \
+    --jobs "${JOBS}" --store "${FUZZ_STORE}" --resume --gate-fuzz-speedup 1.0)"
+printf '%s\n' "${resume_fuzz_out}" | tail -n 1 > results/attack_fuzz_resume.json
+python3 - <<'EOF'
+import json
+
+with open("results/attack_fuzz.json") as f:
+    cold = json.load(f)
+with open("results/attack_fuzz_resume.json") as f:
+    warm = json.load(f)
+assert warm["sim_evaluated"] == 0, \
+    f"resume re-simulated {warm['sim_evaluated']} stored genomes"
+assert warm["store_hits"] > 0, "resume answered nothing from the store"
+assert warm["archive_digest"] == cold["archive_digest"], \
+    f"resume archive digest {warm['archive_digest']} != cold {cold['archive_digest']}"
+print(f"attack_fuzz --resume: 0 re-evaluations, {warm['store_hits']} store hits, "
+      f"archive digest {warm['archive_digest']} reproduced")
+EOF
 
 echo "== BENCH_9.json (attack fuzzer throughput / oracle escape margin) =="
 python3 - <<'EOF'
@@ -143,13 +174,32 @@ with open("BENCH_9.json", "w") as f:
 print("BENCH_9.json:", json.dumps(bench))
 EOF
 
+echo "== BENCH_10.json (fuzzer lane throughput / speedup) =="
+python3 - <<'EOF'
+import json
+
+with open("results/attack_fuzz.json") as f:
+    d = json.load(f)
+bench = {
+    "pr": 10,
+    "patterns_per_sec": d["patterns_per_sec"],
+    "fuzz_speedup": d["fuzz_speedup"],
+    "oracle_escape_margin": d["oracle_escape_margin"],
+}
+with open("BENCH_10.json", "w") as f:
+    json.dump(bench, f, indent=2)
+    f.write("\n")
+print("BENCH_10.json:", json.dumps(bench))
+EOF
+
 echo "== campaign service smoke (campaignd + campaign CLI) =="
-# Boot the always-on sweep server on an ephemeral port over a scratch store,
-# push a 4-cell sweep through it, wait for completion, then re-run every cell
-# as a direct System simulation and diff result digests (campaign check).
-# Resubmitting the same sweep must be pure dedup: zero new cells scheduled.
-CAMPAIGN_STORE="$(mktemp -d)"
-trap 'rm -rf "${CAMPAIGN_STORE}"' EXIT
+# Boot the always-on sweep server on an ephemeral port over the fuzz store
+# from above — campaignd must adopt the persisted fuzz evaluations next to
+# its own sweep cells. Push a 4-cell sweep through it, wait for completion,
+# then re-run every cell as a direct System simulation and diff result
+# digests (campaign check). Resubmitting the same sweep must be pure dedup:
+# zero new cells scheduled.
+CAMPAIGN_STORE="${FUZZ_STORE}"
 ./target/release/campaignd --store "${CAMPAIGN_STORE}" --port 0 &
 CAMPAIGND_PID=$!
 for _ in $(seq 1 100); do
@@ -200,6 +250,17 @@ if [ "$(python3 -c 'import json,sys; print(json.load(sys.stdin)["scheduled"])' <
     exit 1
 fi
 campaign stats > results/campaign_stats.json
+# The daemon shares its store root with attack_fuzz: the adopted fuzz
+# records must be visible through /stats alongside the sweep counters.
+python3 -c '
+import json
+
+with open("results/campaign_stats.json") as f:
+    d = json.load(f)
+n = d.get("fuzz_records", 0)
+assert n > 0, f"campaignd reported no adopted fuzz records: {d}"
+print(f"campaignd adopted {n} fuzz records from the shared store")
+'
 campaign shutdown > /dev/null
 wait "${CAMPAIGND_PID}"
 
